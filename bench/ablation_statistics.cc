@@ -1,0 +1,96 @@
+// Ablation: recommendation quality vs. amount of recorded statistics — the
+// paper's stated future work ("identify a preferably small set of statistics
+// that still provides high quality recommendations", §7). The online
+// recorder's reservoir sample is swept from 16 queries to the full stream;
+// quality is the estimated cost of the resulting recommendation relative to
+// the full-information recommendation.
+#include <vector>
+
+#include "bench_util.h"
+#include "core/advisor.h"
+#include "workload/generator.h"
+#include "workload/runner.h"
+
+namespace hsdb {
+namespace {
+
+int Run() {
+  bench::PrintBanner(
+      "Ablation: recommendation quality vs. recorded statistics",
+      "mixed workload (2% OLAP, hot updates); recorder sample size swept",
+      "quality should saturate at a small sample (the paper's future-work "
+      "hypothesis)");
+
+  CostModel model(bench::CalibratedParams());
+  SyntheticTableSpec spec;
+  spec.name = "t";
+  const size_t rows = bench::ScaledRows(2e6);
+  const size_t stream_len = 4000;
+
+  WorkloadOptions opts;
+  opts.olap_fraction = 0.02;
+  opts.hot_key_fraction = 0.1;
+  opts.wide_update_probability = 0.3;
+  opts.seed = 2024;
+
+  // Reference: recommendation from the full stream.
+  std::vector<Query> stream;
+  {
+    SyntheticWorkloadGenerator gen(spec, rows, opts);
+    stream = gen.Generate(stream_len);
+  }
+
+  auto recommend_cost = [&](size_t sample_size) {
+    Database db;
+    HSDB_CHECK(db.CreateTable("t", spec.MakeSchema(),
+                              TableLayout::SingleStore(StoreType::kColumn))
+                   .ok());
+    HSDB_CHECK(
+        PopulateSynthetic(db.catalog().GetTable("t"), spec, rows).ok());
+    db.catalog().UpdateAllStatistics();
+
+    AdvisorOptions adv_opts;
+    adv_opts.recorder_sample = sample_size;
+    StorageAdvisor advisor(&db, adv_opts);
+    advisor.SetCostModelParams(model.params());
+    advisor.StartRecording();
+    // Replay the stream without executing it (recording only): we record
+    // through the observer by executing; execution also keeps table
+    // statistics truthful under the inserts.
+    RunWorkload(db, stream);
+    Result<Recommendation> rec = advisor.RecommendOnline();
+    HSDB_CHECK_MSG(rec.ok(), rec.status().ToString().c_str());
+    // Judge the recommendation under the FULL workload model.
+    WorkloadCostEstimator est(&model, &db.catalog());
+    auto full = ToWeighted(stream);
+    double cost = est.WorkloadCost(full, [&](const std::string& name) {
+      auto it = rec->layouts.find(name);
+      return it == rec->layouts.end()
+                 ? LayoutContext::SingleStore(StoreType::kRow)
+                 : it->second;
+    });
+    return std::make_pair(cost, rec->layouts.at("t").layout.ToString());
+  };
+
+  auto [full_cost, full_layout] = recommend_cost(stream_len);
+  std::printf("full-information recommendation: %s (cost %.1f ms)\n",
+              full_layout.c_str(), full_cost);
+  bench::PrintRule();
+  std::printf("%14s %16s %12s   %s\n", "sample size", "est. cost (ms)",
+              "penalty", "chosen layout");
+  // Sample size 0 = statistics-only mode: the advisor reconstructs the
+  // workload from the extended counters alone (cheapest recording).
+  for (size_t sample : {size_t{0}, size_t{16}, size_t{64}, size_t{256},
+                        size_t{1024}, stream_len}) {
+    auto [cost, layout] = recommend_cost(sample);
+    std::printf("%14zu %16.1f %11.2f%%   %s\n", sample, cost,
+                100.0 * (cost - full_cost) / full_cost, layout.c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hsdb
+
+int main() { return hsdb::Run(); }

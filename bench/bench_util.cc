@@ -1,0 +1,89 @@
+#include "bench_util.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/stopwatch.h"
+#include "core/probe_runner.h"
+
+namespace hsdb {
+namespace bench {
+
+namespace {
+constexpr char kCachePath[] = "hsdb_calibration.cache";
+}
+
+double ScaleFactor() {
+  const char* env = std::getenv("HSDB_BENCH_SCALE");
+  if (env != nullptr) {
+    double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return 0.05;
+}
+
+size_t ScaledRows(double paper_rows, size_t min_rows) {
+  auto rows = static_cast<size_t>(paper_rows * ScaleFactor());
+  return rows < min_rows ? min_rows : rows;
+}
+
+size_t ScaledQueries(double paper_queries, size_t min_queries) {
+  // Queries scale more gently than data (sqrt) so small-scale runs still
+  // exercise a meaningful mix.
+  double scaled = paper_queries * std::sqrt(ScaleFactor() / 0.05) * 0.4;
+  auto n = static_cast<size_t>(scaled);
+  return n < min_queries ? min_queries : n;
+}
+
+CostModelParams CalibratedParams() {
+  const char* recal = std::getenv("HSDB_BENCH_RECALIBRATE");
+  if (recal == nullptr || recal[0] == '0') {
+    std::ifstream in(kCachePath);
+    if (in.good()) {
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      Result<CostModelParams> params =
+          CostModelParams::Deserialize(buffer.str());
+      if (params.ok()) {
+        std::printf("[calibration] loaded cached model from %s\n",
+                    kCachePath);
+        return *params;
+      }
+      std::printf("[calibration] cache unreadable, recalibrating\n");
+    }
+  }
+  std::printf(
+      "[calibration] running probe suite (cached afterwards in %s)...\n",
+      kCachePath);
+  std::fflush(stdout);
+  Stopwatch sw;
+  EngineProbeRunner runner;
+  CalibrationOptions options;
+  CalibrationReport report = Calibrate(runner, options);
+  std::printf("[calibration] done in %.1f s, mean r2 = %.4f\n",
+              sw.ElapsedMs() / 1000.0, report.mean_r_squared);
+  std::ofstream out(kCachePath);
+  out << report.params.Serialize();
+  return report.params;
+}
+
+void PrintBanner(const std::string& figure, const std::string& setup,
+                 const std::string& paper_shape) {
+  PrintRule();
+  std::printf("%s\n", figure.c_str());
+  std::printf("setup: %s\n", setup.c_str());
+  std::printf("paper shape: %s\n", paper_shape.c_str());
+  std::printf("scale factor: %.3f (HSDB_BENCH_SCALE)\n", ScaleFactor());
+  PrintRule();
+  std::fflush(stdout);
+}
+
+void PrintRule() {
+  std::printf(
+      "----------------------------------------------------------------------"
+      "--\n");
+}
+
+}  // namespace bench
+}  // namespace hsdb

@@ -1,0 +1,46 @@
+// Shared harness utilities for the per-figure benchmarks.
+//
+// Scale: every experiment reproduces the paper's setup at a configurable
+// scale (HSDB_BENCH_SCALE, default 0.05 -> the paper's 10M-row table becomes
+// 500k rows). The *shape* of every figure — who wins, where the crossover
+// falls, where the partitioning optimum sits — is scale-invariant; absolute
+// milliseconds are not comparable to the paper's testbed.
+//
+// Calibration: the cost model is calibrated once per machine and cached in
+// build/hsdb_calibration.cache (delete it or set HSDB_BENCH_RECALIBRATE=1 to
+// refresh).
+#ifndef HSDB_BENCH_BENCH_UTIL_H_
+#define HSDB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/advisor.h"
+
+namespace hsdb {
+namespace bench {
+
+/// HSDB_BENCH_SCALE (default 0.05).
+double ScaleFactor();
+
+/// paper_rows scaled, floored at `min_rows`.
+size_t ScaledRows(double paper_rows, size_t min_rows = 20'000);
+
+/// Number of workload queries, scaled with a floor.
+size_t ScaledQueries(double paper_queries, size_t min_queries = 100);
+
+/// Calibrated cost-model parameters (cached across bench binaries).
+CostModelParams CalibratedParams();
+
+/// Prints the standard experiment banner.
+void PrintBanner(const std::string& figure, const std::string& setup,
+                 const std::string& paper_shape);
+
+/// Prints a separator line.
+void PrintRule();
+
+}  // namespace bench
+}  // namespace hsdb
+
+#endif  // HSDB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,81 @@
+// Figure 6(a): accuracy of the runtime estimation vs. data scale.
+// Paper setup: a constant aggregation query against the 30-attribute table
+// at 2M..20M tuples; plot estimated vs. measured runtime for both stores.
+// Expected shape: both stores linear in the row count, row store steeper,
+// estimates close to measurements (especially for the column store).
+#include <algorithm>
+#include <vector>
+
+#include "bench_util.h"
+#include "catalog/statistics.h"
+#include "common/stopwatch.h"
+#include "core/workload_cost.h"
+#include "workload/generator.h"
+
+namespace hsdb {
+namespace {
+
+int Run() {
+  bench::PrintBanner(
+      "Figure 6(a): estimation accuracy over data scale",
+      "30-attribute table, constant SUM aggregation, 2M..20M tuples "
+      "(scaled)",
+      "linear growth in both stores; RS steeper; estimate tracks measured");
+
+  CostModel model(bench::CalibratedParams());
+  SyntheticTableSpec spec;
+  spec.name = "t";
+
+  const std::vector<double> paper_tuples = {2e6, 6e6, 10e6, 15e6, 20e6};
+  std::printf("%12s %14s %14s %14s %14s\n", "tuples", "RS est (ms)",
+              "RS meas (ms)", "CS est (ms)", "CS meas (ms)");
+
+  std::vector<double> rs_est, rs_meas, cs_est, cs_meas;
+  for (double paper_n : paper_tuples) {
+    size_t rows = bench::ScaledRows(paper_n);
+    double est[2], meas[2];
+    for (StoreType store : {StoreType::kRow, StoreType::kColumn}) {
+      Database db;
+      HSDB_CHECK(db.CreateTable("t", spec.MakeSchema(),
+                                TableLayout::SingleStore(store))
+                     .ok());
+      HSDB_CHECK(
+          PopulateSynthetic(db.catalog().GetTable("t"), spec, rows).ok());
+      db.catalog().UpdateAllStatistics();
+
+      // The paper's "constant aggregation query": SUM over one keyfigure.
+      AggregationQuery q;
+      q.tables = {"t"};
+      q.aggregates = {{AggFn::kSum, {spec.keyfigure(0), 0}}};
+
+      WorkloadCostEstimator estimator(&model, &db.catalog());
+      est[static_cast<int>(store)] =
+          estimator.QueryCost(Query(q), [&](const std::string&) {
+            return LayoutContext::SingleStore(store);
+          });
+      meas[static_cast<int>(store)] =
+          MedianTimeMs([&] { HSDB_CHECK(db.Execute(Query(q)).ok()); }, 5);
+    }
+    std::printf("%12zu %14.3f %14.3f %14.3f %14.3f\n", rows, est[0], meas[0],
+                est[1], meas[1]);
+    std::fflush(stdout);
+    rs_est.push_back(est[0]);
+    rs_meas.push_back(meas[0]);
+    cs_est.push_back(est[1]);
+    cs_meas.push_back(meas[1]);
+  }
+
+  bench::PrintRule();
+  std::printf("RS estimation error (MAPE): %5.1f%%\n",
+              100.0 * MeanAbsolutePercentageError(rs_meas, rs_est));
+  std::printf("CS estimation error (MAPE): %5.1f%%\n",
+              100.0 * MeanAbsolutePercentageError(cs_meas, cs_est));
+  std::printf("RS/CS measured slope ratio at max scale: %.2fx\n",
+              rs_meas.back() / std::max(1e-9, cs_meas.back()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace hsdb
+
+int main() { return hsdb::Run(); }

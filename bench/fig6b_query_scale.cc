@@ -1,0 +1,81 @@
+// Figure 6(b): accuracy of the runtime estimation vs. number of aggregates.
+// Paper setup: the 30-attribute table at 10M tuples; the aggregation query
+// computes 1..5 aggregates. Expected shape: linear growth in the number of
+// aggregates for both stores, estimates close to measurements.
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/workload_cost.h"
+#include "workload/generator.h"
+
+namespace hsdb {
+namespace {
+
+int Run() {
+  bench::PrintBanner(
+      "Figure 6(b): estimation accuracy over the number of aggregates",
+      "30-attribute table, 10M tuples (scaled), 1..5 aggregates",
+      "linear in #aggregates for both stores; estimate tracks measured");
+
+  CostModel model(bench::CalibratedParams());
+  SyntheticTableSpec spec;
+  spec.name = "t";
+  const size_t rows = bench::ScaledRows(10e6);
+
+  // Build both stores once.
+  Database rs_db, cs_db;
+  for (auto* dbp : {&rs_db, &cs_db}) {
+    StoreType store = dbp == &rs_db ? StoreType::kRow : StoreType::kColumn;
+    HSDB_CHECK(dbp->CreateTable("t", spec.MakeSchema(),
+                                TableLayout::SingleStore(store))
+                   .ok());
+    HSDB_CHECK(
+        PopulateSynthetic(dbp->catalog().GetTable("t"), spec, rows).ok());
+    dbp->catalog().UpdateAllStatistics();
+  }
+
+  std::printf("rows = %zu\n", rows);
+  std::printf("%12s %14s %14s %14s %14s\n", "#aggregates", "RS est (ms)",
+              "RS meas (ms)", "CS est (ms)", "CS meas (ms)");
+  std::vector<double> rs_est, rs_meas, cs_est, cs_meas;
+  for (size_t aggs = 1; aggs <= 5; ++aggs) {
+    AggregationQuery q;
+    q.tables = {"t"};
+    static constexpr AggFn kFns[] = {AggFn::kSum, AggFn::kAvg, AggFn::kMin,
+                                     AggFn::kMax, AggFn::kSum};
+    for (size_t i = 0; i < aggs; ++i) {
+      q.aggregates.push_back(
+          {kFns[i], {spec.keyfigure(i % spec.num_keyfigures), 0}});
+    }
+    double est[2], meas[2];
+    for (auto* dbp : {&rs_db, &cs_db}) {
+      StoreType store = dbp == &rs_db ? StoreType::kRow : StoreType::kColumn;
+      WorkloadCostEstimator estimator(&model, &dbp->catalog());
+      est[static_cast<int>(store)] =
+          estimator.QueryCost(Query(q), [&](const std::string&) {
+            return LayoutContext::SingleStore(store);
+          });
+      meas[static_cast<int>(store)] =
+          MedianTimeMs([&] { HSDB_CHECK(dbp->Execute(Query(q)).ok()); }, 5);
+    }
+    std::printf("%12zu %14.3f %14.3f %14.3f %14.3f\n", aggs, est[0], meas[0],
+                est[1], meas[1]);
+    std::fflush(stdout);
+    rs_est.push_back(est[0]);
+    rs_meas.push_back(meas[0]);
+    cs_est.push_back(est[1]);
+    cs_meas.push_back(meas[1]);
+  }
+  bench::PrintRule();
+  std::printf("RS estimation error (MAPE): %5.1f%%\n",
+              100.0 * MeanAbsolutePercentageError(rs_meas, rs_est));
+  std::printf("CS estimation error (MAPE): %5.1f%%\n",
+              100.0 * MeanAbsolutePercentageError(cs_meas, cs_est));
+  return 0;
+}
+
+}  // namespace
+}  // namespace hsdb
+
+int main() { return hsdb::Run(); }

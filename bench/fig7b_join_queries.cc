@@ -1,0 +1,89 @@
+// Figure 7(b): recommendation quality with join queries.
+// Paper setup: star schema — fact table (10 attributes, 20M tuples), small
+// dimension (6 attributes, 1000 tuples) fixed in the row store; workloads
+// with OLAP join queries at fractions 0%..5%; the advisor chooses the fact
+// table's store. Expected shape: like Fig. 7(a) but with a lower crossover.
+#include <vector>
+
+#include "bench_util.h"
+#include "core/table_advisor.h"
+#include "workload/generator.h"
+#include "workload/runner.h"
+
+namespace hsdb {
+namespace {
+
+int Run() {
+  bench::PrintBanner(
+      "Figure 7(b): recommendation quality, join queries",
+      "star schema: fact 10 attrs x 20M tuples (scaled), dim 6 attrs x 1000 "
+      "rows in the row store; OLAP = join aggregations",
+      "same shape as 7(a) with a lower crossover fraction");
+
+  CostModel model(bench::CalibratedParams());
+  StarSchemaSpec spec;
+  const size_t fact_rows = bench::ScaledRows(20e6);
+  const size_t num_queries = bench::ScaledQueries(500, 200);
+  std::printf("fact rows = %zu, dim rows = %llu, queries = %zu\n", fact_rows,
+              static_cast<unsigned long long>(spec.dim_rows), num_queries);
+
+  std::printf("%14s %12s %12s %10s %14s %10s\n", "OLAP fraction",
+              "RS-only (s)", "CS-only (s)", "advisor", "advisor (s)",
+              "optimal?");
+  int advisor_optimal = 0;
+  int sweeps = 0;
+  for (double frac : {0.0, 0.0125, 0.025, 0.0375, 0.05}) {
+    WorkloadOptions opts;
+    opts.olap_fraction = frac;
+    opts.seed = 4321;
+
+    double measured[2];
+    StoreType recommended = StoreType::kRow;
+    for (StoreType fact_store : {StoreType::kRow, StoreType::kColumn}) {
+      Database db;
+      HSDB_CHECK(db.CreateTable(spec.fact_name, spec.MakeFactSchema(),
+                                TableLayout::SingleStore(fact_store))
+                     .ok());
+      // The paper fixes the small dimension in the row store.
+      HSDB_CHECK(db.CreateTable(spec.dim_name, spec.MakeDimSchema(),
+                                TableLayout::SingleStore(StoreType::kRow))
+                     .ok());
+      HSDB_CHECK(PopulateStarSchema(db.catalog().GetTable(spec.fact_name),
+                                    db.catalog().GetTable(spec.dim_name),
+                                    spec, fact_rows)
+                     .ok());
+      db.catalog().UpdateAllStatistics();
+
+      StarWorkloadGenerator gen(spec, fact_rows, opts);
+      std::vector<Query> workload = gen.Generate(num_queries);
+
+      if (fact_store == StoreType::kRow) {
+        TableAdvisor advisor(&model, &db.catalog());
+        TableAdvisorResult rec = advisor.Recommend(ToWeighted(workload));
+        recommended = rec.assignment.at(spec.fact_name);
+      }
+      WorkloadRunResult run = RunWorkload(db, workload);
+      HSDB_CHECK(run.failed == 0);
+      measured[static_cast<int>(fact_store)] = run.total_ms;
+    }
+    double advisor_ms = measured[static_cast<int>(recommended)];
+    bool optimal =
+        advisor_ms <= std::min(measured[0], measured[1]) + 1e-9;
+    advisor_optimal += optimal;
+    ++sweeps;
+    std::printf("%13.2f%% %12.3f %12.3f %10s %14.3f %10s\n", frac * 100,
+                measured[0] / 1000.0, measured[1] / 1000.0,
+                std::string(StoreTypeName(recommended)).c_str(),
+                advisor_ms / 1000.0, optimal ? "yes" : "no");
+    std::fflush(stdout);
+  }
+  bench::PrintRule();
+  std::printf("advisor picked the measured-optimal store in %d/%d settings\n",
+              advisor_optimal, sweeps);
+  return 0;
+}
+
+}  // namespace
+}  // namespace hsdb
+
+int main() { return hsdb::Run(); }

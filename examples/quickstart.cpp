@@ -1,0 +1,73 @@
+// Quickstart: create a hybrid-store database, load a table, run queries,
+// and ask the storage advisor where the table should live.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/advisor.h"
+
+using namespace hsdb;
+
+int main() {
+  // 1. A database with one table, initially in the row store.
+  Database db;
+  Schema schema = Schema::CreateOrDie({{"id", DataType::kInt64},
+                                       {"region", DataType::kVarchar},
+                                       {"quantity", DataType::kInt32},
+                                       {"revenue", DataType::kDouble}},
+                                      /*primary_key=*/{0});
+  Status s = db.CreateTable("sales", schema,
+                            TableLayout::SingleStore(StoreType::kRow));
+  HSDB_CHECK(s.ok());
+
+  // 2. Insert some rows.
+  const char* regions[] = {"EMEA", "APJ", "AMER"};
+  for (int64_t i = 0; i < 50'000; ++i) {
+    InsertQuery insert{"sales",
+                       {i, std::string(regions[i % 3]), int32_t(i % 100),
+                        static_cast<double>(i % 1000) * 1.7}};
+    HSDB_CHECK(db.Execute(Query(insert)).ok());
+  }
+
+  // 3. Run an analytical query: revenue per region.
+  AggregationQuery olap;
+  olap.tables = {"sales"};
+  olap.aggregates = {{AggFn::kSum, {3, 0}}, {AggFn::kCount, {}}};
+  olap.group_by = {{1, 0}};
+  Result<QueryResult> result = db.Execute(Query(olap));
+  HSDB_CHECK(result.ok());
+  std::printf("revenue per region (%.2f ms):\n", result->elapsed_ms);
+  for (const Row& row : result->rows) {
+    std::printf("  %-6s sum=%12.2f count=%6.0f\n",
+                row[0].as_string().c_str(), row[1].as_double(),
+                row[2].as_double());
+  }
+
+  // 4. A point lookup, the OLTP way.
+  SelectQuery point;
+  point.table = "sales";
+  point.select_columns = {0, 1, 3};
+  point.predicate = {{{0, 0}, ValueRange::Eq(Value(int64_t{4242}))}};
+  result = db.Execute(Query(point));
+  HSDB_CHECK(result.ok() && result->rows.size() == 1);
+  std::printf("row 4242: %s\n", RowToString(result->rows[0]).c_str());
+
+  // 5. Ask the storage advisor: given an OLAP-heavy expected workload,
+  // where should the table live?
+  std::vector<Query> expected_workload(40, Query(olap));
+  for (int i = 0; i < 10; ++i) expected_workload.push_back(Query(point));
+
+  StorageAdvisor advisor(&db);
+  Result<Recommendation> rec = advisor.RecommendOffline(expected_workload);
+  HSDB_CHECK(rec.ok());
+  std::printf("\n%s", rec->Summary().c_str());
+
+  // 6. Apply it and re-run the analytical query.
+  HSDB_CHECK(advisor.Apply(*rec).ok());
+  result = db.Execute(Query(olap));
+  HSDB_CHECK(result.ok());
+  std::printf("\nafter applying the recommendation (%s): %.2f ms\n",
+              db.catalog().GetTable("sales")->layout().ToString().c_str(),
+              result->elapsed_ms);
+  return 0;
+}

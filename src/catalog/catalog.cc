@@ -1,0 +1,93 @@
+#include "catalog/catalog.h"
+
+namespace hsdb {
+
+Status Catalog::CreateTable(const std::string& name, Schema schema,
+                            TableLayout layout, PhysicalOptions options) {
+  if (tables_.find(name) != tables_.end()) {
+    return Status::AlreadyExists("table " + name + " already exists");
+  }
+  HSDB_ASSIGN_OR_RETURN(
+      std::unique_ptr<LogicalTable> table,
+      LogicalTable::Create(name, std::move(schema), std::move(layout),
+                           options));
+  Entry entry;
+  entry.table = std::move(table);
+  tables_.emplace(name, std::move(entry));
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table " + name + " does not exist");
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+LogicalTable* Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.table.get();
+}
+
+Result<LogicalTable*> Catalog::Find(const std::string& name) const {
+  LogicalTable* table = GetTable(name);
+  if (table == nullptr) {
+    return Status::NotFound("table " + name + " does not exist");
+  }
+  return table;
+}
+
+Status Catalog::ReplaceTable(const std::string& name,
+                             std::unique_ptr<LogicalTable> table) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table " + name + " does not exist");
+  }
+  if (!(it->second.table->schema() == table->schema())) {
+    return Status::InvalidArgument("replacement schema mismatch");
+  }
+  it->second.table = std::move(table);
+  it->second.statistics.reset();  // stale after a physical reorganization
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, entry] : tables_) names.push_back(name);
+  return names;
+}
+
+const TableStatistics* Catalog::GetStatistics(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return nullptr;
+  return it->second.statistics.get();
+}
+
+Status Catalog::UpdateStatistics(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table " + name + " does not exist");
+  }
+  it->second.statistics =
+      std::make_unique<TableStatistics>(Analyze(*it->second.table));
+  return Status::OK();
+}
+
+void Catalog::UpdateAllStatistics() {
+  for (auto& [name, entry] : tables_) {
+    entry.statistics = std::make_unique<TableStatistics>(Analyze(*entry.table));
+  }
+}
+
+size_t Catalog::total_memory_bytes() const {
+  size_t total = 0;
+  for (const auto& [name, entry] : tables_) {
+    total += entry.table->memory_bytes();
+  }
+  return total;
+}
+
+}  // namespace hsdb

@@ -1,0 +1,64 @@
+// System catalog: the registry of logical tables, their layout annotations
+// (paper §4: "for each table, there is an annotation that describes the
+// partitioning"), and their statistics.
+#ifndef HSDB_CATALOG_CATALOG_H_
+#define HSDB_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/statistics.h"
+#include "storage/logical_table.h"
+
+namespace hsdb {
+
+class Catalog {
+ public:
+  Catalog() = default;
+  HSDB_DISALLOW_COPY_AND_ASSIGN(Catalog);
+
+  /// Creates an empty table under `name` with the given layout.
+  Status CreateTable(const std::string& name, Schema schema,
+                     TableLayout layout, PhysicalOptions options = {});
+
+  Status DropTable(const std::string& name);
+
+  /// Looks a table up; nullptr when absent.
+  LogicalTable* GetTable(const std::string& name) const;
+
+  /// Looks a table up; NotFound when absent.
+  Result<LogicalTable*> Find(const std::string& name) const;
+
+  /// Swaps in a rematerialized replacement (layout change); schemas must
+  /// match. Statistics are refreshed lazily by the caller.
+  Status ReplaceTable(const std::string& name,
+                      std::unique_ptr<LogicalTable> table);
+
+  /// Table names in deterministic (sorted) order.
+  std::vector<std::string> TableNames() const;
+  size_t table_count() const { return tables_.size(); }
+
+  /// Statistics for `name`; nullptr when never analyzed.
+  const TableStatistics* GetStatistics(const std::string& name) const;
+
+  /// Re-runs Analyze over one table / all tables.
+  Status UpdateStatistics(const std::string& name);
+  void UpdateAllStatistics();
+
+  /// Sum of memory across all tables.
+  size_t total_memory_bytes() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<LogicalTable> table;
+    std::unique_ptr<TableStatistics> statistics;
+  };
+
+  std::map<std::string, Entry> tables_;
+};
+
+}  // namespace hsdb
+
+#endif  // HSDB_CATALOG_CATALOG_H_

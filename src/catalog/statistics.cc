@@ -1,0 +1,165 @@
+#include "catalog/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/bitpack.h"
+#include "common/hash.h"
+#include "storage/scan_dispatch.h"
+
+namespace hsdb {
+
+double TableStatistics::EstimateSelectivity(ColumnId col,
+                                            const ValueRange& range) const {
+  const ColumnStatistics& cs = columns.at(col);
+  if (row_count == 0) return 0.0;
+  if (range.IsPoint()) {
+    return cs.distinct_count == 0 ? 0.0 : 1.0 / cs.distinct_count;
+  }
+  if (!cs.min.has_value() || !cs.max.has_value()) {
+    // No numeric bounds (VARCHAR range): fall back to a fixed guess.
+    return 0.3;
+  }
+  double mn = *cs.min;
+  double mx = *cs.max;
+  if (mx <= mn) return 1.0;
+  double lo = range.lo.has_value() ? range.lo->AsNumeric() : mn;
+  double hi = range.hi.has_value() ? range.hi->AsNumeric() : mx;
+  double overlap = std::min(hi, mx) - std::max(lo, mn);
+  if (overlap < 0) return 0.0;
+  return std::clamp(overlap / (mx - mn), 0.0, 1.0);
+}
+
+std::string TableStatistics::ToString() const {
+  std::ostringstream os;
+  os << "rows=" << row_count
+     << ", compression=" << table_compression_rate
+     << ", bytes=" << memory_bytes << ", columns=[";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << i << ":{distinct=" << columns[i].distinct_count
+       << ", compr=" << columns[i].compression_rate << "}";
+  }
+  os << "]";
+  return os.str();
+}
+
+namespace {
+
+/// Analytic compression estimate for a column *if* it were stored
+/// column-oriented with a sorted dictionary + bit-packed ids. Used for
+/// columns currently resident in the row store, so the advisor can cost the
+/// hypothetical move.
+double EstimateCsCompression(uint64_t rows, uint64_t distinct,
+                             uint32_t plain_width) {
+  if (rows == 0 || distinct == 0) return 1.0;
+  double dict_bytes = static_cast<double>(distinct) * plain_width;
+  double bits = distinct <= 1 ? 1.0 : BitPackedVector::WidthFor(distinct - 1);
+  double ids_bytes = static_cast<double>(rows) * bits / 8.0;
+  double plain_bytes = static_cast<double>(rows) * plain_width;
+  return (dict_bytes + ids_bytes) / plain_bytes;
+}
+
+}  // namespace
+
+TableStatistics Analyze(const LogicalTable& table,
+                        size_t exact_distinct_limit) {
+  const Schema& schema = table.schema();
+  TableStatistics stats;
+  stats.row_count = table.row_count();
+  stats.memory_bytes = table.memory_bytes();
+  stats.columns.resize(schema.num_columns());
+
+  const size_t stride =
+      stats.row_count <= exact_distinct_limit
+          ? 1
+          : (stats.row_count + exact_distinct_limit - 1) /
+                exact_distinct_limit;
+
+  for (ColumnId col = 0; col < schema.num_columns(); ++col) {
+    ColumnStatistics& cs = stats.columns[col];
+    cs.type = schema.column(col).type;
+    const bool numeric = IsNumeric(cs.type);
+    std::unordered_set<uint64_t> distinct;
+    double mn = std::numeric_limits<double>::infinity();
+    double mx = -std::numeric_limits<double>::infinity();
+    size_t seen = 0;
+    size_t sampled = 0;
+    double measured_rate = 0.0;
+    size_t measured_pieces = 0;
+
+    for (const RowGroup& group : table.groups()) {
+      for (const Fragment& frag : group.fragments) {
+        if (!frag.Contains(col)) continue;
+        ColumnId fc = frag.FragColumn(col);
+        if (frag.table->store() == StoreType::kColumn) {
+          measured_rate += frag.table->CompressionRate(fc);
+          ++measured_pieces;
+        }
+        // Pseudo-random sampling (hash of the running position) instead of a
+        // fixed stride: systematic sampling aliases with periodic data.
+        auto take_sample = [&](size_t position) {
+          return stride == 1 || Mix64(position) % stride == 0;
+        };
+        if (numeric) {
+          ForEachNumericIn(*frag.table, fc, nullptr, [&](RowId, double v) {
+            mn = std::min(mn, v);
+            mx = std::max(mx, v);
+            if (take_sample(seen++)) {
+              ++sampled;
+              uint64_t bits;
+              std::memcpy(&bits, &v, sizeof(v));
+              distinct.insert(bits);
+            }
+          });
+        } else {
+          frag.table->live_bitmap().ForEachSet([&](size_t rid) {
+            if (!take_sample(seen++)) return;
+            ++sampled;
+            Value v = frag.table->GetValue(rid, fc);
+            distinct.insert(std::hash<std::string>{}(v.as_string()));
+          });
+        }
+        break;  // one fragment per group holds the column's authoritative copy
+      }
+    }
+
+    // Scale sampled distinct counts back up, capped by the row count.
+    uint64_t d = distinct.size();
+    if (stride > 1 && sampled > 0) {
+      double scale = static_cast<double>(stats.row_count) / sampled;
+      // Low-cardinality columns saturate the sample; only scale when the
+      // sample looks close to all-distinct.
+      if (d > sampled / 2) {
+        d = static_cast<uint64_t>(static_cast<double>(d) * scale);
+      }
+    }
+    cs.distinct_count = std::min<uint64_t>(d, stats.row_count);
+    if (numeric && mn <= mx) {
+      cs.min = mn;
+      cs.max = mx;
+    }
+    if (measured_pieces > 0) {
+      cs.compression_rate = measured_rate / measured_pieces;
+    } else {
+      cs.compression_rate = EstimateCsCompression(
+          stats.row_count, cs.distinct_count, FixedWidth(cs.type));
+    }
+  }
+
+  if (!stats.columns.empty()) {
+    double total = 0.0;
+    for (const ColumnStatistics& cs : stats.columns) {
+      total += cs.compression_rate;
+    }
+    stats.table_compression_rate = total / stats.columns.size();
+  }
+  return stats;
+}
+
+}  // namespace hsdb

@@ -1,0 +1,53 @@
+// Table statistics: the "data characteristics" input of the storage advisor
+// (paper §3/§4). Basic statistics cover row counts and per-column
+// distinct/min/max/compression; they are computed by Analyze() and kept in
+// the system catalog.
+#ifndef HSDB_CATALOG_STATISTICS_H_
+#define HSDB_CATALOG_STATISTICS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/logical_table.h"
+
+namespace hsdb {
+
+/// Per-column statistics.
+struct ColumnStatistics {
+  DataType type = DataType::kInt64;
+  uint64_t distinct_count = 0;
+  /// Numeric min/max (unset for VARCHAR columns).
+  std::optional<double> min;
+  std::optional<double> max;
+  /// Compressed/plain size ratio when stored column-oriented; 1.0 row-based.
+  double compression_rate = 1.0;
+};
+
+/// Per-table statistics.
+struct TableStatistics {
+  uint64_t row_count = 0;
+  std::vector<ColumnStatistics> columns;
+  /// Size-weighted mean column compression rate (the paper's per-table
+  /// f_compression input).
+  double table_compression_rate = 1.0;
+  size_t memory_bytes = 0;
+
+  const ColumnStatistics& column(ColumnId id) const { return columns.at(id); }
+
+  /// Fraction of rows selected by `range` on column `col`, estimated from
+  /// min/max under a uniformity assumption (classic selectivity estimate).
+  double EstimateSelectivity(ColumnId col, const ValueRange& range) const;
+
+  std::string ToString() const;
+};
+
+/// Scans a logical table and computes fresh statistics. Distinct counts are
+/// exact (hash-based) for tables below `exact_distinct_limit` rows and
+/// estimated from a sample above it.
+TableStatistics Analyze(const LogicalTable& table,
+                        size_t exact_distinct_limit = 2'000'000);
+
+}  // namespace hsdb
+
+#endif  // HSDB_CATALOG_STATISTICS_H_

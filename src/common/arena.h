@@ -1,0 +1,75 @@
+// Append-only byte arena with stable addresses, used by the row store for
+// tuple storage and by the string pool for payload bytes.
+#ifndef HSDB_COMMON_ARENA_H_
+#define HSDB_COMMON_ARENA_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace hsdb {
+
+/// Chunked append-only allocator. Addresses of previously allocated bytes
+/// never move (chunks are never reallocated), so the row store can hand out
+/// stable row pointers while growing.
+class Arena {
+ public:
+  explicit Arena(size_t chunk_bytes = 1 << 20) : chunk_bytes_(chunk_bytes) {
+    HSDB_CHECK(chunk_bytes_ > 0);
+  }
+
+  HSDB_DISALLOW_COPY_AND_ASSIGN(Arena);
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Allocates `n` contiguous bytes (unaligned beyond the chunk's natural
+  /// 8-byte alignment of each allocation start).
+  std::byte* Allocate(size_t n) {
+    n = (n + 7) & ~size_t{7};  // keep every allocation 8-byte aligned
+    if (chunks_.empty() || used_ + n > chunks_.back().size) {
+      size_t size = std::max(chunk_bytes_, n);
+      chunks_.push_back(Chunk{std::make_unique<std::byte[]>(size), size});
+      used_ = 0;
+    }
+    std::byte* p = chunks_.back().data.get() + used_;
+    used_ += n;
+    allocated_ += n;
+    return p;
+  }
+
+  /// Total bytes handed out (including alignment padding).
+  size_t allocated_bytes() const { return allocated_; }
+
+  /// Total bytes reserved from the system.
+  size_t reserved_bytes() const {
+    size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+
+  /// Releases all memory. Invalidates every pointer previously returned.
+  void Clear() {
+    chunks_.clear();
+    used_ = 0;
+    allocated_ = 0;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    size_t size;
+  };
+
+  size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  size_t used_ = 0;
+  size_t allocated_ = 0;
+};
+
+}  // namespace hsdb
+
+#endif  // HSDB_COMMON_ARENA_H_

@@ -1,0 +1,81 @@
+// Dynamic bitset used for row selections (filter results) and tombstones.
+#ifndef HSDB_COMMON_BITMAP_H_
+#define HSDB_COMMON_BITMAP_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace hsdb {
+
+/// Fixed-capacity-on-construction bitset with fast popcount and set-bit
+/// iteration; grows via Resize.
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(size_t n, bool initially_set = false) { Resize(n, initially_set); }
+
+  size_t size() const { return size_; }
+
+  void Resize(size_t n, bool value = false) {
+    size_ = n;
+    words_.assign((n + 63) / 64, value ? ~uint64_t{0} : 0);
+    if (value && n % 64 != 0) {
+      words_.back() &= (uint64_t{1} << (n % 64)) - 1;
+    }
+  }
+
+  /// Appends one bit at the end.
+  void PushBack(bool value) {
+    if (size_ % 64 == 0) words_.push_back(0);
+    if (value) words_[size_ >> 6] |= uint64_t{1} << (size_ & 63);
+    ++size_;
+  }
+
+  bool Test(size_t i) const {
+    HSDB_DCHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void Set(size_t i) {
+    HSDB_DCHECK(i < size_);
+    words_[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+
+  void Clear(size_t i) {
+    HSDB_DCHECK(i < size_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t total = 0;
+    for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));
+    return total;
+  }
+
+  /// Calls `fn(index)` for every set bit in ascending order.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        uint32_t bit = static_cast<uint32_t>(std::countr_zero(w));
+        fn(wi * 64 + bit);
+        w &= w - 1;
+      }
+    }
+  }
+
+  size_t memory_bytes() const { return words_.capacity() * sizeof(uint64_t); }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace hsdb
+
+#endif  // HSDB_COMMON_BITMAP_H_

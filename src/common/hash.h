@@ -1,0 +1,29 @@
+// Small hashing utilities shared by indexes, group-by and sketches.
+#ifndef HSDB_COMMON_HASH_H_
+#define HSDB_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace hsdb {
+
+/// 64-bit finalizer (splitmix64); good avalanche behaviour for integer keys.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+inline size_t HashInt64(int64_t v) {
+  return static_cast<size_t>(Mix64(static_cast<uint64_t>(v)));
+}
+
+/// Combines a hash into a running seed (boost::hash_combine flavour, 64-bit).
+inline size_t HashCombine(size_t seed, size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace hsdb
+
+#endif  // HSDB_COMMON_HASH_H_

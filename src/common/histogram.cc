@@ -1,0 +1,100 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace hsdb {
+
+EquiWidthHistogram::EquiWidthHistogram(int64_t domain_lo, int64_t domain_hi,
+                                       size_t buckets)
+    : lo_(domain_lo), hi_(domain_hi), counts_(buckets, 0) {
+  HSDB_CHECK(domain_hi > domain_lo);
+  HSDB_CHECK(buckets >= 1);
+}
+
+void EquiWidthHistogram::Add(int64_t value, uint64_t weight) {
+  int64_t clamped = std::clamp(value, lo_, hi_ - 1);
+  double pos = static_cast<double>(clamped - lo_) /
+               static_cast<double>(hi_ - lo_);
+  size_t bucket = std::min(counts_.size() - 1,
+                           static_cast<size_t>(pos * counts_.size()));
+  counts_[bucket] += weight;
+  total_ += weight;
+}
+
+int64_t EquiWidthHistogram::BucketLo(size_t i) const {
+  HSDB_DCHECK(i < counts_.size());
+  double width = static_cast<double>(hi_ - lo_) / counts_.size();
+  return lo_ + static_cast<int64_t>(width * i);
+}
+
+int64_t EquiWidthHistogram::BucketHi(size_t i) const {
+  HSDB_DCHECK(i < counts_.size());
+  if (i + 1 == counts_.size()) return hi_;
+  return BucketLo(i + 1);
+}
+
+std::vector<HistogramRange> EquiWidthHistogram::DenseRanges(
+    double density_factor) const {
+  std::vector<HistogramRange> out;
+  if (total_ == 0) return out;
+  double avg = static_cast<double>(total_) / counts_.size();
+  double threshold = avg * density_factor;
+  size_t i = 0;
+  while (i < counts_.size()) {
+    if (static_cast<double>(counts_[i]) <= threshold) {
+      ++i;
+      continue;
+    }
+    size_t begin = i;
+    uint64_t mass = 0;
+    while (i < counts_.size() &&
+           static_cast<double>(counts_[i]) > threshold) {
+      mass += counts_[i];
+      ++i;
+    }
+    HistogramRange range;
+    range.lo = BucketLo(begin);
+    range.hi = BucketHi(i - 1);
+    range.mass_fraction = static_cast<double>(mass) / total_;
+    range.width_fraction =
+        static_cast<double>(i - begin) / counts_.size();
+    out.push_back(range);
+  }
+  return out;
+}
+
+HistogramRange EquiWidthHistogram::CoveringRange(double mass) const {
+  HistogramRange range{lo_, hi_, 1.0, 1.0};
+  if (total_ == 0) return range;
+  uint64_t target = static_cast<uint64_t>(mass * static_cast<double>(total_));
+  // Trim the lighter end greedily while coverage stays >= target.
+  size_t begin = 0, end = counts_.size();
+  uint64_t covered = total_;
+  while (begin + 1 < end) {
+    uint64_t lo_count = counts_[begin];
+    uint64_t hi_count = counts_[end - 1];
+    uint64_t lighter = std::min(lo_count, hi_count);
+    if (covered - lighter < target) break;
+    if (lo_count <= hi_count) {
+      covered -= lo_count;
+      ++begin;
+    } else {
+      covered -= hi_count;
+      --end;
+    }
+  }
+  range.lo = BucketLo(begin);
+  range.hi = BucketHi(end - 1);
+  range.mass_fraction = static_cast<double>(covered) / total_;
+  range.width_fraction = static_cast<double>(end - begin) / counts_.size();
+  return range;
+}
+
+void EquiWidthHistogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
+}  // namespace hsdb

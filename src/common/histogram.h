@@ -1,0 +1,64 @@
+// Equi-width histogram over an integer domain. The online advisor records
+// update-key histograms with it to locate "hot" row regions (paper §3.2,
+// horizontal partitioning heuristic).
+#ifndef HSDB_COMMON_HISTOGRAM_H_
+#define HSDB_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hsdb {
+
+/// Contiguous [begin, end) range of histogram buckets plus its share of the
+/// total mass; produced by hot-region detection.
+struct HistogramRange {
+  int64_t lo;           // inclusive domain lower bound
+  int64_t hi;           // exclusive domain upper bound
+  double mass_fraction; // fraction of all recorded observations inside
+  double width_fraction;// fraction of the domain covered
+};
+
+/// Fixed-bucket equi-width histogram over [domain_lo, domain_hi).
+/// Observations outside the domain are clamped into the edge buckets so that
+/// a drifting key domain still registers at the boundary.
+class EquiWidthHistogram {
+ public:
+  EquiWidthHistogram() : EquiWidthHistogram(0, 1, 1) {}
+  EquiWidthHistogram(int64_t domain_lo, int64_t domain_hi, size_t buckets);
+
+  void Add(int64_t value, uint64_t weight = 1);
+
+  size_t num_buckets() const { return counts_.size(); }
+  uint64_t total() const { return total_; }
+  uint64_t bucket_count(size_t i) const { return counts_[i]; }
+  int64_t domain_lo() const { return lo_; }
+  int64_t domain_hi() const { return hi_; }
+
+  /// Lower domain bound of bucket `i`.
+  int64_t BucketLo(size_t i) const;
+  /// Upper domain bound of bucket `i` (exclusive).
+  int64_t BucketHi(size_t i) const;
+
+  /// Returns maximal contiguous runs of buckets whose density exceeds
+  /// `density_factor` times the average density, each run reported with its
+  /// mass and width fractions. Used to find update hot spots.
+  std::vector<HistogramRange> DenseRanges(double density_factor) const;
+
+  /// Returns the smallest prefix/suffix-trimmed contiguous range that covers
+  /// at least `mass` (in [0,1]) of all observations — the advisor's estimate
+  /// of "which fraction of the table is actually touched".
+  HistogramRange CoveringRange(double mass) const;
+
+  void Reset();
+
+ private:
+  int64_t lo_;
+  int64_t hi_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace hsdb
+
+#endif  // HSDB_COMMON_HISTOGRAM_H_

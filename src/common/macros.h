@@ -1,0 +1,41 @@
+// Project-wide assertion and convenience macros.
+#ifndef HSDB_COMMON_MACROS_H_
+#define HSDB_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Fatal invariant check, enabled in all build types. Database invariants are
+// cheap to test relative to query work, so we keep them on in Release.
+#define HSDB_CHECK(cond)                                                      \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "HSDB_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                          \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define HSDB_CHECK_MSG(cond, msg)                                             \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "HSDB_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, msg);                                     \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+// Debug-only check.
+#ifndef NDEBUG
+#define HSDB_DCHECK(cond) HSDB_CHECK(cond)
+#else
+#define HSDB_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#endif
+
+#define HSDB_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;           \
+  TypeName& operator=(const TypeName&) = delete
+
+#endif  // HSDB_COMMON_MACROS_H_

@@ -1,0 +1,107 @@
+// Deterministic pseudo-random generation for data/workload synthesis.
+#ifndef HSDB_COMMON_RANDOM_H_
+#define HSDB_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/macros.h"
+
+namespace hsdb {
+
+/// xoshiro256** PRNG. Fast, high quality, reproducible across platforms
+/// (unlike std::mt19937 distributions, whose outputs are unspecified).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      s = Mix64(x);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t* s = state_;
+    uint64_t result = Rotl(s[1] * 5, 7) * 9;
+    uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = Rotl(s[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    HSDB_DCHECK(lo <= hi);
+    uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+    return lo + static_cast<int64_t>(Next() % range);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// Bernoulli draw.
+  bool Chance(double p) { return UniformDouble() < p; }
+
+  /// Picks a uniformly random element index for a container of size n.
+  size_t Index(size_t n) {
+    HSDB_DCHECK(n > 0);
+    return static_cast<size_t>(Next() % n);
+  }
+
+  /// Random lowercase ASCII string of the given length.
+  std::string String(size_t length) {
+    std::string s(length, 'a');
+    for (char& c : s) c = static_cast<char>('a' + Index(26));
+    return s;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+/// Zipf(s) sampler over {0, ..., n-1} using the rejection-inversion method of
+/// Hörmann/Derflinger; O(1) per sample after O(1) setup.
+class ZipfDistribution {
+ public:
+  /// `n` >= 1 items; `s` > 0 skew (s -> 0 approaches uniform).
+  ZipfDistribution(uint64_t n, double s);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double threshold_;
+};
+
+}  // namespace hsdb
+
+#endif  // HSDB_COMMON_RANDOM_H_

@@ -1,0 +1,115 @@
+#include "common/regression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace hsdb {
+
+std::string LinearFn::ToString() const {
+  std::ostringstream os;
+  os << intercept << " + " << slope << "*x";
+  return os.str();
+}
+
+LinearFit FitLinear(const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  HSDB_CHECK(x.size() == y.size());
+  HSDB_CHECK(!x.empty());
+  const size_t n = x.size();
+  double mean_x = std::accumulate(x.begin(), x.end(), 0.0) / n;
+  double mean_y = std::accumulate(y.begin(), y.end(), 0.0) / n;
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double dx = x[i] - mean_x;
+    double dy = y[i] - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  LinearFit fit;
+  if (sxx <= 0.0) {
+    fit.fn = LinearFn::Constant(mean_y);
+    fit.r_squared = 1.0;
+    return fit;
+  }
+  fit.fn.slope = sxy / sxx;
+  fit.fn.intercept = mean_y - fit.fn.slope * mean_x;
+  if (syy <= 0.0) {
+    fit.r_squared = 1.0;
+  } else {
+    double ss_res = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double r = y[i] - fit.fn(x[i]);
+      ss_res += r * r;
+    }
+    fit.r_squared = 1.0 - ss_res / syy;
+  }
+  return fit;
+}
+
+PiecewiseLinearFn PiecewiseLinearFn::FromKnots(std::vector<double> x,
+                                               std::vector<double> y) {
+  HSDB_CHECK(x.size() == y.size());
+  HSDB_CHECK(!x.empty());
+  std::vector<size_t> order(x.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return x[a] < x[b]; });
+  PiecewiseLinearFn fn;
+  for (size_t idx : order) {
+    if (!fn.xs_.empty() && x[idx] == fn.xs_.back()) {
+      // Average duplicate x measurements.
+      fn.ys_.back() = (fn.ys_.back() + y[idx]) / 2.0;
+      continue;
+    }
+    fn.xs_.push_back(x[idx]);
+    fn.ys_.push_back(y[idx]);
+  }
+  return fn;
+}
+
+double PiecewiseLinearFn::operator()(double x) const {
+  HSDB_CHECK(!xs_.empty());
+  if (xs_.size() == 1) return ys_[0];
+  // Find the segment containing x (or the outermost segment for
+  // extrapolation).
+  size_t hi = std::upper_bound(xs_.begin(), xs_.end(), x) - xs_.begin();
+  if (hi == 0) hi = 1;
+  if (hi >= xs_.size()) hi = xs_.size() - 1;
+  size_t lo = hi - 1;
+  double span = xs_[hi] - xs_[lo];
+  if (span <= 0.0) return ys_[lo];
+  double t = (x - xs_[lo]) / span;
+  return ys_[lo] + t * (ys_[hi] - ys_[lo]);
+}
+
+std::string PiecewiseLinearFn::ToString() const {
+  std::ostringstream os;
+  os << "pwl[";
+  for (size_t i = 0; i < xs_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "(" << xs_[i] << "," << ys_[i] << ")";
+  }
+  os << "]";
+  return os.str();
+}
+
+double MeanAbsolutePercentageError(const std::vector<double>& actual,
+                                   const std::vector<double>& predicted) {
+  HSDB_CHECK(actual.size() == predicted.size());
+  HSDB_CHECK(!actual.empty());
+  double total = 0.0;
+  size_t counted = 0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    if (actual[i] == 0.0) continue;
+    total += std::abs((actual[i] - predicted[i]) / actual[i]);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / counted;
+}
+
+}  // namespace hsdb

@@ -1,0 +1,73 @@
+// Least-squares fitting used by cost-model calibration: simple linear
+// regression and monotone piecewise-linear interpolation over measured knots.
+// The paper (§3.1) states that the adjustment functions are "simple linear
+// functions, piecewise linear functions, or even constants".
+#ifndef HSDB_COMMON_REGRESSION_H_
+#define HSDB_COMMON_REGRESSION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hsdb {
+
+/// y = intercept + slope * x.
+struct LinearFn {
+  double intercept = 0.0;
+  double slope = 0.0;
+
+  double operator()(double x) const { return intercept + slope * x; }
+
+  static LinearFn Constant(double c) { return LinearFn{c, 0.0}; }
+  std::string ToString() const;
+};
+
+/// Result of a least-squares fit: the function plus goodness-of-fit.
+struct LinearFit {
+  LinearFn fn;
+  double r_squared = 0.0;
+};
+
+/// Ordinary least squares over (x, y) pairs. With fewer than two distinct x
+/// values the fit degenerates to a constant (mean of y, slope 0, r² = 1).
+LinearFit FitLinear(const std::vector<double>& x,
+                    const std::vector<double>& y);
+
+/// Piecewise-linear function defined by sorted knots; evaluation linearly
+/// interpolates between knots and extrapolates with the slope of the
+/// outermost segment.
+class PiecewiseLinearFn {
+ public:
+  PiecewiseLinearFn() = default;
+
+  /// Builds from measurement knots; x values are sorted and duplicates are
+  /// averaged. At least one knot is required.
+  static PiecewiseLinearFn FromKnots(std::vector<double> x,
+                                     std::vector<double> y);
+
+  /// A constant function (single knot).
+  static PiecewiseLinearFn Constant(double c) {
+    return FromKnots({0.0}, {c});
+  }
+
+  double operator()(double x) const;
+
+  size_t num_knots() const { return xs_.size(); }
+  const std::vector<double>& xs() const { return xs_; }
+  const std::vector<double>& ys() const { return ys_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+/// Mean absolute percentage error between predictions and observations;
+/// reported by calibration as the model's self-assessed accuracy.
+double MeanAbsolutePercentageError(const std::vector<double>& actual,
+                                   const std::vector<double>& predicted);
+
+}  // namespace hsdb
+
+#endif  // HSDB_COMMON_REGRESSION_H_

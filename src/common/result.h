@@ -1,0 +1,73 @@
+// Result<T>: a Status or a value, analogous to arrow::Result / absl::StatusOr.
+#ifndef HSDB_COMMON_RESULT_H_
+#define HSDB_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace hsdb {
+
+/// Holds either a value of type T or a non-OK Status describing why the
+/// value could not be produced.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {
+    HSDB_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; must only be called when ok().
+  const T& value() const& {
+    HSDB_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    HSDB_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    HSDB_CHECK_MSG(ok(), status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace hsdb
+
+/// Evaluates `expr` (a Result<T>); on error returns the Status, otherwise
+/// assigns the value to `lhs`. `lhs` may declare a new variable.
+#define HSDB_ASSIGN_OR_RETURN(lhs, expr)                       \
+  HSDB_ASSIGN_OR_RETURN_IMPL_(                                 \
+      HSDB_RESULT_CONCAT_(_hsdb_result_, __LINE__), lhs, expr)
+
+#define HSDB_RESULT_CONCAT_INNER_(a, b) a##b
+#define HSDB_RESULT_CONCAT_(a, b) HSDB_RESULT_CONCAT_INNER_(a, b)
+
+#define HSDB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#endif  // HSDB_COMMON_RESULT_H_

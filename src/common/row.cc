@@ -1,0 +1,51 @@
+#include "common/row.h"
+
+namespace hsdb {
+
+Status ValidateAndCoerceRow(const Schema& schema, Row* row) {
+  if (row->size() != schema.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row->size()) +
+        " does not match schema arity " +
+        std::to_string(schema.num_columns()));
+  }
+  for (ColumnId id = 0; id < row->size(); ++id) {
+    Value& cell = (*row)[id];
+    if (!cell.is_valid()) {
+      return Status::InvalidArgument("invalid value for column " +
+                                     schema.column(id).name);
+    }
+    DataType expected = schema.column(id).type;
+    if (cell.type() == expected) continue;
+    Value coerced;
+    if (!cell.CoerceTo(expected, &coerced)) {
+      return Status::InvalidArgument(
+          "type mismatch for column " + schema.column(id).name + ": got " +
+          std::string(DataTypeName(cell.type())) + ", want " +
+          std::string(DataTypeName(expected)));
+    }
+    cell = std::move(coerced);
+  }
+  return Status::OK();
+}
+
+Row ProjectRow(const Row& row, const std::vector<ColumnId>& column_ids) {
+  Row out;
+  out.reserve(column_ids.size());
+  for (ColumnId id : column_ids) {
+    out.push_back(row.at(id));
+  }
+  return out;
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace hsdb

@@ -1,0 +1,93 @@
+#include "common/schema.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace hsdb {
+
+Result<Schema> Schema::Create(std::vector<ColumnDef> columns,
+                              std::vector<ColumnId> primary_key) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("schema requires at least one column");
+  }
+  Schema schema;
+  schema.columns_ = std::move(columns);
+  schema.primary_key_ = std::move(primary_key);
+  uint32_t offset = 0;
+  for (ColumnId id = 0; id < schema.columns_.size(); ++id) {
+    const ColumnDef& col = schema.columns_[id];
+    if (col.name.empty()) {
+      return Status::InvalidArgument("column name must be non-empty");
+    }
+    auto [it, inserted] = schema.by_name_.emplace(col.name, id);
+    (void)it;
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate column name: " + col.name);
+    }
+    schema.offsets_.push_back(offset);
+    offset += FixedWidth(col.type);
+  }
+  schema.row_stride_ = offset;
+  for (ColumnId pk : schema.primary_key_) {
+    if (pk >= schema.columns_.size()) {
+      return Status::InvalidArgument("primary-key column id out of range");
+    }
+  }
+  return schema;
+}
+
+Schema Schema::CreateOrDie(std::vector<ColumnDef> columns,
+                           std::vector<ColumnId> primary_key) {
+  Result<Schema> result =
+      Create(std::move(columns), std::move(primary_key));
+  HSDB_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return std::move(result).value();
+}
+
+std::optional<ColumnId> Schema::FindColumn(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+ColumnId Schema::ColumnIdOrDie(std::string_view name) const {
+  std::optional<ColumnId> id = FindColumn(name);
+  HSDB_CHECK_MSG(id.has_value(), std::string(name).c_str());
+  return *id;
+}
+
+bool Schema::IsPrimaryKeyColumn(ColumnId id) const {
+  return std::find(primary_key_.begin(), primary_key_.end(), id) !=
+         primary_key_.end();
+}
+
+Schema Schema::Project(const std::vector<ColumnId>& column_ids) const {
+  std::vector<ColumnDef> cols;
+  cols.reserve(column_ids.size());
+  for (ColumnId id : column_ids) {
+    cols.push_back(column(id));
+  }
+  // Remap surviving primary-key columns to their new positions.
+  std::vector<ColumnId> pk;
+  for (ColumnId pk_col : primary_key_) {
+    auto it = std::find(column_ids.begin(), column_ids.end(), pk_col);
+    if (it != column_ids.end()) {
+      pk.push_back(static_cast<ColumnId>(it - column_ids.begin()));
+    }
+  }
+  return CreateOrDie(std::move(cols), std::move(pk));
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type) {
+      return false;
+    }
+  }
+  return primary_key_ == other.primary_key_;
+}
+
+}  // namespace hsdb

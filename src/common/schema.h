@@ -1,0 +1,76 @@
+// Table schema: ordered column definitions, primary key, and the fixed row
+// layout used by the row store.
+#ifndef HSDB_COMMON_SCHEMA_H_
+#define HSDB_COMMON_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace hsdb {
+
+/// Definition of one column.
+struct ColumnDef {
+  std::string name;
+  DataType type;
+};
+
+/// Immutable description of a table's columns and primary key.
+///
+/// The schema also precomputes the fixed-width row layout used by the row
+/// store: every column occupies FixedWidth(type) bytes; VARCHAR cells store a
+/// 4-byte string-pool reference.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema. Column names must be unique and non-empty; primary-key
+  /// column ids must be valid and non-empty for tables that will be indexed.
+  static Result<Schema> Create(std::vector<ColumnDef> columns,
+                               std::vector<ColumnId> primary_key);
+
+  /// Convenience for tests/examples: CHECK-fails on invalid definitions.
+  static Schema CreateOrDie(std::vector<ColumnDef> columns,
+                            std::vector<ColumnId> primary_key);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(ColumnId id) const { return columns_.at(id); }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Column id for `name`, or nullopt if absent.
+  std::optional<ColumnId> FindColumn(std::string_view name) const;
+
+  /// Column id for `name`; CHECK-fails if absent (test/example convenience).
+  ColumnId ColumnIdOrDie(std::string_view name) const;
+
+  const std::vector<ColumnId>& primary_key() const { return primary_key_; }
+  bool IsPrimaryKeyColumn(ColumnId id) const;
+
+  /// Byte offset of `id` within the fixed row layout.
+  uint32_t fixed_offset(ColumnId id) const { return offsets_.at(id); }
+  /// Total bytes of one fixed-layout row.
+  uint32_t row_stride() const { return row_stride_; }
+
+  /// Projects this schema onto a subset of columns (preserving the given
+  /// order); used by vertical partitioning. The projected primary key
+  /// contains the columns of the original key that survive the projection.
+  Schema Project(const std::vector<ColumnId>& column_ids) const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+  std::vector<ColumnId> primary_key_;
+  std::unordered_map<std::string, ColumnId> by_name_;
+  std::vector<uint32_t> offsets_;
+  uint32_t row_stride_ = 0;
+};
+
+}  // namespace hsdb
+
+#endif  // HSDB_COMMON_SCHEMA_H_

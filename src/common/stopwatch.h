@@ -1,0 +1,47 @@
+// Wall-clock timing utilities for calibration probes and benchmarks.
+#ifndef HSDB_COMMON_STOPWATCH_H_
+#define HSDB_COMMON_STOPWATCH_H_
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+namespace hsdb {
+
+/// Steady-clock stopwatch measuring elapsed milliseconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Milliseconds elapsed since construction/Restart.
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Runs `fn` `repeats` times and returns the median elapsed milliseconds.
+/// The median is robust against one-off scheduling hiccups, which matters for
+/// calibration probes.
+template <typename Fn>
+double MedianTimeMs(Fn&& fn, int repeats = 3) {
+  std::vector<double> samples;
+  samples.reserve(repeats);
+  for (int i = 0; i < repeats; ++i) {
+    Stopwatch sw;
+    fn();
+    samples.push_back(sw.ElapsedMs());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace hsdb
+
+#endif  // HSDB_COMMON_STOPWATCH_H_

@@ -1,0 +1,32 @@
+#include "common/string_pool.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace hsdb {
+
+StringPool::StringId StringPool::Intern(std::string_view s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  std::byte* dst = arena_.Allocate(s.size());
+  if (!s.empty()) std::memcpy(dst, s.data(), s.size());
+  StringId id = static_cast<StringId>(entries_.size());
+  entries_.push_back(Entry{dst, static_cast<uint32_t>(s.size())});
+  std::string_view stored(reinterpret_cast<const char*>(dst), s.size());
+  index_.emplace(stored, id);
+  return id;
+}
+
+std::string_view StringPool::Get(StringId id) const {
+  HSDB_CHECK_MSG(id < entries_.size(), "string id out of range");
+  const Entry& e = entries_[id];
+  return std::string_view(reinterpret_cast<const char*>(e.data), e.length);
+}
+
+size_t StringPool::memory_bytes() const {
+  return arena_.reserved_bytes() + entries_.capacity() * sizeof(Entry) +
+         index_.size() * (sizeof(std::string_view) + sizeof(StringId) + 16);
+}
+
+}  // namespace hsdb

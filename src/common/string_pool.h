@@ -1,0 +1,50 @@
+// Append-only deduplicating string pool. The row store represents VARCHAR
+// cells as 4-byte references into a per-table pool.
+#ifndef HSDB_COMMON_STRING_POOL_H_
+#define HSDB_COMMON_STRING_POOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/arena.h"
+
+namespace hsdb {
+
+/// Interns strings and hands out dense 32-bit ids. Ids are stable; payloads
+/// live in an arena. Identical strings share one id.
+class StringPool {
+ public:
+  using StringId = uint32_t;
+
+  StringPool() = default;
+  HSDB_DISALLOW_COPY_AND_ASSIGN(StringPool);
+  StringPool(StringPool&&) = default;
+  StringPool& operator=(StringPool&&) = default;
+
+  /// Interns `s`, returning its id (existing id if already present).
+  StringId Intern(std::string_view s);
+
+  /// Payload for `id`; CHECK-fails on out-of-range ids.
+  std::string_view Get(StringId id) const;
+
+  size_t size() const { return entries_.size(); }
+  /// Approximate heap bytes held by the pool (payloads + tables).
+  size_t memory_bytes() const;
+
+ private:
+  struct Entry {
+    const std::byte* data;
+    uint32_t length;
+  };
+
+  Arena arena_{64 << 10};
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string_view, StringId> index_;
+};
+
+}  // namespace hsdb
+
+#endif  // HSDB_COMMON_STRING_POOL_H_

@@ -1,0 +1,56 @@
+#include "common/topk.h"
+
+namespace hsdb {
+
+void SpaceSaving::Add(int64_t key, uint64_t weight) {
+  total_ += weight;
+  auto it = counters_.find(key);
+  if (it != counters_.end()) {
+    it->second.count += weight;
+    return;
+  }
+  if (counters_.size() < capacity_) {
+    counters_.emplace(key, Counter{weight, 0});
+    return;
+  }
+  // Evict the minimum counter; the new key inherits its count as error bound.
+  auto min_it = counters_.begin();
+  for (auto c = counters_.begin(); c != counters_.end(); ++c) {
+    if (c->second.count < min_it->second.count) min_it = c;
+  }
+  uint64_t min_count = min_it->second.count;
+  counters_.erase(min_it);
+  counters_.emplace(key, Counter{min_count + weight, min_count});
+}
+
+std::vector<HeavyHitter> SpaceSaving::Hitters() const {
+  std::vector<HeavyHitter> out;
+  out.reserve(counters_.size());
+  for (const auto& [key, c] : counters_) {
+    out.push_back(HeavyHitter{key, c.count, c.error});
+  }
+  std::sort(out.begin(), out.end(), [](const HeavyHitter& a,
+                                       const HeavyHitter& b) {
+    return a.count > b.count || (a.count == b.count && a.key < b.key);
+  });
+  return out;
+}
+
+std::vector<HeavyHitter> SpaceSaving::HittersAbove(
+    double min_fraction) const {
+  std::vector<HeavyHitter> out;
+  if (total_ == 0) return out;
+  for (const HeavyHitter& h : Hitters()) {
+    double guaranteed =
+        static_cast<double>(h.count - h.error) / static_cast<double>(total_);
+    if (guaranteed > min_fraction) out.push_back(h);
+  }
+  return out;
+}
+
+void SpaceSaving::Reset() {
+  counters_.clear();
+  total_ = 0;
+}
+
+}  // namespace hsdb

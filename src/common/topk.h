@@ -1,0 +1,58 @@
+// SpaceSaving heavy-hitter sketch (Metwally et al.): bounded-memory tracking
+// of the most frequently updated keys for the online advisor's extended
+// statistics.
+#ifndef HSDB_COMMON_TOPK_H_
+#define HSDB_COMMON_TOPK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace hsdb {
+
+/// One tracked heavy hitter: estimated count and maximal overestimation.
+struct HeavyHitter {
+  int64_t key;
+  uint64_t count;  // estimated frequency (upper bound)
+  uint64_t error;  // max overestimation of `count`
+};
+
+/// SpaceSaving sketch over int64 keys with fixed capacity m: any key with
+/// true frequency > N/m is guaranteed to be tracked.
+class SpaceSaving {
+ public:
+  explicit SpaceSaving(size_t capacity) : capacity_(capacity) {
+    HSDB_CHECK(capacity >= 1);
+  }
+
+  void Add(int64_t key, uint64_t weight = 1);
+
+  /// All currently tracked counters, most frequent first.
+  std::vector<HeavyHitter> Hitters() const;
+
+  /// Tracked keys whose guaranteed count (count - error) exceeds
+  /// `min_fraction` of all observations.
+  std::vector<HeavyHitter> HittersAbove(double min_fraction) const;
+
+  uint64_t total() const { return total_; }
+  size_t tracked() const { return counters_.size(); }
+
+  void Reset();
+
+ private:
+  struct Counter {
+    uint64_t count;
+    uint64_t error;
+  };
+
+  size_t capacity_;
+  uint64_t total_ = 0;
+  std::unordered_map<int64_t, Counter> counters_;
+};
+
+}  // namespace hsdb
+
+#endif  // HSDB_COMMON_TOPK_H_

@@ -1,0 +1,37 @@
+#include "common/types.h"
+
+#include "common/macros.h"
+
+namespace hsdb {
+
+std::string_view DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt32:
+      return "INT32";
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kDate:
+      return "DATE";
+    case DataType::kVarchar:
+      return "VARCHAR";
+  }
+  return "UNKNOWN";
+}
+
+uint32_t FixedWidth(DataType type) {
+  switch (type) {
+    case DataType::kInt32:
+    case DataType::kDate:
+    case DataType::kVarchar:  // string-pool reference
+      return 4;
+    case DataType::kInt64:
+    case DataType::kDouble:
+      return 8;
+  }
+  HSDB_CHECK_MSG(false, "unreachable data type");
+  return 0;
+}
+
+}  // namespace hsdb

@@ -1,0 +1,58 @@
+// Column data types supported by the engine and their fixed-layout widths.
+#ifndef HSDB_COMMON_TYPES_H_
+#define HSDB_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace hsdb {
+
+/// Logical column identifier: index of the column within its table schema.
+using ColumnId = uint32_t;
+
+/// Physical row identifier within a physical table (dense, includes deleted
+/// slots; check liveness via the owning table).
+using RowId = uint64_t;
+
+/// Column data types. Kept deliberately small: the paper's cost model
+/// distinguishes types only through a constant per-type adjustment factor.
+enum class DataType : uint8_t {
+  kInt32 = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kDate = 3,     // days since 1970-01-01, stored as int32
+  kVarchar = 4,  // variable-length string (fixed row layout stores a pool ref)
+};
+
+inline constexpr int kNumDataTypes = 5;
+
+/// Calendar date as days since the Unix epoch. A distinct strong type so the
+/// cost model can apply a date-specific adjustment factor.
+struct Date {
+  int32_t days = 0;
+
+  friend bool operator==(Date a, Date b) { return a.days == b.days; }
+  friend bool operator!=(Date a, Date b) { return a.days != b.days; }
+  friend bool operator<(Date a, Date b) { return a.days < b.days; }
+  friend bool operator<=(Date a, Date b) { return a.days <= b.days; }
+  friend bool operator>(Date a, Date b) { return a.days > b.days; }
+  friend bool operator>=(Date a, Date b) { return a.days >= b.days; }
+};
+
+/// Returns the human-readable type name ("INT32", "VARCHAR", ...).
+std::string_view DataTypeName(DataType type);
+
+/// Width in bytes of a value of `type` in the fixed row layout. VARCHAR
+/// values are stored as a 4-byte reference into the table's string pool.
+uint32_t FixedWidth(DataType type);
+
+/// Width in bytes of an uncompressed value of `type` (VARCHAR counts the
+/// average payload separately; this returns the reference width).
+inline bool IsNumeric(DataType type) {
+  return type == DataType::kInt32 || type == DataType::kInt64 ||
+         type == DataType::kDouble || type == DataType::kDate;
+}
+
+}  // namespace hsdb
+
+#endif  // HSDB_COMMON_TYPES_H_

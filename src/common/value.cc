@@ -1,0 +1,159 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <sstream>
+
+#include "common/hash.h"
+
+namespace hsdb {
+
+DataType Value::type() const {
+  HSDB_CHECK_MSG(is_valid(), "type() on invalid Value");
+  switch (rep_.index()) {
+    case 1:
+      return DataType::kInt32;
+    case 2:
+      return DataType::kInt64;
+    case 3:
+      return DataType::kDouble;
+    case 4:
+      return DataType::kDate;
+    case 5:
+      return DataType::kVarchar;
+    default:
+      HSDB_CHECK_MSG(false, "unreachable");
+      return DataType::kInt32;
+  }
+}
+
+double Value::AsNumeric() const {
+  switch (rep_.index()) {
+    case 1:
+      return static_cast<double>(std::get<int32_t>(rep_));
+    case 2:
+      return static_cast<double>(std::get<int64_t>(rep_));
+    case 3:
+      return std::get<double>(rep_);
+    case 4:
+      return static_cast<double>(std::get<Date>(rep_).days);
+    default:
+      HSDB_CHECK_MSG(false, "AsNumeric() on non-numeric Value");
+      return 0.0;
+  }
+}
+
+bool Value::CoerceTo(DataType target, Value* out) const {
+  if (!is_valid()) return false;
+  if (type() == target) {
+    *out = *this;
+    return true;
+  }
+  if (!IsNumeric(type()) || !IsNumeric(target)) return false;
+  switch (target) {
+    case DataType::kInt32: {
+      double v = AsNumeric();
+      auto i = static_cast<int32_t>(v);
+      if (static_cast<double>(i) != v) return false;
+      *out = Value(i);
+      return true;
+    }
+    case DataType::kInt64: {
+      double v = AsNumeric();
+      auto i = static_cast<int64_t>(v);
+      if (static_cast<double>(i) != v) return false;
+      *out = Value(i);
+      return true;
+    }
+    case DataType::kDouble:
+      *out = Value(AsNumeric());
+      return true;
+    case DataType::kDate: {
+      double v = AsNumeric();
+      auto i = static_cast<int32_t>(v);
+      if (static_cast<double>(i) != v) return false;
+      *out = Value(Date{i});
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+int Value::Compare(const Value& other) const {
+  HSDB_CHECK_MSG(is_valid() && other.is_valid(), "Compare on invalid Value");
+  if (type() == DataType::kVarchar || other.type() == DataType::kVarchar) {
+    HSDB_CHECK_MSG(
+        type() == DataType::kVarchar && other.type() == DataType::kVarchar,
+        "Compare between string and non-string");
+    return as_string().compare(other.as_string());
+  }
+  double a = AsNumeric();
+  double b = other.AsNumeric();
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (rep_.index() != other.rep_.index()) {
+    // Numeric cross-type equality through promotion.
+    if (is_valid() && other.is_valid() && IsNumeric(type()) &&
+        IsNumeric(other.type())) {
+      return AsNumeric() == other.AsNumeric();
+    }
+    return false;
+  }
+  return rep_ == other.rep_;
+}
+
+size_t Value::Hash() const {
+  HSDB_CHECK_MSG(is_valid(), "Hash() on invalid Value");
+  switch (rep_.index()) {
+    case 1:
+      // Hash all numerics through int64 when lossless so that equal values of
+      // different numeric types hash identically (matches operator==).
+      return HashInt64(std::get<int32_t>(rep_));
+    case 2:
+      return HashInt64(std::get<int64_t>(rep_));
+    case 3: {
+      double d = std::get<double>(rep_);
+      auto i = static_cast<int64_t>(d);
+      if (static_cast<double>(i) == d) return HashInt64(i);
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      std::memcpy(&bits, &d, sizeof(d));
+      return HashInt64(static_cast<int64_t>(bits));
+    }
+    case 4:
+      return HashInt64(std::get<Date>(rep_).days);
+    case 5:
+      return std::hash<std::string>{}(std::get<std::string>(rep_));
+    default:
+      return 0;
+  }
+}
+
+std::string Value::ToString() const {
+  if (!is_valid()) return "<invalid>";
+  switch (rep_.index()) {
+    case 1:
+      return std::to_string(std::get<int32_t>(rep_));
+    case 2:
+      return std::to_string(std::get<int64_t>(rep_));
+    case 3: {
+      std::ostringstream os;
+      os << std::get<double>(rep_);
+      return os.str();
+    }
+    case 4:
+      return "date:" + std::to_string(std::get<Date>(rep_).days);
+    case 5:
+      return "'" + std::get<std::string>(rep_) + "'";
+    default:
+      return "<invalid>";
+  }
+}
+
+}  // namespace hsdb

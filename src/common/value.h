@@ -1,0 +1,80 @@
+// Value: a dynamically typed cell used at the engine's API boundary
+// (inserts, updates, query results). Hot loops inside the stores never touch
+// Value; they operate on the typed physical representations.
+#ifndef HSDB_COMMON_VALUE_H_
+#define HSDB_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "common/macros.h"
+#include "common/types.h"
+
+namespace hsdb {
+
+/// A single typed cell. Comparisons require identical types except between
+/// numeric types, which compare through double promotion.
+class Value {
+ public:
+  /// Default-constructed values are in an "invalid" state; using them in the
+  /// engine is a programming error caught by HSDB_CHECK.
+  Value() : rep_(std::monostate{}) {}
+  Value(int32_t v) : rep_(v) {}              // NOLINT(runtime/explicit)
+  Value(int64_t v) : rep_(v) {}              // NOLINT(runtime/explicit)
+  Value(double v) : rep_(v) {}               // NOLINT(runtime/explicit)
+  Value(Date v) : rep_(v) {}                 // NOLINT(runtime/explicit)
+  Value(std::string v) : rep_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : rep_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  bool is_valid() const {
+    return !std::holds_alternative<std::monostate>(rep_);
+  }
+
+  /// The dynamic type of this value; invalid on default-constructed values.
+  DataType type() const;
+
+  int32_t as_int32() const { return Get<int32_t>(); }
+  int64_t as_int64() const { return Get<int64_t>(); }
+  double as_double() const { return Get<double>(); }
+  Date as_date() const { return Get<Date>(); }
+  const std::string& as_string() const { return Get<std::string>(); }
+
+  /// Numeric view of the value (int32/int64/double/date). CHECK-fails for
+  /// strings and invalid values.
+  double AsNumeric() const;
+
+  /// Converts a numeric value to `target` if losslessly representable as that
+  /// engine type (e.g. int32 literal supplied for an INT64 column). Returns
+  /// false if the conversion is not meaningful.
+  bool CoerceTo(DataType target, Value* out) const;
+
+  /// Three-way comparison; requires comparable types (same type, or both
+  /// numeric). CHECK-fails otherwise.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Stable hash of the value (used for primary-key indexing and group-by).
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  template <typename T>
+  const T& Get() const {
+    const T* p = std::get_if<T>(&rep_);
+    HSDB_CHECK_MSG(p != nullptr, "Value type mismatch");
+    return *p;
+  }
+
+  std::variant<std::monostate, int32_t, int64_t, double, Date, std::string>
+      rep_;
+};
+
+}  // namespace hsdb
+
+#endif  // HSDB_COMMON_VALUE_H_

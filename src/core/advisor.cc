@@ -1,0 +1,210 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/workload_model.h"
+
+namespace hsdb {
+
+namespace {
+
+std::string LayoutDdl(const std::string& table, const LayoutContext& ctx,
+                      const Schema& schema) {
+  std::ostringstream os;
+  const TableLayout& layout = ctx.layout;
+  if (!layout.IsPartitioned()) {
+    os << "ALTER TABLE " << table << " STORE "
+       << StoreTypeName(layout.base_store) << ";";
+    return os.str();
+  }
+  os << "ALTER TABLE " << table << " PARTITION BY (";
+  bool first = true;
+  if (layout.horizontal.has_value()) {
+    os << "ROWS " << schema.column(layout.horizontal->column).name
+       << " >= " << layout.horizontal->boundary << " TO "
+       << StoreTypeName(layout.horizontal->hot_store) << " STORE";
+    first = false;
+  }
+  if (layout.vertical.has_value()) {
+    if (!first) os << "; ";
+    os << "COLUMNS (";
+    for (size_t i = 0; i < layout.vertical->row_store_columns.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << schema.column(layout.vertical->row_store_columns[i]).name;
+    }
+    os << ") TO ROW STORE";
+  }
+  os << ") BASE " << StoreTypeName(layout.base_store) << ";";
+  return os.str();
+}
+
+}  // namespace
+
+std::string Recommendation::Summary() const {
+  std::ostringstream os;
+  os << "Storage advisor recommendation\n";
+  os << "  estimated workload cost: " << estimated_cost_ms << " ms\n";
+  os << "  baselines: RS-only " << rs_only_cost_ms << " ms, CS-only "
+     << cs_only_cost_ms << " ms, table-level " << table_level_cost_ms
+     << " ms\n";
+  for (const std::string& r : rationale) os << "  - " << r << "\n";
+  for (const std::string& d : ddl) os << "  " << d << "\n";
+  return os.str();
+}
+
+StorageAdvisor::StorageAdvisor(Database* db, AdvisorOptions options)
+    : db_(db),
+      options_(options),
+      model_(std::make_unique<CostModel>()),
+      recorder_(std::make_unique<WorkloadRecorder>(
+          &db->catalog(), options.recorder_sample)) {}
+
+StorageAdvisor::~StorageAdvisor() {
+  if (recording_) db_->set_observer(nullptr);
+}
+
+CalibrationReport StorageAdvisor::InitializeCostModel() {
+  EngineProbeRunner runner;
+  return InitializeCostModel(runner);
+}
+
+CalibrationReport StorageAdvisor::InitializeCostModel(ProbeRunner& runner) {
+  CalibrationReport report = Calibrate(runner, options_.calibration);
+  model_ = std::make_unique<CostModel>(report.params);
+  return report;
+}
+
+void StorageAdvisor::SetCostModelParams(CostModelParams params) {
+  model_ = std::make_unique<CostModel>(std::move(params));
+}
+
+Status StorageAdvisor::EnsureStatistics(
+    const std::vector<WeightedQuery>& workload) {
+  for (const WeightedQuery& wq : workload) {
+    for (const std::string& name : TablesOf(wq.query)) {
+      if (db_->catalog().GetTable(name) == nullptr) {
+        return Status::NotFound("workload references unknown table " + name);
+      }
+      if (db_->catalog().GetStatistics(name) == nullptr) {
+        HSDB_RETURN_IF_ERROR(db_->catalog().UpdateStatistics(name));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<Recommendation> StorageAdvisor::RecommendOffline(
+    const std::vector<Query>& workload) {
+  return RecommendOffline(ToWeighted(workload));
+}
+
+Result<Recommendation> StorageAdvisor::RecommendOffline(
+    const std::vector<WeightedQuery>& workload) {
+  if (workload.empty()) {
+    return Status::InvalidArgument("empty workload");
+  }
+  HSDB_RETURN_IF_ERROR(EnsureStatistics(workload));
+  // Offline mode derives the extended statistics from the supplied workload
+  // itself (paper §4: recorded or expected workload information).
+  WorkloadStatistics stats;
+  for (const WeightedQuery& wq : workload) {
+    uint64_t repeat = std::max<uint64_t>(
+        1, static_cast<uint64_t>(wq.weight + 0.5));
+    for (uint64_t i = 0; i < repeat; ++i) {
+      stats.Record(wq.query, db_->catalog());
+    }
+  }
+  return Recommend(workload, stats);
+}
+
+void StorageAdvisor::StartRecording() {
+  recorder_->Reset();
+  db_->set_observer(recorder_.get());
+  recording_ = true;
+}
+
+void StorageAdvisor::StopRecording() {
+  db_->set_observer(nullptr);
+  recording_ = false;
+}
+
+Result<Recommendation> StorageAdvisor::RecommendOnline() {
+  if (!recording_) {
+    return Status::FailedPrecondition(
+        "online mode requires StartRecording()");
+  }
+  if (recorder_->seen_queries() == 0) {
+    return Status::FailedPrecondition("no queries recorded yet");
+  }
+  std::vector<WeightedQuery> workload;
+  if (recorder_->recorded_queries().empty()) {
+    // Statistics-only mode (no raw query log retained): reconstruct a
+    // representative weighted workload from the extended statistics.
+    workload = BuildWorkloadModel(recorder_->statistics(), db_->catalog());
+    if (workload.empty()) {
+      return Status::FailedPrecondition(
+          "statistics do not describe any known table");
+    }
+  } else {
+    // Scale the retained sample back to the full stream volume.
+    double scale = static_cast<double>(recorder_->seen_queries()) /
+                   static_cast<double>(recorder_->recorded_queries().size());
+    workload.reserve(recorder_->recorded_queries().size());
+    for (const Query& q : recorder_->recorded_queries()) {
+      workload.push_back(WeightedQuery{q, scale});
+    }
+  }
+  HSDB_RETURN_IF_ERROR(EnsureStatistics(workload));
+  return Recommend(workload, recorder_->statistics());
+}
+
+Result<Recommendation> StorageAdvisor::Recommend(
+    const std::vector<WeightedQuery>& workload,
+    const WorkloadStatistics& stats) {
+  Recommendation rec;
+
+  TableAdvisor table_advisor(model_.get(), &db_->catalog(),
+                             options_.table_options);
+  TableAdvisorResult table_result = table_advisor.Recommend(workload);
+  rec.table_level_assignment = table_result.assignment;
+  rec.rs_only_cost_ms = table_result.rs_only_cost_ms;
+  rec.cs_only_cost_ms = table_result.cs_only_cost_ms;
+  rec.table_level_cost_ms = table_result.estimated_cost_ms;
+
+  if (options_.enable_partitioning) {
+    PartitionAdvisor partition_advisor(model_.get(), &db_->catalog(),
+                                       options_.partition_options);
+    PartitionAdvisorResult part =
+        partition_advisor.Recommend(workload, stats,
+                                    table_result.assignment);
+    rec.layouts = part.layouts;
+    rec.estimated_cost_ms = part.estimated_cost_ms;
+    rec.rationale = part.rationale;
+  } else {
+    for (const auto& [name, store] : table_result.assignment) {
+      rec.layouts.emplace(name, LayoutContext::SingleStore(store));
+      rec.rationale.push_back(name + ": " +
+                              std::string(StoreTypeName(store)));
+    }
+    rec.estimated_cost_ms = table_result.estimated_cost_ms;
+  }
+
+  // Emit DDL only for tables whose layout actually changes.
+  for (const auto& [name, ctx] : rec.layouts) {
+    const LogicalTable* table = db_->catalog().GetTable(name);
+    if (table == nullptr) continue;
+    if (table->layout() == ctx.layout) continue;
+    rec.ddl.push_back(LayoutDdl(name, ctx, table->schema()));
+  }
+  return rec;
+}
+
+Status StorageAdvisor::Apply(const Recommendation& recommendation) {
+  for (const auto& [name, ctx] : recommendation.layouts) {
+    HSDB_RETURN_IF_ERROR(db_->ApplyLayout(name, ctx.layout));
+  }
+  return Status::OK();
+}
+
+}  // namespace hsdb

@@ -1,0 +1,115 @@
+// StorageAdvisor: the tool the paper contributes. Wraps the full
+// recommendation process of Fig. 5:
+//
+//   initialize cost model (calibration probes)
+//     -> offline mode: initial recommendation from an expected/recorded
+//        workload
+//     -> online mode: record extended statistics while the system runs,
+//        periodically recompute adaptation recommendations
+//
+// Recommendations report the estimated costs of RS-only / CS-only /
+// table-level / partitioned layouts, carry executable layout changes and
+// pseudo-DDL for the administrator, and can be applied to the database.
+#ifndef HSDB_CORE_ADVISOR_H_
+#define HSDB_CORE_ADVISOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/calibration.h"
+#include "core/partition_advisor.h"
+#include "core/probe_runner.h"
+#include "core/table_advisor.h"
+#include "workload/recorder.h"
+
+namespace hsdb {
+
+struct AdvisorOptions {
+  /// Consider horizontal/vertical partitioning (§3.2); with false the
+  /// advisor stops at table-level recommendations (§3.1).
+  bool enable_partitioning = true;
+  CalibrationOptions calibration;
+  TableAdvisor::Options table_options;
+  PartitionAdvisor::Options partition_options;
+  /// Raw queries retained by the online recorder (reservoir sample).
+  size_t recorder_sample = 4096;
+};
+
+struct Recommendation {
+  /// Chosen layout per table (with locality context for the estimator).
+  std::map<std::string, LayoutContext> layouts;
+  /// Table-level assignment (before partitioning), for comparison.
+  std::map<std::string, StoreType> table_level_assignment;
+
+  double estimated_cost_ms = 0.0;
+  double rs_only_cost_ms = 0.0;
+  double cs_only_cost_ms = 0.0;
+  double table_level_cost_ms = 0.0;
+
+  /// Pseudo-DDL statements realizing the recommendation.
+  std::vector<std::string> ddl;
+  /// Per-table reasoning.
+  std::vector<std::string> rationale;
+
+  std::string Summary() const;
+};
+
+class StorageAdvisor {
+ public:
+  explicit StorageAdvisor(Database* db) : StorageAdvisor(db, AdvisorOptions{}) {}
+  StorageAdvisor(Database* db, AdvisorOptions options);
+  ~StorageAdvisor();
+
+  // --- Fig. 5, step 1: initialize the cost model -------------------------
+
+  /// Calibrates against the bundled engine with scratch probe tables.
+  CalibrationReport InitializeCostModel();
+  /// Calibrates through an injected runner (tests, custom engines).
+  CalibrationReport InitializeCostModel(ProbeRunner& runner);
+  /// Skips calibration and installs parameters directly.
+  void SetCostModelParams(CostModelParams params);
+  const CostModel& cost_model() const { return *model_; }
+
+  // --- Offline mode -------------------------------------------------------
+
+  /// Recommendation from an expected or recorded workload. Table statistics
+  /// are refreshed for every touched table that has none.
+  Result<Recommendation> RecommendOffline(const std::vector<Query>& workload);
+  Result<Recommendation> RecommendOffline(
+      const std::vector<WeightedQuery>& workload);
+
+  // --- Online mode ----------------------------------------------------------
+
+  /// Attaches the extended-statistics recorder to the database.
+  void StartRecording();
+  void StopRecording();
+  WorkloadRecorder* recorder() { return recorder_.get(); }
+
+  /// Recommendation from the statistics and query sample recorded since
+  /// StartRecording()/last reset. FailedPrecondition when not recording or
+  /// nothing was recorded.
+  Result<Recommendation> RecommendOnline();
+
+  // --- Applying recommendations -------------------------------------------
+
+  /// Executes the layout changes against the database (the "ask the storage
+  /// advisor to apply the recommended storage layout" path in §4).
+  Status Apply(const Recommendation& recommendation);
+
+ private:
+  Result<Recommendation> Recommend(
+      const std::vector<WeightedQuery>& workload,
+      const WorkloadStatistics& stats);
+  Status EnsureStatistics(const std::vector<WeightedQuery>& workload);
+
+  Database* db_;
+  AdvisorOptions options_;
+  std::unique_ptr<CostModel> model_;
+  std::unique_ptr<WorkloadRecorder> recorder_;
+  bool recording_ = false;
+};
+
+}  // namespace hsdb
+
+#endif  // HSDB_CORE_ADVISOR_H_

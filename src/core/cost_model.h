@@ -1,0 +1,161 @@
+// The storage advisor's cost model (paper §3):
+//
+//   Costs = BaseCosts · QueryAdjustment · DataAdjustment
+//
+// All base costs and adjustment functions are store-specific; adjustment
+// functions are constants, linear functions or piecewise-linear functions of
+// one characteristic each (the paper's independence assumption). Parameters
+// are produced either analytically (Default) or by calibration probes run
+// against the engine (core/calibration.h, the paper's "initialize cost
+// model" step).
+#ifndef HSDB_CORE_COST_MODEL_H_
+#define HSDB_CORE_COST_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/regression.h"
+#include "common/types.h"
+#include "executor/query.h"
+#include "storage/store_type.h"
+
+namespace hsdb {
+
+/// Per-store cost-model parameters. Base costs are in milliseconds at the
+/// reference configuration; every adjustment function returns a multiplier
+/// and is normalized to ~1 at its calibration reference point.
+struct StoreCostParams {
+  // Aggregation: (Σ_i base_agg[fn_i]·c_data_type[type_i]) · c_group_by? ·
+  //              c_filter? · f_rows_agg(rows) · f_compression_agg(rate).
+  double base_agg[kNumAggFns] = {1, 1, 1, 1, 0.1};
+  double c_data_type[kNumDataTypes] = {1, 1, 1, 1, 1};
+  double c_group_by = 4.0;
+  double c_agg_filter = 1.3;
+  LinearFn f_rows_agg{0.0, 1e-6};  // multiplier per row
+  PiecewiseLinearFn f_compression_agg = PiecewiseLinearFn::Constant(1.0);
+
+  // Point/range select: base_select · f_selected_columns(k) ·
+  //                     f_selectivity(sel) · f_rows_select(rows).
+  double base_select = 1.0;
+  /// Primary-key point lookups bypass the scan machinery entirely (hash
+  /// index in both stores) and are costed separately.
+  double base_point_select = 0.005;
+  LinearFn f_selected_columns{1.0, 0.0};
+  LinearFn f_selectivity_indexed{0.1, 10.0};
+  LinearFn f_selectivity_scan{1.0, 3.0};
+  LinearFn f_rows_select{0.0, 1e-6};
+
+  // Insert: base_insert · f_rows_insert(rows)   (uniqueness verification).
+  double base_insert = 0.005;
+  LinearFn f_rows_insert{1.0, 0.0};
+
+  // Update: base_update · f_affected_columns(k) · f_affected_rows(m) ·
+  //         f_rows_update(rows).
+  double base_update = 0.005;
+  LinearFn f_affected_columns{1.0, 0.0};
+  LinearFn f_affected_rows{0.0, 1.0};
+  LinearFn f_rows_update{1.0, 0.0};
+
+  // Join contributions (see CostModel::JoinAggregationCost).
+  LinearFn f_rows_probe{0.0, 1e-6};
+  LinearFn f_rows_build{0.5, 5e-4};
+};
+
+/// Full parameter set: one StoreCostParams per store plus the store-
+/// combination base costs for joins and the vertical-stitch penalty.
+struct CostModelParams {
+  StoreCostParams store[kNumStoreTypes];
+  /// base_join[fact store][dimension store]: multiplier on the join part.
+  double base_join[kNumStoreTypes][kNumStoreTypes] = {{1.0, 1.1},
+                                                      {0.9, 1.0}};
+  /// Cost (ms) of stitching vertically partitioned pieces, per scanned row
+  /// (charged when a query spans both pieces of a vertical split).
+  LinearFn f_stitch{0.0, 2e-3};
+  /// Constant overhead (ms) for combining horizontal partition partials.
+  double c_union = 0.05;
+
+  const StoreCostParams& of(StoreType s) const {
+    return store[static_cast<int>(s)];
+  }
+  StoreCostParams& of(StoreType s) { return store[static_cast<int>(s)]; }
+
+  /// Analytic defaults roughly shaped like the bundled engine; calibration
+  /// replaces them with measured parameters.
+  static CostModelParams Default();
+
+  std::string ToString() const;
+
+  /// Round-trippable text serialization, so a calibrated model can be
+  /// persisted and reused across processes (the advisor only re-initializes
+  /// the cost model when hardware/system settings change, Fig. 5).
+  std::string Serialize() const;
+  static Result<CostModelParams> Deserialize(const std::string& text);
+};
+
+/// One aggregate's characteristics: function + data type of its column.
+struct AggSpec {
+  AggFn fn;
+  DataType type;
+};
+
+/// Evaluates the paper's cost formulas on query/data characteristics.
+class CostModel {
+ public:
+  CostModel() : params_(CostModelParams::Default()) {}
+  explicit CostModel(CostModelParams params) : params_(std::move(params)) {}
+
+  const CostModelParams& params() const { return params_; }
+
+  /// Single-table aggregation (paper §3.1 "Aggregation Queries").
+  /// A predicate splits the cost into a filter pass over all rows
+  /// (c_agg_filter) plus the aggregation work over the selected fraction —
+  /// an extension of the paper's constant-only filter adjustment that keeps
+  /// the estimate store-rank-correct when filters are selective.
+  double AggregationCost(StoreType store, const std::vector<AggSpec>& aggs,
+                         bool grouped, bool filtered, double rows,
+                         double compression_rate,
+                         double selectivity = 1.0) const;
+
+  /// Star-join aggregation: fact-side aggregation adjusted per joined
+  /// dimension with the store-combination base costs (§3.1 "Join Queries").
+  struct JoinSide {
+    StoreType store;
+    double rows;
+    double compression_rate;
+  };
+  double JoinAggregationCost(StoreType fact_store,
+                             const std::vector<AggSpec>& aggs, bool grouped,
+                             bool filtered, double fact_rows,
+                             double fact_compression,
+                             const std::vector<JoinSide>& dims,
+                             double selectivity = 1.0) const;
+
+  /// Point/range selection (§3.1 "Point and Range Queries").
+  double SelectCost(StoreType store, size_t selected_columns,
+                    double selectivity, bool indexed, double rows) const;
+
+  /// Primary-key point lookup: hash access + k-column tuple reconstruction.
+  double PointSelectCost(StoreType store, size_t selected_columns) const;
+
+  /// Insert (§3.1 "Inserts and Updates").
+  double InsertCost(StoreType store, double rows) const;
+
+  /// Update (§3.1 "Inserts and Updates").
+  double UpdateCost(StoreType store, size_t affected_columns,
+                    double affected_rows, double rows) const;
+
+  /// Delete is costed like a full-width update of one row batch.
+  double DeleteCost(StoreType store, double affected_rows, double rows) const;
+
+  /// Vertical-stitch penalty for queries spanning both pieces of a vertical
+  /// split, and the union overhead for horizontal partitions.
+  double StitchCost(double rows) const { return params_.f_stitch(rows); }
+  double UnionOverhead() const { return params_.c_union; }
+
+ private:
+  CostModelParams params_;
+};
+
+}  // namespace hsdb
+
+#endif  // HSDB_CORE_COST_MODEL_H_

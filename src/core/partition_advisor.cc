@@ -1,0 +1,219 @@
+#include "core/partition_advisor.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hsdb {
+
+namespace {
+
+/// OLTP attributes (paper §3.2): non-key columns used mainly and often for
+/// updates rather than analyses.
+std::vector<ColumnId> OltpColumns(const Schema& schema,
+                                  const TableWorkloadStats& tstats) {
+  std::vector<ColumnId> cols;
+  for (ColumnId c = 0; c < tstats.columns.size() &&
+                       c < schema.num_columns();
+       ++c) {
+    if (schema.IsPrimaryKeyColumn(c)) continue;
+    const ColumnUsage& usage = tstats.columns[c];
+    if (usage.updates > 0 && usage.OltpScore() > usage.OlapScore()) {
+      cols.push_back(c);
+    }
+  }
+  return cols;
+}
+
+bool HasOlapColumns(const Schema& schema, const TableWorkloadStats& tstats,
+                    const std::vector<ColumnId>& oltp_cols) {
+  for (ColumnId c = 0; c < tstats.columns.size() && c < schema.num_columns();
+       ++c) {
+    if (schema.IsPrimaryKeyColumn(c)) continue;
+    if (std::find(oltp_cols.begin(), oltp_cols.end(), c) != oltp_cols.end()) {
+      continue;
+    }
+    if (tstats.columns[c].OlapScore() > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::pair<LayoutContext, std::string>>
+PartitionAdvisor::Candidates(const std::string& name,
+                             const TableWorkloadStats& tstats,
+                             StoreType table_level_store) const {
+  std::vector<std::pair<LayoutContext, std::string>> candidates;
+  const LogicalTable* table = catalog_->GetTable(name);
+  const TableStatistics* stats = catalog_->GetStatistics(name);
+  if (table == nullptr) return candidates;
+  const Schema& schema = table->schema();
+
+  // Baseline: the unpartitioned table-level choice.
+  candidates.emplace_back(LayoutContext::SingleStore(table_level_store),
+                          "table-level store");
+
+  // Partitioning requires a single-column numeric primary key (the split
+  // column) and table statistics for the key domain.
+  if (schema.primary_key().size() != 1 || stats == nullptr) {
+    return candidates;
+  }
+  ColumnId pk = schema.primary_key()[0];
+  if (!IsNumeric(schema.column(pk).type)) return candidates;
+  const ColumnStatistics& pk_stats = stats->column(pk);
+  if (!pk_stats.min.has_value() || !pk_stats.max.has_value()) {
+    return candidates;
+  }
+  const double pk_min = *pk_stats.min;
+  const double pk_max = *pk_stats.max;
+  const double domain = std::max(1.0, pk_max - pk_min);
+
+  // Vertical candidate: OLTP attributes to the row store.
+  std::optional<VerticalSpec> vertical;
+  std::vector<ColumnId> oltp_cols = OltpColumns(schema, tstats);
+  if (!oltp_cols.empty() && HasOlapColumns(schema, tstats, oltp_cols)) {
+    VerticalSpec spec{oltp_cols};
+    TableLayout probe;
+    probe.base_store = StoreType::kColumn;
+    probe.vertical = spec;
+    if (probe.Validate(schema).ok()) vertical = spec;
+  }
+
+  // Horizontal candidate A: new-data partition when inserts are frequent.
+  std::optional<HorizontalSpec> horizontal;
+  double hot_row_fraction = 0.0;
+  double hot_access_fraction = 1.0;
+  std::string horizontal_reason;
+  if (tstats.InsertFraction() >= options_.insert_fraction_threshold) {
+    HorizontalSpec spec;
+    spec.column = pk;
+    spec.boundary = pk_max + 1.0;  // future keys land in the hot piece
+    spec.hot_store = StoreType::kRow;
+    horizontal = spec;
+    hot_row_fraction = 0.0;
+    hot_access_fraction = 0.0;  // point access still targets existing rows
+    horizontal_reason = "insert fraction " +
+                        std::to_string(tstats.InsertFraction());
+  }
+
+  // Horizontal candidate B: hot update range -> row-store partition.
+  if (!horizontal.has_value() && tstats.updates > 0) {
+    auto ranges =
+        tstats.update_key_histogram.DenseRanges(options_.hot_density_factor);
+    const HistogramRange* best = nullptr;
+    for (const HistogramRange& r : ranges) {
+      if (r.mass_fraction >= options_.min_hot_mass &&
+          r.width_fraction <= options_.max_hot_width &&
+          (best == nullptr || r.mass_fraction > best->mass_fraction)) {
+        best = &r;
+      }
+    }
+    // Only upper key ranges are expressible (hot = keys >= boundary); the
+    // range must reach the top of the *data* domain (the histogram keeps
+    // headroom above pk_max for future inserts).
+    if (best != nullptr && static_cast<double>(best->hi) >=
+                               pk_max - domain * 0.05) {
+      HorizontalSpec spec;
+      spec.column = pk;
+      spec.boundary = static_cast<double>(best->lo);
+      spec.hot_store = StoreType::kRow;
+      horizontal = spec;
+      hot_row_fraction =
+          std::clamp((pk_max - spec.boundary) / domain, 0.0, 1.0);
+      hot_access_fraction = best->mass_fraction;
+      horizontal_reason =
+          "hot update range covering " +
+          std::to_string(best->mass_fraction * 100.0) + "% of updates";
+    }
+  }
+
+  if (horizontal.has_value()) {
+    LayoutContext ctx;
+    ctx.layout.base_store = StoreType::kColumn;
+    ctx.layout.horizontal = horizontal;
+    ctx.hot_row_fraction = hot_row_fraction;
+    ctx.hot_access_fraction = hot_access_fraction;
+    ctx.hot_insert_fraction = 1.0;
+    candidates.emplace_back(ctx, "horizontal: " + horizontal_reason);
+  }
+  if (vertical.has_value()) {
+    LayoutContext ctx;
+    ctx.layout.base_store = StoreType::kColumn;
+    ctx.layout.vertical = vertical;
+    std::ostringstream os;
+    os << "vertical: OLTP attributes [";
+    for (size_t i = 0; i < vertical->row_store_columns.size(); ++i) {
+      if (i > 0) os << ",";
+      os << schema.column(vertical->row_store_columns[i]).name;
+    }
+    os << "] to the row store";
+    candidates.emplace_back(ctx, os.str());
+  }
+  if (horizontal.has_value() && vertical.has_value()) {
+    LayoutContext ctx;
+    ctx.layout.base_store = StoreType::kColumn;
+    ctx.layout.horizontal = horizontal;
+    ctx.layout.vertical = vertical;
+    ctx.hot_row_fraction = hot_row_fraction;
+    ctx.hot_access_fraction = hot_access_fraction;
+    ctx.hot_insert_fraction = 1.0;
+    candidates.emplace_back(
+        ctx, "combined horizontal (" + horizontal_reason + ") + vertical");
+  }
+  return candidates;
+}
+
+PartitionAdvisorResult PartitionAdvisor::Recommend(
+    const std::vector<WeightedQuery>& workload,
+    const WorkloadStatistics& stats,
+    const std::map<std::string, StoreType>& table_level) const {
+  PartitionAdvisorResult result;
+
+  // Start from the table-level assignment for every involved table.
+  for (const auto& [name, store] : table_level) {
+    result.layouts.emplace(name, LayoutContext::SingleStore(store));
+  }
+  auto provider = [&](const std::string& name) {
+    auto it = result.layouts.find(name);
+    return it == result.layouts.end()
+               ? LayoutContext::SingleStore(StoreType::kRow)
+               : it->second;
+  };
+
+  // Improve table by table (the candidates of one table do not change the
+  // heuristics of another; cost coupling through joins uses the current
+  // choice of the partner tables).
+  for (const auto& [name, tstats] : stats.tables()) {
+    auto tl = table_level.find(name);
+    StoreType base = tl == table_level.end() ? StoreType::kRow : tl->second;
+    auto candidates = Candidates(name, tstats, base);
+    if (candidates.empty()) continue;
+    double best_cost = 0.0;
+    size_t best = 0;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      result.layouts[name] = candidates[i].first;
+      double cost = estimator_.WorkloadCost(workload, provider);
+      if (i == 0 || cost < best_cost) {
+        best_cost = cost;
+        best = i;
+      }
+    }
+    result.layouts[name] = candidates[best].first;
+    result.estimated_cost_ms = best_cost;
+    if (candidates[best].first.layout.IsPartitioned()) {
+      result.rationale.push_back(name + ": " + candidates[best].second +
+                                 " (" +
+                                 candidates[best].first.layout.ToString() +
+                                 ")");
+    } else {
+      result.rationale.push_back(
+          name + ": unpartitioned " +
+          std::string(StoreTypeName(
+              candidates[best].first.layout.base_store)));
+    }
+  }
+  result.estimated_cost_ms = estimator_.WorkloadCost(workload, provider);
+  return result;
+}
+
+}  // namespace hsdb

@@ -1,0 +1,76 @@
+// Store-aware partitioning recommendation (paper §3.2 + §4 heuristics):
+//  - a high insert fraction recommends a row-store partition for newly
+//    arriving tuples (horizontal split at the top of the key domain);
+//  - tuples frequently updated (as a whole) concentrated in a key range
+//    recommend a row-store partition for that range;
+//  - attributes used mainly for updates/point access ("OLTP attributes")
+//    recommend a vertical row-store partition, OLAP attributes stay
+//    column-oriented.
+// Every heuristic candidate is validated against the cost model; the
+// cheapest layout wins (including the unpartitioned table-level choice).
+#ifndef HSDB_CORE_PARTITION_ADVISOR_H_
+#define HSDB_CORE_PARTITION_ADVISOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/workload_cost.h"
+#include "workload/recorder.h"
+
+namespace hsdb {
+
+struct PartitionAdvisorResult {
+  /// Chosen layout (+locality context) per table.
+  std::map<std::string, LayoutContext> layouts;
+  double estimated_cost_ms = 0.0;
+  /// Human-readable per-table reasoning.
+  std::vector<std::string> rationale;
+};
+
+class PartitionAdvisor {
+ public:
+  struct Options {
+    /// Insert share of a table's queries that triggers a new-data partition
+    /// (the paper: "if it is sufficiently high").
+    double insert_fraction_threshold = 0.05;
+    /// Histogram density factor for detecting hot update ranges.
+    double hot_density_factor = 2.0;
+    /// Minimum update mass the hot range must cover.
+    double min_hot_mass = 0.5;
+    /// Maximum width of a hot range (fraction of the key domain).
+    double max_hot_width = 0.5;
+  };
+
+  PartitionAdvisor(const CostModel* model, const Catalog* catalog)
+      : PartitionAdvisor(model, catalog, Options{}) {}
+  PartitionAdvisor(const CostModel* model, const Catalog* catalog,
+                   Options options)
+      : model_(model),
+        catalog_(catalog),
+        estimator_(model, catalog),
+        options_(options) {}
+
+  /// Recommends per-table layouts. `table_level` supplies the unpartitioned
+  /// baseline store per table (from TableAdvisor); `stats` provides the
+  /// extended workload statistics driving the heuristics.
+  PartitionAdvisorResult Recommend(
+      const std::vector<WeightedQuery>& workload,
+      const WorkloadStatistics& stats,
+      const std::map<std::string, StoreType>& table_level) const;
+
+ private:
+  /// Heuristic layout candidates for one table.
+  std::vector<std::pair<LayoutContext, std::string>> Candidates(
+      const std::string& name, const TableWorkloadStats& tstats,
+      StoreType table_level_store) const;
+
+  const CostModel* model_;
+  const Catalog* catalog_;
+  WorkloadCostEstimator estimator_;
+  Options options_;
+};
+
+}  // namespace hsdb
+
+#endif  // HSDB_CORE_PARTITION_ADVISOR_H_

@@ -1,0 +1,106 @@
+// WorkloadCostEstimator: maps concrete queries + catalog statistics + a
+// candidate physical layout to estimated execution cost, using the cost
+// model. This is the bridge between the paper's formulas (§3) and the
+// advisor's search (§3.1 table level, §3.2 partitioning).
+#ifndef HSDB_CORE_WORKLOAD_COST_H_
+#define HSDB_CORE_WORKLOAD_COST_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "core/cost_model.h"
+
+namespace hsdb {
+
+/// A query with a weight (frequency) — the advisor's workload unit. Raw
+/// query logs have weight 1 per entry; workload models reconstructed from
+/// statistics carry class frequencies.
+struct WeightedQuery {
+  Query query;
+  double weight = 1.0;
+};
+
+std::vector<WeightedQuery> ToWeighted(const std::vector<Query>& queries);
+
+/// Candidate layout of one table plus the access-locality facts the
+/// estimator needs to cost horizontal splits.
+struct LayoutContext {
+  TableLayout layout = TableLayout::SingleStore(StoreType::kRow);
+  /// Fraction of the table's rows in the hot (upper) horizontal piece.
+  double hot_row_fraction = 0.0;
+  /// Fraction of point accesses (updates/point selects) hitting the hot
+  /// piece; 1.0 when writes are perfectly concentrated on hot rows.
+  double hot_access_fraction = 1.0;
+  /// Fraction of inserts routing to the hot piece (1.0 when new keys land
+  /// above the boundary, the usual case for ascending keys).
+  double hot_insert_fraction = 1.0;
+
+  static LayoutContext SingleStore(StoreType store) {
+    LayoutContext ctx;
+    ctx.layout = TableLayout::SingleStore(store);
+    return ctx;
+  }
+};
+
+/// Supplies the candidate layout per table name.
+using LayoutProvider = std::function<LayoutContext(const std::string&)>;
+
+class WorkloadCostEstimator {
+ public:
+  WorkloadCostEstimator(const CostModel* model, const Catalog* catalog)
+      : model_(model), catalog_(catalog) {}
+
+  /// Estimated cost (ms) of one query under the given layouts.
+  double QueryCost(const Query& query, const LayoutProvider& layout_of) const;
+
+  /// Weighted sum over a workload.
+  double WorkloadCost(const std::vector<WeightedQuery>& workload,
+                      const LayoutProvider& layout_of) const;
+
+  /// Convenience: every table in one store, unpartitioned.
+  double WorkloadCostSingleStore(const std::vector<WeightedQuery>& workload,
+                                 StoreType store) const;
+
+  /// Convenience: unpartitioned per-table store assignment (absent tables
+  /// default to `fallback`).
+  double WorkloadCostAssignment(
+      const std::vector<WeightedQuery>& workload,
+      const std::map<std::string, StoreType>& assignment,
+      StoreType fallback = StoreType::kRow) const;
+
+ private:
+  struct TableFacts {
+    double rows = 0.0;
+    double compression = 0.5;
+    const TableStatistics* stats = nullptr;  // may be null
+    const LogicalTable* table = nullptr;     // may be null
+  };
+  TableFacts FactsOf(const std::string& name) const;
+
+  double PredicateSelectivity(const TableFacts& facts,
+                              const std::vector<const PredicateTerm*>& terms)
+      const;
+  bool HasRowStoreIndex(const TableFacts& facts,
+                        const std::vector<const PredicateTerm*>& terms) const;
+
+  double AggregationQueryCost(const AggregationQuery& q,
+                              const LayoutProvider& layout_of) const;
+  double SelectQueryCost(const SelectQuery& q,
+                         const LayoutProvider& layout_of) const;
+  double InsertQueryCost(const InsertQuery& q,
+                         const LayoutProvider& layout_of) const;
+  double UpdateQueryCost(const UpdateQuery& q,
+                         const LayoutProvider& layout_of) const;
+  double DeleteQueryCost(const DeleteQuery& q,
+                         const LayoutProvider& layout_of) const;
+
+  const CostModel* model_;
+  const Catalog* catalog_;
+};
+
+}  // namespace hsdb
+
+#endif  // HSDB_CORE_WORKLOAD_COST_H_

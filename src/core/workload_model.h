@@ -1,0 +1,24 @@
+// Workload reconstruction from extended statistics: when the online recorder
+// keeps no raw query log (the cheapest recording mode, cf. the paper's §7
+// discussion of statistics cost), the advisor rebuilds a representative
+// weighted workload from the per-table/per-attribute counters alone.
+#ifndef HSDB_CORE_WORKLOAD_MODEL_H_
+#define HSDB_CORE_WORKLOAD_MODEL_H_
+
+#include <vector>
+
+#include "core/workload_cost.h"
+#include "workload/recorder.h"
+
+namespace hsdb {
+
+/// Builds a weighted query-class workload equivalent (for costing purposes)
+/// to the recorded stream: one insert/update/point-select/range-select class
+/// per table plus one aggregation class per aggregated attribute and one
+/// join class per join partner, each weighted by its observed frequency.
+std::vector<WeightedQuery> BuildWorkloadModel(const WorkloadStatistics& stats,
+                                              const Catalog& catalog);
+
+}  // namespace hsdb
+
+#endif  // HSDB_CORE_WORKLOAD_MODEL_H_

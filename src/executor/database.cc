@@ -1,0 +1,36 @@
+#include "executor/database.h"
+
+#include "common/stopwatch.h"
+#include "storage/conversion.h"
+
+namespace hsdb {
+
+Result<QueryResult> Database::Execute(const Query& query) {
+  Stopwatch sw;
+  HSDB_ASSIGN_OR_RETURN(QueryResult result, executor_.Execute(query));
+  // Statement-boundary maintenance on the tables the query touched.
+  for (const std::string& name : TablesOf(query)) {
+    if (LogicalTable* table = catalog_.GetTable(name)) {
+      table->AfterStatement();
+    }
+  }
+  result.elapsed_ms = sw.ElapsedMs();
+  if (observer_ != nullptr) observer_->OnQuery(query, result);
+  return result;
+}
+
+Status Database::MoveTable(const std::string& name, StoreType store) {
+  return ApplyLayout(name, TableLayout::SingleStore(store));
+}
+
+Status Database::ApplyLayout(const std::string& name,
+                             const TableLayout& layout) {
+  HSDB_ASSIGN_OR_RETURN(LogicalTable * table, catalog_.Find(name));
+  if (table->layout() == layout) return Status::OK();
+  HSDB_ASSIGN_OR_RETURN(std::unique_ptr<LogicalTable> rebuilt,
+                        Rematerialize(*table, layout));
+  HSDB_RETURN_IF_ERROR(catalog_.ReplaceTable(name, std::move(rebuilt)));
+  return catalog_.UpdateStatistics(name);
+}
+
+}  // namespace hsdb

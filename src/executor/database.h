@@ -1,0 +1,57 @@
+// Database: the engine facade — catalog + executor + statement-boundary
+// maintenance + workload observation + the layout-change DDL the storage
+// advisor's recommendations execute.
+#ifndef HSDB_EXECUTOR_DATABASE_H_
+#define HSDB_EXECUTOR_DATABASE_H_
+
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "executor/executor.h"
+#include "executor/observer.h"
+
+namespace hsdb {
+
+class Database {
+ public:
+  Database() : executor_(&catalog_) {}
+  HSDB_DISALLOW_COPY_AND_ASSIGN(Database);
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Creates a table (convenience passthrough).
+  Status CreateTable(const std::string& name, Schema schema,
+                     TableLayout layout, PhysicalOptions options = {}) {
+    return catalog_.CreateTable(name, std::move(schema), std::move(layout),
+                                options);
+  }
+
+  /// Executes one query: runs it, stamps the wall-clock time, performs
+  /// statement-boundary maintenance on the touched tables (delta merges) and
+  /// notifies the observer.
+  Result<QueryResult> Execute(const Query& query);
+
+  /// Installs/removes the workload observer (not owned).
+  void set_observer(QueryObserver* observer) { observer_ = observer; }
+
+  // Layout DDL -----------------------------------------------------------
+
+  /// Moves a table to a single-store unpartitioned layout
+  /// ("ALTER TABLE name MOVE TO <store>").
+  Status MoveTable(const std::string& name, StoreType store);
+
+  /// Reorganizes a table under an arbitrary layout (partitioned or not) and
+  /// refreshes its statistics.
+  Status ApplyLayout(const std::string& name, const TableLayout& layout);
+
+ private:
+  Catalog catalog_;
+  Executor executor_;
+  QueryObserver* observer_ = nullptr;
+};
+
+}  // namespace hsdb
+
+#endif  // HSDB_EXECUTOR_DATABASE_H_

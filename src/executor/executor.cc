@@ -1,0 +1,647 @@
+#include "executor/executor.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "executor/aggregate.h"
+#include "storage/scan_dispatch.h"
+
+namespace hsdb {
+namespace {
+
+struct ValueHasher {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+std::vector<const PredicateTerm*> TermsForTable(const Predicate& predicate,
+                                                int table_index) {
+  std::vector<const PredicateTerm*> terms;
+  for (const PredicateTerm& term : predicate) {
+    if (term.column.table_index == table_index) terms.push_back(&term);
+  }
+  return terms;
+}
+
+Status ValidateTerms(const Schema& schema,
+                     const std::vector<const PredicateTerm*>& terms) {
+  for (const PredicateTerm* term : terms) {
+    if (term->column.column >= schema.num_columns()) {
+      return Status::InvalidArgument("predicate column out of range");
+    }
+    if (!term->range.lo.has_value() && !term->range.hi.has_value()) {
+      return Status::InvalidArgument("unbounded predicate term");
+    }
+  }
+  return Status::OK();
+}
+
+/// Evaluates a conjunction of terms on one fragment. All term columns must
+/// be contained in the fragment. Uses a row-store sorted index to seed the
+/// bitmap when one is available for a term's column.
+Bitmap EvaluateOnFragment(const Fragment& frag,
+                          const std::vector<const PredicateTerm*>& terms) {
+  const PhysicalTable& table = *frag.table;
+  if (table.store() == StoreType::kRow) {
+    const auto& rs = static_cast<const RowTable&>(table);
+    for (size_t i = 0; i < terms.size(); ++i) {
+      ColumnId fc = frag.FragColumn(terms[i]->column.column);
+      if (!rs.HasSortedIndex(fc)) continue;
+      Result<Bitmap> seeded = rs.IndexFilter(fc, terms[i]->range);
+      if (!seeded.ok()) continue;
+      Bitmap bm = std::move(seeded).value();
+      for (size_t j = 0; j < terms.size(); ++j) {
+        if (j == i) continue;
+        table.FilterRange(frag.FragColumn(terms[j]->column.column),
+                          terms[j]->range, &bm);
+      }
+      return bm;
+    }
+  }
+  Bitmap bm = table.live_bitmap();
+  for (const PredicateTerm* term : terms) {
+    table.FilterRange(frag.FragColumn(term->column.column), term->range, &bm);
+  }
+  return bm;
+}
+
+const Fragment* CoveringFragment(const RowGroup& group,
+                                 const std::vector<ColumnId>& columns) {
+  for (const Fragment& frag : group.fragments) {
+    if (frag.Covers(columns)) return &frag;
+  }
+  return nullptr;
+}
+
+PrimaryKey PkOfFragmentRow(const Fragment& frag, RowId rid) {
+  const Schema& fs = frag.table->schema();
+  PrimaryKey pk;
+  pk.values.reserve(fs.primary_key().size());
+  for (ColumnId c : fs.primary_key()) {
+    pk.values.push_back(frag.table->GetValue(rid, c));
+  }
+  return pk;
+}
+
+/// Primary keys of the group's rows matching the predicate. Handles the
+/// vertical-split case where no single fragment covers all predicate
+/// columns by intersecting per-fragment key sets (the cost of queries that
+/// span vertical partitions).
+Result<std::vector<PrimaryKey>> MatchingPksInGroup(
+    const RowGroup& group, const std::vector<const PredicateTerm*>& terms) {
+  std::vector<PrimaryKey> out;
+  if (terms.empty()) {
+    const Fragment& lead = group.fragments.front();
+    lead.table->live_bitmap().ForEachSet(
+        [&](size_t rid) { out.push_back(PkOfFragmentRow(lead, rid)); });
+    return out;
+  }
+  std::vector<ColumnId> cols;
+  cols.reserve(terms.size());
+  for (const PredicateTerm* term : terms) cols.push_back(term->column.column);
+  if (const Fragment* cover = CoveringFragment(group, cols)) {
+    Bitmap bm = EvaluateOnFragment(*cover, terms);
+    bm.ForEachSet(
+        [&](size_t rid) { out.push_back(PkOfFragmentRow(*cover, rid)); });
+    return out;
+  }
+  // Spanning path: assign every term to the first fragment holding its
+  // column, evaluate per fragment, intersect the key sets.
+  std::vector<const PredicateTerm*> remaining = terms;
+  std::vector<std::unordered_set<PrimaryKey, PrimaryKeyHash>> sets;
+  for (const Fragment& frag : group.fragments) {
+    std::vector<const PredicateTerm*> mine;
+    std::vector<const PredicateTerm*> rest;
+    for (const PredicateTerm* term : remaining) {
+      if (frag.Contains(term->column.column)) {
+        mine.push_back(term);
+      } else {
+        rest.push_back(term);
+      }
+    }
+    remaining = std::move(rest);
+    if (mine.empty()) continue;
+    Bitmap bm = EvaluateOnFragment(frag, mine);
+    std::unordered_set<PrimaryKey, PrimaryKeyHash> keys;
+    bm.ForEachSet(
+        [&](size_t rid) { keys.insert(PkOfFragmentRow(frag, rid)); });
+    sets.push_back(std::move(keys));
+  }
+  if (!remaining.empty()) {
+    return Status::InvalidArgument("predicate column not stored in any "
+                                   "fragment");
+  }
+  // Intersect, starting from the smallest set.
+  std::sort(sets.begin(), sets.end(),
+            [](const auto& a, const auto& b) { return a.size() < b.size(); });
+  for (const PrimaryKey& pk : sets.front()) {
+    bool in_all = true;
+    for (size_t s = 1; s < sets.size(); ++s) {
+      if (sets[s].find(pk) == sets[s].end()) {
+        in_all = false;
+        break;
+      }
+    }
+    if (in_all) out.push_back(pk);
+  }
+  return out;
+}
+
+std::vector<ColumnId> UniqueColumns(std::vector<ColumnId> cols) {
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  return cols;
+}
+
+}  // namespace
+
+Result<QueryResult> Executor::Execute(const Query& query) {
+  switch (KindOf(query)) {
+    case QueryKind::kAggregation:
+      return ExecuteAggregation(std::get<AggregationQuery>(query));
+    case QueryKind::kSelect:
+      return ExecuteSelect(std::get<SelectQuery>(query));
+    case QueryKind::kInsert:
+      return ExecuteInsert(std::get<InsertQuery>(query));
+    case QueryKind::kUpdate:
+      return ExecuteUpdate(std::get<UpdateQuery>(query));
+    case QueryKind::kDelete:
+      return ExecuteDelete(std::get<DeleteQuery>(query));
+  }
+  return Status::Internal("unreachable query kind");
+}
+
+Result<QueryResult> Executor::ExecuteSelect(const SelectQuery& q) {
+  HSDB_ASSIGN_OR_RETURN(LogicalTable * table, catalog_->Find(q.table));
+  const Schema& schema = table->schema();
+  for (ColumnId col : q.select_columns) {
+    if (col >= schema.num_columns()) {
+      return Status::InvalidArgument("select column out of range");
+    }
+  }
+  std::vector<const PredicateTerm*> terms = TermsForTable(q.predicate, 0);
+  if (terms.size() != q.predicate.size()) {
+    return Status::InvalidArgument("select predicate references other tables");
+  }
+  HSDB_RETURN_IF_ERROR(ValidateTerms(schema, terms));
+
+  QueryResult result;
+  const size_t limit =
+      q.limit.value_or(std::numeric_limits<size_t>::max());
+
+  // Point fast path: single equality on a single-column primary key.
+  if (schema.primary_key().size() == 1 &&
+      IsPointPredicateOn(q.predicate, schema.primary_key()[0])) {
+    Result<Row> row =
+        table->GetByPk(PrimaryKey::Of(*q.predicate[0].range.lo));
+    if (row.ok() && limit > 0) {
+      result.rows.push_back(ProjectRow(*row, q.select_columns));
+    }
+    return result;
+  }
+
+  std::vector<ColumnId> needed = q.select_columns;
+  for (const PredicateTerm* term : terms) {
+    needed.push_back(term->column.column);
+  }
+  needed = UniqueColumns(std::move(needed));
+
+  for (size_t g = 0; g < table->groups().size(); ++g) {
+    if (result.rows.size() >= limit) break;
+    const RowGroup& group = table->groups()[g];
+    if (const Fragment* cover = CoveringFragment(group, needed)) {
+      Bitmap bm = EvaluateOnFragment(*cover, terms);
+      bm.ForEachSet([&](size_t rid) {
+        if (result.rows.size() >= limit) return;
+        Row row;
+        row.reserve(q.select_columns.size());
+        for (ColumnId col : q.select_columns) {
+          row.push_back(cover->table->GetValue(rid, cover->FragColumn(col)));
+        }
+        result.rows.push_back(std::move(row));
+      });
+    } else {
+      // Vertical-split slow path: resolve keys, then stitch projections.
+      HSDB_ASSIGN_OR_RETURN(std::vector<PrimaryKey> pks,
+                            MatchingPksInGroup(group, terms));
+      for (const PrimaryKey& pk : pks) {
+        if (result.rows.size() >= limit) break;
+        HSDB_ASSIGN_OR_RETURN(Row row, table->GetByPk(pk));
+        result.rows.push_back(ProjectRow(row, q.select_columns));
+      }
+    }
+  }
+  return result;
+}
+
+Result<QueryResult> Executor::ExecuteInsert(const InsertQuery& q) {
+  HSDB_ASSIGN_OR_RETURN(LogicalTable * table, catalog_->Find(q.table));
+  HSDB_RETURN_IF_ERROR(table->Insert(q.row));
+  QueryResult result;
+  result.affected_rows = 1;
+  return result;
+}
+
+Result<QueryResult> Executor::ExecuteUpdate(const UpdateQuery& q) {
+  HSDB_ASSIGN_OR_RETURN(LogicalTable * table, catalog_->Find(q.table));
+  const Schema& schema = table->schema();
+  if (q.set_columns.size() != q.set_values.size()) {
+    return Status::InvalidArgument("set columns/values arity mismatch");
+  }
+  std::vector<const PredicateTerm*> terms = TermsForTable(q.predicate, 0);
+  if (terms.size() != q.predicate.size()) {
+    return Status::InvalidArgument("update predicate references other tables");
+  }
+  HSDB_RETURN_IF_ERROR(ValidateTerms(schema, terms));
+
+  QueryResult result;
+  // Point fast path.
+  if (schema.primary_key().size() == 1 &&
+      IsPointPredicateOn(q.predicate, schema.primary_key()[0])) {
+    Status s = table->UpdateByPk(PrimaryKey::Of(*q.predicate[0].range.lo),
+                                 q.set_columns, q.set_values);
+    if (s.ok()) {
+      result.affected_rows = 1;
+    } else if (s.code() != StatusCode::kNotFound) {
+      return s;
+    }
+    return result;
+  }
+
+  std::vector<PrimaryKey> all_pks;
+  for (const RowGroup& group : table->groups()) {
+    HSDB_ASSIGN_OR_RETURN(std::vector<PrimaryKey> pks,
+                          MatchingPksInGroup(group, terms));
+    for (PrimaryKey& pk : pks) all_pks.push_back(std::move(pk));
+  }
+  for (const PrimaryKey& pk : all_pks) {
+    HSDB_RETURN_IF_ERROR(table->UpdateByPk(pk, q.set_columns, q.set_values));
+    ++result.affected_rows;
+  }
+  return result;
+}
+
+Result<QueryResult> Executor::ExecuteDelete(const DeleteQuery& q) {
+  HSDB_ASSIGN_OR_RETURN(LogicalTable * table, catalog_->Find(q.table));
+  std::vector<const PredicateTerm*> terms = TermsForTable(q.predicate, 0);
+  if (terms.size() != q.predicate.size()) {
+    return Status::InvalidArgument("delete predicate references other tables");
+  }
+  HSDB_RETURN_IF_ERROR(ValidateTerms(table->schema(), terms));
+
+  QueryResult result;
+  const Schema& schema = table->schema();
+  if (schema.primary_key().size() == 1 &&
+      IsPointPredicateOn(q.predicate, schema.primary_key()[0])) {
+    Status s = table->DeleteByPk(PrimaryKey::Of(*q.predicate[0].range.lo));
+    if (s.ok()) {
+      result.affected_rows = 1;
+    } else if (s.code() != StatusCode::kNotFound) {
+      return s;
+    }
+    return result;
+  }
+  std::vector<PrimaryKey> all_pks;
+  for (const RowGroup& group : table->groups()) {
+    HSDB_ASSIGN_OR_RETURN(std::vector<PrimaryKey> pks,
+                          MatchingPksInGroup(group, terms));
+    for (PrimaryKey& pk : pks) all_pks.push_back(std::move(pk));
+  }
+  for (const PrimaryKey& pk : all_pks) {
+    HSDB_RETURN_IF_ERROR(table->DeleteByPk(pk));
+    ++result.affected_rows;
+  }
+  return result;
+}
+
+Result<QueryResult> Executor::ExecuteAggregation(const AggregationQuery& q) {
+  if (q.tables.empty()) {
+    return Status::InvalidArgument("aggregation requires a table");
+  }
+  if (q.aggregates.empty()) {
+    return Status::InvalidArgument("aggregation requires an aggregate");
+  }
+  const int num_tables = static_cast<int>(q.tables.size());
+  auto check_ref = [&](const ColumnRef& ref) -> Status {
+    if (ref.table_index < 0 || ref.table_index >= num_tables) {
+      return Status::InvalidArgument("column ref table index out of range");
+    }
+    LogicalTable* t = catalog_->GetTable(q.tables[ref.table_index]);
+    if (t == nullptr) {
+      return Status::NotFound("table " + q.tables[ref.table_index] +
+                              " does not exist");
+    }
+    if (ref.column >= t->schema().num_columns()) {
+      return Status::InvalidArgument("column ref out of range");
+    }
+    return Status::OK();
+  };
+  for (const AggregateExpr& agg : q.aggregates) {
+    if (agg.fn != AggFn::kCount) {
+      HSDB_RETURN_IF_ERROR(check_ref(agg.column));
+      LogicalTable* t = catalog_->GetTable(q.tables[agg.column.table_index]);
+      if (!IsNumeric(t->schema().column(agg.column.column).type)) {
+        return Status::InvalidArgument("aggregate over non-numeric column");
+      }
+    }
+  }
+  for (const ColumnRef& ref : q.group_by) HSDB_RETURN_IF_ERROR(check_ref(ref));
+  for (const PredicateTerm& term : q.predicate) {
+    HSDB_RETURN_IF_ERROR(check_ref(term.column));
+  }
+  if (q.tables.size() == 1) {
+    if (!q.joins.empty()) {
+      return Status::InvalidArgument("joins require multiple tables");
+    }
+    return SingleTableAggregation(q);
+  }
+  // Star-join validation: exactly one edge from the fact to each dimension.
+  if (q.joins.size() != q.tables.size() - 1) {
+    return Status::InvalidArgument("star join requires one edge per dim");
+  }
+  std::vector<bool> joined(q.tables.size(), false);
+  for (const JoinEdge& e : q.joins) {
+    if (e.left_table != 0) {
+      return Status::NotSupported("only star joins on the first table");
+    }
+    if (e.right_table <= 0 || e.right_table >= num_tables ||
+        joined[e.right_table]) {
+      return Status::InvalidArgument("invalid join edge");
+    }
+    joined[e.right_table] = true;
+    HSDB_RETURN_IF_ERROR(check_ref({e.left_column, 0}));
+    HSDB_RETURN_IF_ERROR(check_ref({e.right_column, e.right_table}));
+  }
+  return StarJoinAggregation(q);
+}
+
+Result<QueryResult> Executor::SingleTableAggregation(
+    const AggregationQuery& q) {
+  HSDB_ASSIGN_OR_RETURN(LogicalTable * table, catalog_->Find(q.tables[0]));
+  std::vector<const PredicateTerm*> terms = TermsForTable(q.predicate, 0);
+  const bool grouped = !q.group_by.empty();
+
+  std::vector<AggState> totals(q.aggregates.size());
+  GroupMap group_map;
+
+  std::vector<ColumnId> needed;
+  for (const AggregateExpr& agg : q.aggregates) {
+    if (agg.fn != AggFn::kCount) needed.push_back(agg.column.column);
+  }
+  for (const ColumnRef& ref : q.group_by) needed.push_back(ref.column);
+  for (const PredicateTerm* term : terms) {
+    needed.push_back(term->column.column);
+  }
+  needed = UniqueColumns(std::move(needed));
+
+  for (size_t g = 0; g < table->groups().size(); ++g) {
+    const RowGroup& group = table->groups()[g];
+    const Fragment* cover = CoveringFragment(group, needed);
+    if (cover != nullptr) {
+      Bitmap bm = EvaluateOnFragment(*cover, terms);
+      if (!grouped) {
+        for (size_t i = 0; i < q.aggregates.size(); ++i) {
+          const AggregateExpr& agg = q.aggregates[i];
+          if (agg.fn == AggFn::kCount) {
+            totals[i].AddCount(static_cast<double>(bm.Count()));
+          } else {
+            ForEachNumericIn(*cover->table,
+                             cover->FragColumn(agg.column.column), &bm,
+                             [&](RowId, double v) { totals[i].Add(v); });
+          }
+        }
+      } else {
+        bm.ForEachSet([&](size_t rid) {
+          GroupKey key;
+          key.values.reserve(q.group_by.size());
+          for (const ColumnRef& ref : q.group_by) {
+            key.values.push_back(
+                cover->table->GetValue(rid, cover->FragColumn(ref.column)));
+          }
+          auto& states =
+              group_map
+                  .try_emplace(std::move(key),
+                               std::vector<AggState>(q.aggregates.size()))
+                  .first->second;
+          for (size_t i = 0; i < q.aggregates.size(); ++i) {
+            const AggregateExpr& agg = q.aggregates[i];
+            if (agg.fn == AggFn::kCount) {
+              states[i].AddCount(1.0);
+            } else {
+              states[i].Add(
+                  cover->table
+                      ->GetValue(rid, cover->FragColumn(agg.column.column))
+                      .AsNumeric());
+            }
+          }
+        });
+      }
+    } else {
+      // Spanning path: stitch full logical rows (vertical-partition join).
+      table->ForEachRowInGroup(g, [&](const Row& row) {
+        for (const PredicateTerm* term : terms) {
+          if (!term->range.Contains(row[term->column.column])) return;
+        }
+        std::vector<AggState>* states = &totals;
+        if (grouped) {
+          GroupKey key;
+          key.values.reserve(q.group_by.size());
+          for (const ColumnRef& ref : q.group_by) {
+            key.values.push_back(row[ref.column]);
+          }
+          states = &group_map
+                        .try_emplace(std::move(key),
+                                     std::vector<AggState>(
+                                         q.aggregates.size()))
+                        .first->second;
+        }
+        for (size_t i = 0; i < q.aggregates.size(); ++i) {
+          const AggregateExpr& agg = q.aggregates[i];
+          if (agg.fn == AggFn::kCount) {
+            (*states)[i].AddCount(1.0);
+          } else {
+            (*states)[i].Add(row[agg.column.column].AsNumeric());
+          }
+        }
+      });
+    }
+  }
+
+  QueryResult result;
+  if (!grouped) {
+    result.aggregates.reserve(q.aggregates.size());
+    for (size_t i = 0; i < q.aggregates.size(); ++i) {
+      result.aggregates.push_back(totals[i].Finalize(q.aggregates[i].fn));
+    }
+  } else {
+    result.rows.reserve(group_map.size());
+    for (const auto& [key, states] : group_map) {
+      Row row = key.values;
+      for (size_t i = 0; i < q.aggregates.size(); ++i) {
+        row.push_back(Value(states[i].Finalize(q.aggregates[i].fn)));
+      }
+      result.rows.push_back(std::move(row));
+    }
+  }
+  return result;
+}
+
+Result<QueryResult> Executor::StarJoinAggregation(const AggregationQuery& q) {
+  HSDB_ASSIGN_OR_RETURN(LogicalTable * fact, catalog_->Find(q.tables[0]));
+
+  struct DimSide {
+    int table_index;
+    ColumnId fact_join_col;
+    ColumnId dim_join_col;
+    std::vector<ColumnId> needed;                       // dim logical columns
+    std::unordered_map<ColumnId, size_t> needed_pos;    // -> index in needed
+    std::unordered_map<Value, Row, ValueHasher> rows;   // join key -> values
+  };
+  std::vector<DimSide> dims;
+  dims.reserve(q.joins.size());
+  std::vector<int> dim_of_table(q.tables.size(), -1);
+
+  for (const JoinEdge& e : q.joins) {
+    DimSide dim;
+    dim.table_index = e.right_table;
+    dim.fact_join_col = e.left_column;
+    dim.dim_join_col = e.right_column;
+    dim_of_table[e.right_table] = static_cast<int>(dims.size());
+    dims.push_back(std::move(dim));
+  }
+  auto need_dim_col = [&](const ColumnRef& ref) {
+    if (ref.table_index == 0) return;
+    DimSide& dim = dims[dim_of_table[ref.table_index]];
+    if (dim.needed_pos.emplace(ref.column, dim.needed.size()).second) {
+      dim.needed.push_back(ref.column);
+    }
+  };
+  for (const ColumnRef& ref : q.group_by) need_dim_col(ref);
+  for (const AggregateExpr& agg : q.aggregates) {
+    if (agg.fn != AggFn::kCount) need_dim_col(agg.column);
+  }
+
+  // Build dimension hash tables (predicates on the dimension applied here).
+  for (DimSide& dim : dims) {
+    HSDB_ASSIGN_OR_RETURN(LogicalTable * dt,
+                          catalog_->Find(q.tables[dim.table_index]));
+    std::vector<const PredicateTerm*> dim_terms =
+        TermsForTable(q.predicate, dim.table_index);
+    HSDB_RETURN_IF_ERROR(ValidateTerms(dt->schema(), dim_terms));
+    dt->ForEachRow([&](const Row& row) {
+      for (const PredicateTerm* term : dim_terms) {
+        if (!term->range.Contains(row[term->column.column])) return;
+      }
+      dim.rows.emplace(row[dim.dim_join_col], ProjectRow(row, dim.needed));
+    });
+  }
+
+  std::vector<const PredicateTerm*> fact_terms = TermsForTable(q.predicate, 0);
+  HSDB_RETURN_IF_ERROR(ValidateTerms(fact->schema(), fact_terms));
+
+  const bool grouped = !q.group_by.empty();
+  std::vector<AggState> totals(q.aggregates.size());
+  GroupMap group_map;
+  std::vector<const Row*> dim_rows(dims.size());
+
+  // Shared probe logic; `get` materializes a fact column value.
+  auto probe_row = [&](auto&& get) {
+    for (size_t d = 0; d < dims.size(); ++d) {
+      auto it = dims[d].rows.find(get(dims[d].fact_join_col));
+      if (it == dims[d].rows.end()) return;  // join miss
+      dim_rows[d] = &it->second;
+    }
+    std::vector<AggState>* states = &totals;
+    if (grouped) {
+      GroupKey key;
+      key.values.reserve(q.group_by.size());
+      for (const ColumnRef& ref : q.group_by) {
+        if (ref.table_index == 0) {
+          key.values.push_back(get(ref.column));
+        } else {
+          const DimSide& dim = dims[dim_of_table[ref.table_index]];
+          key.values.push_back(
+              (*dim_rows[dim_of_table[ref.table_index]])[dim.needed_pos.at(
+                  ref.column)]);
+        }
+      }
+      states =
+          &group_map
+               .try_emplace(std::move(key),
+                            std::vector<AggState>(q.aggregates.size()))
+               .first->second;
+    }
+    for (size_t i = 0; i < q.aggregates.size(); ++i) {
+      const AggregateExpr& agg = q.aggregates[i];
+      if (agg.fn == AggFn::kCount) {
+        (*states)[i].AddCount(1.0);
+        continue;
+      }
+      double v;
+      if (agg.column.table_index == 0) {
+        v = get(agg.column.column).AsNumeric();
+      } else {
+        const DimSide& dim = dims[dim_of_table[agg.column.table_index]];
+        v = (*dim_rows[dim_of_table[agg.column.table_index]])[dim.needed_pos
+                .at(agg.column.column)]
+                .AsNumeric();
+      }
+      (*states)[i].Add(v);
+    }
+  };
+
+  // Fact columns the probe needs.
+  std::vector<ColumnId> needed;
+  for (const DimSide& dim : dims) needed.push_back(dim.fact_join_col);
+  for (const AggregateExpr& agg : q.aggregates) {
+    if (agg.fn != AggFn::kCount && agg.column.table_index == 0) {
+      needed.push_back(agg.column.column);
+    }
+  }
+  for (const ColumnRef& ref : q.group_by) {
+    if (ref.table_index == 0) needed.push_back(ref.column);
+  }
+  for (const PredicateTerm* term : fact_terms) {
+    needed.push_back(term->column.column);
+  }
+  needed = UniqueColumns(std::move(needed));
+
+  for (size_t g = 0; g < fact->groups().size(); ++g) {
+    const RowGroup& group = fact->groups()[g];
+    if (const Fragment* cover = CoveringFragment(group, needed)) {
+      Bitmap bm = EvaluateOnFragment(*cover, fact_terms);
+      bm.ForEachSet([&](size_t rid) {
+        probe_row([&](ColumnId col) {
+          return cover->table->GetValue(rid, cover->FragColumn(col));
+        });
+      });
+    } else {
+      fact->ForEachRowInGroup(g, [&](const Row& row) {
+        for (const PredicateTerm* term : fact_terms) {
+          if (!term->range.Contains(row[term->column.column])) return;
+        }
+        probe_row([&](ColumnId col) { return row[col]; });
+      });
+    }
+  }
+
+  QueryResult result;
+  if (!grouped) {
+    for (size_t i = 0; i < q.aggregates.size(); ++i) {
+      result.aggregates.push_back(totals[i].Finalize(q.aggregates[i].fn));
+    }
+  } else {
+    result.rows.reserve(group_map.size());
+    for (const auto& [key, states] : group_map) {
+      Row row = key.values;
+      for (size_t i = 0; i < q.aggregates.size(); ++i) {
+        row.push_back(Value(states[i].Finalize(q.aggregates[i].fn)));
+      }
+      result.rows.push_back(std::move(row));
+    }
+  }
+  return result;
+}
+
+}  // namespace hsdb

@@ -1,0 +1,38 @@
+// Executor: runs structured queries against the catalog's logical tables,
+// transparently handling partitioned layouts — horizontal pieces are
+// processed per group and union-combined, vertical pieces are served from a
+// covering fragment when possible and PK-joined otherwise (the query
+// rewriting of paper §4, at the descriptor level).
+#ifndef HSDB_EXECUTOR_EXECUTOR_H_
+#define HSDB_EXECUTOR_EXECUTOR_H_
+
+#include "catalog/catalog.h"
+#include "executor/query.h"
+#include "executor/result.h"
+
+namespace hsdb {
+
+class Executor {
+ public:
+  explicit Executor(Catalog* catalog) : catalog_(catalog) {}
+
+  /// Executes one query. DML maintenance (delta merges) is NOT triggered
+  /// here; the Database facade calls AfterStatement at statement boundaries.
+  Result<QueryResult> Execute(const Query& query);
+
+ private:
+  Result<QueryResult> ExecuteAggregation(const AggregationQuery& q);
+  Result<QueryResult> ExecuteSelect(const SelectQuery& q);
+  Result<QueryResult> ExecuteInsert(const InsertQuery& q);
+  Result<QueryResult> ExecuteUpdate(const UpdateQuery& q);
+  Result<QueryResult> ExecuteDelete(const DeleteQuery& q);
+
+  Result<QueryResult> SingleTableAggregation(const AggregationQuery& q);
+  Result<QueryResult> StarJoinAggregation(const AggregationQuery& q);
+
+  Catalog* catalog_;
+};
+
+}  // namespace hsdb
+
+#endif  // HSDB_EXECUTOR_EXECUTOR_H_

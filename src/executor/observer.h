@@ -1,0 +1,23 @@
+// QueryObserver: hook through which the workload layer records extended
+// workload statistics (the paper's online mode input) without the executor
+// depending on it.
+#ifndef HSDB_EXECUTOR_OBSERVER_H_
+#define HSDB_EXECUTOR_OBSERVER_H_
+
+#include "executor/query.h"
+#include "executor/result.h"
+
+namespace hsdb {
+
+class QueryObserver {
+ public:
+  virtual ~QueryObserver() = default;
+
+  /// Called after every successful query execution with the executed query
+  /// and its (timed) result.
+  virtual void OnQuery(const Query& query, const QueryResult& result) = 0;
+};
+
+}  // namespace hsdb
+
+#endif  // HSDB_EXECUTOR_OBSERVER_H_

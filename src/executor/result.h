@@ -1,0 +1,30 @@
+// QueryResult: the materialized outcome of one query execution.
+#ifndef HSDB_EXECUTOR_RESULT_H_
+#define HSDB_EXECUTOR_RESULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/row.h"
+
+namespace hsdb {
+
+struct QueryResult {
+  /// SELECT: projected result rows. Grouped aggregation: one row per group
+  /// laid out as [group values..., aggregate values...].
+  std::vector<Row> rows;
+
+  /// Ungrouped aggregation: one value per aggregate expression, in query
+  /// order (COUNT is returned as a double for uniformity).
+  std::vector<double> aggregates;
+
+  /// INSERT/UPDATE/DELETE: number of rows written.
+  uint64_t affected_rows = 0;
+
+  /// Wall-clock execution time, filled by Database::Execute.
+  double elapsed_ms = 0.0;
+};
+
+}  // namespace hsdb
+
+#endif  // HSDB_EXECUTOR_RESULT_H_

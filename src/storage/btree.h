@@ -1,0 +1,283 @@
+// In-memory B+-tree used for sorted secondary indexes in the row store.
+//
+// Design notes:
+//  - Fixed fanout (kMaxKeys per node), recursive insert with split
+//    propagation, leaf chaining for range scans.
+//  - Erase removes the key from its leaf without rebalancing ("lazy"
+//    deletion). Leaves may underflow or become empty; lookups and scans stay
+//    correct, and space is reclaimed when the index is rebuilt. This is a
+//    deliberate simplification: the advisor workloads delete rarely, and it
+//    keeps the structure verifiable.
+//  - Keys are totally ordered by Less and must be unique; secondary indexes
+//    achieve uniqueness by using (encoded value, row id) pairs.
+#ifndef HSDB_STORAGE_BTREE_H_
+#define HSDB_STORAGE_BTREE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace hsdb {
+
+template <typename Key, typename Less = std::less<Key>>
+class BPlusTree {
+ public:
+  static constexpr int kMaxKeys = 64;
+
+  BPlusTree() : root_(new LeafNode()) {}
+  ~BPlusTree() {
+    Destroy(root_);
+  }
+
+  HSDB_DISALLOW_COPY_AND_ASSIGN(BPlusTree);
+
+  BPlusTree(BPlusTree&& other) noexcept
+      : root_(other.root_),
+        size_(other.size_),
+        node_count_(other.node_count_),
+        less_(other.less_) {
+    other.root_ = new LeafNode();
+    other.size_ = 0;
+    other.node_count_ = 1;
+  }
+
+  /// Inserts `key`; returns false (and leaves the tree unchanged) if the key
+  /// is already present.
+  bool Insert(const Key& key) {
+    SplitResult split;
+    if (!InsertRec(root_, key, &split)) return false;
+    if (split.right != nullptr) {
+      auto* new_root = new InternalNode();
+      new_root->count = 1;
+      new_root->keys[0] = split.separator;
+      new_root->children[0] = root_;
+      new_root->children[1] = split.right;
+      root_ = new_root;
+    }
+    ++size_;
+    return true;
+  }
+
+  /// Removes `key`; returns false if absent.
+  bool Erase(const Key& key) {
+    Node* node = root_;
+    while (!node->is_leaf) {
+      auto* internal = static_cast<InternalNode*>(node);
+      node = internal->children[ChildIndex(internal, key)];
+    }
+    auto* leaf = static_cast<LeafNode*>(node);
+    int pos = LowerBound(leaf->keys, leaf->count, key);
+    if (pos >= leaf->count || less_(key, leaf->keys[pos])) return false;
+    for (int i = pos; i + 1 < leaf->count; ++i) leaf->keys[i] = leaf->keys[i + 1];
+    --leaf->count;
+    --size_;
+    return true;
+  }
+
+  bool Contains(const Key& key) const {
+    const Node* node = root_;
+    while (!node->is_leaf) {
+      auto* internal = static_cast<const InternalNode*>(node);
+      node = internal->children[ChildIndex(internal, key)];
+    }
+    auto* leaf = static_cast<const LeafNode*>(node);
+    int pos = LowerBound(leaf->keys, leaf->count, key);
+    return pos < leaf->count && !less_(key, leaf->keys[pos]);
+  }
+
+  /// Visits every key in [lo, hi] (inclusive bounds) in ascending order.
+  template <typename Fn>
+  void ScanRange(const Key& lo, const Key& hi, Fn&& fn) const {
+    const Node* node = root_;
+    while (!node->is_leaf) {
+      auto* internal = static_cast<const InternalNode*>(node);
+      node = internal->children[ChildIndex(internal, lo)];
+    }
+    auto* leaf = static_cast<const LeafNode*>(node);
+    int pos = LowerBound(leaf->keys, leaf->count, lo);
+    while (leaf != nullptr) {
+      for (; pos < leaf->count; ++pos) {
+        if (less_(hi, leaf->keys[pos])) return;
+        fn(leaf->keys[pos]);
+      }
+      leaf = leaf->next;
+      pos = 0;
+    }
+  }
+
+  /// Visits all keys in ascending order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    const Node* node = root_;
+    while (!node->is_leaf) {
+      node = static_cast<const InternalNode*>(node)->children[0];
+    }
+    for (auto* leaf = static_cast<const LeafNode*>(node); leaf != nullptr;
+         leaf = leaf->next) {
+      for (int i = 0; i < leaf->count; ++i) fn(leaf->keys[i]);
+    }
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Height of the tree (1 for a single leaf); exposed for tests.
+  int height() const {
+    int h = 1;
+    const Node* node = root_;
+    while (!node->is_leaf) {
+      node = static_cast<const InternalNode*>(node)->children[0];
+      ++h;
+    }
+    return h;
+  }
+
+  size_t memory_bytes() const { return node_count_ * sizeof(InternalNode); }
+
+ private:
+  struct Node {
+    bool is_leaf;
+    int count = 0;
+    explicit Node(bool leaf) : is_leaf(leaf) {}
+  };
+
+  struct LeafNode : Node {
+    Key keys[kMaxKeys];
+    LeafNode* next = nullptr;
+    LeafNode() : Node(true) {}
+  };
+
+  struct InternalNode : Node {
+    Key keys[kMaxKeys];           // separators
+    Node* children[kMaxKeys + 1];  // count+1 children
+    InternalNode() : Node(false) {}
+  };
+
+  struct SplitResult {
+    Key separator;
+    Node* right = nullptr;
+  };
+
+  int LowerBound(const Key* keys, int count, const Key& key) const {
+    return static_cast<int>(std::lower_bound(keys, keys + count, key, less_) -
+                            keys);
+  }
+
+  /// Index of the child subtree that may contain `key`.
+  int ChildIndex(const InternalNode* node, const Key& key) const {
+    // children[i] holds keys < keys[i]; children[count] holds the rest.
+    return static_cast<int>(
+        std::upper_bound(node->keys, node->keys + node->count, key, less_) -
+        node->keys);
+  }
+
+  /// Returns true if inserted; fills *split when the child had to split.
+  bool InsertRec(Node* node, const Key& key, SplitResult* split) {
+    if (node->is_leaf) {
+      auto* leaf = static_cast<LeafNode*>(node);
+      int pos = LowerBound(leaf->keys, leaf->count, key);
+      if (pos < leaf->count && !less_(key, leaf->keys[pos])) return false;
+      if (leaf->count == kMaxKeys) {
+        // Split the leaf, then insert into the proper half.
+        auto* right = new LeafNode();
+        ++node_count_;
+        int mid = kMaxKeys / 2;
+        right->count = kMaxKeys - mid;
+        for (int i = 0; i < right->count; ++i) right->keys[i] = leaf->keys[mid + i];
+        leaf->count = mid;
+        right->next = leaf->next;
+        leaf->next = right;
+        split->separator = right->keys[0];
+        split->right = right;
+        LeafNode* target = less_(key, right->keys[0]) ? leaf : right;
+        InsertIntoLeaf(target, key);
+        return true;
+      }
+      InsertIntoLeaf(leaf, key);
+      return true;
+    }
+    auto* internal = static_cast<InternalNode*>(node);
+    int child_idx = ChildIndex(internal, key);
+    SplitResult child_split;
+    if (!InsertRec(internal->children[child_idx], key, &child_split)) {
+      return false;
+    }
+    if (child_split.right == nullptr) return true;
+    // Insert the promoted separator into this node.
+    if (internal->count == kMaxKeys) {
+      auto* right = new InternalNode();
+      ++node_count_;
+      int mid = kMaxKeys / 2;
+      // keys[mid] moves up as the separator between the two halves.
+      split->separator = internal->keys[mid];
+      right->count = kMaxKeys - mid - 1;
+      for (int i = 0; i < right->count; ++i) {
+        right->keys[i] = internal->keys[mid + 1 + i];
+      }
+      for (int i = 0; i <= right->count; ++i) {
+        right->children[i] = internal->children[mid + 1 + i];
+      }
+      internal->count = mid;
+      split->right = right;
+      InternalNode* target =
+          less_(child_split.separator, split->separator) ? internal : right;
+      InsertIntoInternal(target, child_split.separator, child_split.right);
+    } else {
+      InsertIntoInternal(internal, child_split.separator, child_split.right);
+    }
+    return true;
+  }
+
+  void InsertIntoLeaf(LeafNode* leaf, const Key& key) {
+    int pos = LowerBound(leaf->keys, leaf->count, key);
+    for (int i = leaf->count; i > pos; --i) leaf->keys[i] = leaf->keys[i - 1];
+    leaf->keys[pos] = key;
+    ++leaf->count;
+  }
+
+  void InsertIntoInternal(InternalNode* node, const Key& separator,
+                          Node* right_child) {
+    int pos = LowerBound(node->keys, node->count, separator);
+    for (int i = node->count; i > pos; --i) {
+      node->keys[i] = node->keys[i - 1];
+      node->children[i + 1] = node->children[i];
+    }
+    node->keys[pos] = separator;
+    node->children[pos + 1] = right_child;
+    ++node->count;
+  }
+
+  void Destroy(Node* node) {
+    if (node == nullptr) return;
+    if (!node->is_leaf) {
+      auto* internal = static_cast<InternalNode*>(node);
+      for (int i = 0; i <= internal->count; ++i) Destroy(internal->children[i]);
+      delete internal;
+    } else {
+      delete static_cast<LeafNode*>(node);
+    }
+  }
+
+  Node* root_;
+  size_t size_ = 0;
+  size_t node_count_ = 1;
+  Less less_{};
+};
+
+/// Composite (encoded column value, row id) key for secondary indexes: makes
+/// duplicate column values unique and lets range scans emit row ids.
+struct IndexKey {
+  uint64_t value;  // order-preserving encoded column value
+  uint64_t row;
+
+  friend bool operator<(const IndexKey& a, const IndexKey& b) {
+    return a.value < b.value || (a.value == b.value && a.row < b.row);
+  }
+};
+
+}  // namespace hsdb
+
+#endif  // HSDB_STORAGE_BTREE_H_

@@ -1,0 +1,400 @@
+#include "storage/column_table.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hsdb {
+
+namespace {
+
+/// Extracts the physical representation of a schema-typed Value.
+template <typename T>
+T PhysicalCast(DataType type, const Value& v);
+
+template <>
+int32_t PhysicalCast<int32_t>(DataType type, const Value& v) {
+  return type == DataType::kDate ? v.as_date().days : v.as_int32();
+}
+template <>
+int64_t PhysicalCast<int64_t>(DataType, const Value& v) {
+  return v.as_int64();
+}
+template <>
+double PhysicalCast<double>(DataType, const Value& v) {
+  return v.as_double();
+}
+template <>
+std::string PhysicalCast<std::string>(DataType, const Value& v) {
+  return v.as_string();
+}
+
+/// Wraps a physical value back into a schema-typed Value.
+Value LogicalValue(DataType type, int32_t v) {
+  return type == DataType::kDate ? Value(Date{v}) : Value(v);
+}
+Value LogicalValue(DataType, int64_t v) { return Value(v); }
+Value LogicalValue(DataType, double v) { return Value(v); }
+Value LogicalValue(DataType, const std::string& v) { return Value(v); }
+
+template <typename T>
+size_t PayloadBytes(const std::vector<T>& values) {
+  return values.size() * sizeof(T);
+}
+size_t PayloadBytes(const std::vector<std::string>& values) {
+  size_t total = values.size() * sizeof(std::string);
+  for (const std::string& s : values) total += s.size();
+  return total;
+}
+
+}  // namespace
+
+std::unique_ptr<ColumnTable> ColumnTable::Create(Schema schema,
+                                                 Options options) {
+  return std::unique_ptr<ColumnTable>(
+      new ColumnTable(std::move(schema), options));
+}
+
+ColumnTable::ColumnTable(Schema schema, Options options)
+    : PhysicalTable(std::move(schema)), options_(options) {
+  columns_.reserve(schema_.num_columns());
+  for (const ColumnDef& col : schema_.columns()) {
+    switch (col.type) {
+      case DataType::kInt32:
+      case DataType::kDate:
+        columns_.emplace_back(ColumnData<int32_t>());
+        break;
+      case DataType::kInt64:
+        columns_.emplace_back(ColumnData<int64_t>());
+        break;
+      case DataType::kDouble:
+        columns_.emplace_back(ColumnData<double>());
+        break;
+      case DataType::kVarchar:
+        columns_.emplace_back(ColumnData<std::string>());
+        break;
+    }
+  }
+}
+
+Result<RowId> ColumnTable::Insert(Row row) {
+  HSDB_RETURN_IF_ERROR(ValidateAndCoerceRow(schema_, &row));
+  const bool track_pk =
+      options_.build_pk_index && !schema_.primary_key().empty();
+  PrimaryKey pk;
+  if (track_pk) {
+    pk = PrimaryKey::FromRow(schema_, row);
+    if (pk_index_.find(pk) != pk_index_.end()) {
+      return Status::AlreadyExists("duplicate primary key " + pk.ToString());
+    }
+  }
+  for (ColumnId col = 0; col < row.size(); ++col) {
+    AppendToDelta(col, row[col]);
+  }
+  RowId rid = live_.size();
+  live_.PushBack(true);
+  ++live_count_;
+  if (track_pk) pk_index_.emplace(std::move(pk), rid);
+  return rid;
+}
+
+Status ColumnTable::UpdateRow(RowId rid, const std::vector<ColumnId>& columns,
+                              const Row& values) {
+  if (!IsLive(rid)) return Status::NotFound("row id not live");
+  if (columns.size() != values.size()) {
+    return Status::InvalidArgument("columns/values arity mismatch");
+  }
+  for (ColumnId col : columns) {
+    if (col >= schema_.num_columns()) {
+      return Status::InvalidArgument("column id out of range");
+    }
+    if (schema_.IsPrimaryKeyColumn(col)) {
+      return Status::NotSupported("updating primary-key columns");
+    }
+  }
+  // Tuple reconstruction: read the full row, tombstone it and re-insert the
+  // modified tuple into the delta. This is the column store's expensive
+  // update path the cost model charges f_affectedColumns for.
+  Row row = GetRow(rid);
+  for (size_t i = 0; i < columns.size(); ++i) {
+    Value coerced;
+    if (!values[i].is_valid()) {
+      return Status::InvalidArgument("invalid update value");
+    }
+    if (!values[i].CoerceTo(schema_.column(columns[i]).type, &coerced)) {
+      return Status::InvalidArgument("type mismatch updating column " +
+                                     schema_.column(columns[i]).name);
+    }
+    row[columns[i]] = std::move(coerced);
+  }
+  HSDB_RETURN_IF_ERROR(DeleteRow(rid));
+  return Insert(std::move(row)).status();
+}
+
+Status ColumnTable::DeleteRow(RowId rid) {
+  if (!IsLive(rid)) return Status::NotFound("row id not live");
+  if (options_.build_pk_index && !schema_.primary_key().empty()) {
+    pk_index_.erase(ExtractPk(rid));
+  }
+  live_.Clear(rid);
+  --live_count_;
+  return Status::OK();
+}
+
+std::optional<RowId> ColumnTable::FindByPk(const PrimaryKey& pk) const {
+  if (options_.build_pk_index && !schema_.primary_key().empty()) {
+    auto it = pk_index_.find(pk);
+    if (it == pk_index_.end()) return std::nullopt;
+    return it->second;
+  }
+  // Fallback scan (index-ablation mode).
+  std::optional<RowId> found;
+  live_.ForEachSet([&](size_t rid) {
+    if (found.has_value()) return;
+    if (ExtractPk(rid) == pk) found = rid;
+  });
+  return found;
+}
+
+Value ColumnTable::GetValue(RowId rid, ColumnId col) const {
+  HSDB_CHECK(rid < live_.size());
+  DataType type = schema_.column(col).type;
+  return std::visit(
+      [&](const auto& data) { return LogicalValue(type, CellAt(data, rid)); },
+      columns_[col]);
+}
+
+Row ColumnTable::GetRow(RowId rid) const {
+  Row row;
+  row.reserve(schema_.num_columns());
+  for (ColumnId col = 0; col < schema_.num_columns(); ++col) {
+    row.push_back(GetValue(rid, col));
+  }
+  return row;
+}
+
+void ColumnTable::FilterRange(ColumnId col, const ValueRange& range,
+                              Bitmap* inout) const {
+  HSDB_CHECK(inout->size() == live_.size());
+  const DataType type = schema_.column(col).type;
+  if (type == DataType::kVarchar) {
+    const auto& data = std::get<ColumnData<std::string>>(columns_[col]);
+    // Dictionary binary search gives the matching id interval.
+    size_t id_lo = 0;
+    size_t id_hi = data.dict.size();
+    if (range.lo.has_value()) {
+      const std::string& lo = range.lo->as_string();
+      id_lo = (range.lo_inclusive
+                   ? std::lower_bound(data.dict.begin(), data.dict.end(), lo)
+                   : std::upper_bound(data.dict.begin(), data.dict.end(), lo)) -
+              data.dict.begin();
+    }
+    if (range.hi.has_value()) {
+      const std::string& hi = range.hi->as_string();
+      id_hi = (range.hi_inclusive
+                   ? std::upper_bound(data.dict.begin(), data.dict.end(), hi)
+                   : std::lower_bound(data.dict.begin(), data.dict.end(), hi)) -
+              data.dict.begin();
+    }
+    inout->ForEachSet([&](size_t rid) {
+      if (rid < main_size_) {
+        uint64_t id = data.ids.Get(rid);
+        if (id < id_lo || id >= id_hi) inout->Clear(rid);
+      } else {
+        const std::string& v = data.delta[rid - main_size_];
+        if (!range.Contains(Value(v))) inout->Clear(rid);
+      }
+    });
+    return;
+  }
+  // Numeric columns: resolve bounds in double space against the sorted
+  // dictionary (the "implicit index"), then compare packed ids.
+  std::visit(
+      [&](const auto& data) {
+        using T = std::decay_t<decltype(data.dict)>;
+        if constexpr (std::is_same_v<T, std::vector<std::string>>) {
+          HSDB_CHECK_MSG(false, "string data in numeric column");
+        } else {
+          double lo = range.lo.has_value() ? range.lo->AsNumeric() : 0.0;
+          double hi = range.hi.has_value() ? range.hi->AsNumeric() : 0.0;
+          size_t id_lo = 0;
+          size_t id_hi = data.dict.size();
+          if (range.lo.has_value()) {
+            id_lo = std::partition_point(
+                        data.dict.begin(), data.dict.end(),
+                        [&](const auto& v) {
+                          double d = static_cast<double>(v);
+                          return range.lo_inclusive ? d < lo : d <= lo;
+                        }) -
+                    data.dict.begin();
+          }
+          if (range.hi.has_value()) {
+            id_hi = std::partition_point(
+                        data.dict.begin(), data.dict.end(),
+                        [&](const auto& v) {
+                          double d = static_cast<double>(v);
+                          return range.hi_inclusive ? d <= hi : d < hi;
+                        }) -
+                    data.dict.begin();
+          }
+          const bool has_lo = range.lo.has_value();
+          const bool has_hi = range.hi.has_value();
+          inout->ForEachSet([&](size_t rid) {
+            if (rid < main_size_) {
+              uint64_t id = data.ids.Get(rid);
+              if (id < id_lo || id >= id_hi) inout->Clear(rid);
+            } else {
+              double v = static_cast<double>(data.delta[rid - main_size_]);
+              bool keep = true;
+              if (has_lo) keep = range.lo_inclusive ? (v >= lo) : (v > lo);
+              if (keep && has_hi)
+                keep = range.hi_inclusive ? (v <= hi) : (v < hi);
+              if (!keep) inout->Clear(rid);
+            }
+          });
+        }
+      },
+      columns_[col]);
+}
+
+double ColumnTable::CompressionRate(ColumnId col) const {
+  if (live_count_ == 0) return 1.0;
+  return std::visit(
+      [&](const auto& data) {
+        size_t dict_bytes = PayloadBytes(data.dict);
+        size_t ids_bytes = main_size_ * data.ids.bit_width() / 8;
+        size_t delta_bytes = PayloadBytes(data.delta);
+        size_t compressed = dict_bytes + ids_bytes + delta_bytes;
+        // Uncompressed estimate: every live row stores a full value.
+        using VecT = std::decay_t<decltype(data.dict)>;
+        size_t per_value;
+        if constexpr (std::is_same_v<VecT, std::vector<std::string>>) {
+          size_t dict_payload = 0;
+          for (const std::string& s : data.dict) dict_payload += s.size();
+          per_value = data.dict.empty()
+                          ? sizeof(std::string)
+                          : sizeof(std::string) +
+                                dict_payload / data.dict.size();
+        } else {
+          per_value = sizeof(typename VecT::value_type);
+        }
+        size_t uncompressed = live_count_ * per_value;
+        if (uncompressed == 0) return 1.0;
+        return static_cast<double>(compressed) /
+               static_cast<double>(uncompressed);
+      },
+      columns_[col]);
+}
+
+double ColumnTable::TableCompressionRate() const {
+  if (schema_.num_columns() == 0) return 1.0;
+  double total = 0.0;
+  for (ColumnId col = 0; col < schema_.num_columns(); ++col) {
+    total += CompressionRate(col);
+  }
+  return total / schema_.num_columns();
+}
+
+size_t ColumnTable::memory_bytes() const {
+  size_t bytes = live_.memory_bytes();
+  for (const ColumnVariant& column : columns_) {
+    bytes += std::visit(
+        [&](const auto& data) {
+          return PayloadBytes(data.dict) + data.ids.memory_bytes() +
+                 PayloadBytes(data.delta);
+        },
+        column);
+  }
+  bytes += pk_index_.size() * (sizeof(PrimaryKey) + sizeof(RowId) + 16);
+  return bytes;
+}
+
+bool ColumnTable::NeedsMerge() const {
+  size_t threshold = std::max(
+      options_.min_merge_rows,
+      static_cast<size_t>(options_.merge_fraction *
+                          static_cast<double>(main_size_)));
+  return delta_rows() > threshold;
+}
+
+void ColumnTable::AfterStatement() {
+  if (options_.auto_merge && NeedsMerge()) MergeDelta();
+}
+
+void ColumnTable::MergeDelta() {
+  const size_t new_n = live_count_;
+  const bool compacting = delta_rows() > 0 || new_n != live_.size();
+  if (!compacting) return;
+  for (ColumnVariant& column : columns_) {
+    std::visit(
+        [&](auto& data) {
+          using T = typename std::decay_t<decltype(data.dict)>::value_type;
+          // Gather surviving values in slot order.
+          std::vector<T> values;
+          values.reserve(new_n);
+          live_.ForEachSet(
+              [&](size_t rid) { values.push_back(CellAt(data, rid)); });
+          // Rebuild the sorted dictionary.
+          std::vector<T> dict = values;
+          std::sort(dict.begin(), dict.end());
+          dict.erase(std::unique(dict.begin(), dict.end()), dict.end());
+          dict.shrink_to_fit();
+          // Re-encode value ids at the minimal width.
+          uint32_t width = dict.empty()
+                               ? 1
+                               : BitPackedVector::WidthFor(dict.size() - 1);
+          BitPackedVector ids(width);
+          ids.Reserve(values.size());
+          for (const T& v : values) {
+            ids.Append(std::lower_bound(dict.begin(), dict.end(), v) -
+                       dict.begin());
+          }
+          data.dict = std::move(dict);
+          data.ids = std::move(ids);
+          data.delta.clear();
+          data.delta.shrink_to_fit();
+          data.delta_dict.clear();
+        },
+        column);
+  }
+  main_size_ = new_n;
+  live_.Resize(new_n);
+  for (size_t i = 0; i < new_n; ++i) live_.Set(i);
+  live_count_ = new_n;
+  if (options_.build_pk_index && !schema_.primary_key().empty()) {
+    pk_index_.clear();
+    pk_index_.reserve(new_n);
+    for (RowId rid = 0; rid < new_n; ++rid) {
+      pk_index_.emplace(ExtractPk(rid), rid);
+    }
+  }
+  ++merge_count_;
+}
+
+size_t ColumnTable::DictionarySize(ColumnId col) const {
+  return std::visit([](const auto& data) { return data.dict.size(); },
+                    columns_[col]);
+}
+
+void ColumnTable::AppendToDelta(ColumnId col, const Value& value) {
+  DataType type = schema_.column(col).type;
+  std::visit(
+      [&](auto& data) {
+        using T = typename std::decay_t<decltype(data.dict)>::value_type;
+        T v = PhysicalCast<T>(type, value);
+        data.delta_dict.try_emplace(
+            v, static_cast<uint32_t>(data.delta.size()));
+        data.delta.push_back(std::move(v));
+      },
+      columns_[col]);
+}
+
+PrimaryKey ColumnTable::ExtractPk(RowId rid) const {
+  PrimaryKey pk;
+  pk.values.reserve(schema_.primary_key().size());
+  for (ColumnId col : schema_.primary_key()) {
+    pk.values.push_back(GetValue(rid, col));
+  }
+  return pk;
+}
+
+}  // namespace hsdb

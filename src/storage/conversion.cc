@@ -1,0 +1,37 @@
+#include "storage/conversion.h"
+
+namespace hsdb {
+
+std::unique_ptr<PhysicalTable> ConvertStore(const PhysicalTable& src,
+                                            StoreType dst,
+                                            const PhysicalOptions& options) {
+  std::unique_ptr<PhysicalTable> out =
+      MakePhysicalTable(src.schema(), dst, options);
+  src.live_bitmap().ForEachSet([&](size_t rid) {
+    Result<RowId> r = out->Insert(src.GetRow(rid));
+    HSDB_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+  });
+  if (auto* cs = dynamic_cast<ColumnTable*>(out.get())) {
+    cs->MergeDelta();
+  }
+  return out;
+}
+
+Result<std::unique_ptr<LogicalTable>> Rematerialize(
+    const LogicalTable& src, TableLayout new_layout) {
+  HSDB_ASSIGN_OR_RETURN(
+      std::unique_ptr<LogicalTable> out,
+      LogicalTable::Create(src.name(), src.schema(), std::move(new_layout),
+                           src.physical_options()));
+  Status failure = Status::OK();
+  src.ForEachRow([&](Row row) {
+    if (!failure.ok()) return;
+    Status s = out->Insert(std::move(row));
+    if (!s.ok()) failure = s;
+  });
+  HSDB_RETURN_IF_ERROR(failure);
+  out->ForceMerge();
+  return out;
+}
+
+}  // namespace hsdb

@@ -1,0 +1,27 @@
+// Store conversion and layout rematerialization: the operations the storage
+// advisor's recommendations ultimately execute ("ALTER TABLE ... MOVE").
+#ifndef HSDB_STORAGE_CONVERSION_H_
+#define HSDB_STORAGE_CONVERSION_H_
+
+#include <memory>
+
+#include "storage/logical_table.h"
+
+namespace hsdb {
+
+/// Copies every live row of `src` into a new physical table of store `dst`.
+/// Column-store destinations are delta-merged afterwards, so the result is a
+/// compact read-optimized main.
+std::unique_ptr<PhysicalTable> ConvertStore(const PhysicalTable& src,
+                                            StoreType dst,
+                                            const PhysicalOptions& options);
+
+/// Rebuilds `src` under `new_layout`: creates an empty logical table with the
+/// new layout, streams all logical rows across, merges column-store pieces.
+/// This is how the engine applies an advisor recommendation.
+Result<std::unique_ptr<LogicalTable>> Rematerialize(
+    const LogicalTable& src, TableLayout new_layout);
+
+}  // namespace hsdb
+
+#endif  // HSDB_STORAGE_CONVERSION_H_

@@ -1,0 +1,50 @@
+// Order-preserving encodings of numeric values into uint64, used as B+-tree
+// index keys.
+#ifndef HSDB_STORAGE_KEY_CODEC_H_
+#define HSDB_STORAGE_KEY_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace hsdb {
+
+/// Maps int64 onto uint64 such that signed order becomes unsigned order.
+inline uint64_t EncodeInt64Ordered(int64_t v) {
+  return static_cast<uint64_t>(v) ^ (uint64_t{1} << 63);
+}
+
+/// Order-preserving encoding of IEEE754 doubles (total order, -0.0 < +0.0
+/// collapse is acceptable for index purposes; NaN unsupported by the engine).
+inline uint64_t EncodeDoubleOrdered(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(d));
+  if (bits >> 63) {
+    return ~bits;  // negative: flip all bits
+  }
+  return bits | (uint64_t{1} << 63);  // positive: set sign bit
+}
+
+/// Encodes a numeric Value into an order-preserving uint64 key. Returns
+/// NotSupported for strings (secondary indexes cover numeric columns only).
+inline Result<uint64_t> EncodeValueOrdered(const Value& v) {
+  switch (v.type()) {
+    case DataType::kInt32:
+      return EncodeInt64Ordered(v.as_int32());
+    case DataType::kInt64:
+      return EncodeInt64Ordered(v.as_int64());
+    case DataType::kDate:
+      return EncodeInt64Ordered(v.as_date().days);
+    case DataType::kDouble:
+      return EncodeDoubleOrdered(v.as_double());
+    case DataType::kVarchar:
+      return Status::NotSupported("ordered encoding of VARCHAR");
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace hsdb
+
+#endif  // HSDB_STORAGE_KEY_CODEC_H_

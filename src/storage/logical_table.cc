@@ -1,0 +1,281 @@
+#include "storage/logical_table.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hsdb {
+
+std::unique_ptr<PhysicalTable> MakePhysicalTable(
+    Schema schema, StoreType store, const PhysicalOptions& options) {
+  if (store == StoreType::kRow) {
+    return RowTable::Create(std::move(schema), options.row);
+  }
+  return ColumnTable::Create(std::move(schema), options.column);
+}
+
+bool Fragment::Covers(const std::vector<ColumnId>& logical_cols) const {
+  for (ColumnId col : logical_cols) {
+    if (!Contains(col)) return false;
+  }
+  return true;
+}
+
+Result<std::unique_ptr<LogicalTable>> LogicalTable::Create(
+    std::string name, Schema schema, TableLayout layout,
+    PhysicalOptions options) {
+  HSDB_RETURN_IF_ERROR(layout.Validate(schema));
+  if (schema.primary_key().empty() && layout.IsPartitioned()) {
+    return Status::InvalidArgument(
+        "partitioned tables require a primary key");
+  }
+  auto table = std::unique_ptr<LogicalTable>(new LogicalTable(
+      std::move(name), std::move(schema), std::move(layout), options));
+  const Schema& s = table->schema_;
+  const TableLayout& l = table->layout_;
+
+  // All logical columns in schema order.
+  std::vector<ColumnId> all_columns(s.num_columns());
+  for (ColumnId c = 0; c < s.num_columns(); ++c) all_columns[c] = c;
+
+  // Hot group: full-width rows in the hot store.
+  if (l.horizontal.has_value()) {
+    RowGroup hot;
+    hot.hot = true;
+    hot.fragments.push_back(
+        table->MakeFragment(all_columns, l.horizontal->hot_store));
+    table->groups_.push_back(std::move(hot));
+  }
+
+  // Cold group: either one full-width fragment or a vertical split.
+  RowGroup cold;
+  cold.hot = false;
+  if (l.vertical.has_value()) {
+    std::vector<ColumnId> rs_cols;
+    std::vector<ColumnId> other_cols;
+    for (ColumnId c = 0; c < s.num_columns(); ++c) {
+      bool in_rs = std::find(l.vertical->row_store_columns.begin(),
+                             l.vertical->row_store_columns.end(),
+                             c) != l.vertical->row_store_columns.end();
+      if (s.IsPrimaryKeyColumn(c)) {
+        rs_cols.push_back(c);  // key replicated into both pieces
+        other_cols.push_back(c);
+      } else if (in_rs) {
+        rs_cols.push_back(c);
+      } else {
+        other_cols.push_back(c);
+      }
+    }
+    cold.fragments.push_back(
+        table->MakeFragment(rs_cols, StoreType::kRow));
+    cold.fragments.push_back(
+        table->MakeFragment(other_cols, l.base_store));
+  } else {
+    cold.fragments.push_back(
+        table->MakeFragment(all_columns, l.base_store));
+  }
+  table->groups_.push_back(std::move(cold));
+  return table;
+}
+
+Fragment LogicalTable::MakeFragment(const std::vector<ColumnId>& columns,
+                                    StoreType store) const {
+  Fragment frag;
+  frag.columns = columns;
+  frag.logical_to_frag.assign(schema_.num_columns(), -1);
+  for (size_t i = 0; i < columns.size(); ++i) {
+    frag.logical_to_frag[columns[i]] = static_cast<int>(i);
+  }
+  frag.table = MakePhysicalTable(schema_.Project(columns), store, options_);
+  return frag;
+}
+
+size_t LogicalTable::row_count() const {
+  size_t total = 0;
+  for (const RowGroup& group : groups_) {
+    total += group.fragments.front().table->live_count();
+  }
+  return total;
+}
+
+size_t LogicalTable::memory_bytes() const {
+  size_t total = 0;
+  for (const RowGroup& group : groups_) {
+    for (const Fragment& frag : group.fragments) {
+      total += frag.table->memory_bytes();
+    }
+  }
+  return total;
+}
+
+size_t LogicalTable::RouteInsert(const Row& row) const {
+  if (!layout_.horizontal.has_value()) return groups_.size() - 1;
+  double v = row.at(layout_.horizontal->column).AsNumeric();
+  // Group 0 is the hot group when a horizontal split exists.
+  return v >= layout_.horizontal->boundary ? 0 : groups_.size() - 1;
+}
+
+Status LogicalTable::Insert(Row row) {
+  HSDB_RETURN_IF_ERROR(ValidateAndCoerceRow(schema_, &row));
+  if (!schema_.primary_key().empty()) {
+    PrimaryKey pk = PrimaryKey::FromRow(schema_, row);
+    size_t group_index;
+    if (FindGroupByPk(pk, &group_index)) {
+      return Status::AlreadyExists("duplicate primary key " + pk.ToString());
+    }
+  }
+  RowGroup& group = groups_[RouteInsert(row)];
+  for (Fragment& frag : group.fragments) {
+    Result<RowId> rid = frag.table->Insert(ProjectRow(row, frag.columns));
+    // The logical-level PK check makes fragment-level duplicates impossible;
+    // any failure here indicates an engine bug.
+    HSDB_CHECK_MSG(rid.ok(), rid.status().ToString().c_str());
+  }
+  return Status::OK();
+}
+
+bool LogicalTable::FindGroupByPk(const PrimaryKey& pk,
+                                 size_t* group_index) const {
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    if (groups_[g].fragments.front().table->FindByPk(pk).has_value()) {
+      *group_index = g;
+      return true;
+    }
+  }
+  return false;
+}
+
+Status LogicalTable::UpdateByPk(const PrimaryKey& pk,
+                                const std::vector<ColumnId>& columns,
+                                const Row& values) {
+  if (columns.size() != values.size()) {
+    return Status::InvalidArgument("columns/values arity mismatch");
+  }
+  if (layout_.horizontal.has_value()) {
+    for (ColumnId col : columns) {
+      if (col == layout_.horizontal->column) {
+        return Status::NotSupported(
+            "updating the horizontal partition column");
+      }
+    }
+  }
+  size_t group_index;
+  if (!FindGroupByPk(pk, &group_index)) {
+    return Status::NotFound("no row with primary key " + pk.ToString());
+  }
+  RowGroup& group = groups_[group_index];
+  for (Fragment& frag : group.fragments) {
+    // Collect the updated columns that live in this fragment.
+    std::vector<ColumnId> frag_cols;
+    Row frag_vals;
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i] >= schema_.num_columns()) {
+        return Status::InvalidArgument("column id out of range");
+      }
+      if (frag.Contains(columns[i])) {
+        frag_cols.push_back(frag.FragColumn(columns[i]));
+        frag_vals.push_back(values[i]);
+      }
+    }
+    if (frag_cols.empty()) continue;
+    std::optional<RowId> rid = frag.table->FindByPk(pk);
+    if (!rid.has_value()) {
+      return Status::Internal("fragment lost row for pk " + pk.ToString());
+    }
+    HSDB_RETURN_IF_ERROR(frag.table->UpdateRow(*rid, frag_cols, frag_vals));
+  }
+  return Status::OK();
+}
+
+Status LogicalTable::DeleteByPk(const PrimaryKey& pk) {
+  size_t group_index;
+  if (!FindGroupByPk(pk, &group_index)) {
+    return Status::NotFound("no row with primary key " + pk.ToString());
+  }
+  for (Fragment& frag : groups_[group_index].fragments) {
+    std::optional<RowId> rid = frag.table->FindByPk(pk);
+    if (!rid.has_value()) {
+      return Status::Internal("fragment lost row for pk " + pk.ToString());
+    }
+    HSDB_RETURN_IF_ERROR(frag.table->DeleteRow(*rid));
+  }
+  return Status::OK();
+}
+
+Result<Row> LogicalTable::GetByPk(const PrimaryKey& pk) const {
+  size_t group_index;
+  if (!FindGroupByPk(pk, &group_index)) {
+    return Status::NotFound("no row with primary key " + pk.ToString());
+  }
+  const RowGroup& group = groups_[group_index];
+  Row out(schema_.num_columns());
+  for (const Fragment& frag : group.fragments) {
+    std::optional<RowId> rid = frag.table->FindByPk(pk);
+    if (!rid.has_value()) {
+      return Status::Internal("fragment lost row for pk " + pk.ToString());
+    }
+    for (size_t i = 0; i < frag.columns.size(); ++i) {
+      out[frag.columns[i]] = frag.table->GetValue(*rid, i);
+    }
+  }
+  return out;
+}
+
+Row LogicalTable::StitchRow(const RowGroup& group, const Fragment& lead,
+                            RowId rid) const {
+  Row out(schema_.num_columns());
+  Row lead_row = lead.table->GetRow(rid);
+  PrimaryKey pk;
+  if (group.fragments.size() > 1) {
+    pk = PrimaryKey::FromRow(lead.table->schema(), lead_row);
+  }
+  for (size_t i = 0; i < lead.columns.size(); ++i) {
+    out[lead.columns[i]] = std::move(lead_row[i]);
+  }
+  if (group.fragments.size() > 1) {
+    for (size_t f = 1; f < group.fragments.size(); ++f) {
+      const Fragment& frag = group.fragments[f];
+      std::optional<RowId> frid = frag.table->FindByPk(pk);
+      HSDB_CHECK_MSG(frid.has_value(), "fragment lost row");
+      for (size_t i = 0; i < frag.columns.size(); ++i) {
+        out[frag.columns[i]] = frag.table->GetValue(*frid, i);
+      }
+    }
+  }
+  return out;
+}
+
+void LogicalTable::AfterStatement() {
+  for (RowGroup& group : groups_) {
+    for (Fragment& frag : group.fragments) {
+      frag.table->AfterStatement();
+    }
+  }
+}
+
+void LogicalTable::ForceMerge() {
+  for (RowGroup& group : groups_) {
+    for (Fragment& frag : group.fragments) {
+      if (auto* cs = dynamic_cast<ColumnTable*>(frag.table.get())) {
+        cs->MergeDelta();
+      }
+    }
+  }
+}
+
+Status LogicalTable::CreateSortedIndex(ColumnId col) {
+  if (col >= schema_.num_columns()) {
+    return Status::InvalidArgument("column id out of range");
+  }
+  for (RowGroup& group : groups_) {
+    for (Fragment& frag : group.fragments) {
+      if (!frag.Contains(col)) continue;
+      if (auto* rs = dynamic_cast<RowTable*>(frag.table.get())) {
+        Status s = rs->CreateSortedIndex(frag.FragColumn(col));
+        if (!s.ok() && s.code() != StatusCode::kAlreadyExists) return s;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hsdb

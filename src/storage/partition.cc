@@ -1,0 +1,73 @@
+#include "storage/partition.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace hsdb {
+
+std::string TableLayout::ToString() const {
+  std::ostringstream os;
+  if (!IsPartitioned()) {
+    os << "store=" << StoreTypeName(base_store);
+    return os.str();
+  }
+  os << "base=" << StoreTypeName(base_store);
+  if (horizontal.has_value()) {
+    os << ", horizontal(col=" << horizontal->column
+       << ", boundary=" << horizontal->boundary
+       << ", hot=" << StoreTypeName(horizontal->hot_store) << ")";
+  }
+  if (vertical.has_value()) {
+    os << ", vertical(rs_cols=[";
+    for (size_t i = 0; i < vertical->row_store_columns.size(); ++i) {
+      if (i > 0) os << ",";
+      os << vertical->row_store_columns[i];
+    }
+    os << "])";
+  }
+  return os.str();
+}
+
+Status TableLayout::Validate(const Schema& schema) const {
+  if (horizontal.has_value()) {
+    if (horizontal->column >= schema.num_columns()) {
+      return Status::InvalidArgument("horizontal column out of range");
+    }
+    if (!IsNumeric(schema.column(horizontal->column).type)) {
+      return Status::InvalidArgument(
+          "horizontal partition column must be numeric");
+    }
+  }
+  if (vertical.has_value()) {
+    if (vertical->row_store_columns.empty()) {
+      return Status::InvalidArgument(
+          "vertical split requires at least one row-store column");
+    }
+    std::set<ColumnId> seen;
+    for (ColumnId col : vertical->row_store_columns) {
+      if (col >= schema.num_columns()) {
+        return Status::InvalidArgument("vertical column out of range");
+      }
+      if (schema.IsPrimaryKeyColumn(col)) {
+        return Status::InvalidArgument(
+            "primary-key columns are replicated implicitly; do not list them");
+      }
+      if (!seen.insert(col).second) {
+        return Status::InvalidArgument("duplicate vertical column");
+      }
+    }
+    // The other piece must keep at least one non-key column.
+    size_t non_key = 0;
+    for (ColumnId c = 0; c < schema.num_columns(); ++c) {
+      if (!schema.IsPrimaryKeyColumn(c)) ++non_key;
+    }
+    if (seen.size() >= non_key) {
+      return Status::InvalidArgument(
+          "vertical split must leave a non-key column in the other piece");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hsdb

@@ -1,0 +1,82 @@
+// Store-aware partitioning layouts (paper §3.2): a table may be split
+// horizontally (hot/new rows vs. cold/historic rows), vertically (OLTP
+// attributes vs. OLAP attributes), or both at once. The layout is the unit
+// the storage advisor recommends and the catalog annotates.
+#ifndef HSDB_STORAGE_PARTITION_H_
+#define HSDB_STORAGE_PARTITION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/schema.h"
+#include "storage/store_type.h"
+
+namespace hsdb {
+
+/// Two-way horizontal split on a numeric column: rows with
+/// value >= boundary form the "hot" partition (newly arriving / frequently
+/// updated tuples), the rest the "cold" partition. Inserts route by the same
+/// rule, matching the paper's row-store partition for new data.
+struct HorizontalSpec {
+  ColumnId column = 0;
+  double boundary = 0.0;
+  StoreType hot_store = StoreType::kRow;
+
+  bool operator==(const HorizontalSpec& o) const {
+    return column == o.column && boundary == o.boundary &&
+           hot_store == o.hot_store;
+  }
+};
+
+/// Two-way vertical split: the listed non-key columns form a row-store
+/// partition (frequently modified "OLTP attributes"); all remaining non-key
+/// columns form the other partition. Primary-key columns are replicated into
+/// both pieces (paper §3.2: "the partitions ... all contain the primary key
+/// attributes").
+struct VerticalSpec {
+  std::vector<ColumnId> row_store_columns;
+
+  bool operator==(const VerticalSpec& o) const {
+    return row_store_columns == o.row_store_columns;
+  }
+};
+
+/// Complete physical layout of one logical table: an unpartitioned store
+/// choice, optionally refined by a horizontal split and/or a vertical split
+/// of the cold rows (the paper's combined scheme: new tuples whole in the
+/// row store, historic tuples split vertically).
+struct TableLayout {
+  /// Store of the unsplit table; with a vertical split, the store of the
+  /// non-row-store (OLAP) piece.
+  StoreType base_store = StoreType::kColumn;
+  std::optional<HorizontalSpec> horizontal;
+  std::optional<VerticalSpec> vertical;
+
+  static TableLayout SingleStore(StoreType store) {
+    TableLayout l;
+    l.base_store = store;
+    return l;
+  }
+
+  bool IsPartitioned() const {
+    return horizontal.has_value() || vertical.has_value();
+  }
+
+  bool operator==(const TableLayout& o) const {
+    return base_store == o.base_store && horizontal == o.horizontal &&
+           vertical == o.vertical;
+  }
+
+  std::string ToString() const;
+
+  /// Checks the layout against a schema: the horizontal column must be
+  /// numeric; vertical columns must exist, be distinct non-key columns, and
+  /// leave at least one non-key column for the other piece.
+  Status Validate(const Schema& schema) const;
+};
+
+}  // namespace hsdb
+
+#endif  // HSDB_STORAGE_PARTITION_H_

@@ -1,0 +1,82 @@
+// PhysicalTable: the interface shared by the row store and the column store.
+// A physical table owns the bytes of one table (or one partition piece).
+//
+// Row ids returned by this interface are *transient*: they identify physical
+// slots and stay valid only until the next delta merge (column store) — the
+// engine therefore only defers merges to statement boundaries
+// (AfterStatement) and never holds row ids across statements.
+#ifndef HSDB_STORAGE_PHYSICAL_TABLE_H_
+#define HSDB_STORAGE_PHYSICAL_TABLE_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/bitmap.h"
+#include "common/result.h"
+#include "common/row.h"
+#include "common/schema.h"
+#include "storage/primary_key.h"
+#include "storage/store_type.h"
+#include "storage/value_range.h"
+
+namespace hsdb {
+
+class PhysicalTable {
+ public:
+  virtual ~PhysicalTable() = default;
+
+  virtual StoreType store() const = 0;
+  const Schema& schema() const { return schema_; }
+
+  /// Number of physical slots (live + deleted).
+  virtual size_t slot_count() const = 0;
+  /// Number of live rows.
+  virtual size_t live_count() const = 0;
+  virtual bool IsLive(RowId rid) const = 0;
+  /// Liveness bitmap over all slots; used to seed filter evaluation.
+  virtual const Bitmap& live_bitmap() const = 0;
+
+  /// Inserts a row (validated and coerced against the schema). Fails with
+  /// AlreadyExists when the primary key is already present — the uniqueness
+  /// verification the paper's insert cost term models.
+  virtual Result<RowId> Insert(Row row) = 0;
+
+  /// Overwrites the cells `columns` of row `rid` with `values` (parallel
+  /// arrays). Primary-key columns must not be updated.
+  virtual Status UpdateRow(RowId rid, const std::vector<ColumnId>& columns,
+                           const Row& values) = 0;
+
+  virtual Status DeleteRow(RowId rid) = 0;
+
+  /// Point lookup through the primary key.
+  virtual std::optional<RowId> FindByPk(const PrimaryKey& pk) const = 0;
+
+  /// Materializes a single cell / a full row. These are the slow generic
+  /// accessors; scan kernels use the store-specific fast paths.
+  virtual Value GetValue(RowId rid, ColumnId col) const = 0;
+  virtual Row GetRow(RowId rid) const = 0;
+
+  /// Narrows `inout` (sized slot_count) to rows whose `col` value lies in
+  /// `range`; bits already cleared stay cleared (conjunction semantics).
+  virtual void FilterRange(ColumnId col, const ValueRange& range,
+                           Bitmap* inout) const = 0;
+
+  /// Compressed-size / plain-size ratio of a column; 1.0 for the row store.
+  virtual double CompressionRate(ColumnId col) const = 0;
+
+  /// Heap footprint of the table.
+  virtual size_t memory_bytes() const = 0;
+
+  /// Statement-boundary maintenance hook (the column store merges its delta
+  /// here once it exceeds the configured threshold).
+  virtual void AfterStatement() {}
+
+ protected:
+  explicit PhysicalTable(Schema schema) : schema_(std::move(schema)) {}
+
+  Schema schema_;
+};
+
+}  // namespace hsdb
+
+#endif  // HSDB_STORAGE_PHYSICAL_TABLE_H_

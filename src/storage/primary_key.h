@@ -1,0 +1,58 @@
+// PrimaryKey: the (possibly composite) key value of one row, hashable for
+// the per-table primary-key hash indexes.
+#ifndef HSDB_STORAGE_PRIMARY_KEY_H_
+#define HSDB_STORAGE_PRIMARY_KEY_H_
+
+#include <vector>
+
+#include "common/hash.h"
+#include "common/row.h"
+#include "common/schema.h"
+#include "common/value.h"
+
+namespace hsdb {
+
+/// Materialized primary-key value of a row. Single- and multi-column keys
+/// are both represented as an ordered list of values.
+struct PrimaryKey {
+  std::vector<Value> values;
+
+  PrimaryKey() = default;
+  explicit PrimaryKey(std::vector<Value> v) : values(std::move(v)) {}
+  /// Convenience for single-column integer keys.
+  static PrimaryKey Of(Value v) { return PrimaryKey({std::move(v)}); }
+
+  /// Extracts the key of `row` according to `schema`'s primary key.
+  static PrimaryKey FromRow(const Schema& schema, const Row& row) {
+    PrimaryKey pk;
+    pk.values.reserve(schema.primary_key().size());
+    for (ColumnId id : schema.primary_key()) {
+      pk.values.push_back(row.at(id));
+    }
+    return pk;
+  }
+
+  bool operator==(const PrimaryKey& other) const {
+    if (values.size() != other.values.size()) return false;
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (!(values[i] == other.values[i])) return false;
+    }
+    return true;
+  }
+
+  size_t Hash() const {
+    size_t h = 0x9e3779b97f4a7c15ull;
+    for (const Value& v : values) h = HashCombine(h, v.Hash());
+    return h;
+  }
+
+  std::string ToString() const { return RowToString(values); }
+};
+
+struct PrimaryKeyHash {
+  size_t operator()(const PrimaryKey& pk) const { return pk.Hash(); }
+};
+
+}  // namespace hsdb
+
+#endif  // HSDB_STORAGE_PRIMARY_KEY_H_

@@ -1,0 +1,173 @@
+// RowTable: the row store. Tuples live back to back in fixed-stride slots
+// inside an arena; VARCHAR cells hold 4-byte references into a per-table
+// string pool. A hash index over the primary key provides O(1) point access;
+// optional B+-tree secondary indexes accelerate range predicates.
+//
+// Performance profile (the asymmetries the advisor's cost model measures):
+//  - inserts: arena append + O(1) index maintenance (fast)
+//  - updates: in-place byte writes (fast)
+//  - point/range access: hash / B+-tree index, contiguous row copy (fast)
+//  - column scans/aggregates: strided access touching every row's full width
+//    (slow relative to the column store)
+#ifndef HSDB_STORAGE_ROW_TABLE_H_
+#define HSDB_STORAGE_ROW_TABLE_H_
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/string_pool.h"
+#include "storage/btree.h"
+#include "storage/key_codec.h"
+#include "storage/physical_table.h"
+
+namespace hsdb {
+
+class RowTable final : public PhysicalTable {
+ public:
+  struct Options {
+    /// Maintain the primary-key hash index (required for uniqueness checks
+    /// and point access; disable only for index-ablation experiments).
+    bool build_pk_index = true;
+    size_t arena_chunk_bytes = 1 << 20;
+  };
+
+  /// Creates an empty row table.
+  static std::unique_ptr<RowTable> Create(Schema schema, Options options);
+  static std::unique_ptr<RowTable> Create(Schema schema) {
+    return Create(std::move(schema), Options{});
+  }
+
+  // PhysicalTable interface -------------------------------------------------
+  StoreType store() const override { return StoreType::kRow; }
+  size_t slot_count() const override { return slots_.size(); }
+  size_t live_count() const override { return live_count_; }
+  bool IsLive(RowId rid) const override {
+    return rid < slots_.size() && live_.Test(rid);
+  }
+  const Bitmap& live_bitmap() const override { return live_; }
+
+  Result<RowId> Insert(Row row) override;
+  Status UpdateRow(RowId rid, const std::vector<ColumnId>& columns,
+                   const Row& values) override;
+  Status DeleteRow(RowId rid) override;
+  std::optional<RowId> FindByPk(const PrimaryKey& pk) const override;
+  Value GetValue(RowId rid, ColumnId col) const override;
+  Row GetRow(RowId rid) const override;
+  void FilterRange(ColumnId col, const ValueRange& range,
+                   Bitmap* inout) const override;
+  double CompressionRate(ColumnId) const override { return 1.0; }
+  size_t memory_bytes() const override;
+
+  // Row-store specific API --------------------------------------------------
+
+  /// Builds a B+-tree index over a numeric column. Existing rows are
+  /// indexed; subsequent mutations maintain the index.
+  Status CreateSortedIndex(ColumnId col);
+  bool HasSortedIndex(ColumnId col) const {
+    return indexes_.find(col) != indexes_.end();
+  }
+
+  /// Index-accelerated range filter; FailedPrecondition when `col` has no
+  /// sorted index. The produced bitmap is sized slot_count().
+  Result<Bitmap> IndexFilter(ColumnId col, const ValueRange& range) const;
+
+  /// Numeric cell without Value materialization (engine-internal fast path).
+  double NumericAt(RowId rid, ColumnId col) const {
+    const std::byte* p = slots_[rid] + schema_.fixed_offset(col);
+    switch (schema_.column(col).type) {
+      case DataType::kInt32:
+      case DataType::kDate:
+        return static_cast<double>(LoadAs<int32_t>(p));
+      case DataType::kInt64:
+        return static_cast<double>(LoadAs<int64_t>(p));
+      case DataType::kDouble:
+        return LoadAs<double>(p);
+      case DataType::kVarchar:
+        HSDB_CHECK_MSG(false, "NumericAt on VARCHAR column");
+    }
+    return 0.0;
+  }
+
+  /// Calls fn(RowId, double) for each live row's numeric `col` value,
+  /// restricted to `filter` when non-null (filter sized slot_count()).
+  /// The type dispatch is hoisted out of the loop, and fully live tables
+  /// scan densely without bitmap iteration.
+  template <typename Fn>
+  void ForEachNumeric(ColumnId col, const Bitmap* filter, Fn&& fn) const {
+    const uint32_t offset = schema_.fixed_offset(col);
+    switch (schema_.column(col).type) {
+      case DataType::kInt32:
+      case DataType::kDate:
+        ScanTyped<int32_t>(offset, filter, fn);
+        break;
+      case DataType::kInt64:
+        ScanTyped<int64_t>(offset, filter, fn);
+        break;
+      case DataType::kDouble:
+        ScanTyped<double>(offset, filter, fn);
+        break;
+      case DataType::kVarchar:
+        HSDB_CHECK_MSG(false, "ForEachNumeric on VARCHAR column");
+    }
+  }
+
+  const StringPool& strings() const { return strings_; }
+
+ private:
+  RowTable(Schema schema, Options options);
+
+  template <typename T, typename Fn>
+  void ScanTyped(uint32_t offset, const Bitmap* filter, Fn&& fn) const {
+    if (filter != nullptr) {
+      filter->ForEachSet([&](size_t rid) {
+        fn(rid, static_cast<double>(LoadAs<T>(slots_[rid] + offset)));
+      });
+    } else if (live_count_ == slots_.size()) {
+      // Dense fast path: no tombstones, no bitmap walk.
+      const size_t n = slots_.size();
+      for (size_t rid = 0; rid < n; ++rid) {
+        fn(rid, static_cast<double>(LoadAs<T>(slots_[rid] + offset)));
+      }
+    } else {
+      live_.ForEachSet([&](size_t rid) {
+        fn(rid, static_cast<double>(LoadAs<T>(slots_[rid] + offset)));
+      });
+    }
+  }
+
+  template <typename T>
+  static T LoadAs(const std::byte* p) {
+    T v;
+    std::memcpy(&v, p, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  static void StoreAs(std::byte* p, T v) {
+    std::memcpy(p, &v, sizeof(T));
+  }
+
+  /// Writes `value` (already schema-typed) into the cell bytes.
+  void WriteCell(std::byte* row, ColumnId col, const Value& value);
+  /// Reads a cell as a Value.
+  Value ReadCell(const std::byte* row, ColumnId col) const;
+
+  void IndexInsert(ColumnId col, RowId rid);
+  void IndexErase(ColumnId col, RowId rid);
+
+  Options options_;
+  Arena arena_;
+  std::vector<std::byte*> slots_;
+  Bitmap live_;
+  size_t live_count_ = 0;
+  StringPool strings_;
+  std::unordered_map<PrimaryKey, RowId, PrimaryKeyHash> pk_index_;
+  std::map<ColumnId, BPlusTree<IndexKey>> indexes_;
+};
+
+}  // namespace hsdb
+
+#endif  // HSDB_STORAGE_ROW_TABLE_H_

@@ -1,0 +1,27 @@
+// Store dispatch for the typed scan fast paths shared by the executor and
+// statistics collection: one call site, the right kernel per store.
+#ifndef HSDB_STORAGE_SCAN_DISPATCH_H_
+#define HSDB_STORAGE_SCAN_DISPATCH_H_
+
+#include "storage/column_table.h"
+#include "storage/row_table.h"
+
+namespace hsdb {
+
+/// Calls fn(RowId, double) for each live numeric value of `col`, restricted
+/// to `filter` when non-null, using the store-specific fast path.
+template <typename Fn>
+void ForEachNumericIn(const PhysicalTable& table, ColumnId col,
+                      const Bitmap* filter, Fn&& fn) {
+  if (table.store() == StoreType::kRow) {
+    static_cast<const RowTable&>(table).ForEachNumeric(col, filter,
+                                                       std::forward<Fn>(fn));
+  } else {
+    static_cast<const ColumnTable&>(table).ForEachNumeric(
+        col, filter, std::forward<Fn>(fn));
+  }
+}
+
+}  // namespace hsdb
+
+#endif  // HSDB_STORAGE_SCAN_DISPATCH_H_

@@ -1,0 +1,23 @@
+// The two physical stores of the hybrid-store engine.
+#ifndef HSDB_STORAGE_STORE_TYPE_H_
+#define HSDB_STORAGE_STORE_TYPE_H_
+
+#include <string_view>
+
+namespace hsdb {
+
+/// Physical storage organization of a table (or table partition).
+enum class StoreType {
+  kRow = 0,     // tuple-oriented: fast inserts/updates/point access
+  kColumn = 1,  // column-oriented + dictionary compression: fast scans
+};
+
+inline constexpr int kNumStoreTypes = 2;
+
+inline std::string_view StoreTypeName(StoreType s) {
+  return s == StoreType::kRow ? "ROW" : "COLUMN";
+}
+
+}  // namespace hsdb
+
+#endif  // HSDB_STORAGE_STORE_TYPE_H_

@@ -1,0 +1,255 @@
+#include "tpch/dbgen.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+
+namespace hsdb {
+namespace tpch {
+
+namespace {
+
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                          "MIDDLE EAST"};
+const char* kNations[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA",  "EGYPT",
+    "ETHIOPIA", "FRANCE",   "GERMANY", "INDIA",  "INDONESIA",
+    "IRAN",     "IRAQ",     "JAPAN",   "JORDAN", "KENYA",
+    "MOROCCO",  "MOZAMBIQUE", "PERU",  "CHINA",  "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES"};
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD",
+                           "MACHINERY"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kShipModes[] = {"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP",
+                            "TRUCK"};
+const char* kShipInstructs[] = {"COLLECT COD", "DELIVER IN PERSON", "NONE",
+                                "TAKE BACK RETURN"};
+const char* kContainers[] = {"JUMBO BAG", "LG BOX", "MED CASE", "SM DRUM",
+                             "WRAP PKG"};
+const char* kTypeAdjectives[] = {"ECONOMY", "LARGE", "MEDIUM", "PROMO",
+                                 "SMALL", "STANDARD"};
+const char* kTypeMaterials[] = {"BRASS", "COPPER", "NICKEL", "STEEL", "TIN"};
+
+std::string Pad9(int64_t key) {
+  std::string s = std::to_string(key);
+  return std::string(s.size() >= 9 ? 0 : 9 - s.size(), '0') + s;
+}
+
+std::string Phone(Rng& rng) {
+  return std::to_string(rng.UniformInt(10, 34)) + "-" +
+         std::to_string(rng.UniformInt(100, 999)) + "-" +
+         std::to_string(rng.UniformInt(100, 999)) + "-" +
+         std::to_string(rng.UniformInt(1000, 9999));
+}
+
+}  // namespace
+
+size_t BaseRows(const std::string& table, double sf) {
+  auto scaled = [&](double base) {
+    return static_cast<size_t>(std::max(1.0, base * sf));
+  };
+  if (table == "region") return 5;
+  if (table == "nation") return 25;
+  if (table == "supplier") return scaled(10'000);
+  if (table == "customer") return scaled(150'000);
+  if (table == "part") return scaled(200'000);
+  if (table == "partsupp") return scaled(200'000) * 4;
+  if (table == "orders") return scaled(1'500'000);
+  if (table == "lineitem") return scaled(1'500'000);  // per-order expansion
+  HSDB_CHECK_MSG(false, ("unknown TPC-H table: " + table).c_str());
+  return 0;
+}
+
+Row MakeRegionRow(int64_t key) {
+  return {key, std::string(kRegions[key % 5]), std::string("region comment")};
+}
+
+Row MakeNationRow(int64_t key) {
+  return {key, std::string(kNations[key % 25]), key % 5,
+          std::string("nation comment")};
+}
+
+Row MakeSupplierRow(int64_t key, Rng& rng) {
+  return {key,
+          "Supplier#" + Pad9(key),
+          rng.String(12),
+          rng.UniformInt(0, 24),
+          Phone(rng),
+          rng.UniformDouble(-999.99, 9999.99),
+          rng.String(16)};
+}
+
+Row MakeCustomerRow(int64_t key, Rng& rng) {
+  return {key,
+          "Customer#" + Pad9(key),
+          rng.String(12),
+          rng.UniformInt(0, 24),
+          Phone(rng),
+          rng.UniformDouble(-999.99, 9999.99),
+          std::string(kSegments[rng.Index(5)]),
+          rng.String(16)};
+}
+
+Row MakePartRow(int64_t key, Rng& rng) {
+  std::string type = std::string(kTypeAdjectives[rng.Index(6)]) + " " +
+                     kTypeMaterials[rng.Index(5)];
+  return {key,
+          "part " + rng.String(8),
+          "Manufacturer#" + std::to_string(1 + key % 5),
+          "Brand#" + std::to_string(1 + key % 5) +
+              std::to_string(1 + (key / 5) % 5),
+          std::move(type),
+          static_cast<int32_t>(rng.UniformInt(1, 50)),
+          std::string(kContainers[rng.Index(5)]),
+          // Spec-shaped retail price: 900..2000, deterministic in the key.
+          (90000.0 + (key % 20001) / 10.0 + 100.0 * (key % 1000)) / 100.0,
+          rng.String(14)};
+}
+
+Row MakePartsuppRow(int64_t partkey, int64_t suppkey, Rng& rng) {
+  return {partkey, suppkey, static_cast<int32_t>(rng.UniformInt(1, 9999)),
+          rng.UniformDouble(1.0, 1000.0), rng.String(16)};
+}
+
+Row MakeOrderRow(int64_t orderkey, uint64_t customer_count, Rng& rng) {
+  int32_t orderdate = static_cast<int32_t>(
+      rng.UniformInt(kMinOrderDate, kMaxOrderDate));
+  const char* status =
+      orderdate < kMinOrderDate + (kMaxOrderDate - kMinOrderDate) / 2
+          ? "F"
+          : (rng.Chance(0.5) ? "O" : "P");
+  return {orderkey,
+          rng.UniformInt(0, static_cast<int64_t>(customer_count) - 1),
+          std::string(status),
+          rng.UniformDouble(1000.0, 450'000.0),
+          Date{orderdate},
+          std::string(kPriorities[rng.Index(5)]),
+          "Clerk#" + Pad9(rng.UniformInt(0, 999)),
+          int32_t{0},
+          rng.String(18)};
+}
+
+Row MakeLineitemRow(int64_t orderkey, int32_t linenumber, int32_t orderdate,
+                    uint64_t part_count, uint64_t supplier_count, Rng& rng) {
+  int32_t shipdate = orderdate + static_cast<int32_t>(rng.UniformInt(1, 121));
+  int32_t commitdate =
+      orderdate + static_cast<int32_t>(rng.UniformInt(30, 90));
+  int32_t receiptdate =
+      shipdate + static_cast<int32_t>(rng.UniformInt(1, 30));
+  double quantity = static_cast<double>(rng.UniformInt(1, 50));
+  // Extended price = quantity x a part-derived unit price, as in the spec;
+  // the bounded domain keeps the column dictionary-compressible.
+  double unit_price = 900.0 + static_cast<double>(rng.UniformInt(0, 1999)) * 0.55;
+  double price = quantity * unit_price;
+  const char* returnflag =
+      receiptdate <= 9125 ? (rng.Chance(0.5) ? "R" : "A") : "N";
+  const char* linestatus = shipdate > 9766 ? "O" : "F";
+  return {orderkey,
+          linenumber,
+          rng.UniformInt(0, static_cast<int64_t>(part_count) - 1),
+          rng.UniformInt(0, static_cast<int64_t>(supplier_count) - 1),
+          quantity,
+          price,
+          rng.UniformInt(0, 10) / 100.0,
+          rng.UniformInt(0, 8) / 100.0,
+          std::string(returnflag),
+          std::string(linestatus),
+          Date{shipdate},
+          Date{commitdate},
+          Date{receiptdate},
+          std::string(kShipInstructs[rng.Index(4)]),
+          std::string(kShipModes[rng.Index(7)]),
+          rng.String(16)};
+}
+
+Result<DbgenStats> LoadTpch(Database& db, const DbgenOptions& options) {
+  Stopwatch sw;
+  DbgenStats stats;
+  const double sf = options.scale_factor;
+
+  for (const std::string& name : TableNames()) {
+    TableLayout layout = options.default_layout;
+    auto it = options.layouts.find(name);
+    if (it != options.layouts.end()) layout = it->second;
+    HSDB_RETURN_IF_ERROR(db.CreateTable(name, SchemaFor(name), layout));
+  }
+  Rng rng(options.seed);
+
+  auto load = [&](const std::string& name, auto&& make_row) -> Status {
+    LogicalTable* table = db.catalog().GetTable(name);
+    size_t n = BaseRows(name, sf);
+    for (size_t i = 0; i < n; ++i) {
+      HSDB_RETURN_IF_ERROR(table->Insert(make_row(static_cast<int64_t>(i))));
+    }
+    table->ForceMerge();
+    stats.rows[name] = table->row_count();
+    return Status::OK();
+  };
+
+  HSDB_RETURN_IF_ERROR(load("region", [&](int64_t k) {
+    return MakeRegionRow(k);
+  }));
+  HSDB_RETURN_IF_ERROR(load("nation", [&](int64_t k) {
+    return MakeNationRow(k);
+  }));
+  HSDB_RETURN_IF_ERROR(load("supplier", [&](int64_t k) {
+    return MakeSupplierRow(k, rng);
+  }));
+  HSDB_RETURN_IF_ERROR(load("customer", [&](int64_t k) {
+    return MakeCustomerRow(k, rng);
+  }));
+  HSDB_RETURN_IF_ERROR(load("part", [&](int64_t k) {
+    return MakePartRow(k, rng);
+  }));
+
+  // partsupp: 4 suppliers per part, keyed (partkey, suppkey).
+  {
+    LogicalTable* table = db.catalog().GetTable("partsupp");
+    size_t parts = BaseRows("part", sf);
+    size_t suppliers = BaseRows("supplier", sf);
+    for (size_t p = 0; p < parts; ++p) {
+      for (int s = 0; s < 4; ++s) {
+        int64_t suppkey =
+            static_cast<int64_t>((p + s * (suppliers / 4 + 1)) % suppliers);
+        HSDB_RETURN_IF_ERROR(table->Insert(
+            MakePartsuppRow(static_cast<int64_t>(p), suppkey, rng)));
+      }
+    }
+    table->ForceMerge();
+    stats.rows["partsupp"] = table->row_count();
+  }
+
+  // orders + lineitem: 1..7 lines per order (avg ~4, as in the spec).
+  {
+    LogicalTable* orders = db.catalog().GetTable("orders");
+    LogicalTable* lineitem = db.catalog().GetTable("lineitem");
+    size_t n_orders = BaseRows("orders", sf);
+    size_t customers = BaseRows("customer", sf);
+    size_t parts = BaseRows("part", sf);
+    size_t suppliers = BaseRows("supplier", sf);
+    for (size_t o = 0; o < n_orders; ++o) {
+      Row order = MakeOrderRow(static_cast<int64_t>(o), customers, rng);
+      int32_t orderdate = order[col::kOrderDate].as_date().days;
+      HSDB_RETURN_IF_ERROR(orders->Insert(std::move(order)));
+      int lines = 1 + static_cast<int>(rng.Index(7));
+      for (int l = 1; l <= lines; ++l) {
+        HSDB_RETURN_IF_ERROR(lineitem->Insert(
+            MakeLineitemRow(static_cast<int64_t>(o), l, orderdate, parts,
+                            suppliers, rng)));
+      }
+    }
+    orders->ForceMerge();
+    lineitem->ForceMerge();
+    stats.rows["orders"] = orders->row_count();
+    stats.rows["lineitem"] = lineitem->row_count();
+  }
+
+  db.catalog().UpdateAllStatistics();
+  stats.load_ms = sw.ElapsedMs();
+  return stats;
+}
+
+}  // namespace tpch
+}  // namespace hsdb

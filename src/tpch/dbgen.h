@@ -1,0 +1,59 @@
+// Scaled TPC-H data generator ("dbgen"): populates all eight tables with
+// spec-shaped value distributions at a configurable scale factor. Absolute
+// fidelity to dbgen's text corpus is not a goal — the advisor experiments
+// need the schema shape, key relationships, cardinality ratios and value
+// locality, which this generator reproduces.
+#ifndef HSDB_TPCH_DBGEN_H_
+#define HSDB_TPCH_DBGEN_H_
+
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "executor/database.h"
+#include "tpch/schema.h"
+
+namespace hsdb {
+namespace tpch {
+
+/// Days-since-epoch bounds of the TPC-H date window [1992-01-01, 1998-08-02].
+inline constexpr int32_t kMinOrderDate = 8035;
+inline constexpr int32_t kMaxOrderDate = 10440;
+
+struct DbgenOptions {
+  /// TPC-H scale factor; 1.0 = 1.5M orders / ~6M lineitems.
+  double scale_factor = 0.01;
+  uint64_t seed = 19920827;
+  /// Layout for tables not listed in `layouts`.
+  TableLayout default_layout = TableLayout::SingleStore(StoreType::kRow);
+  /// Per-table layout overrides.
+  std::map<std::string, TableLayout> layouts;
+};
+
+struct DbgenStats {
+  std::map<std::string, size_t> rows;
+  double load_ms = 0.0;
+};
+
+/// Base row count of `table` at scale factor `sf` (lineitem returns the
+/// order count; actual lineitem rows are ~4x orders).
+size_t BaseRows(const std::string& table, double sf);
+
+/// Creates and loads all eight tables into `db`. Tables must not exist yet.
+Result<DbgenStats> LoadTpch(Database& db, const DbgenOptions& options);
+
+// Row builders (shared with the workload generator for fresh inserts).
+Row MakeRegionRow(int64_t key);
+Row MakeNationRow(int64_t key);
+Row MakeSupplierRow(int64_t key, Rng& rng);
+Row MakeCustomerRow(int64_t key, Rng& rng);
+Row MakePartRow(int64_t key, Rng& rng);
+Row MakePartsuppRow(int64_t partkey, int64_t suppkey, Rng& rng);
+Row MakeOrderRow(int64_t orderkey, uint64_t customer_count, Rng& rng);
+Row MakeLineitemRow(int64_t orderkey, int32_t linenumber, int32_t orderdate,
+                    uint64_t part_count, uint64_t supplier_count, Rng& rng);
+
+}  // namespace tpch
+}  // namespace hsdb
+
+#endif  // HSDB_TPCH_DBGEN_H_

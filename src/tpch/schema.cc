@@ -1,0 +1,122 @@
+#include "tpch/schema.h"
+
+#include "common/macros.h"
+
+namespace hsdb {
+namespace tpch {
+
+Schema RegionSchema() {
+  return Schema::CreateOrDie({{"r_regionkey", DataType::kInt64},
+                              {"r_name", DataType::kVarchar},
+                              {"r_comment", DataType::kVarchar}},
+                             {0});
+}
+
+Schema NationSchema() {
+  return Schema::CreateOrDie({{"n_nationkey", DataType::kInt64},
+                              {"n_name", DataType::kVarchar},
+                              {"n_regionkey", DataType::kInt64},
+                              {"n_comment", DataType::kVarchar}},
+                             {0});
+}
+
+Schema SupplierSchema() {
+  return Schema::CreateOrDie({{"s_suppkey", DataType::kInt64},
+                              {"s_name", DataType::kVarchar},
+                              {"s_address", DataType::kVarchar},
+                              {"s_nationkey", DataType::kInt64},
+                              {"s_phone", DataType::kVarchar},
+                              {"s_acctbal", DataType::kDouble},
+                              {"s_comment", DataType::kVarchar}},
+                             {0});
+}
+
+Schema CustomerSchema() {
+  return Schema::CreateOrDie({{"c_custkey", DataType::kInt64},
+                              {"c_name", DataType::kVarchar},
+                              {"c_address", DataType::kVarchar},
+                              {"c_nationkey", DataType::kInt64},
+                              {"c_phone", DataType::kVarchar},
+                              {"c_acctbal", DataType::kDouble},
+                              {"c_mktsegment", DataType::kVarchar},
+                              {"c_comment", DataType::kVarchar}},
+                             {0});
+}
+
+Schema PartSchema() {
+  return Schema::CreateOrDie({{"p_partkey", DataType::kInt64},
+                              {"p_name", DataType::kVarchar},
+                              {"p_mfgr", DataType::kVarchar},
+                              {"p_brand", DataType::kVarchar},
+                              {"p_type", DataType::kVarchar},
+                              {"p_size", DataType::kInt32},
+                              {"p_container", DataType::kVarchar},
+                              {"p_retailprice", DataType::kDouble},
+                              {"p_comment", DataType::kVarchar}},
+                             {0});
+}
+
+Schema PartsuppSchema() {
+  return Schema::CreateOrDie({{"ps_partkey", DataType::kInt64},
+                              {"ps_suppkey", DataType::kInt64},
+                              {"ps_availqty", DataType::kInt32},
+                              {"ps_supplycost", DataType::kDouble},
+                              {"ps_comment", DataType::kVarchar}},
+                             {0, 1});
+}
+
+Schema OrdersSchema() {
+  return Schema::CreateOrDie({{"o_orderkey", DataType::kInt64},
+                              {"o_custkey", DataType::kInt64},
+                              {"o_orderstatus", DataType::kVarchar},
+                              {"o_totalprice", DataType::kDouble},
+                              {"o_orderdate", DataType::kDate},
+                              {"o_orderpriority", DataType::kVarchar},
+                              {"o_clerk", DataType::kVarchar},
+                              {"o_shippriority", DataType::kInt32},
+                              {"o_comment", DataType::kVarchar}},
+                             {0});
+}
+
+Schema LineitemSchema() {
+  return Schema::CreateOrDie({{"l_orderkey", DataType::kInt64},
+                              {"l_linenumber", DataType::kInt32},
+                              {"l_partkey", DataType::kInt64},
+                              {"l_suppkey", DataType::kInt64},
+                              {"l_quantity", DataType::kDouble},
+                              {"l_extendedprice", DataType::kDouble},
+                              {"l_discount", DataType::kDouble},
+                              {"l_tax", DataType::kDouble},
+                              {"l_returnflag", DataType::kVarchar},
+                              {"l_linestatus", DataType::kVarchar},
+                              {"l_shipdate", DataType::kDate},
+                              {"l_commitdate", DataType::kDate},
+                              {"l_receiptdate", DataType::kDate},
+                              {"l_shipinstruct", DataType::kVarchar},
+                              {"l_shipmode", DataType::kVarchar},
+                              {"l_comment", DataType::kVarchar}},
+                             {0, 1});
+}
+
+const std::vector<std::string>& TableNames() {
+  static const std::vector<std::string> kNames = {
+      "region", "nation", "supplier", "customer",
+      "part",   "partsupp", "orders",  "lineitem"};
+  return kNames;
+}
+
+Schema SchemaFor(const std::string& table) {
+  if (table == "region") return RegionSchema();
+  if (table == "nation") return NationSchema();
+  if (table == "supplier") return SupplierSchema();
+  if (table == "customer") return CustomerSchema();
+  if (table == "part") return PartSchema();
+  if (table == "partsupp") return PartsuppSchema();
+  if (table == "orders") return OrdersSchema();
+  if (table == "lineitem") return LineitemSchema();
+  HSDB_CHECK_MSG(false, ("unknown TPC-H table: " + table).c_str());
+  return RegionSchema();
+}
+
+}  // namespace tpch
+}  // namespace hsdb

@@ -1,0 +1,78 @@
+// TPC-H schema definitions (all eight tables) for the paper's final
+// experiment (Fig. 10: "TPC-H data with a scale factor of 1" plus a mixed
+// workload). Decimals are represented as DOUBLE, identifiers as INT64,
+// dates as DATE and strings as VARCHAR.
+#ifndef HSDB_TPCH_SCHEMA_H_
+#define HSDB_TPCH_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+
+namespace hsdb {
+namespace tpch {
+
+Schema RegionSchema();    // r_regionkey, r_name, r_comment
+Schema NationSchema();    // n_nationkey, n_name, n_regionkey, n_comment
+Schema SupplierSchema();  // s_suppkey, ..., s_acctbal, s_comment
+Schema CustomerSchema();  // c_custkey, ..., c_mktsegment, c_comment
+Schema PartSchema();      // p_partkey, ..., p_retailprice, p_comment
+Schema PartsuppSchema();  // ps_partkey, ps_suppkey, ps_availqty, ps_supplycost
+Schema OrdersSchema();    // o_orderkey, ..., o_orderdate, ...
+Schema LineitemSchema();  // l_orderkey, l_linenumber, ..., 16 columns
+
+/// The eight table names in dependency (load) order.
+const std::vector<std::string>& TableNames();
+
+/// Schema for a table by name; CHECK-fails on unknown names.
+Schema SchemaFor(const std::string& table);
+
+// Column indexes used by the workload generator (kept in sync with the
+// schema definitions; validated by tests).
+namespace col {
+// orders
+inline constexpr ColumnId kOrderKey = 0;
+inline constexpr ColumnId kOrderCustKey = 1;
+inline constexpr ColumnId kOrderStatus = 2;
+inline constexpr ColumnId kOrderTotalPrice = 3;
+inline constexpr ColumnId kOrderDate = 4;
+inline constexpr ColumnId kOrderPriority = 5;
+inline constexpr ColumnId kOrderShipPriority = 7;
+// lineitem
+inline constexpr ColumnId kLOrderKey = 0;
+inline constexpr ColumnId kLLineNumber = 1;
+inline constexpr ColumnId kLPartKey = 2;
+inline constexpr ColumnId kLSuppKey = 3;
+inline constexpr ColumnId kLQuantity = 4;
+inline constexpr ColumnId kLExtendedPrice = 5;
+inline constexpr ColumnId kLDiscount = 6;
+inline constexpr ColumnId kLTax = 7;
+inline constexpr ColumnId kLReturnFlag = 8;
+inline constexpr ColumnId kLLineStatus = 9;
+inline constexpr ColumnId kLShipDate = 10;
+// customer
+inline constexpr ColumnId kCustKey = 0;
+inline constexpr ColumnId kCustNationKey = 3;
+inline constexpr ColumnId kCustAcctBal = 5;
+inline constexpr ColumnId kCustMktSegment = 6;
+// supplier
+inline constexpr ColumnId kSuppKey = 0;
+inline constexpr ColumnId kSuppNationKey = 3;
+inline constexpr ColumnId kSuppAcctBal = 5;
+// part
+inline constexpr ColumnId kPartKey = 0;
+inline constexpr ColumnId kPartBrand = 3;
+inline constexpr ColumnId kPartSize = 5;
+inline constexpr ColumnId kPartRetailPrice = 7;
+// partsupp
+inline constexpr ColumnId kPsPartKey = 0;
+inline constexpr ColumnId kPsSuppKey = 1;
+inline constexpr ColumnId kPsAvailQty = 2;
+inline constexpr ColumnId kPsSupplyCost = 3;
+}  // namespace col
+
+}  // namespace tpch
+}  // namespace hsdb
+
+#endif  // HSDB_TPCH_SCHEMA_H_

@@ -1,0 +1,263 @@
+#include "tpch/workload.h"
+
+namespace hsdb {
+namespace tpch {
+
+namespace {
+
+uint64_t RowCountOf(const Database& db, const std::string& table) {
+  const LogicalTable* t = db.catalog().GetTable(table);
+  HSDB_CHECK_MSG(t != nullptr, "TPC-H table missing");
+  return t->row_count();
+}
+
+}  // namespace
+
+TpchWorkloadGenerator::TpchWorkloadGenerator(const Database& db,
+                                             TpchWorkloadOptions options)
+    : options_(options),
+      rng_(options.seed),
+      customers_(RowCountOf(db, "customer")),
+      suppliers_(RowCountOf(db, "supplier")),
+      parts_(RowCountOf(db, "part")),
+      orders_(RowCountOf(db, "orders")) {
+  // Fresh keys start above the loaded dense ranges.
+  next_orderkey_ = static_cast<int64_t>(orders_);
+  next_custkey_ = static_cast<int64_t>(customers_);
+  next_suppkey_ = static_cast<int64_t>(suppliers_);
+  next_partkey_ = static_cast<int64_t>(parts_);
+}
+
+Query TpchWorkloadGenerator::PricingSummary() {
+  AggregationQuery q;
+  q.tables = {"lineitem"};
+  q.aggregates = {{AggFn::kSum, {col::kLExtendedPrice, 0}},
+                  {AggFn::kSum, {col::kLQuantity, 0}},
+                  {AggFn::kAvg, {col::kLDiscount, 0}}};
+  if (rng_.Chance(0.7)) {
+    q.group_by = {{col::kLReturnFlag, 0}};
+  }
+  int32_t cutoff = static_cast<int32_t>(
+      rng_.UniformInt(kMinOrderDate + 400, kMaxOrderDate));
+  q.predicate = {{{col::kLShipDate, 0}, ValueRange::AtMost(Value(Date{cutoff}))}};
+  return q;
+}
+
+Query TpchWorkloadGenerator::OrderPriorityRevenue() {
+  AggregationQuery q;
+  q.tables = {"lineitem", "orders"};
+  q.joins = {{0, col::kLOrderKey, 1, col::kOrderKey}};
+  q.aggregates = {{AggFn::kSum, {col::kLExtendedPrice, 0}},
+                  {AggFn::kCount, {}}};
+  q.group_by = {{col::kOrderPriority, 1}};
+  return q;
+}
+
+Query TpchWorkloadGenerator::SegmentRevenue() {
+  AggregationQuery q;
+  q.tables = {"orders", "customer"};
+  q.joins = {{0, col::kOrderCustKey, 1, col::kCustKey}};
+  q.aggregates = {{AggFn::kSum, {col::kOrderTotalPrice, 0}}};
+  q.group_by = {{col::kCustMktSegment, 1}};
+  return q;
+}
+
+Query TpchWorkloadGenerator::OrderTotals() {
+  AggregationQuery q;
+  q.tables = {"orders"};
+  q.aggregates = {{AggFn::kAvg, {col::kOrderTotalPrice, 0}},
+                  {AggFn::kMax, {col::kOrderTotalPrice, 0}}};
+  int32_t from = static_cast<int32_t>(
+      rng_.UniformInt(kMinOrderDate, kMaxOrderDate - 365));
+  q.predicate = {{{col::kOrderDate, 0},
+                  ValueRange::Between(Value(Date{from}),
+                                      Value(Date{from + 365}))}};
+  if (rng_.Chance(0.5)) {
+    q.group_by = {{col::kOrderPriority, 0}};
+  }
+  return q;
+}
+
+Query TpchWorkloadGenerator::BrandPrices() {
+  AggregationQuery q;
+  q.tables = {"part"};
+  q.aggregates = {{AggFn::kAvg, {col::kPartRetailPrice, 0}}};
+  q.group_by = {{col::kPartBrand, 0}};
+  return q;
+}
+
+Query TpchWorkloadGenerator::MakeOlap() {
+  // "Aggregates with and without joins and groupings mainly on lineitem and
+  // orders" — weighted toward the two big tables.
+  switch (rng_.Index(8)) {
+    case 0:
+    case 1:
+    case 2:
+      return PricingSummary();
+    case 3:
+    case 4:
+      return OrderPriorityRevenue();
+    case 5:
+      return SegmentRevenue();
+    case 6:
+      return OrderTotals();
+    default:
+      return BrandPrices();
+  }
+}
+
+void TpchWorkloadGenerator::AppendNewOrder(std::vector<Query>* out) {
+  int64_t orderkey = next_orderkey_++;
+  Row order = MakeOrderRow(orderkey, customers_, rng_);
+  int32_t orderdate = order[col::kOrderDate].as_date().days;
+  out->push_back(InsertQuery{"orders", std::move(order)});
+  int lines = 1 + static_cast<int>(rng_.Index(4));
+  for (int l = 1; l <= lines; ++l) {
+    out->push_back(InsertQuery{
+        "lineitem",
+        MakeLineitemRow(orderkey, l, orderdate, parts_, suppliers_, rng_)});
+  }
+}
+
+Query TpchWorkloadGenerator::MakeUpdate() {
+  switch (rng_.Index(6)) {
+    case 0: {  // payment: customer account balance
+      UpdateQuery u;
+      u.table = "customer";
+      u.predicate = {{{col::kCustKey, 0},
+                      ValueRange::Eq(Value(rng_.UniformInt(
+                          0, static_cast<int64_t>(customers_) - 1)))}};
+      u.set_columns = {col::kCustAcctBal};
+      u.set_values = {Value(rng_.UniformDouble(-999.99, 9999.99))};
+      return u;
+    }
+    case 1: {  // order status transition
+      UpdateQuery u;
+      u.table = "orders";
+      u.predicate = {{{col::kOrderKey, 0},
+                      ValueRange::Eq(Value(rng_.UniformInt(
+                          0, static_cast<int64_t>(orders_) - 1)))}};
+      u.set_columns = {col::kOrderStatus};
+      u.set_values = {Value(rng_.Chance(0.5) ? "F" : "P")};
+      return u;
+    }
+    case 2: {  // shipment progress on one order's lines
+      UpdateQuery u;
+      u.table = "lineitem";
+      int64_t orderkey =
+          rng_.UniformInt(0, static_cast<int64_t>(orders_) - 1);
+      u.predicate = {{{col::kLOrderKey, 0},
+                      ValueRange::Eq(Value(orderkey))}};
+      u.set_columns = {col::kLLineStatus};
+      u.set_values = {Value("O")};
+      return u;
+    }
+    case 3: {  // supplier account balance
+      UpdateQuery u;
+      u.table = "supplier";
+      u.predicate = {{{col::kSuppKey, 0},
+                      ValueRange::Eq(Value(rng_.UniformInt(
+                          0, static_cast<int64_t>(suppliers_) - 1)))}};
+      u.set_columns = {col::kSuppAcctBal};
+      u.set_values = {Value(rng_.UniformDouble(-999.99, 9999.99))};
+      return u;
+    }
+    case 4: {  // part repricing
+      UpdateQuery u;
+      u.table = "part";
+      u.predicate = {{{col::kPartKey, 0},
+                      ValueRange::Eq(Value(rng_.UniformInt(
+                          0, static_cast<int64_t>(parts_) - 1)))}};
+      u.set_columns = {col::kPartRetailPrice};
+      u.set_values = {Value(rng_.UniformDouble(900.0, 2000.0))};
+      return u;
+    }
+    default: {  // stock level on one part's partsupp rows
+      UpdateQuery u;
+      u.table = "partsupp";
+      u.predicate = {{{col::kPsPartKey, 0},
+                      ValueRange::Eq(Value(rng_.UniformInt(
+                          0, static_cast<int64_t>(parts_) - 1)))}};
+      u.set_columns = {col::kPsAvailQty};
+      u.set_values = {Value(static_cast<int32_t>(rng_.UniformInt(1, 9999)))};
+      return u;
+    }
+  }
+}
+
+Query TpchWorkloadGenerator::MakePointSelect() {
+  if (rng_.Chance(0.5)) {
+    SelectQuery s;
+    s.table = "customer";
+    s.select_columns = {col::kCustKey, col::kCustAcctBal,
+                        col::kCustMktSegment};
+    s.predicate = {{{col::kCustKey, 0},
+                    ValueRange::Eq(Value(rng_.UniformInt(
+                        0, static_cast<int64_t>(customers_) - 1)))}};
+    return s;
+  }
+  SelectQuery s;
+  s.table = "orders";
+  s.select_columns = {col::kOrderKey, col::kOrderStatus,
+                      col::kOrderTotalPrice, col::kOrderDate};
+  s.predicate = {{{col::kOrderKey, 0},
+                  ValueRange::Eq(Value(rng_.UniformInt(
+                      0, static_cast<int64_t>(orders_) - 1)))}};
+  return s;
+}
+
+Query TpchWorkloadGenerator::Next() {
+  if (rng_.Chance(options_.olap_fraction)) return MakeOlap();
+  double total = options_.insert_weight + options_.update_weight +
+                 options_.select_weight;
+  double dice = rng_.UniformDouble() * total;
+  if (dice < options_.insert_weight) {
+    // Single-query inserts of fresh dimension-ish rows; order+lineitem
+    // transactions are emitted by Generate().
+    switch (rng_.Index(3)) {
+      case 0:
+        return InsertQuery{"customer",
+                           MakeCustomerRow(next_custkey_++, rng_)};
+      case 1:
+        return InsertQuery{"supplier",
+                           MakeSupplierRow(next_suppkey_++, rng_)};
+      default:
+        return InsertQuery{"part", MakePartRow(next_partkey_++, rng_)};
+    }
+  }
+  if (dice < options_.insert_weight + options_.update_weight) {
+    return MakeUpdate();
+  }
+  return MakePointSelect();
+}
+
+std::vector<Query> TpchWorkloadGenerator::Generate(size_t count) {
+  std::vector<Query> out;
+  out.reserve(count + count / 4);
+  while (out.size() < count) {
+    if (rng_.Chance(options_.olap_fraction)) {
+      out.push_back(MakeOlap());
+      continue;
+    }
+    double total = options_.insert_weight + options_.update_weight +
+                   options_.select_weight;
+    double dice = rng_.UniformDouble() * total;
+    if (dice < options_.insert_weight) {
+      // Half of the insert budget goes to new-order transactions touching
+      // orders + lineitem (the tables the paper's Fig. 10 partitions).
+      if (rng_.Chance(0.6)) {
+        AppendNewOrder(&out);
+      } else {
+        out.push_back(Next());  // dimension-ish insert
+      }
+    } else if (dice < options_.insert_weight + options_.update_weight) {
+      out.push_back(MakeUpdate());
+    } else {
+      out.push_back(MakePointSelect());
+    }
+  }
+  return out;
+}
+
+}  // namespace tpch
+}  // namespace hsdb

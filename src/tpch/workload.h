@@ -1,0 +1,66 @@
+// CH-benchmark-style mixed workload over the TPC-H schema (paper §5.3,
+// final experiment): OLTP inserts and updates on all tables except nation
+// and region, OLAP aggregates with and without joins and groupings mainly on
+// lineitem and orders.
+#ifndef HSDB_TPCH_WORKLOAD_H_
+#define HSDB_TPCH_WORKLOAD_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "executor/database.h"
+#include "tpch/dbgen.h"
+
+namespace hsdb {
+namespace tpch {
+
+struct TpchWorkloadOptions {
+  /// Fraction of OLAP queries (~1% in the paper's Fig. 10 setup).
+  double olap_fraction = 0.01;
+  uint64_t seed = 7;
+  // OLTP composition (normalized internally).
+  double insert_weight = 0.35;
+  double update_weight = 0.45;
+  double select_weight = 0.20;
+};
+
+class TpchWorkloadGenerator {
+ public:
+  /// Reads current table sizes from `db` so generated keys reference
+  /// existing rows and inserts use fresh keys.
+  TpchWorkloadGenerator(const Database& db, TpchWorkloadOptions options);
+
+  Query Next();
+  /// A "new order" business transaction spans several queries (order +
+  /// lineitems), so Generate may return slightly more queries than `count`.
+  std::vector<Query> Generate(size_t count);
+
+  // Individual OLAP query builders (exposed for tests/benches).
+  Query PricingSummary();        // Q1-like: lineitem, grouped by returnflag
+  Query OrderPriorityRevenue();  // Q3-like: lineitem JOIN orders
+  Query SegmentRevenue();        // Q5-like: orders JOIN customer
+  Query OrderTotals();           // orders only, date-filtered
+  Query BrandPrices();           // part only
+
+ private:
+  void AppendNewOrder(std::vector<Query>* out);
+  Query MakeUpdate();
+  Query MakePointSelect();
+  Query MakeOlap();
+
+  TpchWorkloadOptions options_;
+  Rng rng_;
+  uint64_t customers_;
+  uint64_t suppliers_;
+  uint64_t parts_;
+  uint64_t orders_;
+  int64_t next_orderkey_;
+  int64_t next_custkey_;
+  int64_t next_suppkey_;
+  int64_t next_partkey_;
+};
+
+}  // namespace tpch
+}  // namespace hsdb
+
+#endif  // HSDB_TPCH_WORKLOAD_H_

@@ -1,0 +1,253 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+namespace hsdb {
+
+SyntheticWorkloadGenerator::SyntheticWorkloadGenerator(
+    SyntheticTableSpec spec, size_t table_rows, WorkloadOptions options)
+    : spec_(std::move(spec)),
+      initial_rows_(table_rows),
+      options_(options),
+      rng_(options.seed),
+      next_insert_id_(static_cast<int64_t>(table_rows)) {}
+
+int64_t SyntheticWorkloadGenerator::RandomExistingId() {
+  return rng_.UniformInt(0, static_cast<int64_t>(initial_rows_) - 1);
+}
+
+int64_t SyntheticWorkloadGenerator::RandomHotId() {
+  auto n = static_cast<int64_t>(initial_rows_);
+  auto hot = std::max<int64_t>(
+      1, static_cast<int64_t>(options_.hot_key_fraction * n));
+  return rng_.UniformInt(n - hot, n - 1);
+}
+
+Query SyntheticWorkloadGenerator::MakeAggregation(size_t num_aggregates,
+                                                  bool group_by,
+                                                  bool filter) {
+  AggregationQuery q;
+  q.tables = {spec_.name};
+  static constexpr AggFn kFns[] = {AggFn::kSum, AggFn::kAvg, AggFn::kMin,
+                                   AggFn::kMax};
+  for (size_t i = 0; i < num_aggregates; ++i) {
+    AggregateExpr agg;
+    agg.fn = kFns[rng_.Index(4)];
+    agg.column = {spec_.keyfigure(rng_.Index(spec_.num_keyfigures)), 0};
+    q.aggregates.push_back(agg);
+  }
+  if (group_by && spec_.num_groups > 0) {
+    q.group_by = {{spec_.group(rng_.Index(spec_.num_groups)), 0}};
+  }
+  if (filter && spec_.num_filters > 0) {
+    // Range on a filter attribute with the configured selectivity.
+    auto card = static_cast<int64_t>(spec_.filter_cardinality);
+    auto width = std::max<int64_t>(
+        1, static_cast<int64_t>(options_.filter_selectivity * card));
+    int64_t lo = rng_.UniformInt(0, std::max<int64_t>(0, card - width));
+    PredicateTerm term;
+    term.column = {spec_.filter(rng_.Index(spec_.num_filters)), 0};
+    term.range = ValueRange::Between(Value(static_cast<int32_t>(lo)),
+                                     Value(static_cast<int32_t>(lo + width - 1)));
+    q.predicate.push_back(std::move(term));
+  }
+  return q;
+}
+
+Query SyntheticWorkloadGenerator::MakeInsert() {
+  return InsertQuery{spec_.name, SyntheticRow(spec_, next_insert_id_++)};
+}
+
+Query SyntheticWorkloadGenerator::MakePointSelect() {
+  SelectQuery q;
+  q.table = spec_.name;
+  // Retrieve the full tuple, as an OLTP point query would.
+  q.select_columns.resize(spec_.num_columns());
+  for (ColumnId c = 0; c < q.select_columns.size(); ++c) {
+    q.select_columns[c] = c;
+  }
+  q.predicate = {{{spec_.id_column(), 0},
+                  ValueRange::Eq(Value(RandomExistingId()))}};
+  return q;
+}
+
+Query SyntheticWorkloadGenerator::MakeUpdate() {
+  UpdateQuery q;
+  q.table = spec_.name;
+  q.predicate = {{{spec_.id_column(), 0},
+                  ValueRange::Eq(Value(RandomHotId()))}};
+  size_t width = options_.update_columns;
+  if (options_.wide_update_probability > 0.0 &&
+      rng_.Chance(options_.wide_update_probability)) {
+    width = spec_.num_keyfigures + spec_.num_filters;  // whole-tuple rewrite
+  }
+  width = std::min(width, spec_.num_keyfigures + spec_.num_filters);
+  // Updates hit the OLTP attributes (filters) first — status-like columns
+  // are what transactional workloads modify — and spill into keyfigures
+  // only for whole-tuple rewrites.
+  for (size_t i = 0; i < width; ++i) {
+    if (i < spec_.num_filters) {
+      q.set_columns.push_back(spec_.filter(i));
+      q.set_values.push_back(Value(static_cast<int32_t>(rng_.UniformInt(
+          0, static_cast<int64_t>(spec_.filter_cardinality) - 1))));
+    } else {
+      q.set_columns.push_back(spec_.keyfigure(i - spec_.num_filters));
+      q.set_values.push_back(
+          Value(rng_.UniformDouble(0.0, spec_.keyfigure_max)));
+    }
+  }
+  return q;
+}
+
+Query SyntheticWorkloadGenerator::Next() {
+  if (rng_.Chance(options_.olap_fraction)) {
+    size_t aggs = options_.min_aggregates +
+                  rng_.Index(options_.max_aggregates -
+                             options_.min_aggregates + 1);
+    return MakeAggregation(aggs, rng_.Chance(options_.group_by_probability),
+                           rng_.Chance(options_.filter_probability));
+  }
+  double total = options_.insert_weight + options_.update_weight +
+                 options_.point_select_weight;
+  double dice = rng_.UniformDouble() * total;
+  if (dice < options_.insert_weight) return MakeInsert();
+  if (dice < options_.insert_weight + options_.update_weight) {
+    return MakeUpdate();
+  }
+  return MakePointSelect();
+}
+
+std::vector<Query> SyntheticWorkloadGenerator::Generate(size_t count) {
+  std::vector<Query> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(Next());
+  return out;
+}
+
+// Star schema -----------------------------------------------------------
+
+Schema StarSchemaSpec::MakeFactSchema() const {
+  std::vector<ColumnDef> cols;
+  cols.push_back({"id", DataType::kInt64});
+  cols.push_back({"dim_fk", DataType::kInt64});
+  for (size_t i = 0; i < fact_keyfigures; ++i) {
+    cols.push_back({"kf" + std::to_string(i), DataType::kDouble});
+  }
+  for (size_t i = 0; i < fact_filters; ++i) {
+    cols.push_back({"f" + std::to_string(i), DataType::kInt32});
+  }
+  return Schema::CreateOrDie(std::move(cols), {0});
+}
+
+Schema StarSchemaSpec::MakeDimSchema() const {
+  std::vector<ColumnDef> cols;
+  cols.push_back({"id", DataType::kInt64});
+  for (size_t i = 0; i < dim_attributes; ++i) {
+    cols.push_back({"a" + std::to_string(i), DataType::kInt32});
+  }
+  return Schema::CreateOrDie(std::move(cols), {0});
+}
+
+Row StarSchemaSpec::FactRow(int64_t id) const {
+  Rng rng(static_cast<uint64_t>(id) * 0x9e3779b97f4a7c15ull + 7);
+  Row row;
+  row.push_back(Value(id));
+  row.push_back(Value(rng.UniformInt(0, static_cast<int64_t>(dim_rows) - 1)));
+  // Quantized measures (see SyntheticTableSpec::keyfigure_distinct).
+  const double kf_step = keyfigure_max / 4096.0;
+  for (size_t i = 0; i < fact_keyfigures; ++i) {
+    row.push_back(
+        Value(static_cast<double>(rng.UniformInt(0, 4095)) * kf_step));
+  }
+  for (size_t i = 0; i < fact_filters; ++i) {
+    row.push_back(Value(static_cast<int32_t>(rng.UniformInt(0, 999))));
+  }
+  return row;
+}
+
+Row StarSchemaSpec::DimRow(int64_t id) const {
+  Rng rng(static_cast<uint64_t>(id) * 0x9e3779b97f4a7c15ull + 13);
+  Row row;
+  row.push_back(Value(id));
+  for (size_t i = 0; i < dim_attributes; ++i) {
+    row.push_back(Value(static_cast<int32_t>(rng.UniformInt(
+        0, static_cast<int64_t>(dim_attr_cardinality) - 1))));
+  }
+  return row;
+}
+
+Status PopulateStarSchema(LogicalTable* fact, LogicalTable* dim,
+                          const StarSchemaSpec& spec, size_t fact_rows) {
+  for (uint64_t i = 0; i < spec.dim_rows; ++i) {
+    HSDB_RETURN_IF_ERROR(dim->Insert(spec.DimRow(static_cast<int64_t>(i))));
+  }
+  dim->ForceMerge();
+  for (size_t i = 0; i < fact_rows; ++i) {
+    HSDB_RETURN_IF_ERROR(
+        fact->Insert(spec.FactRow(static_cast<int64_t>(i))));
+  }
+  fact->ForceMerge();
+  return Status::OK();
+}
+
+StarWorkloadGenerator::StarWorkloadGenerator(StarSchemaSpec spec,
+                                             size_t fact_rows,
+                                             WorkloadOptions options)
+    : spec_(std::move(spec)),
+      initial_rows_(fact_rows),
+      options_(options),
+      rng_(options.seed),
+      next_insert_id_(static_cast<int64_t>(fact_rows)) {}
+
+Query StarWorkloadGenerator::MakeJoinAggregation(size_t num_aggregates,
+                                                 bool group_by) {
+  AggregationQuery q;
+  q.tables = {spec_.fact_name, spec_.dim_name};
+  q.joins = {{0, spec_.fact_dim_fk(), 1, spec_.dim_id()}};
+  static constexpr AggFn kFns[] = {AggFn::kSum, AggFn::kAvg, AggFn::kMin,
+                                   AggFn::kMax};
+  for (size_t i = 0; i < num_aggregates; ++i) {
+    AggregateExpr agg;
+    agg.fn = kFns[rng_.Index(4)];
+    agg.column = {spec_.fact_keyfigure(rng_.Index(spec_.fact_keyfigures)), 0};
+    q.aggregates.push_back(agg);
+  }
+  if (group_by) {
+    q.group_by = {
+        {spec_.dim_attribute(rng_.Index(spec_.dim_attributes)), 1}};
+  }
+  return q;
+}
+
+Query StarWorkloadGenerator::Next() {
+  if (rng_.Chance(options_.olap_fraction)) {
+    size_t aggs = options_.min_aggregates +
+                  rng_.Index(options_.max_aggregates -
+                             options_.min_aggregates + 1);
+    return MakeJoinAggregation(aggs,
+                               rng_.Chance(options_.group_by_probability));
+  }
+  double total = options_.insert_weight + options_.update_weight;
+  double dice = rng_.UniformDouble() * total;
+  if (dice < options_.insert_weight) {
+    return InsertQuery{spec_.fact_name, spec_.FactRow(next_insert_id_++)};
+  }
+  UpdateQuery u;
+  u.table = spec_.fact_name;
+  u.predicate = {
+      {{spec_.fact_id(), 0},
+       ValueRange::Eq(Value(rng_.UniformInt(
+           0, static_cast<int64_t>(initial_rows_) - 1)))}};
+  u.set_columns = {spec_.fact_keyfigure(0)};
+  u.set_values = {Value(rng_.UniformDouble(0.0, spec_.keyfigure_max))};
+  return u;
+}
+
+std::vector<Query> StarWorkloadGenerator::Generate(size_t count) {
+  std::vector<Query> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(Next());
+  return out;
+}
+
+}  // namespace hsdb

@@ -1,0 +1,132 @@
+// Workload generators for the paper's evaluation scenarios: mixed OLAP/OLTP
+// workloads over a single synthetic table (Fig. 7a/8/9) and over a star
+// schema (Fig. 7b).
+#ifndef HSDB_WORKLOAD_GENERATOR_H_
+#define HSDB_WORKLOAD_GENERATOR_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "executor/query.h"
+#include "workload/synthetic.h"
+
+namespace hsdb {
+
+/// Knobs of the mixed-workload generator.
+struct WorkloadOptions {
+  /// Fraction of OLAP (aggregation) queries; the paper sweeps this.
+  double olap_fraction = 0.05;
+
+  // Composition of the OLTP remainder (normalized internally).
+  double insert_weight = 0.2;
+  double update_weight = 0.4;
+  double point_select_weight = 0.4;
+
+  // OLAP query shape.
+  size_t min_aggregates = 1;
+  size_t max_aggregates = 3;
+  double group_by_probability = 0.5;
+  double filter_probability = 0.3;
+  double filter_selectivity = 0.1;
+
+  // Update shape.
+  size_t update_columns = 2;
+  /// Updates address keys from the top `hot_key_fraction` of the id domain
+  /// (the paper's Fig. 8 "updates addressing 10% of the data").
+  double hot_key_fraction = 1.0;
+  /// Probability that an update rewrites (almost) the whole tuple instead of
+  /// `update_columns` attributes (drives the horizontal heuristic).
+  double wide_update_probability = 0.0;
+
+  uint64_t seed = 42;
+};
+
+/// Generates a stream of queries against one synthetic table of `table_rows`
+/// initially loaded rows. Inserts use fresh ids above the loaded range, so
+/// generated workloads never violate primary-key uniqueness.
+class SyntheticWorkloadGenerator {
+ public:
+  SyntheticWorkloadGenerator(SyntheticTableSpec spec, size_t table_rows,
+                             WorkloadOptions options);
+
+  Query Next();
+  std::vector<Query> Generate(size_t count);
+
+  /// Query builders (also used directly by the calibration probes).
+  Query MakeAggregation(size_t num_aggregates, bool group_by, bool filter);
+  Query MakeInsert();
+  Query MakePointSelect();
+  Query MakeUpdate();
+
+ private:
+  int64_t RandomExistingId();
+  int64_t RandomHotId();
+
+  SyntheticTableSpec spec_;
+  size_t initial_rows_;
+  WorkloadOptions options_;
+  Rng rng_;
+  int64_t next_insert_id_;
+};
+
+/// Star-schema setup for the join experiments (Fig. 7b): a fact table
+/// ("fact": id, dim foreign key, keyfigures, filters) and a small dimension
+/// ("dim": id, attributes).
+struct StarSchemaSpec {
+  std::string fact_name = "fact";
+  std::string dim_name = "dim";
+  size_t fact_keyfigures = 5;
+  size_t fact_filters = 3;   // fact columns: 2 + keyfigures + filters = 10
+  size_t dim_attributes = 5;  // dim columns: 1 + attributes = 6
+  uint64_t dim_rows = 1000;
+  uint64_t dim_attr_cardinality = 50;
+  double keyfigure_max = 10'000.0;
+
+  Schema MakeFactSchema() const;
+  Schema MakeDimSchema() const;
+
+  ColumnId fact_id() const { return 0; }
+  ColumnId fact_dim_fk() const { return 1; }
+  ColumnId fact_keyfigure(size_t i) const {
+    return 2 + static_cast<ColumnId>(i);
+  }
+  ColumnId fact_filter(size_t i) const {
+    return 2 + static_cast<ColumnId>(fact_keyfigures + i);
+  }
+  ColumnId dim_id() const { return 0; }
+  ColumnId dim_attribute(size_t i) const {
+    return 1 + static_cast<ColumnId>(i);
+  }
+
+  Row FactRow(int64_t id) const;
+  Row DimRow(int64_t id) const;
+};
+
+/// Loads both tables of the star schema.
+Status PopulateStarSchema(LogicalTable* fact, LogicalTable* dim,
+                          const StarSchemaSpec& spec, size_t fact_rows);
+
+/// Mixed workload over the star schema: OLAP queries aggregate fact
+/// keyfigures grouped by dimension attributes (join queries); OLTP queries
+/// update/insert fact rows (paper §5.3 "Joins").
+class StarWorkloadGenerator {
+ public:
+  StarWorkloadGenerator(StarSchemaSpec spec, size_t fact_rows,
+                        WorkloadOptions options);
+
+  Query Next();
+  std::vector<Query> Generate(size_t count);
+
+  Query MakeJoinAggregation(size_t num_aggregates, bool group_by);
+
+ private:
+  StarSchemaSpec spec_;
+  size_t initial_rows_;
+  WorkloadOptions options_;
+  Rng rng_;
+  int64_t next_insert_id_;
+};
+
+}  // namespace hsdb
+
+#endif  // HSDB_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,128 @@
+// Extended workload statistics and the recorder that collects them at query
+// execution time — the online mode's input (paper §4: "number of inserts per
+// table, the number of updates and aggregates per attribute or the number of
+// joins between tables"). Hot update keys are tracked with bounded sketches
+// (histogram + SpaceSaving) instead of unbounded logs.
+#ifndef HSDB_WORKLOAD_RECORDER_H_
+#define HSDB_WORKLOAD_RECORDER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/topk.h"
+#include "executor/observer.h"
+
+namespace hsdb {
+
+/// Per-column usage counters.
+struct ColumnUsage {
+  uint64_t updates = 0;
+  uint64_t aggregate_uses = 0;
+  uint64_t group_by_uses = 0;
+  uint64_t filter_uses = 0;
+  uint64_t projection_uses = 0;
+
+  uint64_t OltpScore() const { return updates; }
+  uint64_t OlapScore() const { return aggregate_uses + group_by_uses; }
+};
+
+/// Per-table workload statistics.
+struct TableWorkloadStats {
+  uint64_t queries = 0;
+  uint64_t inserts = 0;
+  uint64_t updates = 0;
+  uint64_t deletes = 0;
+  uint64_t point_selects = 0;
+  uint64_t range_selects = 0;
+  uint64_t aggregations = 0;  // OLAP queries touching the table
+  uint64_t joins = 0;         // join queries touching the table
+  /// Sum of updated-column counts (avg update width = / updates).
+  uint64_t updated_columns_total = 0;
+  /// Updates rewriting at least half of the non-key attributes (the paper's
+  /// "tuples frequently updated as a whole").
+  uint64_t wide_updates = 0;
+  std::vector<ColumnUsage> columns;
+  /// Join partner -> count.
+  std::map<std::string, uint64_t> join_partners;
+  /// Distribution of update keys over the primary-key domain.
+  EquiWidthHistogram update_key_histogram;
+  /// Most frequently updated individual keys.
+  SpaceSaving hot_update_keys{64};
+
+  double OlapFraction() const {
+    return queries == 0 ? 0.0 : static_cast<double>(aggregations) / queries;
+  }
+  double InsertFraction() const {
+    return queries == 0 ? 0.0 : static_cast<double>(inserts) / queries;
+  }
+  double AvgUpdateWidth() const {
+    return updates == 0
+               ? 0.0
+               : static_cast<double>(updated_columns_total) / updates;
+  }
+};
+
+/// Workload statistics across all tables.
+class WorkloadStatistics {
+ public:
+  /// Folds one executed query into the statistics. `catalog` provides
+  /// schema/stats context (histogram domains, column counts).
+  void Record(const Query& query, const Catalog& catalog);
+
+  const TableWorkloadStats* table(const std::string& name) const;
+  uint64_t total_queries() const { return total_queries_; }
+  double OlapFraction() const {
+    return total_queries_ == 0
+               ? 0.0
+               : static_cast<double>(olap_queries_) / total_queries_;
+  }
+
+  void Reset();
+
+  const std::map<std::string, TableWorkloadStats>& tables() const {
+    return tables_;
+  }
+
+ private:
+  TableWorkloadStats& TableEntry(const std::string& name,
+                                 const Catalog& catalog);
+
+  std::map<std::string, TableWorkloadStats> tables_;
+  uint64_t total_queries_ = 0;
+  uint64_t olap_queries_ = 0;
+};
+
+/// QueryObserver collecting WorkloadStatistics and (optionally) a bounded
+/// sample of the raw queries for advisor re-costing.
+class WorkloadRecorder : public QueryObserver {
+ public:
+  /// `max_recorded_queries` bounds the raw query log (reservoir sampling);
+  /// 0 disables raw retention (statistics only — the cheap mode whose
+  /// quality trade-off bench/ablation_statistics measures).
+  explicit WorkloadRecorder(const Catalog* catalog,
+                            size_t max_recorded_queries = 4096);
+
+  void OnQuery(const Query& query, const QueryResult& result) override;
+
+  const WorkloadStatistics& statistics() const { return statistics_; }
+  const std::vector<Query>& recorded_queries() const { return queries_; }
+  uint64_t seen_queries() const { return seen_; }
+
+  void Reset();
+
+ private:
+  const Catalog* catalog_;
+  size_t max_queries_;
+  WorkloadStatistics statistics_;
+  std::vector<Query> queries_;
+  uint64_t seen_ = 0;
+  Rng rng_{0xc0ffee};
+};
+
+}  // namespace hsdb
+
+#endif  // HSDB_WORKLOAD_RECORDER_H_

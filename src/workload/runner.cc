@@ -1,0 +1,26 @@
+#include "workload/runner.h"
+
+namespace hsdb {
+
+WorkloadRunResult RunWorkload(Database& db,
+                              const std::vector<Query>& queries) {
+  WorkloadRunResult result;
+  for (const Query& query : queries) {
+    Result<QueryResult> r = db.Execute(query);
+    ++result.queries;
+    if (!r.ok()) {
+      ++result.failed;
+      continue;
+    }
+    result.total_ms += r->elapsed_ms;
+    if (IsOlap(query)) {
+      ++result.olap_queries;
+      result.olap_ms += r->elapsed_ms;
+    } else {
+      result.oltp_ms += r->elapsed_ms;
+    }
+  }
+  return result;
+}
+
+}  // namespace hsdb

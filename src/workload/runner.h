@@ -1,0 +1,27 @@
+// Workload runner: executes a query sequence against a Database and reports
+// aggregate timing — the measurement harness behind all paper figures.
+#ifndef HSDB_WORKLOAD_RUNNER_H_
+#define HSDB_WORKLOAD_RUNNER_H_
+
+#include <vector>
+
+#include "executor/database.h"
+
+namespace hsdb {
+
+struct WorkloadRunResult {
+  double total_ms = 0.0;
+  double olap_ms = 0.0;
+  double oltp_ms = 0.0;
+  size_t queries = 0;
+  size_t olap_queries = 0;
+  size_t failed = 0;
+};
+
+/// Runs every query in order. Failed queries are counted, not fatal (a
+/// workload with random inserts may occasionally collide on keys).
+WorkloadRunResult RunWorkload(Database& db, const std::vector<Query>& queries);
+
+}  // namespace hsdb
+
+#endif  // HSDB_WORKLOAD_RUNNER_H_

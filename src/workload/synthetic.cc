@@ -1,0 +1,58 @@
+#include "workload/synthetic.h"
+
+namespace hsdb {
+
+Schema SyntheticTableSpec::MakeSchema() const {
+  std::vector<ColumnDef> cols;
+  cols.reserve(num_columns());
+  cols.push_back({"id", DataType::kInt64});
+  for (size_t i = 0; i < num_keyfigures; ++i) {
+    cols.push_back({"kf" + std::to_string(i), DataType::kDouble});
+  }
+  for (size_t i = 0; i < num_filters; ++i) {
+    cols.push_back({"f" + std::to_string(i), DataType::kInt32});
+  }
+  for (size_t i = 0; i < num_groups; ++i) {
+    cols.push_back({"g" + std::to_string(i), DataType::kInt32});
+  }
+  return Schema::CreateOrDie(std::move(cols), {0});
+}
+
+Row SyntheticRow(const SyntheticTableSpec& spec, int64_t id) {
+  // Deterministic per-id generation keeps inserts reproducible without
+  // sharing generator state between data load and workload.
+  Rng rng(static_cast<uint64_t>(id) * 0x9e3779b97f4a7c15ull + 1);
+  Row row;
+  row.reserve(spec.num_columns());
+  row.push_back(Value(id));
+  const double kf_step =
+      spec.keyfigure_max / static_cast<double>(spec.keyfigure_distinct);
+  for (size_t i = 0; i < spec.num_keyfigures; ++i) {
+    int64_t bucket = rng.UniformInt(
+        0, static_cast<int64_t>(spec.keyfigure_distinct) - 1);
+    row.push_back(Value(static_cast<double>(bucket) * kf_step));
+  }
+  for (size_t i = 0; i < spec.num_filters; ++i) {
+    row.push_back(Value(static_cast<int32_t>(
+        rng.UniformInt(0, static_cast<int64_t>(spec.filter_cardinality) - 1))));
+  }
+  for (size_t i = 0; i < spec.num_groups; ++i) {
+    row.push_back(Value(static_cast<int32_t>(
+        rng.UniformInt(0, static_cast<int64_t>(spec.group_cardinality) - 1))));
+  }
+  return row;
+}
+
+Status PopulateSynthetic(LogicalTable* table, const SyntheticTableSpec& spec,
+                         size_t rows) {
+  if (!(table->schema() == spec.MakeSchema())) {
+    return Status::InvalidArgument("table schema does not match spec");
+  }
+  for (size_t i = 0; i < rows; ++i) {
+    HSDB_RETURN_IF_ERROR(table->Insert(SyntheticRow(spec, i)));
+  }
+  table->ForceMerge();
+  return Status::OK();
+}
+
+}  // namespace hsdb

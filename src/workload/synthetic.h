@@ -1,0 +1,55 @@
+// Synthetic table specifications matching the paper's evaluation setups:
+// an ID column plus keyfigures (DOUBLE measures), filter attributes and
+// group-by attributes (§5.2: "the table consisted of 30 attributes (ID and
+// several keyfigures, filter attributes, and group-by attributes)").
+#ifndef HSDB_WORKLOAD_SYNTHETIC_H_
+#define HSDB_WORKLOAD_SYNTHETIC_H_
+
+#include <string>
+
+#include "common/random.h"
+#include "storage/logical_table.h"
+
+namespace hsdb {
+
+struct SyntheticTableSpec {
+  std::string name = "synthetic";
+  size_t num_keyfigures = 10;
+  size_t num_filters = 10;
+  size_t num_groups = 9;  // 1 + 10 + 10 + 9 = 30 columns, as in the paper
+  /// Distinct values per filter / group-by attribute.
+  uint64_t filter_cardinality = 1000;
+  uint64_t group_cardinality = 20;
+  /// Keyfigure values are uniform in [0, keyfigure_max) quantized to
+  /// `keyfigure_distinct` distinct values — measures such as prices and
+  /// quantities have bounded domains, which is what makes them dictionary-
+  /// compressible in a column store.
+  double keyfigure_max = 10'000.0;
+  uint64_t keyfigure_distinct = 4096;
+
+  Schema MakeSchema() const;
+
+  ColumnId id_column() const { return 0; }
+  ColumnId keyfigure(size_t i) const { return 1 + static_cast<ColumnId>(i); }
+  ColumnId filter(size_t i) const {
+    return 1 + static_cast<ColumnId>(num_keyfigures + i);
+  }
+  ColumnId group(size_t i) const {
+    return 1 + static_cast<ColumnId>(num_keyfigures + num_filters + i);
+  }
+  size_t num_columns() const {
+    return 1 + num_keyfigures + num_filters + num_groups;
+  }
+};
+
+/// Deterministic row with primary key `id`.
+Row SyntheticRow(const SyntheticTableSpec& spec, int64_t id);
+
+/// Creates the table in `db_catalog` (if absent) and loads `rows` rows with
+/// ids [0, rows); column-store pieces are merged afterwards.
+Status PopulateSynthetic(LogicalTable* table, const SyntheticTableSpec& spec,
+                         size_t rows);
+
+}  // namespace hsdb
+
+#endif  // HSDB_WORKLOAD_SYNTHETIC_H_

@@ -1,0 +1,201 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace hsdb {
+namespace {
+
+Schema SimpleSchema() {
+  return Schema::CreateOrDie({{"id", DataType::kInt64},
+                              {"grp", DataType::kInt32},
+                              {"val", DataType::kDouble},
+                              {"tag", DataType::kVarchar}},
+                             {0});
+}
+
+TEST(CatalogTest, CreateGetDrop) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .CreateTable("t1", SimpleSchema(),
+                               TableLayout::SingleStore(StoreType::kRow))
+                  .ok());
+  EXPECT_EQ(catalog.table_count(), 1u);
+  EXPECT_NE(catalog.GetTable("t1"), nullptr);
+  EXPECT_EQ(catalog.GetTable("t2"), nullptr);
+  EXPECT_TRUE(catalog.Find("t1").ok());
+  EXPECT_EQ(catalog.Find("t2").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(catalog
+                .CreateTable("t1", SimpleSchema(),
+                             TableLayout::SingleStore(StoreType::kRow))
+                .code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(catalog.DropTable("t1").ok());
+  EXPECT_EQ(catalog.DropTable("t1").code(), StatusCode::kNotFound);
+  EXPECT_EQ(catalog.table_count(), 0u);
+}
+
+TEST(CatalogTest, TableNamesSorted) {
+  Catalog catalog;
+  for (const char* name : {"zeta", "alpha", "mid"}) {
+    ASSERT_TRUE(catalog
+                    .CreateTable(name, SimpleSchema(),
+                                 TableLayout::SingleStore(StoreType::kRow))
+                    .ok());
+  }
+  EXPECT_EQ(catalog.TableNames(),
+            (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+TEST(CatalogTest, StatisticsLifecycle) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .CreateTable("t", SimpleSchema(),
+                               TableLayout::SingleStore(StoreType::kColumn))
+                  .ok());
+  EXPECT_EQ(catalog.GetStatistics("t"), nullptr);
+  LogicalTable* t = catalog.GetTable("t");
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        t->Insert({i, int32_t(i % 4), i * 0.5, "s" + std::to_string(i % 3)})
+            .ok());
+  }
+  ASSERT_TRUE(catalog.UpdateStatistics("t").ok());
+  const TableStatistics* stats = catalog.GetStatistics("t");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->row_count, 100u);
+  EXPECT_EQ(catalog.UpdateStatistics("missing").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(StatisticsTest, PerColumnStats) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .CreateTable("t", SimpleSchema(),
+                               TableLayout::SingleStore(StoreType::kColumn))
+                  .ok());
+  LogicalTable* t = catalog.GetTable("t");
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(
+        t->Insert({i, int32_t(i % 4), 100.0 + (i % 50), "s" + std::to_string(i % 3)})
+            .ok());
+  }
+  t->ForceMerge();
+  TableStatistics stats = Analyze(*t);
+  EXPECT_EQ(stats.row_count, 1000u);
+  EXPECT_EQ(stats.column(0).distinct_count, 1000u);
+  EXPECT_EQ(stats.column(1).distinct_count, 4u);
+  EXPECT_EQ(stats.column(2).distinct_count, 50u);
+  EXPECT_EQ(stats.column(3).distinct_count, 3u);
+  EXPECT_DOUBLE_EQ(*stats.column(0).min, 0.0);
+  EXPECT_DOUBLE_EQ(*stats.column(0).max, 999.0);
+  EXPECT_DOUBLE_EQ(*stats.column(2).min, 100.0);
+  EXPECT_DOUBLE_EQ(*stats.column(2).max, 149.0);
+  EXPECT_FALSE(stats.column(3).min.has_value());  // varchar: no numeric range
+  // Low-cardinality columns compress well in the column store.
+  EXPECT_LT(stats.column(1).compression_rate, 0.5);
+  EXPECT_GT(stats.table_compression_rate, 0.0);
+}
+
+TEST(StatisticsTest, RowStoreGetsAnalyticCompressionEstimate) {
+  // Same data in both stores: the RS table's hypothetical CS compression
+  // estimate should be in the ballpark of the CS table's measured one.
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .CreateTable("rs", SimpleSchema(),
+                               TableLayout::SingleStore(StoreType::kRow))
+                  .ok());
+  ASSERT_TRUE(catalog
+                  .CreateTable("cs", SimpleSchema(),
+                               TableLayout::SingleStore(StoreType::kColumn))
+                  .ok());
+  for (int64_t i = 0; i < 2000; ++i) {
+    Row row = {i, int32_t(i % 8), static_cast<double>(i % 100), "x"};
+    ASSERT_TRUE(catalog.GetTable("rs")->Insert(row).ok());
+    ASSERT_TRUE(catalog.GetTable("cs")->Insert(row).ok());
+  }
+  catalog.GetTable("cs")->ForceMerge();
+  TableStatistics rs_stats = Analyze(*catalog.GetTable("rs"));
+  TableStatistics cs_stats = Analyze(*catalog.GetTable("cs"));
+  // grp column: 8 distinct over 2000 rows -> strong compression either way.
+  EXPECT_LT(rs_stats.column(1).compression_rate, 0.3);
+  EXPECT_LT(cs_stats.column(1).compression_rate, 0.3);
+}
+
+TEST(StatisticsTest, SelectivityEstimates) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .CreateTable("t", SimpleSchema(),
+                               TableLayout::SingleStore(StoreType::kColumn))
+                  .ok());
+  LogicalTable* t = catalog.GetTable("t");
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(t->Insert({i, int32_t(i % 10), static_cast<double>(i), "s"})
+                    .ok());
+  }
+  TableStatistics stats = Analyze(*t);
+  // Point on id: 1/distinct.
+  EXPECT_NEAR(stats.EstimateSelectivity(
+                  0, ValueRange::Eq(Value(int64_t{5}))),
+              0.001, 1e-6);
+  // Range covering 10% of the domain.
+  EXPECT_NEAR(stats.EstimateSelectivity(
+                  0, ValueRange::Between(Value(int64_t{0}),
+                                         Value(int64_t{100}))),
+              0.1, 0.01);
+  // Range covering everything.
+  EXPECT_NEAR(stats.EstimateSelectivity(
+                  0, ValueRange::Between(Value(int64_t{-10}),
+                                         Value(int64_t{2000}))),
+              1.0, 1e-6);
+  // Disjoint range.
+  EXPECT_NEAR(stats.EstimateSelectivity(
+                  0, ValueRange::AtLeast(Value(int64_t{5000}))),
+              0.0, 1e-6);
+  // Half-open range.
+  EXPECT_NEAR(stats.EstimateSelectivity(
+                  0, ValueRange::AtMost(Value(499.5))),
+              0.5, 0.01);
+}
+
+TEST(StatisticsTest, SampledDistinctOnLargeTable) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .CreateTable("t", SimpleSchema(),
+                               TableLayout::SingleStore(StoreType::kColumn))
+                  .ok());
+  LogicalTable* t = catalog.GetTable("t");
+  for (int64_t i = 0; i < 20'000; ++i) {
+    ASSERT_TRUE(t->Insert({i, int32_t(i % 4), static_cast<double>(i), "s"})
+                    .ok());
+  }
+  t->ForceMerge();
+  // Force sampling with a small exact limit.
+  TableStatistics stats = Analyze(*t, /*exact_distinct_limit=*/1000);
+  // Unique column: estimate within 2x of the truth.
+  EXPECT_GT(stats.column(0).distinct_count, 10'000u);
+  EXPECT_LE(stats.column(0).distinct_count, 20'000u);
+  // Low-cardinality column: exact despite sampling.
+  EXPECT_EQ(stats.column(1).distinct_count, 4u);
+}
+
+TEST(CatalogTest, ReplaceTableValidatesSchema) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .CreateTable("t", SimpleSchema(),
+                               TableLayout::SingleStore(StoreType::kRow))
+                  .ok());
+  auto other = LogicalTable::Create(
+      "t", Schema::CreateOrDie({{"x", DataType::kInt32}}, {0}),
+      TableLayout::SingleStore(StoreType::kRow));
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(catalog.ReplaceTable("t", std::move(other).value()).code(),
+            StatusCode::kInvalidArgument);
+  auto same = LogicalTable::Create(
+      "t", SimpleSchema(), TableLayout::SingleStore(StoreType::kColumn));
+  ASSERT_TRUE(same.ok());
+  EXPECT_TRUE(catalog.ReplaceTable("t", std::move(same).value()).ok());
+  EXPECT_EQ(catalog.GetTable("t")->layout().base_store, StoreType::kColumn);
+}
+
+}  // namespace
+}  // namespace hsdb

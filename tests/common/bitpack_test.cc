@@ -1,0 +1,110 @@
+#include "common/bitpack.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace hsdb {
+namespace {
+
+TEST(BitPackTest, WidthFor) {
+  EXPECT_EQ(BitPackedVector::WidthFor(0), 1u);
+  EXPECT_EQ(BitPackedVector::WidthFor(1), 1u);
+  EXPECT_EQ(BitPackedVector::WidthFor(2), 2u);
+  EXPECT_EQ(BitPackedVector::WidthFor(3), 2u);
+  EXPECT_EQ(BitPackedVector::WidthFor(255), 8u);
+  EXPECT_EQ(BitPackedVector::WidthFor(256), 9u);
+  EXPECT_EQ(BitPackedVector::WidthFor(~uint64_t{0}), 64u);
+}
+
+TEST(BitPackTest, AppendAndGetSmallWidth) {
+  BitPackedVector v(3);
+  for (uint64_t i = 0; i < 100; ++i) v.Append(i % 8);
+  ASSERT_EQ(v.size(), 100u);
+  for (uint64_t i = 0; i < 100; ++i) EXPECT_EQ(v.Get(i), i % 8) << i;
+}
+
+TEST(BitPackTest, CrossWordBoundaries) {
+  // Width 7 repeatedly straddles 64-bit word boundaries.
+  BitPackedVector v(7);
+  for (uint64_t i = 0; i < 1000; ++i) v.Append(i % 128);
+  for (uint64_t i = 0; i < 1000; ++i) EXPECT_EQ(v.Get(i), i % 128) << i;
+}
+
+TEST(BitPackTest, FullWidth64) {
+  BitPackedVector v(64);
+  std::vector<uint64_t> values = {0, 1, ~uint64_t{0}, 0x123456789abcdef0ull};
+  for (uint64_t x : values) v.Append(x);
+  for (size_t i = 0; i < values.size(); ++i) EXPECT_EQ(v.Get(i), values[i]);
+}
+
+TEST(BitPackTest, SetOverwritesInPlace) {
+  BitPackedVector v(5);
+  for (uint64_t i = 0; i < 50; ++i) v.Append(i % 32);
+  v.Set(0, 31);
+  v.Set(49, 7);
+  v.Set(13, 0);
+  EXPECT_EQ(v.Get(0), 31u);
+  EXPECT_EQ(v.Get(49), 7u);
+  EXPECT_EQ(v.Get(13), 0u);
+  // Neighbours untouched.
+  EXPECT_EQ(v.Get(1), 1u);
+  EXPECT_EQ(v.Get(12), 12u);
+  EXPECT_EQ(v.Get(14), 14u);
+}
+
+TEST(BitPackTest, SetAcrossWordBoundary) {
+  BitPackedVector v(61);
+  for (uint64_t i = 0; i < 10; ++i) v.Append(i);
+  v.Set(1, (uint64_t{1} << 61) - 1);
+  EXPECT_EQ(v.Get(0), 0u);
+  EXPECT_EQ(v.Get(1), (uint64_t{1} << 61) - 1);
+  EXPECT_EQ(v.Get(2), 2u);
+}
+
+TEST(BitPackTest, ZeroWidthIsPromotedToOne) {
+  BitPackedVector v(0);
+  EXPECT_EQ(v.bit_width(), 1u);
+  v.Append(0);
+  v.Append(1);
+  EXPECT_EQ(v.Get(0), 0u);
+  EXPECT_EQ(v.Get(1), 1u);
+}
+
+// Property sweep: random round trips across widths.
+class BitPackRoundTrip : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BitPackRoundTrip, RandomRoundTrip) {
+  uint32_t width = GetParam();
+  Rng rng(width * 977 + 1);
+  BitPackedVector v(width);
+  std::vector<uint64_t> expected;
+  uint64_t mask = width == 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t x = rng.Next() & mask;
+    v.Append(x);
+    expected.push_back(x);
+  }
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(v.Get(i), expected[i]) << "width=" << width << " i=" << i;
+  }
+  // Random overwrites.
+  for (int i = 0; i < 500; ++i) {
+    size_t pos = rng.Index(expected.size());
+    uint64_t x = rng.Next() & mask;
+    v.Set(pos, x);
+    expected[pos] = x;
+  }
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(v.Get(i), expected[i]) << "width=" << width << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, BitPackRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 12u, 16u, 21u,
+                                           31u, 32u, 33u, 48u, 63u, 64u));
+
+}  // namespace
+}  // namespace hsdb

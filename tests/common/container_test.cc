@@ -1,0 +1,126 @@
+// Tests for Arena, StringPool and Bitmap.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+
+#include "common/arena.h"
+#include "common/bitmap.h"
+#include "common/string_pool.h"
+
+namespace hsdb {
+namespace {
+
+TEST(ArenaTest, AllocationsAreStable) {
+  Arena arena(64);  // tiny chunks force frequent chunk rollover
+  std::vector<std::byte*> ptrs;
+  for (int i = 0; i < 100; ++i) {
+    std::byte* p = arena.Allocate(24);
+    std::memset(p, i, 24);
+    ptrs.push_back(p);
+  }
+  for (int i = 0; i < 100; ++i) {
+    for (int j = 0; j < 24; ++j) {
+      ASSERT_EQ(static_cast<int>(ptrs[i][j]), i);
+    }
+  }
+}
+
+TEST(ArenaTest, LargeAllocationGetsOwnChunk) {
+  Arena arena(128);
+  std::byte* p = arena.Allocate(10'000);
+  std::memset(p, 7, 10'000);
+  EXPECT_GE(arena.reserved_bytes(), 10'000u);
+}
+
+TEST(ArenaTest, AllocationsAreAligned) {
+  Arena arena;
+  for (size_t n : {1u, 3u, 7u, 9u, 24u}) {
+    auto p = reinterpret_cast<uintptr_t>(arena.Allocate(n));
+    EXPECT_EQ(p % 8, 0u);
+  }
+}
+
+TEST(ArenaTest, ClearReleasesAccounting) {
+  Arena arena;
+  arena.Allocate(100);
+  EXPECT_GT(arena.allocated_bytes(), 0u);
+  arena.Clear();
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+}
+
+TEST(StringPoolTest, InternDeduplicates) {
+  StringPool pool;
+  auto a = pool.Intern("hello");
+  auto b = pool.Intern("world");
+  auto c = pool.Intern("hello");
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.Get(a), "hello");
+  EXPECT_EQ(pool.Get(b), "world");
+}
+
+TEST(StringPoolTest, EmptyString) {
+  StringPool pool;
+  auto id = pool.Intern("");
+  EXPECT_EQ(pool.Get(id), "");
+}
+
+TEST(StringPoolTest, ManyStringsSurviveGrowth) {
+  StringPool pool;
+  std::vector<StringPool::StringId> ids;
+  for (int i = 0; i < 5000; ++i) {
+    ids.push_back(pool.Intern("str_" + std::to_string(i)));
+  }
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_EQ(pool.Get(ids[i]), "str_" + std::to_string(i));
+  }
+  EXPECT_EQ(pool.size(), 5000u);
+}
+
+TEST(BitmapTest, PushBackAndTest) {
+  Bitmap bm;
+  for (int i = 0; i < 200; ++i) bm.PushBack(i % 3 == 0);
+  ASSERT_EQ(bm.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(bm.Test(i), i % 3 == 0);
+}
+
+TEST(BitmapTest, SetClearCount) {
+  Bitmap bm(130);
+  EXPECT_EQ(bm.Count(), 0u);
+  bm.Set(0);
+  bm.Set(64);
+  bm.Set(129);
+  EXPECT_EQ(bm.Count(), 3u);
+  bm.Clear(64);
+  EXPECT_EQ(bm.Count(), 2u);
+  EXPECT_FALSE(bm.Test(64));
+}
+
+TEST(BitmapTest, InitiallySetRespectsSize) {
+  Bitmap bm(70, /*initially_set=*/true);
+  EXPECT_EQ(bm.Count(), 70u);
+  for (size_t i = 0; i < 70; ++i) EXPECT_TRUE(bm.Test(i));
+}
+
+TEST(BitmapTest, ForEachSetVisitsAscending) {
+  Bitmap bm(300);
+  std::set<size_t> expected = {0, 63, 64, 65, 127, 128, 255, 299};
+  for (size_t i : expected) bm.Set(i);
+  std::vector<size_t> visited;
+  bm.ForEachSet([&](size_t i) { visited.push_back(i); });
+  EXPECT_EQ(visited, std::vector<size_t>(expected.begin(), expected.end()));
+}
+
+TEST(BitmapTest, ResizeResets) {
+  Bitmap bm(10);
+  bm.Set(3);
+  bm.Resize(20);
+  EXPECT_EQ(bm.Count(), 0u);
+  EXPECT_EQ(bm.size(), 20u);
+}
+
+}  // namespace
+}  // namespace hsdb

@@ -1,0 +1,103 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace hsdb {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(11);
+  std::map<int64_t, int> histogram;
+  for (int i = 0; i < 10'000; ++i) histogram[rng.UniformInt(0, 9)]++;
+  ASSERT_EQ(histogram.size(), 10u);
+  for (const auto& [value, count] : histogram) {
+    EXPECT_GT(count, 500) << value;  // ~1000 expected each
+    EXPECT_LT(count, 1500) << value;
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceRespectsProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10'000; ++i) hits += rng.Chance(0.25);
+  EXPECT_NEAR(hits / 10'000.0, 0.25, 0.02);
+}
+
+TEST(RngTest, StringHasRequestedLength) {
+  Rng rng(19);
+  std::string s = rng.String(12);
+  EXPECT_EQ(s.size(), 12u);
+  for (char c : s) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  Rng rng(23);
+  ZipfDistribution zipf(100, 1.1);
+  for (int i = 0; i < 10'000; ++i) {
+    uint64_t v = zipf.Sample(rng);
+    EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(ZipfTest, SkewFavorsSmallValues) {
+  Rng rng(29);
+  ZipfDistribution zipf(1000, 1.2);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 50'000; ++i) counts[zipf.Sample(rng)]++;
+  // Rank 0 must dominate rank 99 heavily under s=1.2.
+  EXPECT_GT(counts[0], counts[99] * 5);
+  // Head mass: top-10 should hold a large share.
+  int head = 0;
+  for (int i = 0; i < 10; ++i) head += counts[i];
+  EXPECT_GT(head, 50'000 / 4);
+}
+
+TEST(ZipfTest, SingleItemAlwaysZero) {
+  Rng rng(31);
+  ZipfDistribution zipf(1, 1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace hsdb

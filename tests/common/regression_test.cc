@@ -1,0 +1,111 @@
+#include "common/regression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace hsdb {
+namespace {
+
+TEST(LinearFitTest, RecoversExactLine) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y;
+  for (double v : x) y.push_back(3.0 + 2.0 * v);
+  LinearFit fit = FitLinear(x, y);
+  EXPECT_NEAR(fit.fn.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(fit.fn.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(LinearFitTest, NoisyLineHasHighR2) {
+  Rng rng(3);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    double xi = i;
+    x.push_back(xi);
+    y.push_back(5.0 + 0.5 * xi + rng.UniformDouble(-1.0, 1.0));
+  }
+  LinearFit fit = FitLinear(x, y);
+  EXPECT_NEAR(fit.fn.slope, 0.5, 0.05);
+  EXPECT_NEAR(fit.fn.intercept, 5.0, 1.0);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(LinearFitTest, DegenerateSingleXIsConstant) {
+  LinearFit fit = FitLinear({2, 2, 2}, {1, 3, 5});
+  EXPECT_DOUBLE_EQ(fit.fn.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.fn.intercept, 3.0);
+}
+
+TEST(LinearFitTest, ConstantYPerfectFit) {
+  LinearFit fit = FitLinear({1, 2, 3}, {4, 4, 4});
+  EXPECT_NEAR(fit.fn.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.fn(10.0), 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+TEST(LinearFnTest, ConstantFactory) {
+  LinearFn c = LinearFn::Constant(2.5);
+  EXPECT_DOUBLE_EQ(c(0), 2.5);
+  EXPECT_DOUBLE_EQ(c(100), 2.5);
+}
+
+TEST(PiecewiseTest, InterpolatesBetweenKnots) {
+  auto fn = PiecewiseLinearFn::FromKnots({0, 10}, {0, 100});
+  EXPECT_DOUBLE_EQ(fn(0), 0);
+  EXPECT_DOUBLE_EQ(fn(5), 50);
+  EXPECT_DOUBLE_EQ(fn(10), 100);
+}
+
+TEST(PiecewiseTest, ExtrapolatesWithOuterSlopes) {
+  auto fn = PiecewiseLinearFn::FromKnots({0, 1, 2}, {0, 1, 3});
+  EXPECT_DOUBLE_EQ(fn(-1), -1);  // left slope 1
+  EXPECT_DOUBLE_EQ(fn(3), 5);    // right slope 2
+}
+
+TEST(PiecewiseTest, UnsortedKnotsAreSorted) {
+  auto fn = PiecewiseLinearFn::FromKnots({2, 0, 1}, {20, 0, 10});
+  EXPECT_DOUBLE_EQ(fn(0.5), 5);
+  EXPECT_DOUBLE_EQ(fn(1.5), 15);
+}
+
+TEST(PiecewiseTest, DuplicateXAveraged) {
+  auto fn = PiecewiseLinearFn::FromKnots({1, 1}, {10, 20});
+  EXPECT_EQ(fn.num_knots(), 1u);
+  EXPECT_DOUBLE_EQ(fn(1), 15);
+  EXPECT_DOUBLE_EQ(fn(99), 15);  // constant
+}
+
+TEST(PiecewiseTest, ConstantFactory) {
+  auto fn = PiecewiseLinearFn::Constant(7.0);
+  EXPECT_DOUBLE_EQ(fn(-5), 7.0);
+  EXPECT_DOUBLE_EQ(fn(5), 7.0);
+}
+
+TEST(PiecewiseTest, NonLinearShapePreserved) {
+  // A saturating curve: fast growth then plateau.
+  auto fn = PiecewiseLinearFn::FromKnots({0, 1, 2, 4, 8}, {0, 10, 15, 18, 19});
+  EXPECT_DOUBLE_EQ(fn(0.5), 5);
+  EXPECT_DOUBLE_EQ(fn(3), 16.5);
+  EXPECT_DOUBLE_EQ(fn(6), 18.5);
+}
+
+TEST(MapeTest, ZeroForPerfectPrediction) {
+  EXPECT_DOUBLE_EQ(MeanAbsolutePercentageError({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(MapeTest, ComputesMeanRelativeError) {
+  // Errors: 10% and 20%.
+  double mape = MeanAbsolutePercentageError({10, 10}, {11, 12});
+  EXPECT_NEAR(mape, 0.15, 1e-12);
+}
+
+TEST(MapeTest, SkipsZeroActuals) {
+  double mape = MeanAbsolutePercentageError({0, 10}, {5, 11});
+  EXPECT_NEAR(mape, 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace hsdb

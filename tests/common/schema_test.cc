@@ -1,0 +1,137 @@
+#include "common/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "common/row.h"
+
+namespace hsdb {
+namespace {
+
+Schema TestSchema() {
+  return Schema::CreateOrDie(
+      {{"id", DataType::kInt64},
+       {"qty", DataType::kInt32},
+       {"price", DataType::kDouble},
+       {"ship_date", DataType::kDate},
+       {"comment", DataType::kVarchar}},
+      {0});
+}
+
+TEST(SchemaTest, BasicAccessors) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.num_columns(), 5u);
+  EXPECT_EQ(s.column(0).name, "id");
+  EXPECT_EQ(s.column(2).type, DataType::kDouble);
+  EXPECT_EQ(s.primary_key(), std::vector<ColumnId>{0});
+  EXPECT_TRUE(s.IsPrimaryKeyColumn(0));
+  EXPECT_FALSE(s.IsPrimaryKeyColumn(1));
+}
+
+TEST(SchemaTest, FindColumn) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.FindColumn("price"), std::optional<ColumnId>(2));
+  EXPECT_EQ(s.FindColumn("missing"), std::nullopt);
+  EXPECT_EQ(s.ColumnIdOrDie("ship_date"), 3u);
+}
+
+TEST(SchemaTest, FixedLayout) {
+  Schema s = TestSchema();
+  // int64(8) + int32(4) + double(8) + date(4) + varchar-ref(4) = 28 bytes.
+  EXPECT_EQ(s.fixed_offset(0), 0u);
+  EXPECT_EQ(s.fixed_offset(1), 8u);
+  EXPECT_EQ(s.fixed_offset(2), 12u);
+  EXPECT_EQ(s.fixed_offset(3), 20u);
+  EXPECT_EQ(s.fixed_offset(4), 24u);
+  EXPECT_EQ(s.row_stride(), 28u);
+}
+
+TEST(SchemaTest, RejectsEmptySchema) {
+  EXPECT_FALSE(Schema::Create({}, {}).ok());
+}
+
+TEST(SchemaTest, RejectsDuplicateNames) {
+  auto r = Schema::Create({{"a", DataType::kInt32}, {"a", DataType::kInt64}},
+                          {});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, RejectsEmptyColumnName) {
+  EXPECT_FALSE(Schema::Create({{"", DataType::kInt32}}, {}).ok());
+}
+
+TEST(SchemaTest, RejectsOutOfRangePrimaryKey) {
+  EXPECT_FALSE(Schema::Create({{"a", DataType::kInt32}}, {3}).ok());
+}
+
+TEST(SchemaTest, ProjectKeepsOrderAndRemapsPk) {
+  Schema s = TestSchema();
+  Schema proj = s.Project({0, 2, 4});
+  EXPECT_EQ(proj.num_columns(), 3u);
+  EXPECT_EQ(proj.column(0).name, "id");
+  EXPECT_EQ(proj.column(1).name, "price");
+  EXPECT_EQ(proj.column(2).name, "comment");
+  EXPECT_EQ(proj.primary_key(), std::vector<ColumnId>{0});
+
+  Schema reordered = s.Project({2, 0});
+  EXPECT_EQ(reordered.primary_key(), std::vector<ColumnId>{1});
+}
+
+TEST(SchemaTest, ProjectDropsAbsentPk) {
+  Schema s = TestSchema();
+  Schema proj = s.Project({1, 2});
+  EXPECT_TRUE(proj.primary_key().empty());
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_EQ(TestSchema(), TestSchema());
+  Schema other = Schema::CreateOrDie({{"id", DataType::kInt64}}, {0});
+  EXPECT_FALSE(TestSchema() == other);
+}
+
+TEST(RowTest, ValidateAndCoerce) {
+  Schema s = TestSchema();
+  Row row = {int64_t{1}, int32_t{2}, 3.5, Date{100}, "note"};
+  EXPECT_TRUE(ValidateAndCoerceRow(s, &row).ok());
+
+  // Lossless coercion int32 -> int64 for the id column.
+  Row coercible = {int32_t{1}, int32_t{2}, 3.5, Date{100}, "note"};
+  ASSERT_TRUE(ValidateAndCoerceRow(s, &coercible).ok());
+  EXPECT_EQ(coercible[0].type(), DataType::kInt64);
+}
+
+TEST(RowTest, ValidateRejectsArityMismatch) {
+  Schema s = TestSchema();
+  Row row = {int64_t{1}};
+  EXPECT_EQ(ValidateAndCoerceRow(s, &row).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RowTest, ValidateRejectsTypeMismatch) {
+  Schema s = TestSchema();
+  Row row = {int64_t{1}, int32_t{2}, 3.5, Date{100}, int32_t{5}};
+  EXPECT_EQ(ValidateAndCoerceRow(s, &row).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RowTest, ValidateRejectsInvalidValue) {
+  Schema s = TestSchema();
+  Row row = {int64_t{1}, Value(), 3.5, Date{100}, "x"};
+  EXPECT_FALSE(ValidateAndCoerceRow(s, &row).ok());
+}
+
+TEST(RowTest, ProjectRow) {
+  Row row = {int64_t{1}, int32_t{2}, 3.5};
+  Row proj = ProjectRow(row, {2, 0});
+  ASSERT_EQ(proj.size(), 2u);
+  EXPECT_DOUBLE_EQ(proj[0].as_double(), 3.5);
+  EXPECT_EQ(proj[1].as_int64(), 1);
+}
+
+TEST(RowTest, RowToString) {
+  Row row = {int64_t{1}, "a"};
+  EXPECT_EQ(RowToString(row), "(1, 'a')");
+}
+
+}  // namespace
+}  // namespace hsdb

@@ -1,0 +1,152 @@
+// Tests for EquiWidthHistogram and SpaceSaving.
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/topk.h"
+
+namespace hsdb {
+namespace {
+
+TEST(HistogramTest, BucketsPartitionDomain) {
+  EquiWidthHistogram h(0, 100, 10);
+  EXPECT_EQ(h.num_buckets(), 10u);
+  EXPECT_EQ(h.BucketLo(0), 0);
+  EXPECT_EQ(h.BucketHi(0), 10);
+  EXPECT_EQ(h.BucketLo(9), 90);
+  EXPECT_EQ(h.BucketHi(9), 100);
+}
+
+TEST(HistogramTest, AddRoutesToCorrectBucket) {
+  EquiWidthHistogram h(0, 100, 10);
+  h.Add(0);
+  h.Add(9);
+  h.Add(10);
+  h.Add(99);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, OutOfDomainClampsToEdges) {
+  EquiWidthHistogram h(0, 100, 10);
+  h.Add(-50);
+  h.Add(1000);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(9), 1u);
+}
+
+TEST(HistogramTest, WeightedAdd) {
+  EquiWidthHistogram h(0, 10, 2);
+  h.Add(1, 5);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket_count(0), 5u);
+}
+
+TEST(HistogramTest, DenseRangesFindsHotSpot) {
+  EquiWidthHistogram h(0, 1000, 100);
+  // Background noise everywhere, heavy updates in [900, 1000).
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) h.Add(rng.UniformInt(0, 999));
+  for (int i = 0; i < 20'000; ++i) h.Add(rng.UniformInt(900, 999));
+  auto ranges = h.DenseRanges(2.0);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_GE(ranges[0].lo, 850);
+  EXPECT_EQ(ranges[0].hi, 1000);
+  EXPECT_GT(ranges[0].mass_fraction, 0.9);
+  EXPECT_NEAR(ranges[0].width_fraction, 0.1, 0.03);
+}
+
+TEST(HistogramTest, DenseRangesEmptyHistogram) {
+  EquiWidthHistogram h(0, 100, 10);
+  EXPECT_TRUE(h.DenseRanges(2.0).empty());
+}
+
+TEST(HistogramTest, DenseRangesUniformDataHasNoHotSpot) {
+  EquiWidthHistogram h(0, 100, 10);
+  for (int i = 0; i < 100; ++i) h.Add(i);
+  EXPECT_TRUE(h.DenseRanges(2.0).empty());
+}
+
+TEST(HistogramTest, CoveringRangeShrinksToMass) {
+  EquiWidthHistogram h(0, 1000, 100);
+  for (int i = 0; i < 10'000; ++i) h.Add(900 + (i % 100));
+  HistogramRange r = h.CoveringRange(0.95);
+  EXPECT_GE(r.lo, 890);
+  EXPECT_EQ(r.hi, 1000);
+  EXPECT_GE(r.mass_fraction, 0.95);
+  EXPECT_LE(r.width_fraction, 0.12);
+}
+
+TEST(HistogramTest, CoveringRangeEmptyIsFullDomain) {
+  EquiWidthHistogram h(0, 100, 10);
+  HistogramRange r = h.CoveringRange(0.9);
+  EXPECT_EQ(r.lo, 0);
+  EXPECT_EQ(r.hi, 100);
+}
+
+TEST(HistogramTest, ResetClears) {
+  EquiWidthHistogram h(0, 100, 10);
+  h.Add(5);
+  h.Reset();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.bucket_count(0), 0u);
+}
+
+TEST(SpaceSavingTest, ExactWhenUnderCapacity) {
+  SpaceSaving ss(10);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j <= i; ++j) ss.Add(i);
+  }
+  auto hitters = ss.Hitters();
+  ASSERT_EQ(hitters.size(), 5u);
+  EXPECT_EQ(hitters[0].key, 4);
+  EXPECT_EQ(hitters[0].count, 5u);
+  EXPECT_EQ(hitters[0].error, 0u);
+  EXPECT_EQ(hitters[4].key, 0);
+  EXPECT_EQ(hitters[4].count, 1u);
+}
+
+TEST(SpaceSavingTest, HeavyHitterSurvivesEviction) {
+  SpaceSaving ss(8);
+  Rng rng(41);
+  // One key with 30% of traffic among 1000 distinct keys.
+  for (int i = 0; i < 30'000; ++i) {
+    if (rng.Chance(0.3)) {
+      ss.Add(-1);
+    } else {
+      ss.Add(rng.UniformInt(0, 999));
+    }
+  }
+  auto heavy = ss.HittersAbove(0.1);
+  ASSERT_FALSE(heavy.empty());
+  EXPECT_EQ(heavy[0].key, -1);
+}
+
+TEST(SpaceSavingTest, GuaranteeFrequencyAboveNOverM) {
+  // SpaceSaving guarantees: any key with frequency > N/m is tracked.
+  SpaceSaving ss(20);
+  // Key 7 appears 100 times out of 1000 (10% > 1/20 = 5%).
+  for (int i = 0; i < 900; ++i) ss.Add(i % 300);
+  for (int i = 0; i < 100; ++i) ss.Add(7777);
+  bool found = false;
+  for (const auto& h : ss.Hitters()) {
+    if (h.key == 7777) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SpaceSavingTest, TotalAndReset) {
+  SpaceSaving ss(4);
+  ss.Add(1, 3);
+  ss.Add(2);
+  EXPECT_EQ(ss.total(), 4u);
+  ss.Reset();
+  EXPECT_EQ(ss.total(), 0u);
+  EXPECT_EQ(ss.tracked(), 0u);
+  EXPECT_TRUE(ss.Hitters().empty());
+}
+
+}  // namespace
+}  // namespace hsdb

@@ -1,0 +1,96 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace hsdb {
+namespace {
+
+TEST(ValueTest, DefaultIsInvalid) {
+  Value v;
+  EXPECT_FALSE(v.is_valid());
+}
+
+TEST(ValueTest, TypesAreTracked) {
+  EXPECT_EQ(Value(int32_t{1}).type(), DataType::kInt32);
+  EXPECT_EQ(Value(int64_t{1}).type(), DataType::kInt64);
+  EXPECT_EQ(Value(1.5).type(), DataType::kDouble);
+  EXPECT_EQ(Value(Date{10}).type(), DataType::kDate);
+  EXPECT_EQ(Value("abc").type(), DataType::kVarchar);
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(int32_t{7}).as_int32(), 7);
+  EXPECT_EQ(Value(int64_t{1} << 40).as_int64(), int64_t{1} << 40);
+  EXPECT_DOUBLE_EQ(Value(2.25).as_double(), 2.25);
+  EXPECT_EQ(Value(Date{123}).as_date().days, 123);
+  EXPECT_EQ(Value("xyz").as_string(), "xyz");
+}
+
+TEST(ValueTest, AsNumericPromotes) {
+  EXPECT_DOUBLE_EQ(Value(int32_t{4}).AsNumeric(), 4.0);
+  EXPECT_DOUBLE_EQ(Value(int64_t{5}).AsNumeric(), 5.0);
+  EXPECT_DOUBLE_EQ(Value(6.5).AsNumeric(), 6.5);
+  EXPECT_DOUBLE_EQ(Value(Date{7}).AsNumeric(), 7.0);
+}
+
+TEST(ValueTest, CompareSameType) {
+  EXPECT_LT(Value(int32_t{1}).Compare(Value(int32_t{2})), 0);
+  EXPECT_GT(Value(3.5).Compare(Value(2.5)), 0);
+  EXPECT_EQ(Value("a").Compare(Value("a")), 0);
+  EXPECT_LT(Value("a").Compare(Value("b")), 0);
+}
+
+TEST(ValueTest, CompareAcrossNumericTypes) {
+  EXPECT_EQ(Value(int32_t{3}).Compare(Value(3.0)), 0);
+  EXPECT_LT(Value(int64_t{3}).Compare(Value(3.5)), 0);
+  EXPECT_GT(Value(Date{10}).Compare(Value(int32_t{9})), 0);
+}
+
+TEST(ValueTest, EqualityAcrossNumericTypes) {
+  EXPECT_EQ(Value(int32_t{3}), Value(int64_t{3}));
+  EXPECT_EQ(Value(int64_t{3}), Value(3.0));
+  EXPECT_NE(Value(int32_t{3}), Value(int64_t{4}));
+  EXPECT_NE(Value("3"), Value(int32_t{3}));
+}
+
+TEST(ValueTest, HashConsistentWithNumericEquality) {
+  // Equal values of different numeric types must hash identically.
+  EXPECT_EQ(Value(int32_t{42}).Hash(), Value(int64_t{42}).Hash());
+  EXPECT_EQ(Value(int64_t{42}).Hash(), Value(42.0).Hash());
+}
+
+TEST(ValueTest, CoerceLossless) {
+  Value out;
+  ASSERT_TRUE(Value(int32_t{3}).CoerceTo(DataType::kInt64, &out));
+  EXPECT_EQ(out.type(), DataType::kInt64);
+  EXPECT_EQ(out.as_int64(), 3);
+
+  ASSERT_TRUE(Value(int64_t{3}).CoerceTo(DataType::kDouble, &out));
+  EXPECT_DOUBLE_EQ(out.as_double(), 3.0);
+
+  ASSERT_TRUE(Value(3.0).CoerceTo(DataType::kInt32, &out));
+  EXPECT_EQ(out.as_int32(), 3);
+}
+
+TEST(ValueTest, CoerceRejectsLossy) {
+  Value out;
+  EXPECT_FALSE(Value(3.5).CoerceTo(DataType::kInt32, &out));
+  EXPECT_FALSE(Value("x").CoerceTo(DataType::kInt32, &out));
+  EXPECT_FALSE(Value(int32_t{1}).CoerceTo(DataType::kVarchar, &out));
+}
+
+TEST(ValueTest, CoerceSameTypeIsIdentity) {
+  Value out;
+  ASSERT_TRUE(Value("s").CoerceTo(DataType::kVarchar, &out));
+  EXPECT_EQ(out.as_string(), "s");
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(int32_t{5}).ToString(), "5");
+  EXPECT_EQ(Value("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value(Date{3}).ToString(), "date:3");
+  EXPECT_EQ(Value().ToString(), "<invalid>");
+}
+
+}  // namespace
+}  // namespace hsdb

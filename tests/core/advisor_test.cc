@@ -1,0 +1,317 @@
+// Tests for TableAdvisor, PartitionAdvisor and the StorageAdvisor facade.
+#include "core/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+#include "workload/runner.h"
+
+namespace hsdb {
+namespace {
+
+class AdvisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_.name = "t";
+    ASSERT_TRUE(db_.CreateTable("t", spec_.MakeSchema(),
+                                TableLayout::SingleStore(StoreType::kRow))
+                    .ok());
+    ASSERT_TRUE(
+        PopulateSynthetic(db_.catalog().GetTable("t"), spec_, 5000).ok());
+    db_.catalog().UpdateAllStatistics();
+  }
+
+  std::vector<WeightedQuery> MixedWorkload(double olap_fraction,
+                                           size_t count = 400,
+                                           uint64_t seed = 11) {
+    WorkloadOptions o;
+    o.olap_fraction = olap_fraction;
+    o.seed = seed;
+    SyntheticWorkloadGenerator gen(spec_, 5000, o);
+    return ToWeighted(gen.Generate(count));
+  }
+
+  Database db_;
+  SyntheticTableSpec spec_;
+  CostModel model_;
+};
+
+TEST_F(AdvisorTest, TableAdvisorPrefersRowStoreForPureOltp) {
+  TableAdvisor advisor(&model_, &db_.catalog());
+  TableAdvisorResult r = advisor.Recommend(MixedWorkload(0.0));
+  ASSERT_EQ(r.assignment.size(), 1u);
+  EXPECT_EQ(r.assignment.at("t"), StoreType::kRow);
+  EXPECT_DOUBLE_EQ(r.estimated_cost_ms, r.rs_only_cost_ms);
+  EXPECT_LT(r.rs_only_cost_ms, r.cs_only_cost_ms);
+}
+
+TEST_F(AdvisorTest, TableAdvisorPrefersColumnStoreForOlapHeavy) {
+  TableAdvisor advisor(&model_, &db_.catalog());
+  TableAdvisorResult r = advisor.Recommend(MixedWorkload(0.9));
+  EXPECT_EQ(r.assignment.at("t"), StoreType::kColumn);
+  EXPECT_LT(r.cs_only_cost_ms, r.rs_only_cost_ms);
+}
+
+TEST_F(AdvisorTest, RecommendationIsArgminOfModel) {
+  // Across the OLAP sweep, the advisor's choice must always cost no more
+  // than either single-store baseline under its own model.
+  TableAdvisor advisor(&model_, &db_.catalog());
+  for (double frac : {0.0, 0.01, 0.02, 0.05, 0.2, 1.0}) {
+    TableAdvisorResult r = advisor.Recommend(MixedWorkload(frac));
+    EXPECT_LE(r.estimated_cost_ms, r.rs_only_cost_ms + 1e-9) << frac;
+    EXPECT_LE(r.estimated_cost_ms, r.cs_only_cost_ms + 1e-9) << frac;
+  }
+}
+
+TEST_F(AdvisorTest, CrossoverMovesWithOlapFraction) {
+  TableAdvisor advisor(&model_, &db_.catalog());
+  StoreType at_zero =
+      advisor.Recommend(MixedWorkload(0.0)).assignment.at("t");
+  StoreType at_one = advisor.Recommend(MixedWorkload(1.0)).assignment.at("t");
+  EXPECT_EQ(at_zero, StoreType::kRow);
+  EXPECT_EQ(at_one, StoreType::kColumn);
+}
+
+TEST_F(AdvisorTest, HillClimbMatchesExhaustiveOnSmallSchemas) {
+  StarSchemaSpec star;
+  ASSERT_TRUE(db_.CreateTable("fact", star.MakeFactSchema(),
+                              TableLayout::SingleStore(StoreType::kRow))
+                  .ok());
+  ASSERT_TRUE(db_.CreateTable("dim", star.MakeDimSchema(),
+                              TableLayout::SingleStore(StoreType::kRow))
+                  .ok());
+  ASSERT_TRUE(PopulateStarSchema(db_.catalog().GetTable("fact"),
+                                 db_.catalog().GetTable("dim"), star, 3000)
+                  .ok());
+  db_.catalog().UpdateAllStatistics();
+  WorkloadOptions o;
+  o.olap_fraction = 0.05;
+  StarWorkloadGenerator gen(star, 3000, o);
+  auto star_workload = ToWeighted(gen.Generate(300));
+  // Plus the single-table mix so three tables are involved.
+  auto mixed = MixedWorkload(0.05, 200);
+  for (auto& wq : mixed) star_workload.push_back(wq);
+
+  TableAdvisor exhaustive(&model_, &db_.catalog());
+  TableAdvisor::Options greedy_opts;
+  greedy_opts.exhaustive_limit = 0;  // force hill climbing
+  TableAdvisor greedy(&model_, &db_.catalog(), greedy_opts);
+  TableAdvisorResult e = exhaustive.Recommend(star_workload);
+  TableAdvisorResult g = greedy.Recommend(star_workload);
+  EXPECT_TRUE(e.exhaustive);
+  EXPECT_FALSE(g.exhaustive);
+  EXPECT_NEAR(e.estimated_cost_ms, g.estimated_cost_ms,
+              1e-6 * e.estimated_cost_ms);
+  EXPECT_EQ(e.assignment, g.assignment);
+}
+
+TEST_F(AdvisorTest, PartitionAdvisorRecommendsVerticalForSplitUsage) {
+  // Updates hammer filter attributes while aggregates read keyfigures.
+  std::vector<WeightedQuery> workload;
+  WorkloadStatistics stats;
+  {
+    UpdateQuery u;
+    u.table = "t";
+    u.predicate = {{{0, 0}, ValueRange::Eq(Value(int64_t{7}))}};
+    u.set_columns = {spec_.filter(0), spec_.filter(1)};
+    u.set_values = {Value(int32_t{1}), Value(int32_t{2})};
+    workload.push_back({Query(u), 300.0});
+    for (int i = 0; i < 300; ++i) stats.Record(Query(u), db_.catalog());
+  }
+  {
+    AggregationQuery a;
+    a.tables = {"t"};
+    a.aggregates = {{AggFn::kSum, {spec_.keyfigure(0), 0}}};
+    a.group_by = {{spec_.group(0), 0}};
+    workload.push_back({Query(a), 20.0});
+    for (int i = 0; i < 20; ++i) stats.Record(Query(a), db_.catalog());
+  }
+  PartitionAdvisor advisor(&model_, &db_.catalog());
+  std::map<std::string, StoreType> table_level = {
+      {"t", StoreType::kColumn}};
+  PartitionAdvisorResult r =
+      advisor.Recommend(workload, stats, table_level);
+  ASSERT_TRUE(r.layouts.count("t"));
+  const TableLayout& layout = r.layouts.at("t").layout;
+  ASSERT_TRUE(layout.vertical.has_value());
+  // The updated filter columns went to the row store piece.
+  EXPECT_TRUE(std::find(layout.vertical->row_store_columns.begin(),
+                        layout.vertical->row_store_columns.end(),
+                        spec_.filter(0)) !=
+              layout.vertical->row_store_columns.end());
+  // Keyfigures stayed in the column piece.
+  EXPECT_TRUE(std::find(layout.vertical->row_store_columns.begin(),
+                        layout.vertical->row_store_columns.end(),
+                        spec_.keyfigure(0)) ==
+              layout.vertical->row_store_columns.end());
+}
+
+TEST_F(AdvisorTest, PartitionAdvisorRecommendsInsertPartition) {
+  WorkloadStatistics stats;
+  std::vector<WeightedQuery> workload;
+  for (int i = 0; i < 200; ++i) {
+    InsertQuery ins{"t", SyntheticRow(spec_, 100'000 + i)};
+    if (i < 5) workload.push_back({Query(ins), 40.0});
+    stats.Record(Query(ins), db_.catalog());
+  }
+  {
+    AggregationQuery a;
+    a.tables = {"t"};
+    a.aggregates = {{AggFn::kSum, {spec_.keyfigure(0), 0}}};
+    workload.push_back({Query(a), 10.0});
+    for (int i = 0; i < 10; ++i) stats.Record(Query(a), db_.catalog());
+  }
+  PartitionAdvisor advisor(&model_, &db_.catalog());
+  PartitionAdvisorResult r = advisor.Recommend(
+      workload, stats, {{"t", StoreType::kColumn}});
+  const TableLayout& layout = r.layouts.at("t").layout;
+  ASSERT_TRUE(layout.horizontal.has_value());
+  EXPECT_EQ(layout.horizontal->hot_store, StoreType::kRow);
+  // Boundary above the loaded key range: a fresh-data partition.
+  EXPECT_GT(layout.horizontal->boundary, 4999.0);
+}
+
+TEST_F(AdvisorTest, PartitionAdvisorFindsHotUpdateRange) {
+  WorkloadStatistics stats;
+  std::vector<WeightedQuery> workload;
+  Rng rng(3);
+  // Whole-tuple updates concentrated on the top 10% of keys (the paper's
+  // "tuples that are frequently updated as a whole").
+  for (int i = 0; i < 500; ++i) {
+    UpdateQuery u;
+    u.table = "t";
+    u.predicate = {{{0, 0},
+                    ValueRange::Eq(Value(rng.UniformInt(4500, 4999)))}};
+    for (size_t k = 0; k < spec_.num_keyfigures; ++k) {
+      u.set_columns.push_back(spec_.keyfigure(k));
+      u.set_values.push_back(Value(1.0 * k));
+    }
+    for (size_t f = 0; f < spec_.num_filters; ++f) {
+      u.set_columns.push_back(spec_.filter(f));
+      u.set_values.push_back(Value(int32_t(f)));
+    }
+    if (i < 5) workload.push_back({Query(u), 100.0});
+    stats.Record(Query(u), db_.catalog());
+  }
+  {
+    AggregationQuery a;
+    a.tables = {"t"};
+    a.aggregates = {{AggFn::kSum, {spec_.keyfigure(1), 0}}};
+    workload.push_back({Query(a), 25.0});
+    for (int i = 0; i < 25; ++i) stats.Record(Query(a), db_.catalog());
+  }
+  PartitionAdvisor advisor(&model_, &db_.catalog());
+  PartitionAdvisorResult r = advisor.Recommend(
+      workload, stats, {{"t", StoreType::kColumn}});
+  const LayoutContext& ctx = r.layouts.at("t");
+  ASSERT_TRUE(ctx.layout.horizontal.has_value());
+  // Boundary near the start of the hot range.
+  EXPECT_NEAR(ctx.layout.horizontal->boundary, 4500.0, 300.0);
+  EXPECT_NEAR(ctx.hot_row_fraction, 0.1, 0.08);
+  EXPECT_GT(ctx.hot_access_fraction, 0.9);
+}
+
+TEST_F(AdvisorTest, OfflineRecommendationEndToEnd) {
+  StorageAdvisor advisor(&db_);
+  WorkloadOptions o;
+  o.olap_fraction = 0.0;
+  SyntheticWorkloadGenerator gen(spec_, 5000, o);
+  auto r = advisor.RecommendOffline(gen.Generate(200));
+  ASSERT_TRUE(r.ok());
+  // Pure OLTP: unpartitioned row store, no partitioning gain.
+  EXPECT_EQ(r->table_level_assignment.at("t"), StoreType::kRow);
+  EXPECT_LE(r->estimated_cost_ms, r->rs_only_cost_ms + 1e-9);
+  EXPECT_FALSE(r->Summary().empty());
+}
+
+TEST_F(AdvisorTest, OfflineRejectsEmptyOrUnknown) {
+  StorageAdvisor advisor(&db_);
+  EXPECT_EQ(advisor.RecommendOffline(std::vector<Query>{}).status().code(),
+            StatusCode::kInvalidArgument);
+  SelectQuery s;
+  s.table = "nope";
+  s.select_columns = {0};
+  EXPECT_EQ(advisor.RecommendOffline(std::vector<Query>{Query(s)})
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(AdvisorTest, ApplyExecutesRecommendedLayout) {
+  StorageAdvisor advisor(&db_);
+  WorkloadOptions o;
+  o.olap_fraction = 0.9;
+  SyntheticWorkloadGenerator gen(spec_, 5000, o);
+  auto r = advisor.RecommendOffline(gen.Generate(100));
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r->ddl.empty());  // table starts in RS, OLAP wants CS
+  ASSERT_TRUE(advisor.Apply(*r).ok());
+  EXPECT_EQ(db_.catalog().GetTable("t")->layout(), r->layouts.at("t").layout);
+  // Re-running the recommendation now emits no DDL (already applied).
+  auto again = advisor.RecommendOffline(gen.Generate(100));
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->ddl.empty());
+}
+
+TEST_F(AdvisorTest, OnlineModeRecordsAndRecommends) {
+  StorageAdvisor advisor(&db_);
+  EXPECT_EQ(advisor.RecommendOnline().status().code(),
+            StatusCode::kFailedPrecondition);
+  advisor.StartRecording();
+  EXPECT_EQ(advisor.RecommendOnline().status().code(),
+            StatusCode::kFailedPrecondition);  // nothing recorded yet
+  WorkloadOptions o;
+  o.olap_fraction = 0.0;
+  SyntheticWorkloadGenerator gen(spec_, 5000, o);
+  RunWorkload(db_, gen.Generate(300));
+  auto r = advisor.RecommendOnline();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->table_level_assignment.at("t"), StoreType::kRow);
+  EXPECT_EQ(advisor.recorder()->seen_queries(), 300u);
+  advisor.StopRecording();
+  RunWorkload(db_, gen.Generate(10));
+  EXPECT_EQ(advisor.recorder()->seen_queries(), 300u);  // detached
+}
+
+TEST_F(AdvisorTest, OnlineModeAdaptsToWorkloadShift) {
+  StorageAdvisor advisor(&db_);
+  advisor.StartRecording();
+  WorkloadOptions oltp;
+  oltp.olap_fraction = 0.0;
+  SyntheticWorkloadGenerator gen1(spec_, 5000, oltp);
+  RunWorkload(db_, gen1.Generate(200));
+  auto first = advisor.RecommendOnline();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->table_level_assignment.at("t"), StoreType::kRow);
+
+  // The workload shifts to pure OLAP; re-record and re-evaluate.
+  advisor.recorder()->Reset();
+  WorkloadOptions olap;
+  olap.olap_fraction = 1.0;
+  SyntheticWorkloadGenerator gen2(spec_, 5000, olap);
+  RunWorkload(db_, gen2.Generate(60));
+  auto second = advisor.RecommendOnline();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->table_level_assignment.at("t"), StoreType::kColumn);
+}
+
+TEST_F(AdvisorTest, DdlMentionsPartitioningClauses) {
+  StorageAdvisor advisor(&db_);
+  // Force a partitioned recommendation via a hot-update + OLAP mix.
+  WorkloadOptions o;
+  o.olap_fraction = 0.05;
+  o.hot_key_fraction = 0.1;
+  o.insert_weight = 0.0;
+  o.update_weight = 0.8;
+  o.point_select_weight = 0.2;
+  SyntheticWorkloadGenerator gen(spec_, 5000, o);
+  auto r = advisor.RecommendOffline(gen.Generate(600));
+  ASSERT_TRUE(r.ok());
+  if (r->layouts.at("t").layout.IsPartitioned()) {
+    ASSERT_FALSE(r->ddl.empty());
+    EXPECT_NE(r->ddl[0].find("PARTITION BY"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hsdb

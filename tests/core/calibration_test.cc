@@ -1,0 +1,270 @@
+// Calibration fitting is tested against a deterministic fake engine with a
+// known closed-form cost surface: Calibrate() must recover its parameters.
+#include "core/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/probe_runner.h"
+
+namespace hsdb {
+namespace {
+
+constexpr double kRef = 200'000.0;
+
+/// Closed-form "engine": every probe computes its time from known ground
+/// truth so the fitted parameters are predictable.
+class FakeProbeRunner : public ProbeRunner {
+ public:
+  // Ground truth per store (row, column).
+  static constexpr double kBaseSum[2] = {8.0, 2.0};
+  static constexpr double kGroupBy[2] = {5.0, 9.0};
+  static constexpr double kFilter[2] = {1.5, 1.3};
+  static constexpr double kInt32Factor[2] = {0.9, 0.8};
+  static constexpr double kBaseSelect[2] = {4.0, 1.5};
+  static constexpr double kBaseInsert[2] = {0.002, 0.02};
+  static constexpr double kBaseUpdate[2] = {0.003, 0.05};
+
+  static double Rate(uint64_t distinct) {
+    if (distinct == 0) return 0.95;
+    return std::min(0.9, 0.05 + static_cast<double>(distinct) / 100'000.0);
+  }
+
+  ProbeResult MeasureAggregation(StoreType store, AggFn fn, DataType type,
+                                 bool grouped, bool filtered, size_t rows,
+                                 uint64_t distinct) override {
+    int s = static_cast<int>(store);
+    double ms = kBaseSum[s];
+    if (fn == AggFn::kCount) ms *= 0.1;
+    if (type == DataType::kInt32) ms *= kInt32Factor[s];
+    if (type == DataType::kInt64) ms *= 1.1;
+    if (type == DataType::kDate) ms *= 0.95;
+    if (grouped) ms *= kGroupBy[s];
+    if (filtered) ms *= kFilter[s];
+    ms *= static_cast<double>(rows) / kRef;
+    double rate = store == StoreType::kColumn ? Rate(distinct) : 1.0;
+    if (store == StoreType::kColumn) {
+      ms *= 0.5 + rate;  // linear in the compression rate
+    }
+    return {ms, rate};
+  }
+
+  ProbeResult MeasureSelect(StoreType store, size_t cols, double sel,
+                            bool use_index, size_t rows) override {
+    int s = static_cast<int>(store);
+    double ms = kBaseSelect[s];
+    if (store == StoreType::kColumn) {
+      ms *= 1.0 + 0.1 * (static_cast<double>(cols) - 1.0);
+      ms *= 0.05 + 10.0 * sel;
+    } else if (use_index) {
+      ms *= 0.01 + 20.0 * sel;
+    } else {
+      ms *= 1.0 + 2.0 * sel;  // scan-dominated
+    }
+    ms *= static_cast<double>(rows) / kRef;
+    return {ms, 1.0};
+  }
+
+  ProbeResult MeasurePointSelect(StoreType store, size_t) override {
+    return {store == StoreType::kRow ? 0.004 : 0.009, 1.0};
+  }
+
+  ProbeResult MeasureInsert(StoreType store, size_t rows) override {
+    int s = static_cast<int>(store);
+    return {kBaseInsert[s] * (1.0 + 0.1 * static_cast<double>(rows) / kRef),
+            1.0};
+  }
+
+  ProbeResult MeasureUpdate(StoreType store, size_t cols, size_t m,
+                            size_t rows) override {
+    int s = static_cast<int>(store);
+    double per_col = store == StoreType::kColumn ? 0.3 : 0.05;
+    double ms = kBaseUpdate[s] *
+                (1.0 + per_col * (static_cast<double>(cols) - 1.0)) *
+                static_cast<double>(m) *
+                (1.0 + 0.05 * static_cast<double>(rows) / kRef);
+    return {ms, 1.0};
+  }
+
+  ProbeResult MeasureJoin(StoreType fact, StoreType dim, size_t fact_rows,
+                          size_t dim_rows) override {
+    double combo[2][2] = {{30.0, 34.0}, {24.0, 27.0}};
+    double ms = combo[static_cast<int>(fact)][static_cast<int>(dim)];
+    ms *= static_cast<double>(fact_rows) / kRef;
+    ms *= 0.9 + 0.1 * static_cast<double>(dim_rows) / 1000.0;
+    return {ms, 1.0};
+  }
+
+  ProbeResult MeasureStitch(size_t rows) override {
+    return {1.0 + 0.002 * static_cast<double>(rows), 1.0};
+  }
+};
+
+class CalibrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    FakeProbeRunner runner;
+    CalibrationOptions opts;
+    report_ = new CalibrationReport(Calibrate(runner, opts));
+  }
+  static void TearDownTestSuite() {
+    delete report_;
+    report_ = nullptr;
+  }
+  static CalibrationReport* report_;
+};
+
+CalibrationReport* CalibrationTest::report_ = nullptr;
+
+TEST_F(CalibrationTest, FitsAreNearPerfect) {
+  // The fake system is exactly linear: all fits must have r² ~ 1.
+  EXPECT_GT(report_->mean_r_squared, 0.999);
+  EXPECT_FALSE(report_->log.empty());
+}
+
+TEST_F(CalibrationTest, RecoversBaseCosts) {
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_NEAR(report_->params.store[s].base_agg[0],
+                FakeProbeRunner::kBaseSum[s] *
+                    (s == 1 ? 0.5 + FakeProbeRunner::Rate(1024) : 1.0),
+                1e-6);
+  }
+}
+
+TEST_F(CalibrationTest, RecoversGroupByAndFilterConstants) {
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_NEAR(report_->params.store[s].c_group_by,
+                FakeProbeRunner::kGroupBy[s], 1e-9);
+    // The filter constant is the measured ratio minus the aggregation work
+    // over the probe's selected fraction (see kAggFilterProbeSelectivity).
+    EXPECT_NEAR(report_->params.store[s].c_agg_filter,
+                FakeProbeRunner::kFilter[s] - kAggFilterProbeSelectivity,
+                1e-9);
+    EXPECT_NEAR(report_->params.store[s].base_point_select,
+                s == 0 ? 0.004 : 0.009, 1e-12);
+  }
+}
+
+TEST_F(CalibrationTest, RecoversDataTypeConstants) {
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_NEAR(
+        report_->params.store[s].c_data_type[static_cast<int>(
+            DataType::kInt32)],
+        FakeProbeRunner::kInt32Factor[s], 1e-9);
+    EXPECT_NEAR(report_->params.store[s].c_data_type[static_cast<int>(
+                    DataType::kInt64)],
+                1.1, 1e-9);
+    EXPECT_NEAR(report_->params.store[s].c_data_type[static_cast<int>(
+                    DataType::kDouble)],
+                1.0, 1e-12);
+  }
+}
+
+TEST_F(CalibrationTest, RowScalingNormalizedAtReference) {
+  for (int s = 0; s < 2; ++s) {
+    const LinearFn& f = report_->params.store[s].f_rows_agg;
+    EXPECT_NEAR(f(kRef), 1.0, 1e-9);
+    EXPECT_NEAR(f(2 * kRef), 2.0, 1e-6);  // proportional system
+  }
+}
+
+TEST_F(CalibrationTest, CompressionFunctionMonotoneAndNormalized) {
+  const PiecewiseLinearFn& f =
+      report_->params.of(StoreType::kColumn).f_compression_agg;
+  EXPECT_NEAR(f(FakeProbeRunner::Rate(1024)), 1.0, 1e-9);
+  // Ground truth is increasing in the rate.
+  EXPECT_LT(f(0.1), f(0.9));
+}
+
+TEST_F(CalibrationTest, SelectivityFunctionsRecovered) {
+  const StoreCostParams& rs = report_->params.of(StoreType::kRow);
+  // Indexed: 0.01+20s normalized at 0.01 -> slope/intercept ratio 2000.
+  EXPECT_NEAR(rs.f_selectivity_indexed(0.01), 1.0, 1e-9);
+  EXPECT_NEAR(rs.f_selectivity_indexed.slope /
+                  rs.f_selectivity_indexed.intercept,
+              2000.0, 1e-3);
+  // Scan: flat-ish (1+2s), slope/intercept = 2.
+  EXPECT_NEAR(rs.f_selectivity_scan.slope / rs.f_selectivity_scan.intercept,
+              2.0, 1e-6);
+  const StoreCostParams& cs = report_->params.of(StoreType::kColumn);
+  EXPECT_NEAR(cs.f_selectivity_indexed(0.01), 1.0, 1e-9);
+}
+
+TEST_F(CalibrationTest, WriteCostsRecovered) {
+  for (int s = 0; s < 2; ++s) {
+    const StoreCostParams& sp = report_->params.store[s];
+    EXPECT_NEAR(sp.base_insert,
+                FakeProbeRunner::kBaseInsert[s] * 1.1, 1e-9);
+    EXPECT_NEAR(sp.f_affected_rows(64.0) / sp.f_affected_rows(1.0), 64.0,
+                1e-6);
+    // Per-column slope differs across stores (reconstruction).
+    double ratio8 = sp.f_affected_columns(8.0);
+    if (s == static_cast<int>(StoreType::kColumn)) {
+      EXPECT_NEAR(ratio8, 1.0 + 0.3 * 7, 1e-6);
+    } else {
+      EXPECT_NEAR(ratio8, 1.0 + 0.05 * 7, 1e-6);
+    }
+  }
+}
+
+TEST_F(CalibrationTest, JoinCombinationBasesRecovered) {
+  // base_join = measured / base_sum.
+  const CostModelParams& p = report_->params;
+  double b00 = p.base_join[0][0];
+  double b01 = p.base_join[0][1];
+  EXPECT_NEAR(b01 / b00, 34.0 / 30.0, 1e-9);
+  double b10 = p.base_join[1][0];
+  double b11 = p.base_join[1][1];
+  EXPECT_NEAR(b11 / b10, 27.0 / 24.0, 1e-9);
+}
+
+TEST_F(CalibrationTest, StitchPenaltyFitted) {
+  EXPECT_NEAR(report_->params.f_stitch.slope, 0.002, 1e-6);
+  EXPECT_NEAR(report_->params.f_stitch.intercept, 1.0, 1e-6);
+}
+
+// Smoke test of the real engine-backed runner at tiny scale: measured
+// asymmetries must point the right way.
+TEST(EngineProbeRunnerTest, EngineAsymmetriesVisible) {
+  EngineProbeRunner runner;
+  // Large enough that the row store's strided scans leave the caches; the
+  // asymmetries are cache effects and invisible on tiny tables.
+  const size_t rows = 300'000;
+  double rs_agg = runner
+                      .MeasureAggregation(StoreType::kRow, AggFn::kSum,
+                                          DataType::kDouble, false, false,
+                                          rows, 1024)
+                      .ms;
+  double cs_agg = runner
+                      .MeasureAggregation(StoreType::kColumn, AggFn::kSum,
+                                          DataType::kDouble, false, false,
+                                          rows, 1024)
+                      .ms;
+  EXPECT_LT(cs_agg, rs_agg);  // column store wins scans
+
+  double rs_ins = runner.MeasureInsert(StoreType::kRow, rows).ms;
+  double cs_ins = runner.MeasureInsert(StoreType::kColumn, rows).ms;
+  EXPECT_LT(rs_ins, cs_ins);  // row store wins inserts
+
+  double rs_upd = runner.MeasureUpdate(StoreType::kRow, 2, 1, rows).ms;
+  double cs_upd = runner.MeasureUpdate(StoreType::kColumn, 2, 1, rows).ms;
+  EXPECT_LT(rs_upd, cs_upd);  // row store wins updates
+
+  // Compression rate reported for the column store.
+  ProbeResult low = runner.MeasureAggregation(
+      StoreType::kColumn, AggFn::kSum, DataType::kDouble, false, false, rows,
+      16);
+  ProbeResult high = runner.MeasureAggregation(
+      StoreType::kColumn, AggFn::kSum, DataType::kDouble, false, false, rows,
+      0);
+  EXPECT_LT(low.compression_rate, high.compression_rate);
+}
+
+TEST(EngineProbeRunnerTest, StitchPenaltyNonNegative) {
+  EngineProbeRunner runner;
+  EXPECT_GE(runner.MeasureStitch(5000).ms, 0.0);
+}
+
+}  // namespace
+}  // namespace hsdb

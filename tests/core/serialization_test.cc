@@ -1,0 +1,94 @@
+// Cost-model serialization round trips.
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+
+namespace hsdb {
+namespace {
+
+TEST(CostModelSerializationTest, DefaultRoundTrips) {
+  CostModelParams original = CostModelParams::Default();
+  std::string text = original.Serialize();
+  Result<CostModelParams> restored = CostModelParams::Deserialize(text);
+  ASSERT_TRUE(restored.ok());
+  // Spot-check every parameter family.
+  for (int s = 0; s < kNumStoreTypes; ++s) {
+    for (int f = 0; f < kNumAggFns; ++f) {
+      EXPECT_DOUBLE_EQ(restored->store[s].base_agg[f],
+                       original.store[s].base_agg[f]);
+    }
+    for (int t = 0; t < kNumDataTypes; ++t) {
+      EXPECT_DOUBLE_EQ(restored->store[s].c_data_type[t],
+                       original.store[s].c_data_type[t]);
+    }
+    EXPECT_DOUBLE_EQ(restored->store[s].c_group_by,
+                     original.store[s].c_group_by);
+    EXPECT_DOUBLE_EQ(restored->store[s].f_rows_agg.slope,
+                     original.store[s].f_rows_agg.slope);
+    EXPECT_DOUBLE_EQ(restored->store[s].base_select,
+                     original.store[s].base_select);
+    EXPECT_DOUBLE_EQ(restored->store[s].f_selectivity_indexed.intercept,
+                     original.store[s].f_selectivity_indexed.intercept);
+    EXPECT_DOUBLE_EQ(restored->store[s].base_insert,
+                     original.store[s].base_insert);
+    EXPECT_DOUBLE_EQ(restored->store[s].f_affected_columns.slope,
+                     original.store[s].f_affected_columns.slope);
+    EXPECT_DOUBLE_EQ(restored->store[s].f_rows_build.slope,
+                     original.store[s].f_rows_build.slope);
+  }
+  for (int f = 0; f < kNumStoreTypes; ++f) {
+    for (int d = 0; d < kNumStoreTypes; ++d) {
+      EXPECT_DOUBLE_EQ(restored->base_join[f][d], original.base_join[f][d]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(restored->f_stitch.slope, original.f_stitch.slope);
+  EXPECT_DOUBLE_EQ(restored->c_union, original.c_union);
+}
+
+TEST(CostModelSerializationTest, PiecewiseKnotsPreserved) {
+  CostModelParams p = CostModelParams::Default();
+  p.of(StoreType::kColumn).f_compression_agg =
+      PiecewiseLinearFn::FromKnots({0.1, 0.4, 0.9}, {0.6, 1.0, 1.3});
+  Result<CostModelParams> restored =
+      CostModelParams::Deserialize(p.Serialize());
+  ASSERT_TRUE(restored.ok());
+  const PiecewiseLinearFn& f =
+      restored->of(StoreType::kColumn).f_compression_agg;
+  ASSERT_EQ(f.num_knots(), 3u);
+  EXPECT_DOUBLE_EQ(f(0.4), 1.0);
+  EXPECT_DOUBLE_EQ(f(0.25), 0.8);
+}
+
+TEST(CostModelSerializationTest, EstimatesIdenticalAfterRoundTrip) {
+  CostModelParams p = CostModelParams::Default();
+  p.of(StoreType::kRow).base_agg[0] = 7.125;
+  p.of(StoreType::kColumn).f_rows_agg = LinearFn{0.123, 4.56e-7};
+  CostModel a(p);
+  Result<CostModelParams> restored =
+      CostModelParams::Deserialize(p.Serialize());
+  ASSERT_TRUE(restored.ok());
+  CostModel b(*restored);
+  std::vector<AggSpec> aggs = {{AggFn::kSum, DataType::kDouble},
+                               {AggFn::kMin, DataType::kInt32}};
+  for (double rows : {1e4, 1e6, 2e7}) {
+    EXPECT_DOUBLE_EQ(
+        a.AggregationCost(StoreType::kColumn, aggs, true, false, rows, 0.4),
+        b.AggregationCost(StoreType::kColumn, aggs, true, false, rows, 0.4));
+    EXPECT_DOUBLE_EQ(a.SelectCost(StoreType::kRow, 3, 0.02, false, rows),
+                     b.SelectCost(StoreType::kRow, 3, 0.02, false, rows));
+    EXPECT_DOUBLE_EQ(a.UpdateCost(StoreType::kColumn, 4, 10, rows),
+                     b.UpdateCost(StoreType::kColumn, 4, 10, rows));
+  }
+}
+
+TEST(CostModelSerializationTest, RejectsGarbage) {
+  EXPECT_FALSE(CostModelParams::Deserialize("").ok());
+  EXPECT_FALSE(CostModelParams::Deserialize("not a model").ok());
+  // Truncated payload.
+  std::string text = CostModelParams::Default().Serialize();
+  EXPECT_FALSE(
+      CostModelParams::Deserialize(text.substr(0, text.size() / 2)).ok());
+}
+
+}  // namespace
+}  // namespace hsdb

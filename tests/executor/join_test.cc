@@ -1,0 +1,193 @@
+// Star-join aggregation tests across store combinations.
+#include <gtest/gtest.h>
+
+#include "executor/database.h"
+
+namespace hsdb {
+namespace {
+
+Schema FactSchema() {
+  return Schema::CreateOrDie({{"id", DataType::kInt64},
+                              {"cust_id", DataType::kInt64},
+                              {"part_id", DataType::kInt64},
+                              {"amount", DataType::kDouble}},
+                             {0});
+}
+
+Schema CustomerSchema() {
+  return Schema::CreateOrDie({{"cust_id", DataType::kInt64},
+                              {"segment", DataType::kInt32},
+                              {"name", DataType::kVarchar}},
+                             {0});
+}
+
+Schema PartSchema() {
+  return Schema::CreateOrDie(
+      {{"part_id", DataType::kInt64}, {"color", DataType::kVarchar}}, {0});
+}
+
+class JoinTest : public ::testing::TestWithParam<
+                     std::tuple<StoreType, StoreType>> {
+ protected:
+  void SetUp() override {
+    auto [fact_store, dim_store] = GetParam();
+    ASSERT_TRUE(db_.CreateTable("fact", FactSchema(),
+                                TableLayout::SingleStore(fact_store))
+                    .ok());
+    ASSERT_TRUE(db_.CreateTable("customer", CustomerSchema(),
+                                TableLayout::SingleStore(dim_store))
+                    .ok());
+    ASSERT_TRUE(db_.CreateTable("part", PartSchema(),
+                                TableLayout::SingleStore(dim_store))
+                    .ok());
+    // 10 customers in 2 segments, 5 parts in 2 colors.
+    for (int64_t c = 0; c < 10; ++c) {
+      ASSERT_TRUE(db_.Execute(Query(InsertQuery{
+                                  "customer",
+                                  {c, int32_t(c % 2),
+                                   "cust" + std::to_string(c)}}))
+                      .ok());
+    }
+    for (int64_t p = 0; p < 5; ++p) {
+      ASSERT_TRUE(
+          db_.Execute(Query(InsertQuery{
+                          "part", {p, p < 3 ? "red" : "blue"}}))
+              .ok());
+    }
+    // 200 fact rows; amount == id.
+    for (int64_t i = 0; i < 200; ++i) {
+      ASSERT_TRUE(db_.Execute(Query(InsertQuery{
+                                  "fact",
+                                  {i, i % 10, i % 5,
+                                   static_cast<double>(i)}}))
+                      .ok());
+    }
+  }
+
+  Database db_;
+};
+
+TEST_P(JoinTest, UngroupedJoinAggregate) {
+  AggregationQuery q;
+  q.tables = {"fact", "customer"};
+  q.joins = {{0, 1, 1, 0}};  // fact.cust_id = customer.cust_id
+  q.aggregates = {{AggFn::kSum, {3, 0}}, {AggFn::kCount, {}}};
+  auto r = db_.Execute(Query(q));
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->aggregates[0], 19900.0);  // all rows join
+  EXPECT_DOUBLE_EQ(r->aggregates[1], 200.0);
+}
+
+TEST_P(JoinTest, GroupByDimensionAttribute) {
+  AggregationQuery q;
+  q.tables = {"fact", "customer"};
+  q.joins = {{0, 1, 1, 0}};
+  q.aggregates = {{AggFn::kSum, {3, 0}}};
+  q.group_by = {{1, 1}};  // customer.segment
+  auto r = db_.Execute(Query(q));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 2u);
+  double total = 0;
+  for (const Row& row : r->rows) total += row[1].as_double();
+  EXPECT_DOUBLE_EQ(total, 19900.0);
+}
+
+TEST_P(JoinTest, TwoDimensionStar) {
+  AggregationQuery q;
+  q.tables = {"fact", "customer", "part"};
+  q.joins = {{0, 1, 1, 0}, {0, 2, 2, 0}};
+  q.aggregates = {{AggFn::kCount, {}}};
+  q.group_by = {{1, 1}, {1, 2}};  // segment x color
+  auto r = db_.Execute(Query(q));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 4u);  // 2 segments x 2 colors
+  double total = 0;
+  for (const Row& row : r->rows) total += row[2].as_double();
+  EXPECT_DOUBLE_EQ(total, 200.0);
+}
+
+TEST_P(JoinTest, PredicateOnDimensionFiltersBuild) {
+  AggregationQuery q;
+  q.tables = {"fact", "customer"};
+  q.joins = {{0, 1, 1, 0}};
+  q.aggregates = {{AggFn::kCount, {}}};
+  q.predicate = {{{1, 1}, ValueRange::Eq(Value(int32_t{0}))}};  // segment 0
+  auto r = db_.Execute(Query(q));
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->aggregates[0], 100.0);  // even cust_ids
+}
+
+TEST_P(JoinTest, PredicateOnFactFiltersProbe) {
+  AggregationQuery q;
+  q.tables = {"fact", "customer"};
+  q.joins = {{0, 1, 1, 0}};
+  q.aggregates = {{AggFn::kSum, {3, 0}}};
+  q.predicate = {{{0, 0}, ValueRange::Less(Value(int64_t{100}))}};
+  auto r = db_.Execute(Query(q));
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->aggregates[0], 4950.0);
+}
+
+TEST_P(JoinTest, JoinMissDropsRows) {
+  // Delete customers 0..4: fact rows with cust_id < 5 no longer join.
+  for (int64_t c = 0; c < 5; ++c) {
+    DeleteQuery d;
+    d.table = "customer";
+    d.predicate = {{{0, 0}, ValueRange::Eq(Value(c))}};
+    ASSERT_TRUE(db_.Execute(Query(d)).ok());
+  }
+  AggregationQuery q;
+  q.tables = {"fact", "customer"};
+  q.joins = {{0, 1, 1, 0}};
+  q.aggregates = {{AggFn::kCount, {}}};
+  auto r = db_.Execute(Query(q));
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->aggregates[0], 100.0);
+}
+
+TEST_P(JoinTest, AggregateOverDimensionColumn) {
+  AggregationQuery q;
+  q.tables = {"fact", "customer"};
+  q.joins = {{0, 1, 1, 0}};
+  q.aggregates = {{AggFn::kMax, {1, 1}}};  // max customer segment over facts
+  auto r = db_.Execute(Query(q));
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->aggregates[0], 1.0);
+}
+
+TEST_P(JoinTest, InvalidJoinShapesRejected) {
+  // Non-star edge.
+  AggregationQuery q;
+  q.tables = {"fact", "customer", "part"};
+  q.joins = {{0, 1, 1, 0}, {1, 1, 2, 0}};
+  q.aggregates = {{AggFn::kCount, {}}};
+  EXPECT_EQ(db_.Execute(Query(q)).status().code(),
+            StatusCode::kNotSupported);
+  // Wrong edge count.
+  AggregationQuery q2;
+  q2.tables = {"fact", "customer", "part"};
+  q2.joins = {{0, 1, 1, 0}};
+  q2.aggregates = {{AggFn::kCount, {}}};
+  EXPECT_EQ(db_.Execute(Query(q2)).status().code(),
+            StatusCode::kInvalidArgument);
+  // Duplicate dimension edge.
+  AggregationQuery q3;
+  q3.tables = {"fact", "customer"};
+  q3.joins = {{0, 1, 1, 0}, {0, 2, 1, 0}};
+  q3.aggregates = {{AggFn::kCount, {}}};
+  EXPECT_EQ(db_.Execute(Query(q3)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StoreCombinations, JoinTest,
+    ::testing::Combine(::testing::Values(StoreType::kRow, StoreType::kColumn),
+                       ::testing::Values(StoreType::kRow,
+                                         StoreType::kColumn)),
+    [](const auto& info) {
+      return std::string(StoreTypeName(std::get<0>(info.param))) + "fact_" +
+             std::string(StoreTypeName(std::get<1>(info.param))) + "dim";
+    });
+
+}  // namespace
+}  // namespace hsdb

@@ -1,0 +1,189 @@
+#include "storage/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace hsdb {
+namespace {
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree<uint64_t> tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_FALSE(tree.Contains(1));
+  EXPECT_EQ(tree.height(), 1);
+  int visits = 0;
+  tree.ForEach([&](uint64_t) { ++visits; });
+  EXPECT_EQ(visits, 0);
+}
+
+TEST(BPlusTreeTest, InsertAndContains) {
+  BPlusTree<uint64_t> tree;
+  EXPECT_TRUE(tree.Insert(5));
+  EXPECT_TRUE(tree.Insert(3));
+  EXPECT_TRUE(tree.Insert(8));
+  EXPECT_FALSE(tree.Insert(5));  // duplicate
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_TRUE(tree.Contains(3));
+  EXPECT_TRUE(tree.Contains(5));
+  EXPECT_TRUE(tree.Contains(8));
+  EXPECT_FALSE(tree.Contains(4));
+}
+
+TEST(BPlusTreeTest, SplitsGrowHeight) {
+  BPlusTree<uint64_t> tree;
+  for (uint64_t i = 0; i < 10'000; ++i) tree.Insert(i);
+  EXPECT_EQ(tree.size(), 10'000u);
+  EXPECT_GT(tree.height(), 1);
+  for (uint64_t i = 0; i < 10'000; ++i) {
+    ASSERT_TRUE(tree.Contains(i)) << i;
+  }
+  EXPECT_FALSE(tree.Contains(10'000));
+}
+
+TEST(BPlusTreeTest, DescendingInsertOrder) {
+  BPlusTree<uint64_t> tree;
+  for (uint64_t i = 5000; i-- > 0;) tree.Insert(i);
+  for (uint64_t i = 0; i < 5000; ++i) ASSERT_TRUE(tree.Contains(i));
+  // ForEach must visit ascending.
+  uint64_t prev = 0;
+  bool first = true;
+  tree.ForEach([&](uint64_t k) {
+    if (!first) EXPECT_LT(prev, k);
+    prev = k;
+    first = false;
+  });
+}
+
+TEST(BPlusTreeTest, EraseRemoves) {
+  BPlusTree<uint64_t> tree;
+  for (uint64_t i = 0; i < 1000; ++i) tree.Insert(i);
+  EXPECT_TRUE(tree.Erase(500));
+  EXPECT_FALSE(tree.Erase(500));
+  EXPECT_FALSE(tree.Contains(500));
+  EXPECT_EQ(tree.size(), 999u);
+  EXPECT_TRUE(tree.Contains(499));
+  EXPECT_TRUE(tree.Contains(501));
+}
+
+TEST(BPlusTreeTest, ScanRangeInclusiveBounds) {
+  BPlusTree<uint64_t> tree;
+  for (uint64_t i = 0; i < 100; i += 2) tree.Insert(i);  // evens
+  std::vector<uint64_t> hits;
+  tree.ScanRange(10, 20, [&](uint64_t k) { hits.push_back(k); });
+  EXPECT_EQ(hits, (std::vector<uint64_t>{10, 12, 14, 16, 18, 20}));
+}
+
+TEST(BPlusTreeTest, ScanRangeBetweenKeys) {
+  BPlusTree<uint64_t> tree;
+  for (uint64_t i = 0; i < 100; i += 10) tree.Insert(i);
+  std::vector<uint64_t> hits;
+  tree.ScanRange(11, 39, [&](uint64_t k) { hits.push_back(k); });
+  EXPECT_EQ(hits, (std::vector<uint64_t>{20, 30}));
+}
+
+TEST(BPlusTreeTest, ScanRangeEmptyResult) {
+  BPlusTree<uint64_t> tree;
+  tree.Insert(10);
+  tree.Insert(50);
+  std::vector<uint64_t> hits;
+  tree.ScanRange(20, 40, [&](uint64_t k) { hits.push_back(k); });
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(BPlusTreeTest, ScanRangeCrossesLeaves) {
+  BPlusTree<uint64_t> tree;
+  for (uint64_t i = 0; i < 5000; ++i) tree.Insert(i);
+  size_t count = 0;
+  uint64_t expected = 1000;
+  tree.ScanRange(1000, 3999, [&](uint64_t k) {
+    EXPECT_EQ(k, expected++);
+    ++count;
+  });
+  EXPECT_EQ(count, 3000u);
+}
+
+TEST(BPlusTreeTest, IndexKeyOrdering) {
+  IndexKey a{1, 5};
+  IndexKey b{1, 9};
+  IndexKey c{2, 0};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);
+  EXPECT_FALSE(b < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(BPlusTreeTest, IndexKeyDuplicateValuesDistinctRows) {
+  BPlusTree<IndexKey> tree;
+  for (uint64_t row = 0; row < 100; ++row) {
+    EXPECT_TRUE(tree.Insert(IndexKey{42, row}));
+  }
+  EXPECT_FALSE(tree.Insert(IndexKey{42, 7}));
+  size_t count = 0;
+  tree.ScanRange(IndexKey{42, 0}, IndexKey{42, ~uint64_t{0}},
+                 [&](const IndexKey&) { ++count; });
+  EXPECT_EQ(count, 100u);
+}
+
+TEST(BPlusTreeTest, MoveConstructorStealsState) {
+  BPlusTree<uint64_t> a;
+  for (uint64_t i = 0; i < 100; ++i) a.Insert(i);
+  BPlusTree<uint64_t> b(std::move(a));
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_TRUE(b.Contains(50));
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move): documented reset
+  EXPECT_TRUE(a.Insert(1));
+}
+
+// Randomized differential test against std::set.
+class BTreeRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreeRandomized, MatchesStdSet) {
+  Rng rng(GetParam());
+  BPlusTree<uint64_t> tree;
+  std::set<uint64_t> reference;
+  for (int op = 0; op < 20'000; ++op) {
+    uint64_t key = rng.UniformInt(0, 2000);
+    switch (rng.Index(3)) {
+      case 0: {
+        bool inserted = tree.Insert(key);
+        EXPECT_EQ(inserted, reference.insert(key).second);
+        break;
+      }
+      case 1: {
+        bool erased = tree.Erase(key);
+        EXPECT_EQ(erased, reference.erase(key) > 0);
+        break;
+      }
+      case 2:
+        EXPECT_EQ(tree.Contains(key), reference.count(key) > 0);
+        break;
+    }
+  }
+  EXPECT_EQ(tree.size(), reference.size());
+  // Full-range scan must equal the reference contents in order.
+  std::vector<uint64_t> scanned;
+  tree.ScanRange(0, ~uint64_t{0}, [&](uint64_t k) { scanned.push_back(k); });
+  EXPECT_EQ(scanned, std::vector<uint64_t>(reference.begin(), reference.end()));
+  // Random sub-range scans.
+  for (int i = 0; i < 50; ++i) {
+    uint64_t lo = rng.UniformInt(0, 2000);
+    uint64_t hi = lo + rng.UniformInt(0, 500);
+    std::vector<uint64_t> got;
+    tree.ScanRange(lo, hi, [&](uint64_t k) { got.push_back(k); });
+    std::vector<uint64_t> want(reference.lower_bound(lo),
+                               reference.upper_bound(hi));
+    ASSERT_EQ(got, want) << "range [" << lo << ", " << hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeRandomized,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace hsdb

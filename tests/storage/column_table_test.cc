@@ -1,0 +1,266 @@
+#include "storage/column_table.h"
+
+#include <gtest/gtest.h>
+
+namespace hsdb {
+namespace {
+
+Schema TestSchema() {
+  return Schema::CreateOrDie({{"id", DataType::kInt64},
+                              {"qty", DataType::kInt32},
+                              {"price", DataType::kDouble},
+                              {"name", DataType::kVarchar}},
+                             {0});
+}
+
+Row MakeTestRow(int64_t id) {
+  return {id, int32_t(id % 10), id * 1.5, "name_" + std::to_string(id % 7)};
+}
+
+ColumnTable::Options NoAutoMerge() {
+  ColumnTable::Options opts;
+  opts.auto_merge = false;
+  return opts;
+}
+
+TEST(ColumnTableTest, InsertGoesToDelta) {
+  auto t = ColumnTable::Create(TestSchema(), NoAutoMerge());
+  auto rid = t->Insert(MakeTestRow(1));
+  ASSERT_TRUE(rid.ok());
+  EXPECT_EQ(t->main_rows(), 0u);
+  EXPECT_EQ(t->delta_rows(), 1u);
+  EXPECT_EQ(t->GetValue(*rid, 0).as_int64(), 1);
+  EXPECT_EQ(t->GetValue(*rid, 3).as_string(), "name_1");
+}
+
+TEST(ColumnTableTest, MergeMovesDeltaToMain) {
+  auto t = ColumnTable::Create(TestSchema(), NoAutoMerge());
+  for (int64_t i = 0; i < 100; ++i) ASSERT_TRUE(t->Insert(MakeTestRow(i)).ok());
+  t->MergeDelta();
+  EXPECT_EQ(t->main_rows(), 100u);
+  EXPECT_EQ(t->delta_rows(), 0u);
+  EXPECT_EQ(t->merge_count(), 1u);
+  // Values survive the merge; reads hit the dictionary-encoded main.
+  for (int64_t i = 0; i < 100; ++i) {
+    auto rid = t->FindByPk(PrimaryKey::Of(Value(i)));
+    ASSERT_TRUE(rid.has_value()) << i;
+    EXPECT_EQ(t->GetValue(*rid, 0).as_int64(), i);
+    EXPECT_DOUBLE_EQ(t->GetValue(*rid, 2).as_double(), i * 1.5);
+    EXPECT_EQ(t->GetValue(*rid, 3).as_string(),
+              "name_" + std::to_string(i % 7));
+  }
+}
+
+TEST(ColumnTableTest, DictionaryDeduplicates) {
+  auto t = ColumnTable::Create(TestSchema(), NoAutoMerge());
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(t->Insert(MakeTestRow(i)).ok());
+  }
+  t->MergeDelta();
+  EXPECT_EQ(t->DictionarySize(0), 1000u);  // unique ids
+  EXPECT_EQ(t->DictionarySize(1), 10u);    // qty has 10 distinct values
+  EXPECT_EQ(t->DictionarySize(3), 7u);     // 7 distinct names
+}
+
+TEST(ColumnTableTest, CompressionImprovesWithRepetition) {
+  auto low_card = ColumnTable::Create(
+      Schema::CreateOrDie({{"id", DataType::kInt64},
+                           {"v", DataType::kInt64}},
+                          {0}),
+      NoAutoMerge());
+  for (int64_t i = 0; i < 10'000; ++i) {
+    ASSERT_TRUE(low_card->Insert({i, i % 4}).ok());
+  }
+  low_card->MergeDelta();
+  // v column: dictionary of 4 entries + 2-bit ids, far below 8 bytes/row.
+  EXPECT_LT(low_card->CompressionRate(1), 0.1);
+  // id column: all unique, compression rate should be worse than v's.
+  EXPECT_GT(low_card->CompressionRate(0), low_card->CompressionRate(1));
+  double table_rate = low_card->TableCompressionRate();
+  EXPECT_GT(table_rate, 0.0);
+  EXPECT_LT(table_rate, 1.5);
+}
+
+TEST(ColumnTableTest, DuplicatePkRejectedAcrossMainAndDelta) {
+  auto t = ColumnTable::Create(TestSchema(), NoAutoMerge());
+  ASSERT_TRUE(t->Insert(MakeTestRow(1)).ok());
+  t->MergeDelta();
+  // Now 1 is in main; duplicate must still be caught.
+  EXPECT_EQ(t->Insert(MakeTestRow(1)).status().code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(t->Insert(MakeTestRow(2)).ok());
+  EXPECT_EQ(t->Insert(MakeTestRow(2)).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(ColumnTableTest, UpdateIsTombstonePlusReinsert) {
+  auto t = ColumnTable::Create(TestSchema(), NoAutoMerge());
+  for (int64_t i = 0; i < 10; ++i) ASSERT_TRUE(t->Insert(MakeTestRow(i)).ok());
+  t->MergeDelta();
+  auto rid = t->FindByPk(PrimaryKey::Of(Value(int64_t{5})));
+  ASSERT_TRUE(rid.has_value());
+  ASSERT_TRUE(t->UpdateRow(*rid, {2}, {Value(999.0)}).ok());
+  // Old slot dead, new delta slot live.
+  EXPECT_FALSE(t->IsLive(*rid));
+  EXPECT_EQ(t->delta_rows(), 1u);
+  EXPECT_EQ(t->live_count(), 10u);
+  auto new_rid = t->FindByPk(PrimaryKey::Of(Value(int64_t{5})));
+  ASSERT_TRUE(new_rid.has_value());
+  EXPECT_NE(*new_rid, *rid);
+  EXPECT_DOUBLE_EQ(t->GetValue(*new_rid, 2).as_double(), 999.0);
+  // Unmodified columns preserved by reconstruction.
+  EXPECT_EQ(t->GetValue(*new_rid, 1).as_int32(), 5);
+  EXPECT_EQ(t->GetValue(*new_rid, 3).as_string(), "name_5");
+}
+
+TEST(ColumnTableTest, UpdateRejectsPkColumn) {
+  auto t = ColumnTable::Create(TestSchema(), NoAutoMerge());
+  auto rid = t->Insert(MakeTestRow(1));
+  EXPECT_EQ(t->UpdateRow(*rid, {0}, {int64_t{2}}).code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(ColumnTableTest, DeleteAndMergeCompacts) {
+  auto t = ColumnTable::Create(TestSchema(), NoAutoMerge());
+  for (int64_t i = 0; i < 100; ++i) ASSERT_TRUE(t->Insert(MakeTestRow(i)).ok());
+  t->MergeDelta();
+  for (int64_t i = 0; i < 50; ++i) {
+    auto rid = t->FindByPk(PrimaryKey::Of(Value(i)));
+    ASSERT_TRUE(t->DeleteRow(*rid).ok());
+  }
+  EXPECT_EQ(t->live_count(), 50u);
+  EXPECT_EQ(t->slot_count(), 100u);
+  t->MergeDelta();  // compaction
+  EXPECT_EQ(t->live_count(), 50u);
+  EXPECT_EQ(t->slot_count(), 50u);
+  EXPECT_EQ(t->main_rows(), 50u);
+  // Survivors intact, deleted keys gone.
+  EXPECT_FALSE(t->FindByPk(PrimaryKey::Of(Value(int64_t{0}))).has_value());
+  auto rid = t->FindByPk(PrimaryKey::Of(Value(int64_t{75})));
+  ASSERT_TRUE(rid.has_value());
+  EXPECT_DOUBLE_EQ(t->GetValue(*rid, 2).as_double(), 75 * 1.5);
+  // Dictionary shrank to surviving values.
+  EXPECT_EQ(t->DictionarySize(0), 50u);
+}
+
+TEST(ColumnTableTest, AutoMergeAtStatementBoundary) {
+  ColumnTable::Options opts;
+  opts.min_merge_rows = 10;
+  opts.merge_fraction = 0.5;
+  auto t = ColumnTable::Create(TestSchema(), opts);
+  for (int64_t i = 0; i < 11; ++i) {
+    ASSERT_TRUE(t->Insert(MakeTestRow(i)).ok());
+    // No merge may happen mid-statement.
+    EXPECT_EQ(t->merge_count(), 0u);
+  }
+  EXPECT_TRUE(t->NeedsMerge());
+  t->AfterStatement();
+  EXPECT_EQ(t->merge_count(), 1u);
+  EXPECT_EQ(t->main_rows(), 11u);
+  // Below threshold: no merge.
+  ASSERT_TRUE(t->Insert(MakeTestRow(100)).ok());
+  t->AfterStatement();
+  EXPECT_EQ(t->merge_count(), 1u);
+}
+
+TEST(ColumnTableTest, FilterRangeAcrossMainAndDelta) {
+  auto t = ColumnTable::Create(TestSchema(), NoAutoMerge());
+  for (int64_t i = 0; i < 50; ++i) ASSERT_TRUE(t->Insert(MakeTestRow(i)).ok());
+  t->MergeDelta();
+  for (int64_t i = 50; i < 100; ++i) {
+    ASSERT_TRUE(t->Insert(MakeTestRow(i)).ok());
+  }
+  // Range straddles the main/delta boundary.
+  Bitmap bm = t->live_bitmap();
+  t->FilterRange(0, ValueRange::Between(Value(int64_t{40}), Value(int64_t{59})),
+                 &bm);
+  EXPECT_EQ(bm.Count(), 20u);
+  // Conjunction with an equality on qty.
+  t->FilterRange(1, ValueRange::Eq(Value(int32_t{5})), &bm);
+  EXPECT_EQ(bm.Count(), 2u);  // ids 45 and 55
+}
+
+TEST(ColumnTableTest, FilterRangeVarcharViaDictionary) {
+  auto t = ColumnTable::Create(TestSchema(), NoAutoMerge());
+  for (int64_t i = 0; i < 70; ++i) ASSERT_TRUE(t->Insert(MakeTestRow(i)).ok());
+  t->MergeDelta();
+  Bitmap bm = t->live_bitmap();
+  t->FilterRange(3, ValueRange::Eq(Value("name_2")), &bm);
+  EXPECT_EQ(bm.Count(), 10u);  // i % 7 == 2 for 70 rows
+  // Range over strings.
+  Bitmap bm2 = t->live_bitmap();
+  t->FilterRange(3, ValueRange::Between(Value("name_0"), Value("name_1")),
+                 &bm2);
+  EXPECT_EQ(bm2.Count(), 20u);
+}
+
+TEST(ColumnTableTest, FilterRangeExclusiveBounds) {
+  auto t = ColumnTable::Create(TestSchema(), NoAutoMerge());
+  for (int64_t i = 0; i < 10; ++i) ASSERT_TRUE(t->Insert(MakeTestRow(i)).ok());
+  t->MergeDelta();
+  Bitmap bm = t->live_bitmap();
+  ValueRange r;
+  r.lo = Value(int64_t{2});
+  r.lo_inclusive = false;
+  r.hi = Value(int64_t{5});
+  r.hi_inclusive = false;
+  t->FilterRange(0, r, &bm);
+  EXPECT_EQ(bm.Count(), 2u);
+}
+
+TEST(ColumnTableTest, ForEachNumericSpansMainAndDelta) {
+  auto t = ColumnTable::Create(TestSchema(), NoAutoMerge());
+  for (int64_t i = 0; i < 10; ++i) ASSERT_TRUE(t->Insert(MakeTestRow(i)).ok());
+  t->MergeDelta();
+  for (int64_t i = 10; i < 20; ++i) {
+    ASSERT_TRUE(t->Insert(MakeTestRow(i)).ok());
+  }
+  double sum = 0;
+  t->ForEachNumeric(0, nullptr, [&](RowId, double v) { sum += v; });
+  EXPECT_DOUBLE_EQ(sum, 190.0);  // 0+..+19
+}
+
+TEST(ColumnTableTest, MergePreservesPkIndex) {
+  auto t = ColumnTable::Create(TestSchema(), NoAutoMerge());
+  for (int64_t i = 0; i < 500; ++i) ASSERT_TRUE(t->Insert(MakeTestRow(i)).ok());
+  t->MergeDelta();
+  for (int64_t i = 0; i < 500; ++i) {
+    auto rid = t->FindByPk(PrimaryKey::Of(Value(i)));
+    ASSERT_TRUE(rid.has_value()) << i;
+    ASSERT_EQ(t->GetValue(*rid, 0).as_int64(), i);
+  }
+}
+
+TEST(ColumnTableTest, EmptyMergeIsNoop) {
+  auto t = ColumnTable::Create(TestSchema(), NoAutoMerge());
+  t->MergeDelta();
+  EXPECT_EQ(t->merge_count(), 0u);
+  EXPECT_EQ(t->live_count(), 0u);
+}
+
+TEST(ColumnTableTest, GetRowReconstructsTuple) {
+  auto t = ColumnTable::Create(TestSchema(), NoAutoMerge());
+  ASSERT_TRUE(t->Insert(MakeTestRow(3)).ok());
+  t->MergeDelta();
+  Row row = t->GetRow(0);
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_EQ(row[0].as_int64(), 3);
+  EXPECT_EQ(row[1].as_int32(), 3);
+  EXPECT_DOUBLE_EQ(row[2].as_double(), 4.5);
+  EXPECT_EQ(row[3].as_string(), "name_3");
+}
+
+TEST(ColumnTableTest, DateColumnsRoundTrip) {
+  auto t = ColumnTable::Create(
+      Schema::CreateOrDie(
+          {{"id", DataType::kInt64}, {"d", DataType::kDate}}, {0}),
+      NoAutoMerge());
+  ASSERT_TRUE(t->Insert({int64_t{1}, Date{1000}}).ok());
+  t->MergeDelta();
+  Value v = t->GetValue(0, 1);
+  EXPECT_EQ(v.type(), DataType::kDate);
+  EXPECT_EQ(v.as_date().days, 1000);
+}
+
+}  // namespace
+}  // namespace hsdb

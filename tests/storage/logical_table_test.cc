@@ -1,0 +1,268 @@
+#include "storage/logical_table.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/conversion.h"
+
+namespace hsdb {
+namespace {
+
+Schema OrdersSchema() {
+  return Schema::CreateOrDie({{"id", DataType::kInt64},
+                              {"status", DataType::kInt32},
+                              {"amount", DataType::kDouble},
+                              {"region", DataType::kVarchar}},
+                             {0});
+}
+
+Row OrderRow(int64_t id) {
+  return {id, int32_t(id % 3), id * 2.0, "r" + std::to_string(id % 5)};
+}
+
+std::unique_ptr<LogicalTable> Make(TableLayout layout) {
+  auto r = LogicalTable::Create("orders", OrdersSchema(), layout);
+  HSDB_CHECK(r.ok());
+  return std::move(r).value();
+}
+
+TEST(LogicalTableTest, UnpartitionedSingleFragment) {
+  auto t = Make(TableLayout::SingleStore(StoreType::kRow));
+  ASSERT_EQ(t->groups().size(), 1u);
+  ASSERT_EQ(t->groups()[0].fragments.size(), 1u);
+  EXPECT_EQ(t->groups()[0].fragments[0].table->store(), StoreType::kRow);
+  EXPECT_FALSE(t->groups()[0].hot);
+  for (int64_t i = 0; i < 10; ++i) ASSERT_TRUE(t->Insert(OrderRow(i)).ok());
+  EXPECT_EQ(t->row_count(), 10u);
+}
+
+TEST(LogicalTableTest, RejectsInvalidLayout) {
+  TableLayout bad;
+  bad.vertical = VerticalSpec{{0}};  // PK column listed
+  EXPECT_FALSE(LogicalTable::Create("t", OrdersSchema(), bad).ok());
+  TableLayout bad2;
+  bad2.horizontal = HorizontalSpec{3, 0.0, StoreType::kRow};  // varchar col
+  EXPECT_FALSE(LogicalTable::Create("t", OrdersSchema(), bad2).ok());
+}
+
+TEST(LogicalTableTest, HorizontalRouting) {
+  TableLayout layout;
+  layout.base_store = StoreType::kColumn;
+  layout.horizontal = HorizontalSpec{0, 100.0, StoreType::kRow};
+  auto t = Make(layout);
+  ASSERT_EQ(t->groups().size(), 2u);
+  EXPECT_TRUE(t->groups()[0].hot);
+  EXPECT_EQ(t->groups()[0].fragments[0].table->store(), StoreType::kRow);
+  EXPECT_EQ(t->groups()[1].fragments[0].table->store(), StoreType::kColumn);
+
+  for (int64_t i = 90; i < 110; ++i) ASSERT_TRUE(t->Insert(OrderRow(i)).ok());
+  // Rows with id >= 100 land in the hot row-store group.
+  EXPECT_EQ(t->groups()[0].fragments[0].table->live_count(), 10u);
+  EXPECT_EQ(t->groups()[1].fragments[0].table->live_count(), 10u);
+  EXPECT_EQ(t->row_count(), 20u);
+
+  // Point access works across groups.
+  for (int64_t i : {90, 99, 100, 109}) {
+    auto row = t->GetByPk(PrimaryKey::Of(Value(i)));
+    ASSERT_TRUE(row.ok()) << i;
+    EXPECT_EQ((*row)[0].as_int64(), i);
+    EXPECT_DOUBLE_EQ((*row)[2].as_double(), i * 2.0);
+  }
+}
+
+TEST(LogicalTableTest, VerticalSplitReplicatesPk) {
+  TableLayout layout;
+  layout.base_store = StoreType::kColumn;
+  layout.vertical = VerticalSpec{{1}};  // status -> row store
+  auto t = Make(layout);
+  ASSERT_EQ(t->groups().size(), 1u);
+  const auto& frags = t->groups()[0].fragments;
+  ASSERT_EQ(frags.size(), 2u);
+  // RS piece: pk + status; CS piece: pk + amount + region.
+  EXPECT_EQ(frags[0].table->store(), StoreType::kRow);
+  EXPECT_EQ(frags[0].columns, (std::vector<ColumnId>{0, 1}));
+  EXPECT_EQ(frags[1].table->store(), StoreType::kColumn);
+  EXPECT_EQ(frags[1].columns, (std::vector<ColumnId>{0, 2, 3}));
+  EXPECT_TRUE(frags[0].Covers({0, 1}));
+  EXPECT_FALSE(frags[0].Covers({0, 2}));
+
+  for (int64_t i = 0; i < 20; ++i) ASSERT_TRUE(t->Insert(OrderRow(i)).ok());
+  EXPECT_EQ(t->row_count(), 20u);
+  auto row = t->GetByPk(PrimaryKey::Of(Value(int64_t{7})));
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[1].as_int32(), 1);
+  EXPECT_DOUBLE_EQ((*row)[2].as_double(), 14.0);
+  EXPECT_EQ((*row)[3].as_string(), "r2");
+}
+
+TEST(LogicalTableTest, CombinedHorizontalAndVertical) {
+  TableLayout layout;
+  layout.base_store = StoreType::kColumn;
+  layout.horizontal = HorizontalSpec{0, 50.0, StoreType::kRow};
+  layout.vertical = VerticalSpec{{1}};
+  auto t = Make(layout);
+  ASSERT_EQ(t->groups().size(), 2u);
+  EXPECT_EQ(t->groups()[0].fragments.size(), 1u);  // hot: full width RS
+  EXPECT_EQ(t->groups()[1].fragments.size(), 2u);  // cold: vertical split
+  for (int64_t i = 0; i < 100; ++i) ASSERT_TRUE(t->Insert(OrderRow(i)).ok());
+  EXPECT_EQ(t->row_count(), 100u);
+  EXPECT_EQ(t->groups()[0].fragments[0].table->live_count(), 50u);
+  for (int64_t i : {0, 49, 50, 99}) {
+    auto row = t->GetByPk(PrimaryKey::Of(Value(i)));
+    ASSERT_TRUE(row.ok());
+    EXPECT_EQ((*row)[3].as_string(), "r" + std::to_string(i % 5));
+  }
+}
+
+TEST(LogicalTableTest, PkUniqueAcrossGroups) {
+  TableLayout layout;
+  layout.horizontal = HorizontalSpec{0, 100.0, StoreType::kRow};
+  auto t = Make(layout);
+  ASSERT_TRUE(t->Insert(OrderRow(150)).ok());
+  // Same pk again: rejected even though it would route to the same group.
+  EXPECT_EQ(t->Insert(OrderRow(150)).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(t->row_count(), 1u);
+}
+
+TEST(LogicalTableTest, UpdateRoutesToFragments) {
+  TableLayout layout;
+  layout.base_store = StoreType::kColumn;
+  layout.vertical = VerticalSpec{{1}};
+  auto t = Make(layout);
+  for (int64_t i = 0; i < 10; ++i) ASSERT_TRUE(t->Insert(OrderRow(i)).ok());
+  // status lives in the RS piece, amount in the CS piece.
+  ASSERT_TRUE(t->UpdateByPk(PrimaryKey::Of(Value(int64_t{3})), {1, 2},
+                            {int32_t{9}, 77.0})
+                  .ok());
+  auto row = t->GetByPk(PrimaryKey::Of(Value(int64_t{3})));
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[1].as_int32(), 9);
+  EXPECT_DOUBLE_EQ((*row)[2].as_double(), 77.0);
+  // Unknown pk.
+  EXPECT_EQ(t->UpdateByPk(PrimaryKey::Of(Value(int64_t{99})), {1},
+                          {int32_t{1}})
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(LogicalTableTest, UpdatePartitionColumnRejected) {
+  TableLayout layout;
+  layout.horizontal = HorizontalSpec{0, 100.0, StoreType::kRow};
+  auto t = Make(layout);
+  ASSERT_TRUE(t->Insert(OrderRow(5)).ok());
+  EXPECT_EQ(t->UpdateByPk(PrimaryKey::Of(Value(int64_t{5})), {0},
+                          {int64_t{200}})
+                .code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(LogicalTableTest, DeleteRemovesFromAllFragments) {
+  TableLayout layout;
+  layout.base_store = StoreType::kColumn;
+  layout.vertical = VerticalSpec{{1}};
+  auto t = Make(layout);
+  for (int64_t i = 0; i < 10; ++i) ASSERT_TRUE(t->Insert(OrderRow(i)).ok());
+  ASSERT_TRUE(t->DeleteByPk(PrimaryKey::Of(Value(int64_t{4}))).ok());
+  EXPECT_EQ(t->row_count(), 9u);
+  EXPECT_FALSE(t->GetByPk(PrimaryKey::Of(Value(int64_t{4}))).ok());
+  EXPECT_EQ(t->DeleteByPk(PrimaryKey::Of(Value(int64_t{4}))).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(LogicalTableTest, ForEachRowStitchesAcrossFragments) {
+  TableLayout layout;
+  layout.base_store = StoreType::kColumn;
+  layout.horizontal = HorizontalSpec{0, 5.0, StoreType::kRow};
+  layout.vertical = VerticalSpec{{1}};
+  auto t = Make(layout);
+  for (int64_t i = 0; i < 10; ++i) ASSERT_TRUE(t->Insert(OrderRow(i)).ok());
+  double amount_sum = 0;
+  size_t rows = 0;
+  t->ForEachRow([&](const Row& row) {
+    amount_sum += row[2].as_double();
+    ++rows;
+  });
+  EXPECT_EQ(rows, 10u);
+  EXPECT_DOUBLE_EQ(amount_sum, 2.0 * 45);
+}
+
+TEST(LogicalTableTest, RematerializeChangesLayout) {
+  auto t = Make(TableLayout::SingleStore(StoreType::kRow));
+  for (int64_t i = 0; i < 200; ++i) ASSERT_TRUE(t->Insert(OrderRow(i)).ok());
+
+  TableLayout new_layout;
+  new_layout.base_store = StoreType::kColumn;
+  new_layout.horizontal = HorizontalSpec{0, 150.0, StoreType::kRow};
+  new_layout.vertical = VerticalSpec{{1}};
+  auto result = Rematerialize(*t, new_layout);
+  ASSERT_TRUE(result.ok());
+  auto& nt = *result;
+  EXPECT_EQ(nt->row_count(), 200u);
+  EXPECT_EQ(nt->layout().ToString(), new_layout.ToString());
+  // Hot group got the top 50 keys.
+  EXPECT_EQ(nt->groups()[0].fragments[0].table->live_count(), 50u);
+  // Cold CS piece is merged (compact main, empty delta).
+  auto* cs = dynamic_cast<ColumnTable*>(
+      nt->groups()[1].fragments[1].table.get());
+  ASSERT_NE(cs, nullptr);
+  EXPECT_EQ(cs->delta_rows(), 0u);
+  // Data intact.
+  for (int64_t i : {0, 149, 150, 199}) {
+    auto row = nt->GetByPk(PrimaryKey::Of(Value(i)));
+    ASSERT_TRUE(row.ok());
+    EXPECT_DOUBLE_EQ((*row)[2].as_double(), i * 2.0);
+  }
+}
+
+TEST(LogicalTableTest, ConvertStoreRoundTrip) {
+  auto rs = RowTable::Create(OrdersSchema());
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(rs->Insert(OrderRow(i)).ok());
+  }
+  ASSERT_TRUE(rs->DeleteRow(10).ok());
+  PhysicalOptions opts;
+  auto cs = ConvertStore(*rs, StoreType::kColumn, opts);
+  EXPECT_EQ(cs->store(), StoreType::kColumn);
+  EXPECT_EQ(cs->live_count(), 99u);
+  auto back = ConvertStore(*cs, StoreType::kRow, opts);
+  EXPECT_EQ(back->store(), StoreType::kRow);
+  EXPECT_EQ(back->live_count(), 99u);
+  auto rid = back->FindByPk(PrimaryKey::Of(Value(int64_t{42})));
+  ASSERT_TRUE(rid.has_value());
+  EXPECT_EQ(back->GetValue(*rid, 3).as_string(), "r2");
+  EXPECT_FALSE(
+      back->FindByPk(PrimaryKey::Of(Value(int64_t{10}))).has_value());
+}
+
+TEST(LogicalTableTest, CreateSortedIndexOnRowPieces) {
+  TableLayout layout;
+  layout.base_store = StoreType::kColumn;
+  layout.vertical = VerticalSpec{{1}};
+  auto t = Make(layout);
+  for (int64_t i = 0; i < 10; ++i) ASSERT_TRUE(t->Insert(OrderRow(i)).ok());
+  // status (col 1) is in the RS piece.
+  ASSERT_TRUE(t->CreateSortedIndex(1).ok());
+  auto* rs = dynamic_cast<RowTable*>(
+      t->mutable_groups()[0].fragments[0].table.get());
+  ASSERT_NE(rs, nullptr);
+  EXPECT_TRUE(rs->HasSortedIndex(1));
+  // amount (col 2) lives in the CS piece only: no-op, still OK.
+  EXPECT_TRUE(t->CreateSortedIndex(2).ok());
+}
+
+TEST(LogicalTableTest, AfterStatementMergesColumnPieces) {
+  PhysicalOptions opts;
+  opts.column.min_merge_rows = 5;
+  TableLayout layout = TableLayout::SingleStore(StoreType::kColumn);
+  auto r = LogicalTable::Create("t", OrdersSchema(), layout, opts);
+  ASSERT_TRUE(r.ok());
+  auto t = std::move(r).value();
+  for (int64_t i = 0; i < 10; ++i) ASSERT_TRUE(t->Insert(OrderRow(i)).ok());
+  t->AfterStatement();
+  auto* cs = dynamic_cast<ColumnTable*>(
+      t->mutable_groups()[0].fragments[0].table.get());
+  ASSERT_NE(cs, nullptr);
+  EXPECT_EQ(cs->merge_count(), 1u);
+}
+
+}  // namespace
+}  // namespace hsdb

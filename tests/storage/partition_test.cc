@@ -1,0 +1,113 @@
+// Unit tests for ValueRange and TableLayout.
+#include <gtest/gtest.h>
+
+#include "storage/partition.h"
+#include "storage/value_range.h"
+
+namespace hsdb {
+namespace {
+
+TEST(ValueRangeTest, EqIsPoint) {
+  ValueRange r = ValueRange::Eq(Value(int64_t{5}));
+  EXPECT_TRUE(r.IsPoint());
+  EXPECT_TRUE(r.Contains(Value(int64_t{5})));
+  EXPECT_FALSE(r.Contains(Value(int64_t{4})));
+  EXPECT_FALSE(r.Contains(Value(int64_t{6})));
+}
+
+TEST(ValueRangeTest, BetweenInclusive) {
+  ValueRange r = ValueRange::Between(Value(1.0), Value(2.0));
+  EXPECT_FALSE(r.IsPoint());
+  EXPECT_TRUE(r.Contains(Value(1.0)));
+  EXPECT_TRUE(r.Contains(Value(1.5)));
+  EXPECT_TRUE(r.Contains(Value(2.0)));
+  EXPECT_FALSE(r.Contains(Value(0.99)));
+  EXPECT_FALSE(r.Contains(Value(2.01)));
+}
+
+TEST(ValueRangeTest, HalfOpenBounds) {
+  EXPECT_TRUE(ValueRange::AtLeast(Value(int32_t{3}))
+                  .Contains(Value(int32_t{1000})));
+  EXPECT_FALSE(ValueRange::AtLeast(Value(int32_t{3}))
+                   .Contains(Value(int32_t{2})));
+  EXPECT_TRUE(ValueRange::Greater(Value(int32_t{3}))
+                  .Contains(Value(int32_t{4})));
+  EXPECT_FALSE(ValueRange::Greater(Value(int32_t{3}))
+                   .Contains(Value(int32_t{3})));
+  EXPECT_TRUE(ValueRange::AtMost(Value(int32_t{3}))
+                  .Contains(Value(int32_t{3})));
+  EXPECT_FALSE(ValueRange::Less(Value(int32_t{3}))
+                   .Contains(Value(int32_t{3})));
+}
+
+TEST(ValueRangeTest, StringRanges) {
+  ValueRange r = ValueRange::Between(Value("apple"), Value("mango"));
+  EXPECT_TRUE(r.Contains(Value("banana")));
+  EXPECT_FALSE(r.Contains(Value("zebra")));
+  EXPECT_TRUE(ValueRange::Eq(Value("x")).IsPoint());
+}
+
+TEST(ValueRangeTest, ToStringFormats) {
+  EXPECT_EQ(ValueRange::Eq(Value(int64_t{5})).ToString(), "[5, 5]");
+  EXPECT_EQ(ValueRange::AtLeast(Value(int64_t{2})).ToString(), "[2, +inf]");
+  ValueRange r = ValueRange::Less(Value(int64_t{9}));
+  EXPECT_EQ(r.ToString(), "[-inf, 9)");
+}
+
+Schema TestSchema() {
+  return Schema::CreateOrDie({{"id", DataType::kInt64},
+                              {"a", DataType::kInt32},
+                              {"b", DataType::kDouble},
+                              {"s", DataType::kVarchar}},
+                             {0});
+}
+
+TEST(TableLayoutTest, SingleStoreNotPartitioned) {
+  TableLayout l = TableLayout::SingleStore(StoreType::kRow);
+  EXPECT_FALSE(l.IsPartitioned());
+  EXPECT_TRUE(l.Validate(TestSchema()).ok());
+  EXPECT_EQ(l.ToString(), "store=ROW");
+}
+
+TEST(TableLayoutTest, ValidatesHorizontal) {
+  TableLayout l;
+  l.horizontal = HorizontalSpec{1, 10.0, StoreType::kRow};
+  EXPECT_TRUE(l.Validate(TestSchema()).ok());
+  EXPECT_TRUE(l.IsPartitioned());
+  l.horizontal->column = 3;  // varchar: not allowed
+  EXPECT_FALSE(l.Validate(TestSchema()).ok());
+  l.horizontal->column = 9;  // out of range
+  EXPECT_FALSE(l.Validate(TestSchema()).ok());
+}
+
+TEST(TableLayoutTest, ValidatesVertical) {
+  TableLayout l;
+  l.vertical = VerticalSpec{{1}};
+  EXPECT_TRUE(l.Validate(TestSchema()).ok());
+  l.vertical = VerticalSpec{{}};
+  EXPECT_FALSE(l.Validate(TestSchema()).ok());  // empty
+  l.vertical = VerticalSpec{{0}};
+  EXPECT_FALSE(l.Validate(TestSchema()).ok());  // pk listed
+  l.vertical = VerticalSpec{{1, 1}};
+  EXPECT_FALSE(l.Validate(TestSchema()).ok());  // duplicate
+  l.vertical = VerticalSpec{{1, 2, 3}};
+  EXPECT_FALSE(l.Validate(TestSchema()).ok());  // nothing left for base
+  l.vertical = VerticalSpec{{1, 2}};
+  EXPECT_TRUE(l.Validate(TestSchema()).ok());
+}
+
+TEST(TableLayoutTest, EqualityAndToString) {
+  TableLayout a;
+  a.base_store = StoreType::kColumn;
+  a.horizontal = HorizontalSpec{0, 100.0, StoreType::kRow};
+  a.vertical = VerticalSpec{{1, 2}};
+  TableLayout b = a;
+  EXPECT_TRUE(a == b);
+  b.horizontal->boundary = 200.0;
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(a.ToString().find("horizontal"), std::string::npos);
+  EXPECT_NE(a.ToString().find("vertical"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hsdb

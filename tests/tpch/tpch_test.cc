@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "tpch/dbgen.h"
+#include "tpch/workload.h"
+#include "workload/runner.h"
+
+namespace hsdb {
+namespace tpch {
+namespace {
+
+TEST(TpchSchemaTest, AllTablesDefined) {
+  EXPECT_EQ(TableNames().size(), 8u);
+  for (const std::string& name : TableNames()) {
+    Schema s = SchemaFor(name);
+    EXPECT_GE(s.num_columns(), 3u) << name;
+    EXPECT_FALSE(s.primary_key().empty()) << name;
+  }
+  EXPECT_EQ(LineitemSchema().num_columns(), 16u);
+  EXPECT_EQ(OrdersSchema().num_columns(), 9u);
+  // Composite keys.
+  EXPECT_EQ(LineitemSchema().primary_key().size(), 2u);
+  EXPECT_EQ(PartsuppSchema().primary_key().size(), 2u);
+}
+
+TEST(TpchSchemaTest, ColumnConstantsMatchSchemas) {
+  Schema orders = OrdersSchema();
+  EXPECT_EQ(orders.ColumnIdOrDie("o_orderkey"), col::kOrderKey);
+  EXPECT_EQ(orders.ColumnIdOrDie("o_custkey"), col::kOrderCustKey);
+  EXPECT_EQ(orders.ColumnIdOrDie("o_totalprice"), col::kOrderTotalPrice);
+  EXPECT_EQ(orders.ColumnIdOrDie("o_orderdate"), col::kOrderDate);
+  EXPECT_EQ(orders.ColumnIdOrDie("o_orderpriority"), col::kOrderPriority);
+  Schema li = LineitemSchema();
+  EXPECT_EQ(li.ColumnIdOrDie("l_orderkey"), col::kLOrderKey);
+  EXPECT_EQ(li.ColumnIdOrDie("l_linenumber"), col::kLLineNumber);
+  EXPECT_EQ(li.ColumnIdOrDie("l_extendedprice"), col::kLExtendedPrice);
+  EXPECT_EQ(li.ColumnIdOrDie("l_shipdate"), col::kLShipDate);
+  EXPECT_EQ(li.ColumnIdOrDie("l_returnflag"), col::kLReturnFlag);
+  Schema cust = CustomerSchema();
+  EXPECT_EQ(cust.ColumnIdOrDie("c_custkey"), col::kCustKey);
+  EXPECT_EQ(cust.ColumnIdOrDie("c_acctbal"), col::kCustAcctBal);
+  EXPECT_EQ(cust.ColumnIdOrDie("c_mktsegment"), col::kCustMktSegment);
+  Schema part = PartSchema();
+  EXPECT_EQ(part.ColumnIdOrDie("p_brand"), col::kPartBrand);
+  EXPECT_EQ(part.ColumnIdOrDie("p_retailprice"), col::kPartRetailPrice);
+  Schema ps = PartsuppSchema();
+  EXPECT_EQ(ps.ColumnIdOrDie("ps_availqty"), col::kPsAvailQty);
+  Schema supp = SupplierSchema();
+  EXPECT_EQ(supp.ColumnIdOrDie("s_acctbal"), col::kSuppAcctBal);
+}
+
+class TpchDataTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database();
+    DbgenOptions opts;
+    opts.scale_factor = 0.002;  // ~3000 orders: fast but non-trivial
+    auto stats = LoadTpch(*db_, opts);
+    ASSERT_TRUE(stats.ok());
+    stats_ = new DbgenStats(std::move(stats).value());
+  }
+  static void TearDownTestSuite() {
+    delete stats_;
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static Database* db_;
+  static DbgenStats* stats_;
+};
+
+Database* TpchDataTest::db_ = nullptr;
+DbgenStats* TpchDataTest::stats_ = nullptr;
+
+TEST_F(TpchDataTest, CardinalityRatios) {
+  EXPECT_EQ(stats_->rows.at("region"), 5u);
+  EXPECT_EQ(stats_->rows.at("nation"), 25u);
+  EXPECT_EQ(stats_->rows.at("orders"), 3000u);
+  EXPECT_EQ(stats_->rows.at("customer"), 300u);
+  EXPECT_EQ(stats_->rows.at("part"), 400u);
+  EXPECT_EQ(stats_->rows.at("partsupp"), 1600u);
+  // Lineitem ~4x orders (1..7 uniform).
+  double ratio = static_cast<double>(stats_->rows.at("lineitem")) /
+                 stats_->rows.at("orders");
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 5.0);
+}
+
+TEST_F(TpchDataTest, ForeignKeysResolve) {
+  // Every order's customer exists (keys are dense 0..n-1).
+  AggregationQuery q;
+  q.tables = {"orders", "customer"};
+  q.joins = {{0, col::kOrderCustKey, 1, col::kCustKey}};
+  q.aggregates = {{AggFn::kCount, {}}};
+  auto r = db_->Execute(Query(q));
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->aggregates[0], 3000.0);
+}
+
+TEST_F(TpchDataTest, DatesWithinWindow) {
+  AggregationQuery q;
+  q.tables = {"orders"};
+  q.aggregates = {{AggFn::kMin, {col::kOrderDate, 0}},
+                  {AggFn::kMax, {col::kOrderDate, 0}}};
+  auto r = db_->Execute(Query(q));
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r->aggregates[0], kMinOrderDate);
+  EXPECT_LE(r->aggregates[1], kMaxOrderDate);
+}
+
+TEST_F(TpchDataTest, StatisticsWereCollected) {
+  const TableStatistics* li = db_->catalog().GetStatistics("lineitem");
+  ASSERT_NE(li, nullptr);
+  EXPECT_GT(li->row_count, 9000u);
+  // Low-cardinality flag column compresses extremely well.
+  EXPECT_LT(li->column(col::kLReturnFlag).compression_rate, 0.2);
+}
+
+TEST_F(TpchDataTest, WorkloadRunsCleanly) {
+  TpchWorkloadOptions opts;
+  opts.olap_fraction = 0.05;
+  TpchWorkloadGenerator gen(*db_, opts);
+  auto queries = gen.Generate(300);
+  EXPECT_GE(queries.size(), 300u);
+  WorkloadRunResult result = RunWorkload(*db_, queries);
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_GT(result.olap_queries, 0u);
+}
+
+TEST_F(TpchDataTest, OlapBuildersProduceValidQueries) {
+  TpchWorkloadOptions opts;
+  TpchWorkloadGenerator gen(*db_, opts);
+  for (Query q : {gen.PricingSummary(), gen.OrderPriorityRevenue(),
+                  gen.SegmentRevenue(), gen.OrderTotals(),
+                  gen.BrandPrices()}) {
+    auto r = db_->Execute(q);
+    ASSERT_TRUE(r.ok()) << QueryToString(q) << ": "
+                        << r.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace tpch
+}  // namespace hsdb

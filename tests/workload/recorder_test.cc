@@ -1,0 +1,168 @@
+#include "workload/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+#include "workload/runner.h"
+
+namespace hsdb {
+namespace {
+
+class RecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_.name = "t";
+    ASSERT_TRUE(db_.CreateTable("t", spec_.MakeSchema(),
+                                TableLayout::SingleStore(StoreType::kRow))
+                    .ok());
+    ASSERT_TRUE(
+        PopulateSynthetic(db_.catalog().GetTable("t"), spec_, 1000).ok());
+    ASSERT_TRUE(db_.catalog().UpdateStatistics("t").ok());
+  }
+
+  Database db_;
+  SyntheticTableSpec spec_;
+};
+
+TEST_F(RecorderTest, CountsQueryKinds) {
+  WorkloadRecorder recorder(&db_.catalog());
+  db_.set_observer(&recorder);
+
+  // 2 inserts, 3 updates, 1 point select, 1 aggregation.
+  for (int64_t i = 0; i < 2; ++i) {
+    ASSERT_TRUE(db_.Execute(Query(InsertQuery{
+                                "t", SyntheticRow(spec_, 1000 + i)}))
+                    .ok());
+  }
+  for (int64_t i = 0; i < 3; ++i) {
+    UpdateQuery u;
+    u.table = "t";
+    u.predicate = {{{0, 0}, ValueRange::Eq(Value(i))}};
+    u.set_columns = {spec_.keyfigure(0), spec_.keyfigure(1)};
+    u.set_values = {Value(1.0), Value(2.0)};
+    ASSERT_TRUE(db_.Execute(Query(u)).ok());
+  }
+  SelectQuery s;
+  s.table = "t";
+  s.select_columns = {0, 1};
+  s.predicate = {{{0, 0}, ValueRange::Eq(Value(int64_t{5}))}};
+  ASSERT_TRUE(db_.Execute(Query(s)).ok());
+  AggregationQuery a;
+  a.tables = {"t"};
+  a.aggregates = {{AggFn::kSum, {spec_.keyfigure(2), 0}}};
+  a.group_by = {{spec_.group(0), 0}};
+  ASSERT_TRUE(db_.Execute(Query(a)).ok());
+
+  const WorkloadStatistics& stats = recorder.statistics();
+  EXPECT_EQ(stats.total_queries(), 7u);
+  EXPECT_NEAR(stats.OlapFraction(), 1.0 / 7, 1e-9);
+  const TableWorkloadStats* t = stats.table("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->inserts, 2u);
+  EXPECT_EQ(t->updates, 3u);
+  EXPECT_EQ(t->point_selects, 1u);
+  EXPECT_EQ(t->aggregations, 1u);
+  EXPECT_EQ(t->joins, 0u);
+  EXPECT_DOUBLE_EQ(t->AvgUpdateWidth(), 2.0);
+  EXPECT_EQ(t->columns[spec_.keyfigure(0)].updates, 3u);
+  EXPECT_EQ(t->columns[spec_.keyfigure(2)].aggregate_uses, 1u);
+  EXPECT_EQ(t->columns[spec_.group(0)].group_by_uses, 1u);
+  EXPECT_EQ(t->columns[0].projection_uses, 1u);
+}
+
+TEST_F(RecorderTest, JoinPartnersTracked) {
+  // Second table for a join.
+  StarSchemaSpec star;
+  ASSERT_TRUE(db_.CreateTable("dim", star.MakeDimSchema(),
+                              TableLayout::SingleStore(StoreType::kRow))
+                  .ok());
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(db_.catalog().GetTable("dim")->Insert(star.DimRow(i)).ok());
+  }
+  WorkloadRecorder recorder(&db_.catalog());
+  db_.set_observer(&recorder);
+  AggregationQuery a;
+  a.tables = {"t", "dim"};
+  a.joins = {{0, spec_.filter(0), 1, 0}};
+  a.aggregates = {{AggFn::kCount, {}}};
+  ASSERT_TRUE(db_.Execute(Query(a)).ok());
+  const TableWorkloadStats* t = recorder.statistics().table("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->joins, 1u);
+  EXPECT_EQ(t->join_partners.at("dim"), 1u);
+  const TableWorkloadStats* d = recorder.statistics().table("dim");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->join_partners.at("t"), 1u);
+}
+
+TEST_F(RecorderTest, UpdateKeyHistogramFindsHotRange) {
+  WorkloadRecorder recorder(&db_.catalog());
+  db_.set_observer(&recorder);
+  WorkloadOptions opts;
+  opts.olap_fraction = 0.0;
+  opts.insert_weight = 0.0;
+  opts.update_weight = 1.0;
+  opts.point_select_weight = 0.0;
+  opts.hot_key_fraction = 0.1;
+  SyntheticWorkloadGenerator gen(spec_, 1000, opts);
+  RunWorkload(db_, gen.Generate(500));
+
+  const TableWorkloadStats* t = recorder.statistics().table("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->updates, 500u);
+  auto hot = t->update_key_histogram.DenseRanges(2.0);
+  ASSERT_FALSE(hot.empty());
+  // All updates land in the top 10% of keys [900, 1000).
+  EXPECT_GE(hot[0].lo, 850);
+  EXPECT_GT(hot[0].mass_fraction, 0.95);
+}
+
+TEST_F(RecorderTest, WideUpdatesDetected) {
+  WorkloadRecorder recorder(&db_.catalog());
+  db_.set_observer(&recorder);
+  WorkloadOptions opts;
+  opts.olap_fraction = 0.0;
+  opts.insert_weight = 0.0;
+  opts.update_weight = 1.0;
+  opts.point_select_weight = 0.0;
+  opts.wide_update_probability = 1.0;
+  SyntheticWorkloadGenerator gen(spec_, 1000, opts);
+  RunWorkload(db_, gen.Generate(50));
+  const TableWorkloadStats* t = recorder.statistics().table("t");
+  EXPECT_EQ(t->wide_updates, 50u);
+}
+
+TEST_F(RecorderTest, ReservoirBoundsRetention) {
+  WorkloadRecorder recorder(&db_.catalog(), /*max_recorded_queries=*/100);
+  db_.set_observer(&recorder);
+  WorkloadOptions opts;
+  SyntheticWorkloadGenerator gen(spec_, 1000, opts);
+  RunWorkload(db_, gen.Generate(500));
+  EXPECT_EQ(recorder.recorded_queries().size(), 100u);
+  EXPECT_EQ(recorder.seen_queries(), 500u);
+  // Statistics still see everything.
+  EXPECT_EQ(recorder.statistics().total_queries(), 500u);
+}
+
+TEST_F(RecorderTest, StatisticsOnlyMode) {
+  WorkloadRecorder recorder(&db_.catalog(), /*max_recorded_queries=*/0);
+  db_.set_observer(&recorder);
+  ASSERT_TRUE(
+      db_.Execute(Query(InsertQuery{"t", SyntheticRow(spec_, 5000)})).ok());
+  EXPECT_TRUE(recorder.recorded_queries().empty());
+  EXPECT_EQ(recorder.statistics().total_queries(), 1u);
+}
+
+TEST_F(RecorderTest, ResetClears) {
+  WorkloadRecorder recorder(&db_.catalog());
+  db_.set_observer(&recorder);
+  ASSERT_TRUE(
+      db_.Execute(Query(InsertQuery{"t", SyntheticRow(spec_, 5001)})).ok());
+  recorder.Reset();
+  EXPECT_EQ(recorder.statistics().total_queries(), 0u);
+  EXPECT_TRUE(recorder.recorded_queries().empty());
+  EXPECT_EQ(recorder.seen_queries(), 0u);
+}
+
+}  // namespace
+}  // namespace hsdb

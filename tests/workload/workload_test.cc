@@ -1,0 +1,186 @@
+// Tests for the synthetic/star workload generators and the runner.
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+#include "workload/runner.h"
+
+namespace hsdb {
+namespace {
+
+TEST(SyntheticSpecTest, SchemaShapeMatchesPaper) {
+  SyntheticTableSpec spec;  // defaults: the paper's 30-attribute table
+  Schema s = spec.MakeSchema();
+  EXPECT_EQ(s.num_columns(), 30u);
+  EXPECT_EQ(spec.num_columns(), 30u);
+  EXPECT_EQ(s.column(spec.id_column()).name, "id");
+  EXPECT_EQ(s.column(spec.keyfigure(0)).type, DataType::kDouble);
+  EXPECT_EQ(s.column(spec.filter(0)).type, DataType::kInt32);
+  EXPECT_EQ(s.column(spec.group(8)).type, DataType::kInt32);
+  EXPECT_EQ(s.primary_key(), std::vector<ColumnId>{0});
+}
+
+TEST(SyntheticSpecTest, RowsAreDeterministic) {
+  SyntheticTableSpec spec;
+  Row a = SyntheticRow(spec, 42);
+  Row b = SyntheticRow(spec, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_TRUE(a[i] == b[i]);
+  Row c = SyntheticRow(spec, 43);
+  EXPECT_FALSE(a[1] == c[1]);
+}
+
+TEST(SyntheticSpecTest, PopulateLoadsRows) {
+  SyntheticTableSpec spec;
+  auto table = LogicalTable::Create(
+      spec.name, spec.MakeSchema(),
+      TableLayout::SingleStore(StoreType::kColumn));
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(PopulateSynthetic(table->get(), spec, 500).ok());
+  EXPECT_EQ((*table)->row_count(), 500u);
+  // Column store was merged by Populate.
+  auto* cs = dynamic_cast<ColumnTable*>(
+      (*table)->mutable_groups()[0].fragments[0].table.get());
+  ASSERT_NE(cs, nullptr);
+  EXPECT_EQ(cs->delta_rows(), 0u);
+  EXPECT_EQ(cs->main_rows(), 500u);
+}
+
+TEST(GeneratorTest, OlapFractionRespected) {
+  SyntheticTableSpec spec;
+  WorkloadOptions opts;
+  opts.olap_fraction = 0.2;
+  opts.seed = 5;
+  SyntheticWorkloadGenerator gen(spec, 10'000, opts);
+  auto queries = gen.Generate(5000);
+  size_t olap = 0;
+  for (const Query& q : queries) olap += IsOlap(q);
+  EXPECT_NEAR(static_cast<double>(olap) / queries.size(), 0.2, 0.03);
+}
+
+TEST(GeneratorTest, PureOltpWorkload) {
+  SyntheticTableSpec spec;
+  WorkloadOptions opts;
+  opts.olap_fraction = 0.0;
+  SyntheticWorkloadGenerator gen(spec, 1000, opts);
+  for (const Query& q : gen.Generate(500)) {
+    EXPECT_FALSE(IsOlap(q));
+  }
+}
+
+TEST(GeneratorTest, InsertsUseFreshIds) {
+  SyntheticTableSpec spec;
+  WorkloadOptions opts;
+  opts.olap_fraction = 0.0;
+  opts.insert_weight = 1.0;
+  opts.update_weight = 0.0;
+  opts.point_select_weight = 0.0;
+  SyntheticWorkloadGenerator gen(spec, 100, opts);
+  int64_t expected = 100;
+  for (const Query& q : gen.Generate(50)) {
+    ASSERT_EQ(KindOf(q), QueryKind::kInsert);
+    const auto& ins = std::get<InsertQuery>(q);
+    EXPECT_EQ(ins.row[0].as_int64(), expected++);
+  }
+}
+
+TEST(GeneratorTest, HotUpdatesStayInHotRange) {
+  SyntheticTableSpec spec;
+  WorkloadOptions opts;
+  opts.olap_fraction = 0.0;
+  opts.insert_weight = 0.0;
+  opts.update_weight = 1.0;
+  opts.point_select_weight = 0.0;
+  opts.hot_key_fraction = 0.1;  // top 10% of keys (the Fig. 8 setup)
+  SyntheticWorkloadGenerator gen(spec, 10'000, opts);
+  for (const Query& q : gen.Generate(300)) {
+    ASSERT_EQ(KindOf(q), QueryKind::kUpdate);
+    const auto& u = std::get<UpdateQuery>(q);
+    int64_t key = u.predicate[0].range.lo->as_int64();
+    EXPECT_GE(key, 9000);
+    EXPECT_LT(key, 10'000);
+  }
+}
+
+TEST(GeneratorTest, WideUpdatesRewriteMostColumns) {
+  SyntheticTableSpec spec;
+  WorkloadOptions opts;
+  opts.olap_fraction = 0.0;
+  opts.insert_weight = 0.0;
+  opts.update_weight = 1.0;
+  opts.point_select_weight = 0.0;
+  opts.wide_update_probability = 1.0;
+  SyntheticWorkloadGenerator gen(spec, 1000, opts);
+  Query q = gen.Next();
+  const auto& u = std::get<UpdateQuery>(q);
+  EXPECT_EQ(u.set_columns.size(),
+            spec.num_keyfigures + spec.num_filters);
+}
+
+TEST(GeneratorTest, AggregationShape) {
+  SyntheticTableSpec spec;
+  WorkloadOptions opts;
+  SyntheticWorkloadGenerator gen(spec, 1000, opts);
+  Query q = gen.MakeAggregation(3, /*group_by=*/true, /*filter=*/true);
+  const auto& agg = std::get<AggregationQuery>(q);
+  EXPECT_EQ(agg.aggregates.size(), 3u);
+  EXPECT_EQ(agg.group_by.size(), 1u);
+  EXPECT_EQ(agg.predicate.size(), 1u);
+  // Aggregates over keyfigures only.
+  for (const AggregateExpr& e : agg.aggregates) {
+    EXPECT_GE(e.column.column, spec.keyfigure(0));
+    EXPECT_LT(e.column.column, spec.filter(0));
+  }
+}
+
+TEST(StarGeneratorTest, SchemasAndRows) {
+  StarSchemaSpec spec;
+  EXPECT_EQ(spec.MakeFactSchema().num_columns(), 10u);  // as in the paper
+  EXPECT_EQ(spec.MakeDimSchema().num_columns(), 6u);
+  Row fact = spec.FactRow(3);
+  EXPECT_EQ(fact.size(), 10u);
+  EXPECT_GE(fact[1].as_int64(), 0);
+  EXPECT_LT(fact[1].as_int64(), static_cast<int64_t>(spec.dim_rows));
+  Row dim = spec.DimRow(5);
+  EXPECT_EQ(dim.size(), 6u);
+}
+
+TEST(StarGeneratorTest, JoinQueriesReferenceBothTables) {
+  StarSchemaSpec spec;
+  WorkloadOptions opts;
+  opts.olap_fraction = 1.0;
+  StarWorkloadGenerator gen(spec, 1000, opts);
+  Query q = gen.Next();
+  const auto& agg = std::get<AggregationQuery>(q);
+  ASSERT_EQ(agg.tables.size(), 2u);
+  EXPECT_EQ(agg.tables[0], "fact");
+  EXPECT_EQ(agg.tables[1], "dim");
+  ASSERT_EQ(agg.joins.size(), 1u);
+  EXPECT_EQ(agg.joins[0].left_column, spec.fact_dim_fk());
+}
+
+TEST(RunnerTest, ExecutesWorkloadEndToEnd) {
+  Database db;
+  SyntheticTableSpec spec;
+  spec.name = "t";
+  ASSERT_TRUE(db.CreateTable("t", spec.MakeSchema(),
+                             TableLayout::SingleStore(StoreType::kRow))
+                  .ok());
+  ASSERT_TRUE(PopulateSynthetic(db.catalog().GetTable("t"), spec, 2000).ok());
+  WorkloadOptions opts;
+  opts.olap_fraction = 0.1;
+  SyntheticWorkloadGenerator gen({spec.name, spec.num_keyfigures,
+                                  spec.num_filters, spec.num_groups},
+                                 2000, opts);
+  SyntheticTableSpec named = spec;
+  SyntheticWorkloadGenerator gen2(named, 2000, opts);
+  auto queries = gen2.Generate(300);
+  WorkloadRunResult result = RunWorkload(db, queries);
+  EXPECT_EQ(result.queries, 300u);
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_GT(result.total_ms, 0.0);
+  EXPECT_GT(result.olap_queries, 0u);
+  EXPECT_NEAR(result.total_ms, result.olap_ms + result.oltp_ms, 1e-6);
+}
+
+}  // namespace
+}  // namespace hsdb
