@@ -10,6 +10,7 @@
 
 #include "common/bitpack.h"
 #include "common/hash.h"
+#include "storage/compression/encoding_picker.h"
 #include "storage/scan_dispatch.h"
 
 namespace hsdb {
@@ -43,7 +44,8 @@ std::string TableStatistics::ToString() const {
   for (size_t i = 0; i < columns.size(); ++i) {
     if (i > 0) os << ", ";
     os << i << ":{distinct=" << columns[i].distinct_count
-       << ", compr=" << columns[i].compression_rate << "}";
+       << ", compr=" << columns[i].compression_rate
+       << ", enc=" << EncodingName(columns[i].encoding) << "}";
   }
   os << "]";
   return os.str();
@@ -51,18 +53,44 @@ std::string TableStatistics::ToString() const {
 
 namespace {
 
+/// Encoding-picker profile of a column as seen through its statistics.
+compression::EncodingProfile ProfileFromStatistics(
+    const ColumnStatistics& cs, uint64_t rows) {
+  compression::EncodingProfile p;
+  p.row_count = rows;
+  p.distinct_count = cs.distinct_count;
+  double runs = cs.avg_run_length <= 1.0
+                    ? static_cast<double>(rows)
+                    : static_cast<double>(rows) / cs.avg_run_length;
+  p.run_count = static_cast<uint64_t>(std::max(1.0, runs));
+  p.is_integer = cs.type == DataType::kInt32 ||
+                 cs.type == DataType::kInt64 || cs.type == DataType::kDate;
+  // The double-typed stats bounds only translate into an exact integer
+  // domain while they round-trip; near ±2^63 the cast would be UB, so FOR
+  // is simply not offered there (the picker treats it as inapplicable).
+  constexpr double kSafeInt64 = 9.0e18;
+  if (p.is_integer && rows > 0 && cs.min.has_value() &&
+      cs.max.has_value() && *cs.min >= -kSafeInt64 &&
+      *cs.max <= kSafeInt64) {
+    p.min_value = static_cast<int64_t>(*cs.min);
+    p.max_value = static_cast<int64_t>(*cs.max);
+  } else if (rows > 0) {
+    p.is_integer = false;
+  }
+  p.plain_value_bytes = cs.avg_plain_bytes;
+  return p;
+}
+
 /// Analytic compression estimate for a column *if* it were stored
-/// column-oriented with a sorted dictionary + bit-packed ids. Used for
-/// columns currently resident in the row store, so the advisor can cost the
-/// hypothetical move.
-double EstimateCsCompression(uint64_t rows, uint64_t distinct,
-                             uint32_t plain_width) {
-  if (rows == 0 || distinct == 0) return 1.0;
-  double dict_bytes = static_cast<double>(distinct) * plain_width;
-  double bits = distinct <= 1 ? 1.0 : BitPackedVector::WidthFor(distinct - 1);
-  double ids_bytes = static_cast<double>(rows) * bits / 8.0;
-  double plain_bytes = static_cast<double>(rows) * plain_width;
-  return (dict_bytes + ids_bytes) / plain_bytes;
+/// column-oriented under `encoding`. Used for columns currently resident in
+/// the row store, so the advisor can cost the hypothetical move.
+double EstimateCsCompression(const compression::EncodingProfile& profile,
+                             Encoding encoding) {
+  if (profile.row_count == 0 || profile.distinct_count == 0) return 1.0;
+  double plain_bytes =
+      static_cast<double>(profile.row_count) * profile.plain_value_bytes;
+  if (plain_bytes <= 0.0) return 1.0;
+  return compression::EstimateEncodedBytes(encoding, profile) / plain_bytes;
 }
 
 }  // namespace
@@ -90,8 +118,12 @@ TableStatistics Analyze(const LogicalTable& table,
     double mx = -std::numeric_limits<double>::infinity();
     size_t seen = 0;
     size_t sampled = 0;
+    size_t run_count = 0;
+    size_t run_rows = 0;
+    size_t string_payload = 0;
     double measured_rate = 0.0;
     size_t measured_pieces = 0;
+    std::optional<Encoding> measured_encoding;
 
     for (const RowGroup& group : table.groups()) {
       for (const Fragment& frag : group.fragments) {
@@ -100,6 +132,10 @@ TableStatistics Analyze(const LogicalTable& table,
         if (frag.table->store() == StoreType::kColumn) {
           measured_rate += frag.table->CompressionRate(fc);
           ++measured_pieces;
+          const auto& ct = static_cast<const ColumnTable&>(*frag.table);
+          if (!measured_encoding.has_value() && ct.main_rows() > 0) {
+            measured_encoding = ct.ColumnEncoding(fc);
+          }
         }
         // Pseudo-random sampling (hash of the running position) instead of a
         // fixed stride: systematic sampling aliases with periodic data.
@@ -107,9 +143,19 @@ TableStatistics Analyze(const LogicalTable& table,
           return stride == 1 || Mix64(position) % stride == 0;
         };
         if (numeric) {
+          bool in_run = false;
+          double prev = 0.0;
           ForEachNumericIn(*frag.table, fc, nullptr, [&](RowId, double v) {
             mn = std::min(mn, v);
             mx = std::max(mx, v);
+            // Exact run structure in physical order (the encoding picker's
+            // RLE input); fragments restart the run.
+            if (!in_run || v != prev) {
+              ++run_count;
+              in_run = true;
+              prev = v;
+            }
+            ++run_rows;
             if (take_sample(seen++)) {
               ++sampled;
               uint64_t bits;
@@ -118,11 +164,25 @@ TableStatistics Analyze(const LogicalTable& table,
             }
           });
         } else {
+          bool in_run = false;
+          uint64_t prev_hash = 0;
           frag.table->live_bitmap().ForEachSet([&](size_t rid) {
             if (!take_sample(seen++)) return;
             ++sampled;
             Value v = frag.table->GetValue(rid, fc);
-            distinct.insert(std::hash<std::string>{}(v.as_string()));
+            string_payload += v.as_string().size();
+            uint64_t h = std::hash<std::string>{}(v.as_string());
+            distinct.insert(h);
+            // Exact runs only in full-scan mode; a strided sample breaks
+            // runs apart and would undercount their length.
+            if (stride == 1) {
+              if (!in_run || h != prev_hash) {
+                ++run_count;
+                in_run = true;
+                prev_hash = h;
+              }
+              ++run_rows;
+            }
           });
         }
         break;  // one fragment per group holds the column's authoritative copy
@@ -144,11 +204,33 @@ TableStatistics Analyze(const LogicalTable& table,
       cs.min = mn;
       cs.max = mx;
     }
+    if (run_count > 0) {
+      cs.avg_run_length =
+          static_cast<double>(run_rows) / static_cast<double>(run_count);
+    }
+    // Plain footprint of one value, matching compression::ProfileValues:
+    // the physical width for numerics, string header + mean payload for
+    // VARCHAR (from the sample).
+    if (numeric) {
+      cs.avg_plain_bytes = FixedWidth(cs.type);
+    } else {
+      cs.avg_plain_bytes =
+          sizeof(std::string) +
+          (sampled > 0 ? static_cast<double>(string_payload) /
+                             static_cast<double>(sampled)
+                       : 0.0);
+    }
+    // Encoding: what the column store picked where it holds the column, or
+    // what the picker would choose for the hypothetical move.
+    compression::EncodingProfile profile =
+        ProfileFromStatistics(cs, stats.row_count);
+    cs.encoding = measured_encoding.has_value()
+                      ? *measured_encoding
+                      : compression::EncodingPicker().Pick(profile);
     if (measured_pieces > 0) {
       cs.compression_rate = measured_rate / measured_pieces;
     } else {
-      cs.compression_rate = EstimateCsCompression(
-          stats.row_count, cs.distinct_count, FixedWidth(cs.type));
+      cs.compression_rate = EstimateCsCompression(profile, cs.encoding);
     }
   }
 

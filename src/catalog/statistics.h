@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "storage/compression/encoding.h"
 #include "storage/logical_table.h"
 
 namespace hsdb {
@@ -22,6 +23,17 @@ struct ColumnStatistics {
   std::optional<double> max;
   /// Compressed/plain size ratio when stored column-oriented; 1.0 row-based.
   double compression_rate = 1.0;
+  /// Average maximal-run length in physical row order — the run-structure
+  /// input of the encoding picker. 1.0 when unknown (sampled VARCHAR scans).
+  double avg_run_length = 1.0;
+  /// Average in-memory bytes of one plain value (string header + payload
+  /// for VARCHAR) — must match the store-side encoding profile so the
+  /// advisor predicts the codec the store will actually pick.
+  double avg_plain_bytes = 8.0;
+  /// Codec the compression subsystem has chosen (column-store resident) or
+  /// would choose (hypothetical move costed by the advisor) for the main
+  /// segment of this column.
+  Encoding encoding = Encoding::kDictionary;
 };
 
 /// Per-table statistics.

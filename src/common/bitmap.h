@@ -49,6 +49,26 @@ class Bitmap {
     words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
   }
 
+  /// Clears all bits in [begin, end), word-at-a-time. Used by the RLE
+  /// predicate path to drop whole non-matching runs.
+  void ClearRange(size_t begin, size_t end) {
+    HSDB_DCHECK(begin <= end && end <= size_);
+    if (begin >= end) return;
+    size_t first_word = begin >> 6;
+    size_t last_word = (end - 1) >> 6;
+    uint64_t head_mask = ~uint64_t{0} << (begin & 63);
+    uint64_t tail_mask = (end & 63) == 0
+                             ? ~uint64_t{0}
+                             : (uint64_t{1} << (end & 63)) - 1;
+    if (first_word == last_word) {
+      words_[first_word] &= ~(head_mask & tail_mask);
+      return;
+    }
+    words_[first_word] &= ~head_mask;
+    for (size_t w = first_word + 1; w < last_word; ++w) words_[w] = 0;
+    words_[last_word] &= ~tail_mask;
+  }
+
   /// Number of set bits.
   size_t Count() const {
     size_t total = 0;
@@ -61,6 +81,27 @@ class Bitmap {
   void ForEachSet(Fn&& fn) const {
     for (size_t wi = 0; wi < words_.size(); ++wi) {
       uint64_t w = words_[wi];
+      while (w != 0) {
+        uint32_t bit = static_cast<uint32_t>(std::countr_zero(w));
+        fn(wi * 64 + bit);
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Calls `fn(index)` for every set bit in [begin, end) in ascending order.
+  template <typename Fn>
+  void ForEachSetInRange(size_t begin, size_t end, Fn&& fn) const {
+    HSDB_DCHECK(begin <= end && end <= size_);
+    if (begin >= end) return;
+    size_t first_word = begin >> 6;
+    size_t last_word = (end - 1) >> 6;
+    for (size_t wi = first_word; wi <= last_word; ++wi) {
+      uint64_t w = words_[wi];
+      if (wi == first_word) w &= ~uint64_t{0} << (begin & 63);
+      if (wi == last_word && (end & 63) != 0) {
+        w &= (uint64_t{1} << (end & 63)) - 1;
+      }
       while (w != 0) {
         uint32_t bit = static_cast<uint32_t>(std::countr_zero(w));
         fn(wi * 64 + bit);

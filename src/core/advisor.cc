@@ -9,13 +9,48 @@ namespace hsdb {
 
 namespace {
 
+/// True when any piece of the layout is column-resident (and therefore
+/// stores compressed, per-column-encoded segments).
+bool HasColumnPiece(const TableLayout& layout) {
+  if (layout.base_store == StoreType::kColumn) return true;
+  return layout.horizontal.has_value() &&
+         layout.horizontal->hot_store == StoreType::kColumn;
+}
+
+/// " ENCODING (col CODEC, ...)" clause naming the codec the compression
+/// subsystem picks per column (from the catalog statistics). Covers only
+/// the columns that actually land in a column-store piece: a vertical
+/// split's row-store columns are skipped (the replicated primary key stays
+/// column-encoded in the base piece).
+std::string EncodingClause(const Schema& schema, const TableLayout& layout,
+                           const TableStatistics* stats) {
+  if (stats == nullptr || stats->columns.empty()) return "";
+  std::ostringstream os;
+  os << " ENCODING (";
+  bool first = true;
+  for (ColumnId c = 0; c < schema.num_columns(); ++c) {
+    if (layout.vertical.has_value() && !schema.IsPrimaryKeyColumn(c)) {
+      const std::vector<ColumnId>& rs = layout.vertical->row_store_columns;
+      if (std::find(rs.begin(), rs.end(), c) != rs.end()) continue;
+    }
+    if (!first) os << ", ";
+    first = false;
+    os << schema.column(c).name << " "
+       << EncodingName(stats->column(c).encoding);
+  }
+  os << ")";
+  return os.str();
+}
+
 std::string LayoutDdl(const std::string& table, const LayoutContext& ctx,
-                      const Schema& schema) {
+                      const Schema& schema, const TableStatistics* stats) {
   std::ostringstream os;
   const TableLayout& layout = ctx.layout;
+  const std::string encodings =
+      HasColumnPiece(layout) ? EncodingClause(schema, layout, stats) : "";
   if (!layout.IsPartitioned()) {
     os << "ALTER TABLE " << table << " STORE "
-       << StoreTypeName(layout.base_store) << ";";
+       << StoreTypeName(layout.base_store) << encodings << ";";
     return os.str();
   }
   os << "ALTER TABLE " << table << " PARTITION BY (";
@@ -35,7 +70,7 @@ std::string LayoutDdl(const std::string& table, const LayoutContext& ctx,
     }
     os << ") TO ROW STORE";
   }
-  os << ") BASE " << StoreTypeName(layout.base_store) << ";";
+  os << ") BASE " << StoreTypeName(layout.base_store) << encodings << ";";
   return os.str();
 }
 
@@ -190,12 +225,14 @@ Result<Recommendation> StorageAdvisor::Recommend(
     rec.estimated_cost_ms = table_result.estimated_cost_ms;
   }
 
-  // Emit DDL only for tables whose layout actually changes.
+  // Emit DDL only for tables whose layout actually changes. Column-store
+  // targets name the per-column encoding the compression subsystem picks.
   for (const auto& [name, ctx] : rec.layouts) {
     const LogicalTable* table = db_->catalog().GetTable(name);
     if (table == nullptr) continue;
     if (table->layout() == ctx.layout) continue;
-    rec.ddl.push_back(LayoutDdl(name, ctx, table->schema()));
+    const TableStatistics* stats = db_->catalog().GetStatistics(name);
+    rec.ddl.push_back(LayoutDdl(name, ctx, table->schema(), stats));
   }
   return rec;
 }

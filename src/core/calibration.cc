@@ -1,9 +1,11 @@
 #include "core/calibration.h"
 
+#include <array>
 #include <cmath>
 #include <sstream>
 
 #include "common/macros.h"
+#include "storage/compression/encoding_calibration.h"
 
 namespace hsdb {
 
@@ -271,6 +273,19 @@ CalibrationReport Calibrate(ProbeRunner& runner,
       params.f_stitch = LinearFn::Constant(
           std::max(0.0, params.f_stitch(static_cast<double>(ref_rows))));
     }
+  }
+
+  // ---- Compressed-scan decode terms --------------------------------------
+  if (opt.calibrate_encoding_scan) {
+    std::array<double, kNumEncodings> mult =
+        compression::MeasureEncodingScanMultipliers();
+    StoreCostParams& cs = params.of(StoreType::kColumn);
+    log << "c_encoding_scan:";
+    for (int e = 0; e < kNumEncodings; ++e) {
+      cs.c_encoding_scan[e] = mult[e];
+      log << " " << EncodingName(static_cast<Encoding>(e)) << "=" << mult[e];
+    }
+    log << "\n";
   }
 
   double sum_r2 = 0.0;

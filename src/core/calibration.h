@@ -75,6 +75,10 @@ struct CalibrationOptions {
   std::vector<uint64_t> distinct_points = {16, 1024, 65'536, 0};
   std::vector<size_t> affected_rows_points = {1, 4, 16, 64};
   std::vector<size_t> dim_row_points = {100, 1000, 5000};
+
+  /// Also run the per-codec decode microprobes and install the measured
+  /// compressed-scan multipliers (StoreCostParams::c_encoding_scan).
+  bool calibrate_encoding_scan = true;
 };
 
 /// Selectivity of the aggregation filter probe; the fitted c_agg_filter is

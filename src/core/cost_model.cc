@@ -64,6 +64,13 @@ CostModelParams CostModelParams::Default() {
   cs.f_rows_update = LinearFn{1.0, 5e-9};
   cs.f_rows_probe = LinearFn{0.0, 1.2e-6};
   cs.f_rows_build = LinearFn{0.9, 1.2e-4};
+  // Analytic decode shape: run replay beats id+dictionary indirection,
+  // base+delta adds sit between, plain vectors lose the bandwidth savings.
+  // Calibration replaces these with measured per-codec throughput.
+  cs.c_encoding_scan[static_cast<int>(Encoding::kDictionary)] = 1.0;
+  cs.c_encoding_scan[static_cast<int>(Encoding::kRle)] = 0.55;
+  cs.c_encoding_scan[static_cast<int>(Encoding::kFrameOfReference)] = 0.8;
+  cs.c_encoding_scan[static_cast<int>(Encoding::kRaw)] = 1.25;
 
   p.base_join[0][0] = 1.0;
   p.base_join[0][1] = 1.15;
@@ -84,7 +91,11 @@ std::string CostModelParams::ToString() const {
        << " f_compr=" << sp.f_compression_agg.ToString()
        << " base_select=" << sp.base_select
        << " base_insert=" << sp.base_insert
-       << " base_update=" << sp.base_update << "\n";
+       << " base_update=" << sp.base_update << " c_enc_scan={";
+    for (int e = 0; e < kNumEncodings; ++e) {
+      os << (e > 0 ? "," : "") << sp.c_encoding_scan[e];
+    }
+    os << "}\n";
   }
   os << "base_join={" << base_join[0][0] << "," << base_join[0][1] << ";"
      << base_join[1][0] << "," << base_join[1][1] << "}"
@@ -98,7 +109,7 @@ namespace {
 /// can dip below zero when extrapolating far left of the calibrated range.
 double ClampMultiplier(double m) { return std::max(m, 1e-4); }
 
-constexpr char kSerializationMagic[] = "hsdb_cost_model_v1";
+constexpr char kSerializationMagic[] = "hsdb_cost_model_v2";
 
 void PutFn(std::ostream& os, const LinearFn& fn) {
   os << fn.intercept << " " << fn.slope << "\n";
@@ -155,6 +166,8 @@ std::string CostModelParams::Serialize() const {
     PutFn(os, sp.f_rows_update);
     PutFn(os, sp.f_rows_probe);
     PutFn(os, sp.f_rows_build);
+    for (double c : sp.c_encoding_scan) os << c << " ";
+    os << "\n";
   }
   for (int f = 0; f < kNumStoreTypes; ++f) {
     for (int d = 0; d < kNumStoreTypes; ++d) {
@@ -202,6 +215,9 @@ Result<CostModelParams> CostModelParams::Deserialize(
     if (!GetFn(is, &sp.f_rows_update)) return fail();
     if (!GetFn(is, &sp.f_rows_probe)) return fail();
     if (!GetFn(is, &sp.f_rows_build)) return fail();
+    for (double& c : sp.c_encoding_scan) {
+      if (!(is >> c)) return fail();
+    }
   }
   for (int f = 0; f < kNumStoreTypes; ++f) {
     for (int d = 0; d < kNumStoreTypes; ++d) {
@@ -216,8 +232,8 @@ Result<CostModelParams> CostModelParams::Deserialize(
 double CostModel::AggregationCost(StoreType store,
                                   const std::vector<AggSpec>& aggs,
                                   bool grouped, bool filtered, double rows,
-                                  double compression_rate,
-                                  double selectivity) const {
+                                  double compression_rate, double selectivity,
+                                  double encoding_scan) const {
   const StoreCostParams& sp = params_.of(store);
   // Each aggregate contributes its base cost adjusted to its data type
   // (the paper's two-aggregate example in §3.1).
@@ -226,9 +242,11 @@ double CostModel::AggregationCost(StoreType store,
     base += sp.base_agg[static_cast<int>(agg.fn)] *
             sp.c_data_type[static_cast<int>(agg.type)];
   }
-  double compr = store == StoreType::kColumn
-                     ? ClampMultiplier(sp.f_compression_agg(compression_rate))
-                     : 1.0;
+  double compr =
+      store == StoreType::kColumn
+          ? ClampMultiplier(sp.f_compression_agg(compression_rate)) *
+                ClampMultiplier(encoding_scan)
+          : 1.0;
   // Aggregation work runs over the rows surviving the predicate...
   double work_rows = filtered ? selectivity * rows : rows;
   double cost = base;
@@ -246,7 +264,8 @@ double CostModel::AggregationCost(StoreType store,
 double CostModel::JoinAggregationCost(
     StoreType fact_store, const std::vector<AggSpec>& aggs, bool grouped,
     bool filtered, double fact_rows, double fact_compression,
-    const std::vector<JoinSide>& dims, double selectivity) const {
+    const std::vector<JoinSide>& dims, double selectivity,
+    double encoding_scan) const {
   const StoreCostParams& fp = params_.of(fact_store);
   double base = 0.0;
   for (const AggSpec& agg : aggs) {
@@ -255,7 +274,8 @@ double CostModel::JoinAggregationCost(
   }
   double fact_compr =
       fact_store == StoreType::kColumn
-          ? ClampMultiplier(fp.f_compression_agg(fact_compression))
+          ? ClampMultiplier(fp.f_compression_agg(fact_compression)) *
+                ClampMultiplier(encoding_scan)
           : 1.0;
   // Probe work runs over the rows surviving the fact-side predicate.
   double probe_rows = filtered ? selectivity * fact_rows : fact_rows;
@@ -282,10 +302,11 @@ double CostModel::JoinAggregationCost(
 }
 
 double CostModel::SelectCost(StoreType store, size_t selected_columns,
-                             double selectivity, bool indexed,
-                             double rows) const {
+                             double selectivity, bool indexed, double rows,
+                             double encoding_scan) const {
   const StoreCostParams& sp = params_.of(store);
   double cost = sp.base_select;
+  if (store == StoreType::kColumn) cost *= ClampMultiplier(encoding_scan);
   cost *= ClampMultiplier(
       sp.f_selected_columns(static_cast<double>(selected_columns)));
   // The column store's dictionary acts as an implicit index, so both paths
@@ -297,6 +318,13 @@ double CostModel::SelectCost(StoreType store, size_t selected_columns,
   cost *= ClampMultiplier(f_sel(selectivity));
   cost *= ClampMultiplier(sp.f_rows_select(rows));
   return cost;
+}
+
+double CostModel::EncodingScanMultiplier(StoreType store,
+                                         Encoding encoding) const {
+  if (store != StoreType::kColumn) return 1.0;
+  return ClampMultiplier(
+      params_.of(store).c_encoding_scan[static_cast<int>(encoding)]);
 }
 
 double CostModel::PointSelectCost(StoreType store,

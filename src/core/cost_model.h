@@ -17,6 +17,7 @@
 #include "common/regression.h"
 #include "common/types.h"
 #include "executor/query.h"
+#include "storage/compression/encoding.h"
 #include "storage/store_type.h"
 
 namespace hsdb {
@@ -59,6 +60,13 @@ struct StoreCostParams {
   // Join contributions (see CostModel::JoinAggregationCost).
   LinearFn f_rows_probe{0.0, 1e-6};
   LinearFn f_rows_build{0.5, 5e-4};
+
+  // Compressed-scan decode terms (column store): relative sequential-scan
+  // cost per column encoding, normalized to the dictionary codec = 1.
+  // Calibrated by the per-codec decode microprobes
+  // (storage/compression/encoding_calibration.h); identity for the row
+  // store.
+  double c_encoding_scan[kNumEncodings] = {1.0, 1.0, 1.0, 1.0};
 };
 
 /// Full parameter set: one StoreCostParams per store plus the store-
@@ -111,10 +119,13 @@ class CostModel {
   /// (c_agg_filter) plus the aggregation work over the selected fraction —
   /// an extension of the paper's constant-only filter adjustment that keeps
   /// the estimate store-rank-correct when filters are selective.
+  /// `encoding_scan` is the table's average per-encoding scan multiplier
+  /// (EncodingScanMultiplier averaged over the scanned columns); it adjusts
+  /// column-store scans only.
   double AggregationCost(StoreType store, const std::vector<AggSpec>& aggs,
                          bool grouped, bool filtered, double rows,
-                         double compression_rate,
-                         double selectivity = 1.0) const;
+                         double compression_rate, double selectivity = 1.0,
+                         double encoding_scan = 1.0) const;
 
   /// Star-join aggregation: fact-side aggregation adjusted per joined
   /// dimension with the store-combination base costs (§3.1 "Join Queries").
@@ -128,11 +139,17 @@ class CostModel {
                              bool filtered, double fact_rows,
                              double fact_compression,
                              const std::vector<JoinSide>& dims,
-                             double selectivity = 1.0) const;
+                             double selectivity = 1.0,
+                             double encoding_scan = 1.0) const;
 
   /// Point/range selection (§3.1 "Point and Range Queries").
   double SelectCost(StoreType store, size_t selected_columns,
-                    double selectivity, bool indexed, double rows) const;
+                    double selectivity, bool indexed, double rows,
+                    double encoding_scan = 1.0) const;
+
+  /// Relative scan cost of a column-store column under `encoding`
+  /// (dictionary = 1); always 1 for the row store.
+  double EncodingScanMultiplier(StoreType store, Encoding encoding) const;
 
   /// Primary-key point lookup: hash access + k-column tuple reconstruction.
   double PointSelectCost(StoreType store, size_t selected_columns) const;

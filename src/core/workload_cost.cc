@@ -68,6 +68,15 @@ WorkloadCostEstimator::TableFacts WorkloadCostEstimator::FactsOf(
   if (facts.stats != nullptr) {
     facts.rows = static_cast<double>(facts.stats->row_count);
     facts.compression = facts.stats->table_compression_rate;
+    if (!facts.stats->columns.empty()) {
+      double total = 0.0;
+      for (const ColumnStatistics& cs : facts.stats->columns) {
+        total += model_->EncodingScanMultiplier(StoreType::kColumn,
+                                                cs.encoding);
+      }
+      facts.encoding_scan =
+          total / static_cast<double>(facts.stats->columns.size());
+    }
   } else if (facts.table != nullptr) {
     facts.rows = static_cast<double>(facts.table->row_count());
   }
@@ -179,7 +188,8 @@ double WorkloadCostEstimator::AggregationQueryCost(
     }
     cost += model_->JoinAggregationCost(ctx.layout.base_store, aggs, grouped,
                                         filtered, cold_rows,
-                                        fact.compression, dims, selectivity);
+                                        fact.compression, dims, selectivity,
+                                        fact.encoding_scan);
     return cost;
   }
 
@@ -209,7 +219,7 @@ double WorkloadCostEstimator::AggregationQueryCost(
     if (Covered(pieces.in_cs, needed)) {
       cost += model_->AggregationCost(ctx.layout.base_store, aggs, grouped,
                                       filtered, cold_rows, fact.compression,
-                                      selectivity);
+                                      selectivity, fact.encoding_scan);
     } else if (Covered(pieces.in_rs, needed)) {
       cost += model_->AggregationCost(StoreType::kRow, aggs, grouped,
                                       filtered, cold_rows, 1.0, selectivity);
@@ -217,13 +227,13 @@ double WorkloadCostEstimator::AggregationQueryCost(
       // Spanning: CS piece scan plus the PK-stitch penalty.
       cost += model_->AggregationCost(ctx.layout.base_store, aggs, grouped,
                                       filtered, cold_rows, fact.compression,
-                                      selectivity);
+                                      selectivity, fact.encoding_scan);
       cost += model_->StitchCost(cold_rows);
     }
   } else {
     cost += model_->AggregationCost(ctx.layout.base_store, aggs, grouped,
                                     filtered, cold_rows, fact.compression,
-                                    selectivity);
+                                    selectivity, fact.encoding_scan);
   }
   return cost;
 }
@@ -272,7 +282,7 @@ double WorkloadCostEstimator::SelectQueryCost(
     double c = model_->SelectCost(store, k, selectivity,
                                   store == StoreType::kRow ? rs_indexed
                                                            : true,
-                                  rows);
+                                  rows, facts.encoding_scan);
     if (spanning) c += model_->StitchCost(selectivity * rows + 1.0);
     return c;
   };
@@ -356,7 +366,8 @@ double WorkloadCostEstimator::UpdateQueryCost(
     if (pk_point || rows <= 0.0) return 0.0;
     return model_->SelectCost(
         store, 1, selectivity,
-        store == StoreType::kRow ? rs_indexed : true, rows);
+        store == StoreType::kRow ? rs_indexed : true, rows,
+        facts.encoding_scan);
   };
 
   // Predicate columns decide which vertical piece performs the locate.

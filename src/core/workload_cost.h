@@ -75,6 +75,9 @@ class WorkloadCostEstimator {
   struct TableFacts {
     double rows = 0.0;
     double compression = 0.5;
+    /// Mean per-encoding scan multiplier over the table's columns when it
+    /// is (or would be) column-resident; 1.0 without statistics.
+    double encoding_scan = 1.0;
     const TableStatistics* stats = nullptr;  // may be null
     const LogicalTable* table = nullptr;     // may be null
   };

@@ -178,78 +178,48 @@ void ColumnTable::FilterRange(ColumnId col, const ValueRange& range,
   const DataType type = schema_.column(col).type;
   if (type == DataType::kVarchar) {
     const auto& data = std::get<ColumnData<std::string>>(columns_[col]);
-    // Dictionary binary search gives the matching id interval.
-    size_t id_lo = 0;
-    size_t id_hi = data.dict.size();
+    compression::BoundsPred<std::string> pred;
+    pred.lo_inclusive = range.lo_inclusive;
+    pred.hi_inclusive = range.hi_inclusive;
     if (range.lo.has_value()) {
-      const std::string& lo = range.lo->as_string();
-      id_lo = (range.lo_inclusive
-                   ? std::lower_bound(data.dict.begin(), data.dict.end(), lo)
-                   : std::upper_bound(data.dict.begin(), data.dict.end(), lo)) -
-              data.dict.begin();
+      pred.has_lo = true;
+      pred.lo = range.lo->as_string();
     }
     if (range.hi.has_value()) {
-      const std::string& hi = range.hi->as_string();
-      id_hi = (range.hi_inclusive
-                   ? std::upper_bound(data.dict.begin(), data.dict.end(), hi)
-                   : std::lower_bound(data.dict.begin(), data.dict.end(), hi)) -
-              data.dict.begin();
+      pred.has_hi = true;
+      pred.hi = range.hi->as_string();
     }
-    inout->ForEachSet([&](size_t rid) {
-      if (rid < main_size_) {
-        uint64_t id = data.ids.Get(rid);
-        if (id < id_lo || id >= id_hi) inout->Clear(rid);
-      } else {
-        const std::string& v = data.delta[rid - main_size_];
-        if (!range.Contains(Value(v))) inout->Clear(rid);
-      }
+    // Main: predicate evaluation on the encoded segment (dictionary id
+    // ranges, run skipping). Delta: raw per-row comparison.
+    data.main.FilterRange(pred, inout);
+    inout->ForEachSetInRange(main_size_, live_.size(), [&](size_t rid) {
+      if (!pred.Keep(data.delta[rid - main_size_])) inout->Clear(rid);
     });
     return;
   }
-  // Numeric columns: resolve bounds in double space against the sorted
-  // dictionary (the "implicit index"), then compare packed ids.
+  // Numeric columns: bounds resolve in double space (identical to the row
+  // store's comparison semantics), then evaluate on the encoded domain.
   std::visit(
       [&](const auto& data) {
-        using T = std::decay_t<decltype(data.dict)>;
-        if constexpr (std::is_same_v<T, std::vector<std::string>>) {
+        using VecT = std::decay_t<decltype(data.delta)>;
+        if constexpr (std::is_same_v<VecT, std::vector<std::string>>) {
           HSDB_CHECK_MSG(false, "string data in numeric column");
         } else {
-          double lo = range.lo.has_value() ? range.lo->AsNumeric() : 0.0;
-          double hi = range.hi.has_value() ? range.hi->AsNumeric() : 0.0;
-          size_t id_lo = 0;
-          size_t id_hi = data.dict.size();
+          using T = typename VecT::value_type;
+          compression::BoundsPred<T> pred;
+          pred.lo_inclusive = range.lo_inclusive;
+          pred.hi_inclusive = range.hi_inclusive;
           if (range.lo.has_value()) {
-            id_lo = std::partition_point(
-                        data.dict.begin(), data.dict.end(),
-                        [&](const auto& v) {
-                          double d = static_cast<double>(v);
-                          return range.lo_inclusive ? d < lo : d <= lo;
-                        }) -
-                    data.dict.begin();
+            pred.has_lo = true;
+            pred.lo = range.lo->AsNumeric();
           }
           if (range.hi.has_value()) {
-            id_hi = std::partition_point(
-                        data.dict.begin(), data.dict.end(),
-                        [&](const auto& v) {
-                          double d = static_cast<double>(v);
-                          return range.hi_inclusive ? d <= hi : d < hi;
-                        }) -
-                    data.dict.begin();
+            pred.has_hi = true;
+            pred.hi = range.hi->AsNumeric();
           }
-          const bool has_lo = range.lo.has_value();
-          const bool has_hi = range.hi.has_value();
-          inout->ForEachSet([&](size_t rid) {
-            if (rid < main_size_) {
-              uint64_t id = data.ids.Get(rid);
-              if (id < id_lo || id >= id_hi) inout->Clear(rid);
-            } else {
-              double v = static_cast<double>(data.delta[rid - main_size_]);
-              bool keep = true;
-              if (has_lo) keep = range.lo_inclusive ? (v >= lo) : (v > lo);
-              if (keep && has_hi)
-                keep = range.hi_inclusive ? (v <= hi) : (v < hi);
-              if (!keep) inout->Clear(rid);
-            }
+          data.main.FilterRange(pred, inout);
+          inout->ForEachSetInRange(main_size_, live_.size(), [&](size_t rid) {
+            if (!pred.Keep(data.delta[rid - main_size_])) inout->Clear(rid);
           });
         }
       },
@@ -260,27 +230,24 @@ double ColumnTable::CompressionRate(ColumnId col) const {
   if (live_count_ == 0) return 1.0;
   return std::visit(
       [&](const auto& data) {
-        size_t dict_bytes = PayloadBytes(data.dict);
-        size_t ids_bytes = main_size_ * data.ids.bit_width() / 8;
-        size_t delta_bytes = PayloadBytes(data.delta);
-        size_t compressed = dict_bytes + ids_bytes + delta_bytes;
-        // Uncompressed estimate: every live row stores a full value.
-        using VecT = std::decay_t<decltype(data.dict)>;
-        size_t per_value;
-        if constexpr (std::is_same_v<VecT, std::vector<std::string>>) {
-          size_t dict_payload = 0;
-          for (const std::string& s : data.dict) dict_payload += s.size();
-          per_value = data.dict.empty()
-                          ? sizeof(std::string)
-                          : sizeof(std::string) +
-                                dict_payload / data.dict.size();
+        size_t compressed = data.main.payload_bytes() +
+                            PayloadBytes(data.delta);
+        // Uncompressed estimate: every live row stores a full value (average
+        // plain footprint of the values actually present).
+        using T = typename std::decay_t<decltype(data.delta)>::value_type;
+        double per_value;
+        if (data.main.size() > 0) {
+          per_value = static_cast<double>(data.main.plain_bytes()) /
+                      static_cast<double>(data.main.size());
+        } else if (!data.delta.empty()) {
+          per_value = static_cast<double>(PayloadBytes(data.delta)) /
+                      static_cast<double>(data.delta.size());
         } else {
-          per_value = sizeof(typename VecT::value_type);
+          per_value = sizeof(T);
         }
-        size_t uncompressed = live_count_ * per_value;
-        if (uncompressed == 0) return 1.0;
-        return static_cast<double>(compressed) /
-               static_cast<double>(uncompressed);
+        double uncompressed = static_cast<double>(live_count_) * per_value;
+        if (uncompressed <= 0.0) return 1.0;
+        return static_cast<double>(compressed) / uncompressed;
       },
       columns_[col]);
 }
@@ -299,8 +266,7 @@ size_t ColumnTable::memory_bytes() const {
   for (const ColumnVariant& column : columns_) {
     bytes += std::visit(
         [&](const auto& data) {
-          return PayloadBytes(data.dict) + data.ids.memory_bytes() +
-                 PayloadBytes(data.delta);
+          return data.main.memory_bytes() + PayloadBytes(data.delta);
         },
         column);
   }
@@ -324,32 +290,24 @@ void ColumnTable::MergeDelta() {
   const size_t new_n = live_count_;
   const bool compacting = delta_rows() > 0 || new_n != live_.size();
   if (!compacting) return;
+  const compression::EncodingPicker picker(options_.encoding);
   for (ColumnVariant& column : columns_) {
     std::visit(
         [&](auto& data) {
-          using T = typename std::decay_t<decltype(data.dict)>::value_type;
-          // Gather surviving values in slot order.
+          using T = typename std::decay_t<decltype(data.delta)>::value_type;
+          // Gather surviving values in slot order (main via the codec's
+          // selective decode, then the delta).
           std::vector<T> values;
           values.reserve(new_n);
-          live_.ForEachSet(
-              [&](size_t rid) { values.push_back(CellAt(data, rid)); });
-          // Rebuild the sorted dictionary.
-          std::vector<T> dict = values;
-          std::sort(dict.begin(), dict.end());
-          dict.erase(std::unique(dict.begin(), dict.end()), dict.end());
-          dict.shrink_to_fit();
-          // Re-encode value ids at the minimal width.
-          uint32_t width = dict.empty()
-                               ? 1
-                               : BitPackedVector::WidthFor(dict.size() - 1);
-          BitPackedVector ids(width);
-          ids.Reserve(values.size());
-          for (const T& v : values) {
-            ids.Append(std::lower_bound(dict.begin(), dict.end(), v) -
-                       dict.begin());
-          }
-          data.dict = std::move(dict);
-          data.ids = std::move(ids);
+          data.main.ForEachIn(
+              live_, [&](size_t, const T& v) { values.push_back(v); });
+          live_.ForEachSetInRange(main_size_, live_.size(), [&](size_t rid) {
+            values.push_back(data.delta[rid - main_size_]);
+          });
+          // Re-encode the main segment; the picker re-selects the codec
+          // from the merged value distribution.
+          data.main =
+              compression::EncodedSegment<T>::Encode(values, picker);
           data.delta.clear();
           data.delta.shrink_to_fit();
           data.delta_dict.clear();
@@ -371,7 +329,13 @@ void ColumnTable::MergeDelta() {
 }
 
 size_t ColumnTable::DictionarySize(ColumnId col) const {
-  return std::visit([](const auto& data) { return data.dict.size(); },
+  return std::visit(
+      [](const auto& data) { return data.main.distinct_count(); },
+      columns_[col]);
+}
+
+Encoding ColumnTable::ColumnEncoding(ColumnId col) const {
+  return std::visit([](const auto& data) { return data.main.encoding(); },
                     columns_[col]);
 }
 
@@ -379,7 +343,7 @@ void ColumnTable::AppendToDelta(ColumnId col, const Value& value) {
   DataType type = schema_.column(col).type;
   std::visit(
       [&](auto& data) {
-        using T = typename std::decay_t<decltype(data.dict)>::value_type;
+        using T = typename std::decay_t<decltype(data.delta)>::value_type;
         T v = PhysicalCast<T>(type, value);
         data.delta_dict.try_emplace(
             v, static_cast<uint32_t>(data.delta.size()));

@@ -1,15 +1,19 @@
 // ColumnTable: the column store. Every column is split into a read-optimized
-// "main" part — a sorted dictionary of distinct values plus a bit-packed
-// vector of value ids — and a write-optimized unsorted "delta" of raw values.
-// Deletes and updates tombstone the old slot; a merge folds the delta into
-// the main, compacts tombstones, rebuilds dictionaries and re-packs ids.
+// compressed "main" segment — encoded with the codec the EncodingPicker
+// selects per column (order-preserving dictionary, run-length, frame-of-
+// reference or raw; storage/compression/) — and a write-optimized unsorted
+// "delta" of raw values. Deletes and updates tombstone the old slot; a merge
+// folds the delta into the main, compacts tombstones and re-encodes every
+// column segment.
 //
 // Performance profile (the asymmetries the advisor's cost model measures):
-//  - column scans/aggregates: sequential bit-packed decode + small dictionary
-//    lookups (fast, cache-friendly)
-//  - range predicates: dictionary binary search -> id-range comparison over
-//    packed ids (the paper's "implicit index"; linear in table size with a
-//    small constant, output cost linear in selectivity)
+//  - column scans/aggregates: sequential segment decode (bit-packed ids +
+//    small dictionary lookups, run replay, base+delta adds — all
+//    cache-friendly)
+//  - range predicates: evaluated on the encoded data — dictionary binary
+//    search -> id-range comparison (the paper's "implicit index"), RLE run
+//    skipping, FOR packed-domain comparison; linear in table size with a
+//    small constant, output cost linear in selectivity
 //  - inserts: per-column delta appends + primary-key maintenance, plus the
 //    amortized cost of merges (slower than the row store)
 //  - updates: tombstone + full-width re-insert (tuple reconstruction; slower)
@@ -23,7 +27,7 @@
 #include <variant>
 #include <vector>
 
-#include "common/bitpack.h"
+#include "storage/compression/encoded_segment.h"
 #include "storage/physical_table.h"
 
 namespace hsdb {
@@ -39,6 +43,10 @@ class ColumnTable final : public PhysicalTable {
     double merge_fraction = 0.05;
     /// Automatic merging at statement boundaries (AfterStatement).
     bool auto_merge = true;
+    /// Per-column codec selection for the main segments (adaptive by
+    /// default; set encoding.adaptive=false for dictionary-only segments,
+    /// or encoding.force to pin one codec).
+    compression::EncodingPicker::Options encoding;
   };
 
   static std::unique_ptr<ColumnTable> Create(Schema schema, Options options);
@@ -70,9 +78,10 @@ class ColumnTable final : public PhysicalTable {
 
   // Column-store specific API -----------------------------------------------
 
-  /// Folds the delta into the main part: compacts tombstones, rebuilds the
-  /// per-column dictionaries, re-packs value ids and rebuilds the PK index.
-  /// Invalidates all outstanding row ids.
+  /// Folds the delta into the main part: compacts tombstones, re-encodes
+  /// every column's main segment (the EncodingPicker re-selects codecs from
+  /// the merged value distribution) and rebuilds the PK index. Invalidates
+  /// all outstanding row ids.
   void MergeDelta();
 
   size_t main_rows() const { return main_size_; }
@@ -82,8 +91,13 @@ class ColumnTable final : public PhysicalTable {
   /// True when AfterStatement would merge.
   bool NeedsMerge() const;
 
-  /// Distinct values in the main dictionary of `col`.
+  /// Distinct values in the main segment of `col` (the dictionary size for
+  /// dictionary-encoded segments).
   size_t DictionarySize(ColumnId col) const;
+
+  /// Codec of the main segment of `col` (kDictionary while the main part is
+  /// still empty).
+  Encoding ColumnEncoding(ColumnId col) const;
 
   /// Size-weighted average compression rate across all columns.
   double TableCompressionRate() const;
@@ -96,9 +110,8 @@ class ColumnTable final : public PhysicalTable {
  private:
   template <typename T>
   struct ColumnData {
-    std::vector<T> dict;   // sorted distinct main values
-    BitPackedVector ids;   // one id per main slot
-    std::vector<T> delta;  // raw values, one per delta slot
+    compression::EncodedSegment<T> main;  // encoded main segment
+    std::vector<T> delta;                 // raw values, one per delta slot
     /// Unsorted delta dictionary (value -> first delta position), maintained
     /// on every insert like a real write-optimized delta; this is the
     /// per-column dictionary work that makes column-store inserts more
@@ -117,8 +130,8 @@ class ColumnTable final : public PhysicalTable {
 
   /// Reads slot `rid` of `col` without wrapping in a Value.
   template <typename T>
-  const T& CellAt(const ColumnData<T>& data, RowId rid) const {
-    if (rid < main_size_) return data.dict[data.ids.Get(rid)];
+  T CellAt(const ColumnData<T>& data, RowId rid) const {
+    if (rid < main_size_) return data.main.Get(rid);
     return data.delta[rid - main_size_];
   }
 
@@ -153,21 +166,26 @@ void ColumnTable::ForEachNumeric(ColumnId col, const Bitmap* filter,
   std::visit(
       [&](const auto& data) {
         if (filter == nullptr && live_count_ == live_.size()) {
-          // Dense fast path: sequential dictionary decode of the main part
+          // Dense fast path: sequential decode of the encoded main segment
           // followed by the raw delta — no bitmap walk. This is the packed
           // scan that makes column-store aggregation fast.
-          for (size_t rid = 0; rid < main_size_; ++rid) {
-            fn(rid, internal::NumericCast(data.dict[data.ids.Get(rid)]));
-          }
+          data.main.ForEach([&](size_t rid, const auto& v) {
+            fn(rid, internal::NumericCast(v));
+          });
           const size_t delta_n = data.delta.size();
           for (size_t j = 0; j < delta_n; ++j) {
             fn(main_size_ + j, internal::NumericCast(data.delta[j]));
           }
           return;
         }
+        // Selective scan: codec fast path over the main segment (RLE keeps
+        // a monotone run cursor), then the raw delta.
         const Bitmap& bits = filter != nullptr ? *filter : live_;
-        bits.ForEachSet([&](size_t rid) {
-          fn(rid, internal::NumericCast(CellAt(data, rid)));
+        data.main.ForEachIn(bits, [&](size_t rid, const auto& v) {
+          fn(rid, internal::NumericCast(v));
+        });
+        bits.ForEachSetInRange(main_size_, bits.size(), [&](size_t rid) {
+          fn(rid, internal::NumericCast(data.delta[rid - main_size_]));
         });
       },
       columns_[col]);

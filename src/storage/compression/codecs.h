@@ -1,0 +1,433 @@
+// The column codecs of the compressed column-store subsystem. Every codec
+// stores one immutable segment of values (the read-optimized "main" part of
+// one column) and supports the three access patterns the engine needs:
+//
+//   Get(i)              random access (tuple reconstruction, point lookups)
+//   ForEach(fn)         sequential decode (aggregation scans, statistics)
+//   FilterRange(p, bm)  predicate evaluation on the *encoded* data:
+//                       dictionary-domain id ranges, RLE run skipping,
+//                       frame-of-reference packed-domain comparison
+//
+// Predicate semantics must match the row store bit for bit: numeric bounds
+// compare in double space, strings lexicographically (BoundsPred).
+#ifndef HSDB_STORAGE_COMPRESSION_CODECS_H_
+#define HSDB_STORAGE_COMPRESSION_CODECS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/bitmap.h"
+#include "common/bitpack.h"
+#include "common/macros.h"
+
+namespace hsdb {
+namespace compression {
+
+/// Resolved typed range predicate. Numeric instantiations compare in double
+/// space (exactly like the row store's ValueRange path); the std::string
+/// specialization compares lexicographically.
+template <typename T>
+struct BoundsPred {
+  bool has_lo = false;
+  bool has_hi = false;
+  bool lo_inclusive = true;
+  bool hi_inclusive = true;
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool BelowLo(const T& v) const {
+    if (!has_lo) return false;
+    double d = static_cast<double>(v);
+    return lo_inclusive ? d < lo : d <= lo;
+  }
+  bool AboveHi(const T& v) const {
+    if (!has_hi) return false;
+    double d = static_cast<double>(v);
+    return hi_inclusive ? d > hi : d >= hi;
+  }
+  bool Keep(const T& v) const { return !BelowLo(v) && !AboveHi(v); }
+};
+
+template <>
+struct BoundsPred<std::string> {
+  bool has_lo = false;
+  bool has_hi = false;
+  bool lo_inclusive = true;
+  bool hi_inclusive = true;
+  std::string lo;
+  std::string hi;
+
+  bool BelowLo(const std::string& v) const {
+    if (!has_lo) return false;
+    return lo_inclusive ? v < lo : v <= lo;
+  }
+  bool AboveHi(const std::string& v) const {
+    if (!has_hi) return false;
+    return hi_inclusive ? v > hi : v >= hi;
+  }
+  bool Keep(const std::string& v) const { return !BelowLo(v) && !AboveHi(v); }
+};
+
+namespace internal {
+
+inline size_t PlainBytes(const std::vector<std::string>& values) {
+  size_t total = values.size() * sizeof(std::string);
+  for (const std::string& s : values) total += s.size();
+  return total;
+}
+template <typename T>
+size_t PlainBytes(const std::vector<T>& values) {
+  return values.size() * sizeof(T);
+}
+
+}  // namespace internal
+
+/// Order-preserving dictionary: sorted distinct values + bit-packed ids.
+/// The dictionary doubles as the column store's implicit index — range
+/// predicates binary-search the dictionary once and then compare packed ids.
+template <typename T>
+class DictionaryCodec {
+ public:
+  static DictionaryCodec Encode(const std::vector<T>& values) {
+    std::vector<T> dict = values;
+    std::sort(dict.begin(), dict.end());
+    dict.erase(std::unique(dict.begin(), dict.end()), dict.end());
+    dict.shrink_to_fit();
+    return Encode(values, std::move(dict));
+  }
+
+  /// Encode with a prebuilt sorted distinct-value dictionary (the profiling
+  /// pass already produced it — no second sort).
+  static DictionaryCodec Encode(const std::vector<T>& values,
+                                std::vector<T> dict) {
+    DictionaryCodec c;
+    uint32_t width =
+        dict.empty() ? 1 : BitPackedVector::WidthFor(dict.size() - 1);
+    BitPackedVector ids(width);
+    ids.Reserve(values.size());
+    for (const T& v : values) {
+      ids.Append(std::lower_bound(dict.begin(), dict.end(), v) -
+                 dict.begin());
+    }
+    c.dict_ = std::move(dict);
+    c.ids_ = std::move(ids);
+    return c;
+  }
+
+  size_t size() const { return ids_.size(); }
+  T Get(size_t i) const { return dict_[ids_.Get(i)]; }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    const size_t n = ids_.size();
+    for (size_t i = 0; i < n; ++i) fn(i, dict_[ids_.Get(i)]);
+  }
+
+  /// fn(i, value) for every set bit of `bits` below size().
+  template <typename Fn>
+  void ForEachIn(const Bitmap& bits, Fn&& fn) const {
+    bits.ForEachSetInRange(0, size(),
+                           [&](size_t i) { fn(i, dict_[ids_.Get(i)]); });
+  }
+
+  void FilterRange(const BoundsPred<T>& pred, Bitmap* inout) const {
+    size_t id_lo = 0;
+    size_t id_hi = dict_.size();
+    if (pred.has_lo) {
+      id_lo = std::partition_point(
+                  dict_.begin(), dict_.end(),
+                  [&](const T& v) { return pred.BelowLo(v); }) -
+              dict_.begin();
+    }
+    if (pred.has_hi) {
+      id_hi = std::partition_point(
+                  dict_.begin(), dict_.end(),
+                  [&](const T& v) { return !pred.AboveHi(v); }) -
+              dict_.begin();
+    }
+    inout->ForEachSetInRange(0, size(), [&](size_t rid) {
+      uint64_t id = ids_.Get(rid);
+      if (id < id_lo || id >= id_hi) inout->Clear(rid);
+    });
+  }
+
+  size_t distinct_count() const { return dict_.size(); }
+  size_t payload_bytes() const {
+    return internal::PlainBytes(dict_) + size() * ids_.bit_width() / 8;
+  }
+  size_t memory_bytes() const {
+    return internal::PlainBytes(dict_) + ids_.memory_bytes();
+  }
+
+  const std::vector<T>& dict() const { return dict_; }
+
+ private:
+  std::vector<T> dict_;
+  BitPackedVector ids_;
+};
+
+/// Run-length encoding: one (value, start offset) pair per maximal run.
+/// Predicates decide each run once and skip or clear it whole.
+template <typename T>
+class RleCodec {
+ public:
+  static RleCodec Encode(const std::vector<T>& values) {
+    HSDB_CHECK(values.size() < std::numeric_limits<uint32_t>::max());
+    RleCodec c;
+    c.n_ = values.size();
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i == 0 || values[i] != values[i - 1]) {
+        c.values_.push_back(values[i]);
+        c.starts_.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    c.values_.shrink_to_fit();
+    c.starts_.shrink_to_fit();
+    return c;
+  }
+
+  size_t size() const { return n_; }
+  size_t run_count() const { return values_.size(); }
+
+  T Get(size_t i) const {
+    HSDB_DCHECK(i < n_);
+    size_t run = std::upper_bound(starts_.begin(), starts_.end(),
+                                  static_cast<uint32_t>(i)) -
+                 starts_.begin() - 1;
+    return values_[run];
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t run = 0; run < values_.size(); ++run) {
+      const size_t end = RunEnd(run);
+      const T& v = values_[run];
+      for (size_t i = starts_[run]; i < end; ++i) fn(i, v);
+    }
+  }
+
+  /// fn(i, value) for every set bit of `bits` below size(). Set-bit
+  /// iteration is ascending, so a monotone run cursor replaces the
+  /// per-access binary search of Get(): O(k + runs) instead of
+  /// O(k log runs).
+  template <typename Fn>
+  void ForEachIn(const Bitmap& bits, Fn&& fn) const {
+    size_t run = 0;
+    bits.ForEachSetInRange(0, n_, [&](size_t i) {
+      while (RunEnd(run) <= i) ++run;
+      fn(i, values_[run]);
+    });
+  }
+
+  void FilterRange(const BoundsPred<T>& pred, Bitmap* inout) const {
+    for (size_t run = 0; run < values_.size(); ++run) {
+      if (!pred.Keep(values_[run])) {
+        inout->ClearRange(starts_[run], RunEnd(run));
+      }
+    }
+  }
+
+  size_t payload_bytes() const {
+    return internal::PlainBytes(values_) +
+           starts_.size() * sizeof(uint32_t);
+  }
+  size_t memory_bytes() const {
+    return internal::PlainBytes(values_) +
+           starts_.capacity() * sizeof(uint32_t);
+  }
+
+ private:
+  size_t RunEnd(size_t run) const {
+    return run + 1 < starts_.size() ? starts_[run + 1] : n_;
+  }
+
+  std::vector<T> values_;   // one value per run
+  std::vector<uint32_t> starts_;  // run start offsets, parallel to values_
+  size_t n_ = 0;
+};
+
+/// Frame-of-reference: minimum value as the base + bit-packed unsigned
+/// deltas. Integer-family columns only; decode preserves order, so range
+/// predicates translate into the packed delta domain once and compare
+/// without decoding.
+template <typename T>
+class ForCodec {
+ public:
+  static ForCodec Encode(const std::vector<T>& values) {
+    static_assert(std::is_integral_v<T>,
+                  "frame-of-reference requires an integer domain");
+    ForCodec c;
+    if (values.empty()) return c;
+    auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+    c.base_ = static_cast<int64_t>(*mn);
+    c.max_delta_ = Delta(*mx, c.base_);
+    BitPackedVector deltas(BitPackedVector::WidthFor(c.max_delta_));
+    deltas.Reserve(values.size());
+    for (const T& v : values) deltas.Append(Delta(v, c.base_));
+    c.deltas_ = std::move(deltas);
+    return c;
+  }
+
+  size_t size() const { return deltas_.size(); }
+  T Get(size_t i) const { return Decode(deltas_.Get(i)); }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    const size_t n = deltas_.size();
+    for (size_t i = 0; i < n; ++i) fn(i, Decode(deltas_.Get(i)));
+  }
+
+  /// fn(i, value) for every set bit of `bits` below size().
+  template <typename Fn>
+  void ForEachIn(const Bitmap& bits, Fn&& fn) const {
+    bits.ForEachSetInRange(
+        0, size(), [&](size_t i) { fn(i, Decode(deltas_.Get(i))); });
+  }
+
+  void FilterRange(const BoundsPred<T>& pred, Bitmap* inout) const {
+    // Decode is increasing in the packed delta, so the matching set is the
+    // contiguous delta interval [d_lo, d_hi).
+    uint64_t d_lo = 0;
+    uint64_t d_hi = max_delta_ + 1;
+    if (pred.has_lo) {
+      d_lo = FirstDelta([&](uint64_t d) { return !pred.BelowLo(Decode(d)); });
+    }
+    if (pred.has_hi) {
+      d_hi = FirstDelta([&](uint64_t d) { return pred.AboveHi(Decode(d)); });
+    }
+    inout->ForEachSetInRange(0, size(), [&](size_t rid) {
+      uint64_t d = deltas_.Get(rid);
+      if (d < d_lo || d >= d_hi) inout->Clear(rid);
+    });
+  }
+
+  size_t payload_bytes() const {
+    return sizeof(base_) + size() * deltas_.bit_width() / 8;
+  }
+  size_t memory_bytes() const {
+    return sizeof(base_) + deltas_.memory_bytes();
+  }
+
+ private:
+  static uint64_t Delta(T v, int64_t base) {
+    // Two's-complement subtraction handles negative bases without overflow.
+    return static_cast<uint64_t>(static_cast<int64_t>(v)) -
+           static_cast<uint64_t>(base);
+  }
+  T Decode(uint64_t delta) const {
+    return static_cast<T>(static_cast<int64_t>(
+        static_cast<uint64_t>(base_) + delta));
+  }
+
+  /// Smallest delta in [0, max_delta_ + 1) satisfying the monotone
+  /// predicate `p`, or max_delta_ + 1 when none does.
+  template <typename Pred>
+  uint64_t FirstDelta(Pred p) const {
+    uint64_t lo = 0;
+    uint64_t hi = max_delta_ + 1;
+    while (lo < hi) {
+      uint64_t mid = lo + (hi - lo) / 2;
+      if (p(mid)) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+
+  int64_t base_ = 0;
+  uint64_t max_delta_ = 0;
+  BitPackedVector deltas_{1};
+};
+
+/// Specializations so ForCodec<T> participates in the segment variant for
+/// every physical type; the picker never selects FOR for these, and forcing
+/// it falls back to the dictionary (EncodingApplicable).
+template <>
+class ForCodec<double> {
+ public:
+  static ForCodec Encode(const std::vector<double>&) {
+    HSDB_CHECK_MSG(false, "frame-of-reference over DOUBLE column");
+    return ForCodec();
+  }
+  size_t size() const { return 0; }
+  double Get(size_t) const { return 0.0; }
+  template <typename Fn>
+  void ForEach(Fn&&) const {}
+  template <typename Fn>
+  void ForEachIn(const Bitmap&, Fn&&) const {}
+  void FilterRange(const BoundsPred<double>&, Bitmap*) const {}
+  size_t payload_bytes() const { return 0; }
+  size_t memory_bytes() const { return 0; }
+};
+
+template <>
+class ForCodec<std::string> {
+ public:
+  static ForCodec Encode(const std::vector<std::string>&) {
+    HSDB_CHECK_MSG(false, "frame-of-reference over VARCHAR column");
+    return ForCodec();
+  }
+  size_t size() const { return 0; }
+  std::string Get(size_t) const { return {}; }
+  template <typename Fn>
+  void ForEach(Fn&&) const {}
+  template <typename Fn>
+  void ForEachIn(const Bitmap&, Fn&&) const {}
+  void FilterRange(const BoundsPred<std::string>&, Bitmap*) const {}
+  size_t payload_bytes() const { return 0; }
+  size_t memory_bytes() const { return 0; }
+};
+
+/// Uncompressed plain vector: the fallback when no codec pays for itself,
+/// and the baseline the compression benchmarks measure against.
+template <typename T>
+class RawCodec {
+ public:
+  static RawCodec Encode(std::vector<T> values) {
+    RawCodec c;
+    c.values_ = std::move(values);
+    c.values_.shrink_to_fit();
+    return c;
+  }
+
+  size_t size() const { return values_.size(); }
+  T Get(size_t i) const { return values_[i]; }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < values_.size(); ++i) fn(i, values_[i]);
+  }
+
+  /// fn(i, value) for every set bit of `bits` below size().
+  template <typename Fn>
+  void ForEachIn(const Bitmap& bits, Fn&& fn) const {
+    bits.ForEachSetInRange(0, size(),
+                           [&](size_t i) { fn(i, values_[i]); });
+  }
+
+  void FilterRange(const BoundsPred<T>& pred, Bitmap* inout) const {
+    inout->ForEachSetInRange(0, size(), [&](size_t rid) {
+      if (!pred.Keep(values_[rid])) inout->Clear(rid);
+    });
+  }
+
+  size_t payload_bytes() const { return internal::PlainBytes(values_); }
+  size_t memory_bytes() const {
+    return internal::PlainBytes(values_) +
+           (values_.capacity() - values_.size()) * sizeof(T);
+  }
+
+ private:
+  std::vector<T> values_;
+};
+
+}  // namespace compression
+}  // namespace hsdb
+
+#endif  // HSDB_STORAGE_COMPRESSION_CODECS_H_

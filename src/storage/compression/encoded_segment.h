@@ -1,0 +1,147 @@
+// EncodedSegment<T>: one immutable compressed column segment — the
+// read-optimized main part of one ColumnTable column. Wraps the concrete
+// codec behind a variant and records the segment-level facts the rest of
+// the stack reads (chosen encoding, distinct count, plain footprint).
+#ifndef HSDB_STORAGE_COMPRESSION_ENCODED_SEGMENT_H_
+#define HSDB_STORAGE_COMPRESSION_ENCODED_SEGMENT_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "storage/compression/codecs.h"
+#include "storage/compression/encoding.h"
+#include "storage/compression/encoding_picker.h"
+
+namespace hsdb {
+namespace compression {
+
+template <typename T>
+class EncodedSegment {
+ public:
+  /// Empty dictionary segment (a freshly created column has no main part).
+  EncodedSegment() : codec_(DictionaryCodec<T>()) {}
+
+  /// Profiles `values`, asks `picker` for the codec and encodes. For
+  /// numeric types the profiling sort doubles as the dictionary build when
+  /// the dictionary codec wins; for strings the profile sorts pointers, so
+  /// materializing the dictionary is deferred until the codec is known.
+  static EncodedSegment Encode(const std::vector<T>& values,
+                               const EncodingPicker& picker) {
+    std::vector<T> dict;
+    std::vector<T>* dict_out = DictFromProfile() ? &dict : nullptr;
+    EncodingProfile profile = ProfileValues(values, dict_out);
+    return EncodeAs(values, picker.Pick(profile), profile, dict_out);
+  }
+
+  /// Encodes with a fixed codec (benchmarks, tests). Falls back to the
+  /// dictionary when `encoding` cannot represent the column.
+  static EncodedSegment Encode(const std::vector<T>& values,
+                               Encoding encoding) {
+    std::vector<T> dict;
+    std::vector<T>* dict_out = DictFromProfile() ? &dict : nullptr;
+    EncodingProfile profile = ProfileValues(values, dict_out);
+    if (!EncodingApplicable(encoding, profile)) {
+      encoding = Encoding::kDictionary;
+    }
+    return EncodeAs(values, encoding, profile, dict_out);
+  }
+
+  Encoding encoding() const { return encoding_; }
+  size_t size() const {
+    return std::visit([](const auto& c) { return c.size(); }, codec_);
+  }
+
+  /// Random access (tuple reconstruction, point lookups).
+  T Get(size_t i) const {
+    return std::visit([&](const auto& c) { return c.Get(i); }, codec_);
+  }
+
+  /// Sequential decode: fn(index, const T&) over [0, size()).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    std::visit([&](const auto& c) { c.ForEach(std::forward<Fn>(fn)); },
+               codec_);
+  }
+
+  /// Selective decode: fn(index, const T&) for every set bit of `bits`
+  /// below size(). Dispatches once and uses the codec's selective fast
+  /// path (RLE walks a monotone run cursor instead of binary-searching per
+  /// row).
+  template <typename Fn>
+  void ForEachIn(const Bitmap& bits, Fn&& fn) const {
+    std::visit(
+        [&](const auto& c) { c.ForEachIn(bits, std::forward<Fn>(fn)); },
+        codec_);
+  }
+
+  /// Narrows `inout` over [0, size()) to rows whose value satisfies `pred`;
+  /// bits at or beyond size() are untouched. Conjunction semantics: already
+  /// cleared bits stay cleared.
+  void FilterRange(const BoundsPred<T>& pred, Bitmap* inout) const {
+    std::visit([&](const auto& c) { c.FilterRange(pred, inout); }, codec_);
+  }
+
+  /// Distinct values in the segment (the main "dictionary size" even for
+  /// non-dictionary codecs).
+  size_t distinct_count() const { return distinct_; }
+
+  /// Bytes of encoded payload / of plain storage for the same values.
+  size_t payload_bytes() const {
+    return std::visit([](const auto& c) { return c.payload_bytes(); },
+                      codec_);
+  }
+  size_t plain_bytes() const { return plain_bytes_; }
+  size_t memory_bytes() const {
+    return std::visit([](const auto& c) { return c.memory_bytes(); }, codec_);
+  }
+
+ private:
+  using Variant = std::variant<DictionaryCodec<T>, RleCodec<T>, ForCodec<T>,
+                               RawCodec<T>>;
+
+  /// Whether the profiling pass yields the dictionary as a free byproduct
+  /// (numeric sort) rather than an extra string copy.
+  static constexpr bool DictFromProfile() {
+    return !std::is_same_v<T, std::string>;
+  }
+
+  static EncodedSegment EncodeAs(const std::vector<T>& values,
+                                 Encoding encoding,
+                                 const EncodingProfile& profile,
+                                 std::vector<T>* dict) {
+    EncodedSegment seg;
+    seg.encoding_ = encoding;
+    seg.distinct_ = static_cast<size_t>(profile.distinct_count);
+    seg.plain_bytes_ = internal::PlainBytes(values);
+    switch (encoding) {
+      case Encoding::kDictionary:
+        seg.codec_ =
+            dict != nullptr
+                ? DictionaryCodec<T>::Encode(values, std::move(*dict))
+                : DictionaryCodec<T>::Encode(values);
+        break;
+      case Encoding::kRle:
+        seg.codec_ = RleCodec<T>::Encode(values);
+        break;
+      case Encoding::kFrameOfReference:
+        seg.codec_ = ForCodec<T>::Encode(values);
+        break;
+      case Encoding::kRaw:
+        seg.codec_ = RawCodec<T>::Encode(values);
+        break;
+    }
+    return seg;
+  }
+
+  Variant codec_;
+  Encoding encoding_ = Encoding::kDictionary;
+  size_t distinct_ = 0;
+  size_t plain_bytes_ = 0;
+};
+
+}  // namespace compression
+}  // namespace hsdb
+
+#endif  // HSDB_STORAGE_COMPRESSION_ENCODED_SEGMENT_H_

@@ -1,0 +1,19 @@
+#include "storage/compression/encoding.h"
+
+namespace hsdb {
+
+std::string_view EncodingName(Encoding encoding) {
+  switch (encoding) {
+    case Encoding::kDictionary:
+      return "DICTIONARY";
+    case Encoding::kRle:
+      return "RLE";
+    case Encoding::kFrameOfReference:
+      return "FOR";
+    case Encoding::kRaw:
+      return "RAW";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace hsdb

@@ -1,0 +1,39 @@
+// Column encodings supported by the compressed column-store subsystem. The
+// encoding of a column's read-optimized main part is chosen per column by
+// the EncodingPicker (storage/compression/encoding_picker.h) from the
+// column's value distribution; the cost model carries a per-encoding scan
+// adjustment so the advisor can cost compressed column-store layouts.
+#ifndef HSDB_STORAGE_COMPRESSION_ENCODING_H_
+#define HSDB_STORAGE_COMPRESSION_ENCODING_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace hsdb {
+
+/// Physical codec of one column segment.
+enum class Encoding : uint8_t {
+  /// Order-preserving sorted dictionary + bit-packed value ids. The
+  /// general-purpose codec: works for every type, doubles as the column
+  /// store's implicit index.
+  kDictionary = 0,
+  /// Run-length encoding: (value, run start) pairs. Wins on sorted or
+  /// run-structured columns; predicates skip whole runs.
+  kRle = 1,
+  /// Frame-of-reference: minimum base + bit-packed deltas. Integer-family
+  /// columns (INT32/INT64/DATE) whose value range is dense.
+  kFrameOfReference = 2,
+  /// Uncompressed plain vector. Fallback when no codec pays for itself
+  /// (e.g. high-cardinality doubles).
+  kRaw = 3,
+};
+
+inline constexpr int kNumEncodings = 4;
+
+/// Human-readable codec name ("DICTIONARY", "RLE", ...), as used in the
+/// advisor's DDL output.
+std::string_view EncodingName(Encoding encoding);
+
+}  // namespace hsdb
+
+#endif  // HSDB_STORAGE_COMPRESSION_ENCODING_H_

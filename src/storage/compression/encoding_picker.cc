@@ -1,0 +1,184 @@
+#include "storage/compression/encoding_picker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/bitpack.h"
+
+namespace hsdb {
+namespace compression {
+
+namespace {
+
+template <typename T>
+EncodingProfile ProfileNumeric(const std::vector<T>& values, bool is_integer,
+                               double plain_bytes,
+                               std::vector<T>* dict_out) {
+  EncodingProfile p;
+  p.row_count = values.size();
+  p.is_integer = is_integer;
+  p.plain_value_bytes = plain_bytes;
+  if (values.empty()) {
+    if (dict_out != nullptr) dict_out->clear();
+    return p;
+  }
+  // Distinct values via a sorted copy: exact, cheaper than hashing for the
+  // segment sizes a delta merge produces, and the deduplicated result *is*
+  // the order-preserving dictionary.
+  std::vector<T> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  if (is_integer) {
+    p.min_value = static_cast<int64_t>(sorted.front());
+    p.max_value = static_cast<int64_t>(sorted.back());
+  }
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  p.distinct_count = sorted.size();
+  p.run_count = 1;
+  for (size_t i = 1; i < values.size(); ++i) {
+    if (values[i] != values[i - 1]) ++p.run_count;
+  }
+  if (dict_out != nullptr) {
+    sorted.shrink_to_fit();
+    *dict_out = std::move(sorted);
+  }
+  return p;
+}
+
+}  // namespace
+
+EncodingProfile ProfileValues(const std::vector<int32_t>& values,
+                              std::vector<int32_t>* dict_out) {
+  return ProfileNumeric(values, /*is_integer=*/true, sizeof(int32_t),
+                        dict_out);
+}
+
+EncodingProfile ProfileValues(const std::vector<int64_t>& values,
+                              std::vector<int64_t>* dict_out) {
+  return ProfileNumeric(values, /*is_integer=*/true, sizeof(int64_t),
+                        dict_out);
+}
+
+EncodingProfile ProfileValues(const std::vector<double>& values,
+                              std::vector<double>* dict_out) {
+  return ProfileNumeric(values, /*is_integer=*/false, sizeof(double),
+                        dict_out);
+}
+
+EncodingProfile ProfileValues(const std::vector<std::string>& values,
+                              std::vector<std::string>* dict_out) {
+  EncodingProfile p;
+  p.row_count = values.size();
+  p.is_integer = false;
+  if (values.empty()) {
+    p.plain_value_bytes = sizeof(std::string);
+    if (dict_out != nullptr) dict_out->clear();
+    return p;
+  }
+  std::vector<const std::string*> sorted;
+  sorted.reserve(values.size());
+  size_t payload = 0;
+  for (const std::string& s : values) {
+    sorted.push_back(&s);
+    payload += s.size();
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  p.distinct_count = 1;
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (*sorted[i] != *sorted[i - 1]) ++p.distinct_count;
+  }
+  p.run_count = 1;
+  for (size_t i = 1; i < values.size(); ++i) {
+    if (values[i] != values[i - 1]) ++p.run_count;
+  }
+  p.plain_value_bytes =
+      sizeof(std::string) +
+      static_cast<double>(payload) / static_cast<double>(values.size());
+  if (dict_out != nullptr) {
+    dict_out->clear();
+    dict_out->reserve(p.distinct_count);
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      if (i == 0 || *sorted[i] != *sorted[i - 1]) {
+        dict_out->push_back(*sorted[i]);
+      }
+    }
+  }
+  return p;
+}
+
+bool EncodingApplicable(Encoding encoding, const EncodingProfile& profile) {
+  if (encoding == Encoding::kFrameOfReference) {
+    if (!profile.is_integer) return false;
+    // The delta domain must fit 64 unsigned bits.
+    uint64_t span = static_cast<uint64_t>(profile.max_value) -
+                    static_cast<uint64_t>(profile.min_value);
+    return span < std::numeric_limits<uint64_t>::max();
+  }
+  return true;
+}
+
+double EstimateEncodedBytes(Encoding encoding,
+                            const EncodingProfile& profile) {
+  if (!EncodingApplicable(encoding, profile)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double n = static_cast<double>(profile.row_count);
+  const double d = static_cast<double>(std::max<uint64_t>(
+      1, std::min(profile.distinct_count, profile.row_count)));
+  switch (encoding) {
+    case Encoding::kDictionary: {
+      double id_bits = d <= 1.0 ? 1.0
+                                : BitPackedVector::WidthFor(
+                                      static_cast<uint64_t>(d) - 1);
+      return d * profile.plain_value_bytes + n * id_bits / 8.0;
+    }
+    case Encoding::kRle: {
+      // One (value, start offset) pair per run.
+      double runs = static_cast<double>(std::max<uint64_t>(
+          1, std::min(profile.run_count, profile.row_count)));
+      return runs * (profile.plain_value_bytes + sizeof(uint32_t));
+    }
+    case Encoding::kFrameOfReference: {
+      uint64_t span = static_cast<uint64_t>(profile.max_value) -
+                      static_cast<uint64_t>(profile.min_value);
+      double delta_bits = BitPackedVector::WidthFor(span);
+      return sizeof(int64_t) + n * delta_bits / 8.0;
+    }
+    case Encoding::kRaw:
+      return n * profile.plain_value_bytes;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+Encoding EncodingPicker::Pick(const EncodingProfile& profile) const {
+  if (options_.force.has_value()) {
+    return EncodingApplicable(*options_.force, profile)
+               ? *options_.force
+               : Encoding::kDictionary;
+  }
+  if (!options_.adaptive || profile.row_count == 0) {
+    return Encoding::kDictionary;
+  }
+  // Smallest estimated footprint wins; candidate order breaks ties toward
+  // faster predicate evaluation (dictionary id ranges, then run skipping).
+  const Encoding candidates[] = {Encoding::kDictionary, Encoding::kRle,
+                                 Encoding::kFrameOfReference, Encoding::kRaw};
+  Encoding best = Encoding::kDictionary;
+  double best_bytes = std::numeric_limits<double>::infinity();
+  for (Encoding e : candidates) {
+    if (e == Encoding::kRle &&
+        profile.AvgRunLength() < options_.min_avg_run_length) {
+      continue;
+    }
+    double bytes = EstimateEncodedBytes(e, profile);
+    if (bytes < best_bytes) {
+      best = e;
+      best_bytes = bytes;
+    }
+  }
+  return best;
+}
+
+}  // namespace compression
+}  // namespace hsdb

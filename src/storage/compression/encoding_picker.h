@@ -1,0 +1,94 @@
+// EncodingPicker: chooses the codec of one column segment from the column's
+// value distribution — distinct count (dictionary payoff), run structure
+// (RLE payoff) and value range (frame-of-reference payoff). The same
+// decision runs in two places: at delta-merge time on exact per-segment
+// profiles (ColumnTable), and inside the advisor on catalog statistics, so
+// recommendations name the encoding the store would actually pick.
+#ifndef HSDB_STORAGE_COMPRESSION_ENCODING_PICKER_H_
+#define HSDB_STORAGE_COMPRESSION_ENCODING_PICKER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/compression/encoding.h"
+
+namespace hsdb {
+namespace compression {
+
+/// The codec-relevant shape of one column's values. Computed exactly by
+/// ProfileValues() at encode time, or approximately from catalog statistics
+/// (ColumnStatistics) by the advisor.
+struct EncodingProfile {
+  uint64_t row_count = 0;
+  uint64_t distinct_count = 0;
+  /// Number of maximal runs of equal adjacent values in physical order.
+  uint64_t run_count = 0;
+  /// True for the integer-family physical types (INT32/INT64/DATE).
+  bool is_integer = false;
+  /// Integer value bounds; meaningful only when is_integer and row_count>0.
+  int64_t min_value = 0;
+  int64_t max_value = 0;
+  /// Bytes of one plain value (average payload for strings).
+  double plain_value_bytes = 8.0;
+
+  double AvgRunLength() const {
+    return run_count == 0 ? 1.0
+                          : static_cast<double>(row_count) /
+                                static_cast<double>(run_count);
+  }
+};
+
+/// Exact profile of a typed value vector (in physical order). When
+/// `dict_out` is non-null it receives the sorted distinct values — the
+/// order-preserving dictionary — so encode paths reuse the profiling sort
+/// instead of sorting again.
+EncodingProfile ProfileValues(const std::vector<int32_t>& values,
+                              std::vector<int32_t>* dict_out = nullptr);
+EncodingProfile ProfileValues(const std::vector<int64_t>& values,
+                              std::vector<int64_t>* dict_out = nullptr);
+EncodingProfile ProfileValues(const std::vector<double>& values,
+                              std::vector<double>* dict_out = nullptr);
+EncodingProfile ProfileValues(const std::vector<std::string>& values,
+                              std::vector<std::string>* dict_out = nullptr);
+
+/// True when `encoding` can represent a column with this profile at all
+/// (frame-of-reference needs an integer domain).
+bool EncodingApplicable(Encoding encoding, const EncodingProfile& profile);
+
+/// Estimated payload bytes of the segment under `encoding`; the picker's
+/// objective function. Returns +inf for inapplicable encodings.
+double EstimateEncodedBytes(Encoding encoding, const EncodingProfile& profile);
+
+class EncodingPicker {
+ public:
+  struct Options {
+    /// With false, always pick the dictionary codec (the pre-compression
+    /// column-store behavior); segments stay scannable either way.
+    bool adaptive = true;
+    /// Overrides the choice entirely (benchmarks, A/B tests). Falls back to
+    /// kDictionary when the forced codec is inapplicable to the column.
+    std::optional<Encoding> force;
+    /// RLE is only considered once runs average at least this long;
+    /// below it run skipping loses to the dictionary's implicit index.
+    double min_avg_run_length = 3.0;
+  };
+
+  EncodingPicker() : EncodingPicker(Options{}) {}
+  explicit EncodingPicker(Options options) : options_(options) {}
+
+  const Options& options() const { return options_; }
+
+  /// Smallest-estimated-size applicable codec; ties break toward the
+  /// dictionary (fastest predicate path).
+  Encoding Pick(const EncodingProfile& profile) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace compression
+}  // namespace hsdb
+
+#endif  // HSDB_STORAGE_COMPRESSION_ENCODING_PICKER_H_

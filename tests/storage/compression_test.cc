@@ -1,0 +1,456 @@
+// Codec round-trip/property tests for the compressed column-store
+// subsystem: per-codec encode/decode, predicate evaluation on encoded data
+// against a naive reference, the encoding picker's selection rules, and the
+// bitmap range primitives the codecs rely on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/column_table.h"
+#include "storage/compression/encoded_segment.h"
+#include "storage/compression/encoding_calibration.h"
+
+namespace hsdb {
+namespace compression {
+namespace {
+
+// ---- Bitmap range primitives ----------------------------------------------
+
+TEST(BitmapRangeTest, ClearRangeWordAligned) {
+  Bitmap bm(256, true);
+  bm.ClearRange(64, 192);
+  EXPECT_EQ(bm.Count(), 128u);
+  EXPECT_TRUE(bm.Test(63));
+  EXPECT_FALSE(bm.Test(64));
+  EXPECT_FALSE(bm.Test(191));
+  EXPECT_TRUE(bm.Test(192));
+}
+
+TEST(BitmapRangeTest, ClearRangeWithinOneWord) {
+  Bitmap bm(64, true);
+  bm.ClearRange(10, 20);
+  EXPECT_EQ(bm.Count(), 54u);
+  EXPECT_TRUE(bm.Test(9));
+  EXPECT_FALSE(bm.Test(10));
+  EXPECT_FALSE(bm.Test(19));
+  EXPECT_TRUE(bm.Test(20));
+}
+
+TEST(BitmapRangeTest, ClearRangeRandomAgainstReference) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t n = 1 + rng.Index(300);
+    Bitmap bm(n);
+    std::vector<bool> ref(n, false);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Chance(0.6)) {
+        bm.Set(i);
+        ref[i] = true;
+      }
+    }
+    size_t a = rng.Index(n + 1);
+    size_t b = rng.Index(n + 1);
+    if (a > b) std::swap(a, b);
+    bm.ClearRange(a, b);
+    for (size_t i = a; i < b; ++i) ref[i] = false;
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(bm.Test(i), ref[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(BitmapRangeTest, ForEachSetInRangeMatchesReference) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t n = 1 + rng.Index(300);
+    Bitmap bm(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Chance(0.5)) bm.Set(i);
+    }
+    size_t a = rng.Index(n + 1);
+    size_t b = rng.Index(n + 1);
+    if (a > b) std::swap(a, b);
+    std::vector<size_t> got;
+    bm.ForEachSetInRange(a, b, [&](size_t i) { got.push_back(i); });
+    std::vector<size_t> want;
+    for (size_t i = a; i < b; ++i) {
+      if (bm.Test(i)) want.push_back(i);
+    }
+    ASSERT_EQ(got, want) << "n=" << n << " [" << a << "," << b << ")";
+  }
+}
+
+// ---- Value profiles --------------------------------------------------------
+
+TEST(EncodingProfileTest, CountsDistinctRunsAndRange) {
+  std::vector<int64_t> values = {5, 5, 5, -2, -2, 9, 5};
+  EncodingProfile p = ProfileValues(values);
+  EXPECT_EQ(p.row_count, 7u);
+  EXPECT_EQ(p.distinct_count, 3u);
+  EXPECT_EQ(p.run_count, 4u);
+  EXPECT_TRUE(p.is_integer);
+  EXPECT_EQ(p.min_value, -2);
+  EXPECT_EQ(p.max_value, 9);
+  EXPECT_DOUBLE_EQ(p.AvgRunLength(), 7.0 / 4.0);
+}
+
+TEST(EncodingProfileTest, StringsProfileWithoutIntegerDomain) {
+  std::vector<std::string> values = {"b", "b", "a", "a", "a", "c"};
+  EncodingProfile p = ProfileValues(values);
+  EXPECT_EQ(p.distinct_count, 3u);
+  EXPECT_EQ(p.run_count, 3u);
+  EXPECT_FALSE(p.is_integer);
+  EXPECT_FALSE(EncodingApplicable(Encoding::kFrameOfReference, p));
+}
+
+// ---- Picker selection rules ------------------------------------------------
+
+TEST(EncodingPickerTest, LowCardinalitySpreadValuesPickDictionary) {
+  // 16 distinct values scattered over a huge range: FOR would need ~wide
+  // deltas, RLE has no runs, raw wastes 8 bytes/row.
+  Rng rng(1);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 20'000; ++i) {
+    values.push_back(rng.UniformInt(0, 15) * 1'000'000'007LL);
+  }
+  EXPECT_EQ(EncodingPicker().Pick(ProfileValues(values)),
+            Encoding::kDictionary);
+}
+
+TEST(EncodingPickerTest, SortedRunsPickRle) {
+  std::vector<int64_t> values;
+  for (int64_t v = 0; v < 64; ++v) {
+    values.insert(values.end(), 300, v * 1'000'000'007LL);
+  }
+  EXPECT_EQ(EncodingPicker().Pick(ProfileValues(values)), Encoding::kRle);
+}
+
+TEST(EncodingPickerTest, DenseIntegersPickFrameOfReference) {
+  // A shuffled dense id range: no runs, all distinct — the dictionary would
+  // double the footprint, FOR packs the deltas.
+  Rng rng(2);
+  std::vector<int64_t> values;
+  for (int64_t v = 0; v < 20'000; ++v) values.push_back(1'000'000 + v);
+  for (size_t i = values.size(); i > 1; --i) {
+    std::swap(values[i - 1], values[rng.Index(i)]);
+  }
+  EXPECT_EQ(EncodingPicker().Pick(ProfileValues(values)),
+            Encoding::kFrameOfReference);
+}
+
+TEST(EncodingPickerTest, HighCardinalityDoublesPickRaw) {
+  Rng rng(3);
+  std::vector<double> values;
+  for (int i = 0; i < 20'000; ++i) values.push_back(rng.UniformDouble(0, 1));
+  EXPECT_EQ(EncodingPicker().Pick(ProfileValues(values)), Encoding::kRaw);
+}
+
+TEST(EncodingPickerTest, NonAdaptiveAlwaysPicksDictionary) {
+  EncodingPicker::Options opts;
+  opts.adaptive = false;
+  std::vector<int64_t> sorted_runs(5000, 7);
+  EXPECT_EQ(EncodingPicker(opts).Pick(ProfileValues(sorted_runs)),
+            Encoding::kDictionary);
+}
+
+TEST(EncodingPickerTest, ForceOverridesButRespectsApplicability) {
+  EncodingPicker::Options opts;
+  opts.force = Encoding::kRle;
+  std::vector<int64_t> values = {1, 2, 3, 4, 5};
+  EXPECT_EQ(EncodingPicker(opts).Pick(ProfileValues(values)), Encoding::kRle);
+  // FOR over strings is inapplicable -> dictionary fallback.
+  opts.force = Encoding::kFrameOfReference;
+  std::vector<std::string> strings = {"a", "b"};
+  EXPECT_EQ(EncodingPicker(opts).Pick(ProfileValues(strings)),
+            Encoding::kDictionary);
+}
+
+// ---- Round trips -----------------------------------------------------------
+
+template <typename T>
+void ExpectRoundTrip(const std::vector<T>& values, Encoding encoding) {
+  auto seg = EncodedSegment<T>::Encode(values, encoding);
+  ASSERT_EQ(seg.encoding(), encoding);
+  ASSERT_EQ(seg.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    ASSERT_EQ(seg.Get(i), values[i]) << EncodingName(encoding) << " i=" << i;
+  }
+  size_t visited = 0;
+  seg.ForEach([&](size_t i, const T& v) {
+    ASSERT_EQ(v, values[i]) << EncodingName(encoding) << " i=" << i;
+    ++visited;
+  });
+  EXPECT_EQ(visited, values.size());
+}
+
+TEST(CodecRoundTripTest, IntegerCodecsAllEncodings) {
+  Rng rng(11);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 3000; ++i) {
+    values.push_back(rng.UniformInt(-50, 50));
+  }
+  std::sort(values.begin(), values.begin() + 1500);  // half sorted: mixed runs
+  for (Encoding e : {Encoding::kDictionary, Encoding::kRle,
+                     Encoding::kFrameOfReference, Encoding::kRaw}) {
+    ExpectRoundTrip(values, e);
+  }
+}
+
+TEST(CodecRoundTripTest, Int32WithNegativeBase) {
+  std::vector<int32_t> values = {-1000, -999, -1000, 500, 0, -1000, 499};
+  for (Encoding e : {Encoding::kDictionary, Encoding::kRle,
+                     Encoding::kFrameOfReference, Encoding::kRaw}) {
+    ExpectRoundTrip(values, e);
+  }
+}
+
+TEST(CodecRoundTripTest, DoubleCodecs) {
+  Rng rng(13);
+  std::vector<double> values;
+  for (int i = 0; i < 2000; ++i) {
+    values.push_back(rng.UniformInt(0, 9) * 0.125);
+  }
+  for (Encoding e :
+       {Encoding::kDictionary, Encoding::kRle, Encoding::kRaw}) {
+    ExpectRoundTrip(values, e);
+  }
+  // Forced FOR falls back to the dictionary for doubles.
+  auto seg = EncodedSegment<double>::Encode(values,
+                                            Encoding::kFrameOfReference);
+  EXPECT_EQ(seg.encoding(), Encoding::kDictionary);
+}
+
+TEST(CodecRoundTripTest, StringCodecs) {
+  Rng rng(17);
+  std::vector<std::string> values;
+  for (int i = 0; i < 2000; ++i) {
+    values.push_back("key_" + std::to_string(rng.UniformInt(0, 30)));
+  }
+  for (Encoding e :
+       {Encoding::kDictionary, Encoding::kRle, Encoding::kRaw}) {
+    ExpectRoundTrip(values, e);
+  }
+}
+
+TEST(CodecRoundTripTest, EmptyAndSingletonSegments) {
+  std::vector<int64_t> empty;
+  std::vector<int64_t> one = {42};
+  for (Encoding e : {Encoding::kDictionary, Encoding::kRle,
+                     Encoding::kFrameOfReference, Encoding::kRaw}) {
+    ExpectRoundTrip(empty, e);
+    ExpectRoundTrip(one, e);
+  }
+}
+
+TEST(CodecRoundTripTest, SegmentDistinctCountIsEncodingIndependent) {
+  std::vector<int64_t> values = {3, 3, 1, 1, 1, 2, 3};
+  for (Encoding e : {Encoding::kDictionary, Encoding::kRle,
+                     Encoding::kFrameOfReference, Encoding::kRaw}) {
+    auto seg = EncodedSegment<int64_t>::Encode(values, e);
+    EXPECT_EQ(seg.distinct_count(), 3u) << EncodingName(e);
+  }
+}
+
+TEST(CodecRoundTripTest, CompressiblePayloadShrinks) {
+  std::vector<int64_t> values(20'000);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<int64_t>(i / 1000);  // 20 long runs
+  }
+  for (Encoding e : {Encoding::kDictionary, Encoding::kRle,
+                     Encoding::kFrameOfReference}) {
+    auto seg = EncodedSegment<int64_t>::Encode(values, e);
+    EXPECT_LT(seg.payload_bytes(), seg.plain_bytes() / 4)
+        << EncodingName(e);
+  }
+}
+
+TEST(CodecRoundTripTest, ForEachInMatchesPerBitGet) {
+  Rng rng(41);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 2000; ++i) values.push_back(rng.UniformInt(0, 30));
+  std::sort(values.begin(), values.begin() + 1200);  // run-structured prefix
+  for (Encoding e : {Encoding::kDictionary, Encoding::kRle,
+                     Encoding::kFrameOfReference, Encoding::kRaw}) {
+    auto seg = EncodedSegment<int64_t>::Encode(values, e);
+    // Bitmap extends past the segment: extra bits must not be visited.
+    Bitmap bits(values.size() + 64);
+    for (size_t i = 0; i < bits.size(); ++i) {
+      if (rng.Chance(0.4)) bits.Set(i);
+    }
+    std::vector<std::pair<size_t, int64_t>> got;
+    seg.ForEachIn(bits, [&](size_t i, int64_t v) { got.emplace_back(i, v); });
+    std::vector<std::pair<size_t, int64_t>> want;
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (bits.Test(i)) want.emplace_back(i, values[i]);
+    }
+    ASSERT_EQ(got, want) << EncodingName(e);
+  }
+}
+
+// ---- Predicate evaluation on encoded data ----------------------------------
+
+template <typename T>
+void ExpectFilterMatchesReference(const std::vector<T>& values,
+                                  const BoundsPred<T>& pred, uint64_t seed) {
+  Rng rng(seed);
+  for (Encoding e : {Encoding::kDictionary, Encoding::kRle,
+                     Encoding::kFrameOfReference, Encoding::kRaw}) {
+    auto seg = EncodedSegment<T>::Encode(values, e);
+    // Extra slots beyond the segment simulate the delta region: the segment
+    // must leave them untouched.
+    Bitmap bm(values.size() + 10, true);
+    // Pre-cleared bits must stay cleared (conjunction semantics).
+    std::vector<bool> pre(values.size(), true);
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (rng.Chance(0.2)) {
+        bm.Clear(i);
+        pre[i] = false;
+      }
+    }
+    seg.FilterRange(pred, &bm);
+    for (size_t i = 0; i < values.size(); ++i) {
+      bool want = pre[i] && pred.Keep(values[i]);
+      ASSERT_EQ(bm.Test(i), want)
+          << EncodingName(seg.encoding()) << " i=" << i;
+    }
+    for (size_t i = values.size(); i < values.size() + 10; ++i) {
+      ASSERT_TRUE(bm.Test(i)) << "delta slot touched by " << EncodingName(e);
+    }
+  }
+}
+
+TEST(CodecFilterTest, RandomIntegerBoundsMatchNaiveEvaluation) {
+  Rng rng(23);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 1500; ++i) values.push_back(rng.UniformInt(-40, 40));
+  std::sort(values.begin(), values.begin() + 700);
+  for (int trial = 0; trial < 40; ++trial) {
+    BoundsPred<int64_t> pred;
+    pred.has_lo = rng.Chance(0.8);
+    pred.has_hi = rng.Chance(0.8);
+    pred.lo = rng.UniformInt(-45, 45);
+    pred.hi = pred.lo + rng.UniformInt(0, 30);
+    pred.lo_inclusive = rng.Chance(0.5);
+    pred.hi_inclusive = rng.Chance(0.5);
+    ExpectFilterMatchesReference(values, pred, 1000 + trial);
+  }
+}
+
+TEST(CodecFilterTest, FractionalBoundsOnIntegerDomain) {
+  // Bounds that fall between integer values exercise the FOR binary search
+  // and the dictionary partition points off the value grid.
+  std::vector<int64_t> values = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 5, 5};
+  BoundsPred<int64_t> pred;
+  pred.has_lo = pred.has_hi = true;
+  pred.lo = 2.5;
+  pred.hi = 6.5;
+  ExpectFilterMatchesReference(values, pred, 77);
+}
+
+TEST(CodecFilterTest, StringBoundsMatchNaiveEvaluation) {
+  Rng rng(29);
+  std::vector<std::string> values;
+  for (int i = 0; i < 800; ++i) {
+    values.push_back("s" + std::to_string(rng.UniformInt(0, 20)));
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    BoundsPred<std::string> pred;
+    pred.has_lo = rng.Chance(0.7);
+    pred.has_hi = rng.Chance(0.7);
+    pred.lo = "s" + std::to_string(rng.UniformInt(0, 20));
+    pred.hi = pred.lo + "~";
+    pred.lo_inclusive = rng.Chance(0.5);
+    pred.hi_inclusive = rng.Chance(0.5);
+    ExpectFilterMatchesReference(values, pred, 2000 + trial);
+  }
+}
+
+TEST(CodecFilterTest, UnboundedPredicateKeepsEverything) {
+  std::vector<int64_t> values = {5, 1, 5, 9};
+  BoundsPred<int64_t> pred;  // no bounds
+  ExpectFilterMatchesReference(values, pred, 3);
+}
+
+// ---- ColumnTable integration ----------------------------------------------
+
+Schema MixSchema() {
+  return Schema::CreateOrDie({{"id", DataType::kInt64},
+                              {"bucket", DataType::kInt32},
+                              {"price", DataType::kDouble},
+                              {"tag", DataType::kVarchar}},
+                             {0});
+}
+
+TEST(ColumnTableEncodingTest, AdaptiveMergePicksPerColumnCodecs) {
+  ColumnTable::Options opts;
+  opts.auto_merge = false;
+  auto t = ColumnTable::Create(MixSchema(), opts);
+  Rng rng(31);
+  for (int64_t i = 0; i < 8000; ++i) {
+    ASSERT_TRUE(t->Insert({i,                                    // dense ids
+                           int32_t(i / 500),                     // runs
+                           rng.UniformDouble(0, 1),              // high card
+                           "t" + std::to_string(i % 5)})         // low card
+                    .ok());
+  }
+  t->MergeDelta();
+  EXPECT_EQ(t->ColumnEncoding(0), Encoding::kFrameOfReference);
+  EXPECT_EQ(t->ColumnEncoding(1), Encoding::kRle);
+  EXPECT_EQ(t->ColumnEncoding(2), Encoding::kRaw);
+  EXPECT_EQ(t->ColumnEncoding(3), Encoding::kDictionary);
+  // DictionarySize semantics survive every codec.
+  EXPECT_EQ(t->DictionarySize(0), 8000u);
+  EXPECT_EQ(t->DictionarySize(1), 16u);
+  EXPECT_EQ(t->DictionarySize(3), 5u);
+}
+
+TEST(ColumnTableEncodingTest, NonAdaptiveTablesStayDictionary) {
+  ColumnTable::Options opts;
+  opts.auto_merge = false;
+  opts.encoding.adaptive = false;
+  auto t = ColumnTable::Create(MixSchema(), opts);
+  for (int64_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(t->Insert({i, int32_t(i / 100), 0.5, "x"}).ok());
+  }
+  t->MergeDelta();
+  for (ColumnId c = 0; c < 4; ++c) {
+    EXPECT_EQ(t->ColumnEncoding(c), Encoding::kDictionary) << c;
+  }
+}
+
+TEST(ColumnTableEncodingTest, RunStructuredColumnCompressesHarder) {
+  ColumnTable::Options adaptive;
+  adaptive.auto_merge = false;
+  ColumnTable::Options legacy = adaptive;
+  legacy.encoding.adaptive = false;
+  auto ta = ColumnTable::Create(MixSchema(), adaptive);
+  auto tl = ColumnTable::Create(MixSchema(), legacy);
+  for (int64_t i = 0; i < 10'000; ++i) {
+    Row row = {i, int32_t(i / 1000), 1.0, "c"};
+    ASSERT_TRUE(ta->Insert(row).ok());
+    ASSERT_TRUE(tl->Insert(Row(row)).ok());
+  }
+  ta->MergeDelta();
+  tl->MergeDelta();
+  // RLE on the run-structured column beats the dictionary's per-row ids.
+  EXPECT_EQ(ta->ColumnEncoding(1), Encoding::kRle);
+  EXPECT_LT(ta->CompressionRate(1), tl->CompressionRate(1));
+}
+
+// ---- Decode microprobes ----------------------------------------------------
+
+TEST(EncodingCalibrationTest, MultipliersAreSaneAndDictionaryNormalized) {
+  auto mult = MeasureEncodingScanMultipliers(1 << 14);
+  EXPECT_DOUBLE_EQ(mult[static_cast<int>(Encoding::kDictionary)], 1.0);
+  for (double m : mult) {
+    EXPECT_GE(m, 0.2);
+    EXPECT_LE(m, 3.0);
+  }
+}
+
+}  // namespace
+}  // namespace compression
+}  // namespace hsdb

@@ -6,6 +6,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "common/random.h"
@@ -235,6 +236,158 @@ TEST_P(FilterEquivalenceTest, FiltersAgreeAcrossStores) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FilterEquivalenceTest,
                          ::testing::Values(7, 17, 27));
+
+// Compression must be invisible to query results: the same operation
+// sequence against the row store and column stores with adaptive codecs,
+// dictionary-only segments (compression "off"), and every codec forced must
+// leave identical logical contents and identical filter results.
+class CompressionEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompressionEquivalenceTest, CodecsAgreeOnContentsAndFilters) {
+  const uint64_t seed = GetParam();
+  struct Case {
+    const char* name;
+    StoreType store;
+    compression::EncodingPicker::Options encoding;
+  };
+  std::vector<Case> cases = {{"row", StoreType::kRow, {}},
+                             {"adaptive", StoreType::kColumn, {}}};
+  {
+    compression::EncodingPicker::Options off;
+    off.adaptive = false;
+    cases.push_back({"dictionary-only", StoreType::kColumn, off});
+    for (Encoding e : {Encoding::kRle, Encoding::kFrameOfReference,
+                       Encoding::kRaw}) {
+      compression::EncodingPicker::Options forced;
+      forced.force = e;
+      cases.push_back({EncodingName(e).data(), StoreType::kColumn, forced});
+    }
+  }
+  std::vector<std::unique_ptr<LogicalTable>> tables;
+  for (const Case& c : cases) {
+    PhysicalOptions opts;
+    opts.column.min_merge_rows = 64;  // force frequent re-encodes
+    opts.column.encoding = c.encoding;
+    auto r = LogicalTable::Create(c.name, WideSchema(),
+                                  TableLayout::SingleStore(c.store), opts);
+    ASSERT_TRUE(r.ok()) << c.name;
+    tables.push_back(std::move(r).value());
+  }
+
+  std::map<int64_t, Row> model;
+  Rng rng(seed);
+  for (int step = 0; step < 900; ++step) {
+    double dice = rng.UniformDouble();
+    if (dice < 0.55 || model.empty()) {
+      int64_t id = rng.UniformInt(0, 699);
+      Row row;
+      {
+        Rng row_rng(seed * 6151 + step);
+        row = RandomRow(row_rng, id);
+      }
+      bool expect_ok = model.find(id) == model.end();
+      for (auto& t : tables) {
+        ASSERT_EQ(t->Insert(row).ok(), expect_ok)
+            << t->name() << " step " << step;
+      }
+      if (expect_ok) model[id] = row;
+    } else if (dice < 0.75) {
+      auto it = model.begin();
+      std::advance(it, rng.Index(model.size()));
+      std::vector<ColumnId> cols = {1, 5};
+      Row vals = {int32_t(rng.UniformInt(0, 20)),
+                  Value(rng.UniformInt(-1000, 1000))};
+      for (auto& t : tables) {
+        ASSERT_TRUE(
+            t->UpdateByPk(PrimaryKey::Of(Value(it->first)), cols, vals).ok())
+            << t->name() << " step " << step;
+      }
+      for (size_t i = 0; i < cols.size(); ++i) {
+        Value coerced;
+        ASSERT_TRUE(
+            vals[i].CoerceTo(WideSchema().column(cols[i]).type, &coerced));
+        it->second[cols[i]] = coerced;
+      }
+    } else if (dice < 0.85) {
+      auto it = model.begin();
+      std::advance(it, rng.Index(model.size()));
+      for (auto& t : tables) {
+        ASSERT_TRUE(t->DeleteByPk(PrimaryKey::Of(Value(it->first))).ok())
+            << t->name() << " step " << step;
+      }
+      model.erase(it);
+    } else {
+      for (auto& t : tables) t->AfterStatement();
+    }
+  }
+  for (auto& t : tables) t->ForceMerge();
+
+  // Contents agree with the model cell by cell.
+  for (auto& t : tables) {
+    EXPECT_EQ(t->row_count(), model.size()) << t->name();
+    std::map<int64_t, Row> seen;
+    t->ForEachRow([&](const Row& row) {
+      seen.emplace(row[0].as_int64(), row);
+    });
+    ASSERT_EQ(seen.size(), model.size()) << t->name();
+    for (const auto& [id, row] : model) {
+      auto it = seen.find(id);
+      ASSERT_NE(it, seen.end()) << t->name() << " pk " << id;
+      for (ColumnId c = 0; c < row.size(); ++c) {
+        ASSERT_TRUE(it->second[c] == row[c])
+            << t->name() << " pk " << id << " col " << c;
+      }
+    }
+  }
+
+  // Filter results agree across all compression configurations: compare
+  // matched primary-key sets (slot positions differ across merges).
+  Rng filter_rng(seed * 31 + 5);
+  for (int trial = 0; trial < 40; ++trial) {
+    ColumnId col = static_cast<ColumnId>(filter_rng.Index(6));
+    ValueRange range;
+    switch (WideSchema().column(col).type) {
+      case DataType::kInt32:
+        range = ValueRange::Between(
+            Value(int32_t(filter_rng.UniformInt(0, 20))),
+            Value(int32_t(filter_rng.UniformInt(0, 20) + 4)));
+        break;
+      case DataType::kInt64:
+        range = ValueRange::Between(Value(filter_rng.UniformInt(-1000, 500)),
+                                    Value(filter_rng.UniformInt(500, 1000)));
+        break;
+      case DataType::kDouble:
+        range = ValueRange::AtLeast(Value(filter_rng.UniformDouble(0, 900)));
+        break;
+      case DataType::kDate:
+        range = ValueRange::Less(
+            Value(Date{int32_t(filter_rng.UniformInt(0, 3650))}));
+        break;
+      case DataType::kVarchar:
+        range = ValueRange::Eq(
+            Value("s" + std::to_string(filter_rng.UniformInt(0, 9))));
+        break;
+    }
+    std::vector<std::set<int64_t>> matched(tables.size());
+    for (size_t ti = 0; ti < tables.size(); ++ti) {
+      const RowGroup& group = tables[ti]->groups()[0];
+      const Fragment& frag = group.fragments[0];
+      Bitmap bm = frag.table->live_bitmap();
+      frag.table->FilterRange(frag.FragColumn(col), range, &bm);
+      bm.ForEachSet([&](size_t rid) {
+        matched[ti].insert(frag.table->GetValue(rid, 0).as_int64());
+      });
+    }
+    for (size_t ti = 1; ti < tables.size(); ++ti) {
+      ASSERT_EQ(matched[ti], matched[0])
+          << tables[ti]->name() << " col " << col << " range "
+          << range.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressionEquivalenceTest,
+                         ::testing::Values(5, 15, 25, 35));
 
 }  // namespace
 }  // namespace hsdb
