@@ -1,10 +1,16 @@
 // Compression tour: what the compressed column-store subsystem does to a
 // realistic table — which codec the EncodingPicker chooses per column, what
 // each codec saves, how fast encoded predicate scans run, and how the
-// advisor reports per-column encodings in its DDL.
+// advisor searches per-column encodings (optionally under a memory budget)
+// and reports them in its DDL.
 //
 //   $ ./build/example_compression_tour
+//   $ ./build/example_compression_tour --budget=0.5    # 50% of the
+//     unconstrained encoded footprint; values > 1 are absolute bytes
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
 
 #include "common/random.h"
 #include "common/stopwatch.h"
@@ -13,7 +19,25 @@
 
 using namespace hsdb;
 
-int main() {
+int main(int argc, char** argv) {
+  // --budget=<fraction-or-bytes>: memory budget for the encoding search.
+  std::optional<double> budget_arg;
+  for (int i = 1; i < argc; ++i) {
+    bool ok = false;
+    if (std::strncmp(argv[i], "--budget=", 9) == 0) {
+      char* end = nullptr;
+      double value = std::strtod(argv[i] + 9, &end);
+      if (end != argv[i] + 9 && *end == '\0' && value > 0.0) {
+        budget_arg = value;
+        ok = true;
+      }
+    }
+    if (!ok) {
+      std::fprintf(stderr, "usage: %s [--budget=<fraction-or-bytes>]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
   // 1. A sales-fact-shaped table: dense ids, a run-structured date column
   // (loaded in date order), a low-cardinality status column and a
   // high-cardinality measure.
@@ -95,5 +119,21 @@ int main() {
   Result<Recommendation> rec = advisor.RecommendOffline(workload);
   HSDB_CHECK(rec.ok());
   std::printf("\nadvisor recommendation:\n%s", rec->Summary().c_str());
+
+  // 5. The same recommendation under a memory budget: the encoding search
+  // trades scan-fast codecs back into small ones until the encoded
+  // footprint fits. --budget=0.5 means half the unconstrained footprint.
+  if (budget_arg.has_value()) {
+    double budget_bytes = *budget_arg > 1.0
+                              ? *budget_arg
+                              : *budget_arg * rec->encoding_footprint_bytes;
+    AdvisorOptions budgeted_options;
+    budgeted_options.encoding.memory_budget_bytes = budget_bytes;
+    StorageAdvisor budgeted(&rs_db, budgeted_options);
+    Result<Recommendation> constrained = budgeted.RecommendOffline(workload);
+    HSDB_CHECK(constrained.ok());
+    std::printf("\nwith MEMORY_BUDGET %.0f bytes:\n%s", budget_bytes,
+                constrained->Summary().c_str());
+  }
   return 0;
 }

@@ -71,15 +71,24 @@ Status Catalog::UpdateStatistics(const std::string& name) {
   if (it == tables_.end()) {
     return Status::NotFound("table " + name + " does not exist");
   }
-  it->second.statistics =
-      std::make_unique<TableStatistics>(Analyze(*it->second.table));
+  AnalyzeEntry(it->second);
   return Status::OK();
 }
 
 void Catalog::UpdateAllStatistics() {
-  for (auto& [name, entry] : tables_) {
-    entry.statistics = std::make_unique<TableStatistics>(Analyze(*entry.table));
+  for (auto& [name, entry] : tables_) AnalyzeEntry(entry);
+}
+
+void Catalog::AnalyzeEntry(Entry& entry) {
+  // Memoize on the table's statistics version counter: re-running Analyze
+  // (and with it the EncodingPicker re-profiling of every column) is only
+  // needed after a mutation or delta merge moved the counter.
+  const uint64_t version = entry.table->data_version();
+  if (entry.statistics != nullptr && entry.analyzed_version == version) {
+    return;
   }
+  entry.statistics = std::make_unique<TableStatistics>(Analyze(*entry.table));
+  entry.analyzed_version = version;
 }
 
 size_t Catalog::total_memory_bytes() const {

@@ -43,7 +43,10 @@ class Catalog {
   /// Statistics for `name`; nullptr when never analyzed.
   const TableStatistics* GetStatistics(const std::string& name) const;
 
-  /// Re-runs Analyze over one table / all tables.
+  /// Refreshes statistics for one table / all tables. Memoized on the
+  /// table's data_version(): when nothing mutated since the last refresh,
+  /// the existing statistics are kept (no column re-profiling) and
+  /// GetStatistics keeps returning the same object.
   Status UpdateStatistics(const std::string& name);
   void UpdateAllStatistics();
 
@@ -54,7 +57,11 @@ class Catalog {
   struct Entry {
     std::unique_ptr<LogicalTable> table;
     std::unique_ptr<TableStatistics> statistics;
+    /// data_version() the statistics were computed at.
+    uint64_t analyzed_version = 0;
   };
+
+  void AnalyzeEntry(Entry& entry);
 
   std::map<std::string, Entry> tables_;
 };

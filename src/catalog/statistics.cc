@@ -51,10 +51,7 @@ std::string TableStatistics::ToString() const {
   return os.str();
 }
 
-namespace {
-
-/// Encoding-picker profile of a column as seen through its statistics.
-compression::EncodingProfile ProfileFromStatistics(
+compression::EncodingProfile StatisticsEncodingProfile(
     const ColumnStatistics& cs, uint64_t rows) {
   compression::EncodingProfile p;
   p.row_count = rows;
@@ -80,6 +77,8 @@ compression::EncodingProfile ProfileFromStatistics(
   p.plain_value_bytes = cs.avg_plain_bytes;
   return p;
 }
+
+namespace {
 
 /// Analytic compression estimate for a column *if* it were stored
 /// column-oriented under `encoding`. Used for columns currently resident in
@@ -223,7 +222,7 @@ TableStatistics Analyze(const LogicalTable& table,
     // Encoding: what the column store picked where it holds the column, or
     // what the picker would choose for the hypothetical move.
     compression::EncodingProfile profile =
-        ProfileFromStatistics(cs, stats.row_count);
+        StatisticsEncodingProfile(cs, stats.row_count);
     cs.encoding = measured_encoding.has_value()
                       ? *measured_encoding
                       : compression::EncodingPicker().Pick(profile);

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "storage/compression/encoding.h"
+#include "storage/compression/encoding_picker.h"
 #include "storage/logical_table.h"
 
 namespace hsdb {
@@ -59,6 +60,15 @@ struct TableStatistics {
 /// estimated from a sample above it.
 TableStatistics Analyze(const LogicalTable& table,
                         size_t exact_distinct_limit = 2'000'000);
+
+/// Encoding-picker profile of a column as seen through its statistics: the
+/// advisor-side approximation of the exact per-segment profile the store
+/// computes at encode time. This is the bridge the encoding search uses to
+/// enumerate feasible codecs and estimate per-codec footprints
+/// (compression::CandidateEncodings / compression::EstimateEncodedBytes)
+/// without touching the physical data.
+compression::EncodingProfile StatisticsEncodingProfile(
+    const ColumnStatistics& cs, uint64_t row_count);
 
 }  // namespace hsdb
 

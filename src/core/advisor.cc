@@ -9,22 +9,36 @@ namespace hsdb {
 
 namespace {
 
-/// True when any piece of the layout is column-resident (and therefore
-/// stores compressed, per-column-encoded segments).
-bool HasColumnPiece(const TableLayout& layout) {
-  if (layout.base_store == StoreType::kColumn) return true;
-  return layout.horizontal.has_value() &&
-         layout.horizontal->hot_store == StoreType::kColumn;
+/// True when the recommendation's per-column codecs deviate from what the
+/// catalog statistics carry (the store's current codecs for column-resident
+/// tables, the picker's choice for hypothetical moves) on any column of a
+/// column-store piece.
+bool EncodingsDiffer(const Schema& schema, const LayoutContext& ctx,
+                     const TableStatistics* stats) {
+  if (ctx.encodings.size() != schema.num_columns() || stats == nullptr ||
+      stats->columns.size() != schema.num_columns()) {
+    return false;
+  }
+  for (ColumnId c = 0; c < schema.num_columns(); ++c) {
+    if (ColumnInColumnStorePiece(ctx.layout, schema, c) &&
+        ctx.encodings[c] != stats->column(c).encoding) {
+      return true;
+    }
+  }
+  return false;
 }
 
-/// " ENCODING (col CODEC, ...)" clause naming the codec the compression
-/// subsystem picks per column (from the catalog statistics). Covers only
-/// the columns that actually land in a column-store piece: a vertical
+/// " ENCODING (col CODEC, ...)" clause naming the codec of every column
+/// that lands in a column-store piece. The codecs are the encoding search's
+/// cost-derived assignment (LayoutContext::encodings) when present, and the
+/// picker's choice from the catalog statistics otherwise. A vertical
 /// split's row-store columns are skipped (the replicated primary key stays
 /// column-encoded in the base piece).
-std::string EncodingClause(const Schema& schema, const TableLayout& layout,
+std::string EncodingClause(const Schema& schema, const LayoutContext& ctx,
                            const TableStatistics* stats) {
-  if (stats == nullptr || stats->columns.empty()) return "";
+  const bool searched = ctx.encodings.size() == schema.num_columns();
+  if (!searched && (stats == nullptr || stats->columns.empty())) return "";
+  const TableLayout& layout = ctx.layout;
   std::ostringstream os;
   os << " ENCODING (";
   bool first = true;
@@ -36,18 +50,31 @@ std::string EncodingClause(const Schema& schema, const TableLayout& layout,
     if (!first) os << ", ";
     first = false;
     os << schema.column(c).name << " "
-       << EncodingName(stats->column(c).encoding);
+       << EncodingName(searched ? ctx.encodings[c]
+                                : stats->column(c).encoding);
   }
   os << ")";
   return os.str();
 }
 
 std::string LayoutDdl(const std::string& table, const LayoutContext& ctx,
-                      const Schema& schema, const TableStatistics* stats) {
+                      const Schema& schema, const TableStatistics* stats,
+                      const std::optional<double>& memory_budget_bytes) {
   std::ostringstream os;
   const TableLayout& layout = ctx.layout;
-  const std::string encodings =
-      HasColumnPiece(layout) ? EncodingClause(schema, layout, stats) : "";
+  std::string encodings;
+  if (HasColumnStorePiece(layout)) {
+    encodings = EncodingClause(schema, ctx, stats);
+    // Budget mode: record the constraint the encoding assignment was
+    // solved under — only where an assignment exists (tables without
+    // statistics are skipped by the search and get no clause).
+    if (!encodings.empty() && memory_budget_bytes.has_value()) {
+      std::ostringstream budget;
+      budget << " WITH (MEMORY_BUDGET "
+             << static_cast<uint64_t>(*memory_budget_bytes) << ")";
+      encodings += budget.str();
+    }
+  }
   if (!layout.IsPartitioned()) {
     os << "ALTER TABLE " << table << " STORE "
        << StoreTypeName(layout.base_store) << encodings << ";";
@@ -83,6 +110,14 @@ std::string Recommendation::Summary() const {
   os << "  baselines: RS-only " << rs_only_cost_ms << " ms, CS-only "
      << cs_only_cost_ms << " ms, table-level " << table_level_cost_ms
      << " ms\n";
+  if (encoding_footprint_bytes > 0.0) {
+    os << "  encodings: " << encoding_footprint_bytes << " bytes";
+    if (memory_budget_bytes.has_value()) {
+      os << " (budget " << *memory_budget_bytes << " bytes, "
+         << (encoding_budget_feasible ? "met" : "NOT met") << ")";
+    }
+    os << ", picker baseline " << encoding_picker_cost_ms << " ms\n";
+  }
   for (const std::string& r : rationale) os << "  - " << r << "\n";
   for (const std::string& d : ddl) os << "  " << d << "\n";
   return os.str();
@@ -225,21 +260,72 @@ Result<Recommendation> StorageAdvisor::Recommend(
     rec.estimated_cost_ms = table_result.estimated_cost_ms;
   }
 
-  // Emit DDL only for tables whose layout actually changes. Column-store
-  // targets name the per-column encoding the compression subsystem picks.
+  // Per-column encoding search over the chosen layouts: replace the
+  // picker's heuristic codec choices with the cost-optimal assignment
+  // under the configured memory budget.
+  EncodingSearch encoding_search(model_.get(), &db_->catalog(),
+                                 options_.encoding);
+  EncodingSearchResult encodings =
+      encoding_search.Search(workload, rec.layouts);
+  if (!encodings.tables.empty()) {
+    for (const auto& [name, assignment] : encodings.tables) {
+      rec.layouts.at(name).encodings = assignment.encodings;
+    }
+    rec.estimated_cost_ms = encodings.cost_ms;
+    rec.encoding_footprint_bytes = encodings.footprint_bytes;
+    rec.encoding_picker_cost_ms = encodings.picker_cost_ms;
+    rec.memory_budget_bytes = options_.encoding.memory_budget_bytes;
+    rec.encoding_budget_feasible = encodings.feasible;
+    std::ostringstream note;
+    note << "encoding search (" << (encodings.exact ? "exact" : "greedy")
+         << ", " << encodings.evaluated_assignments
+         << " assignments): footprint " << encodings.footprint_bytes
+         << " bytes vs picker " << encodings.picker_footprint_bytes
+         << " bytes";
+    if (options_.encoding.memory_budget_bytes.has_value()) {
+      note << ", budget " << *options_.encoding.memory_budget_bytes
+           << " bytes " << (encodings.feasible ? "met" : "NOT met");
+      if (!encodings.feasible) {
+        note << " (floor " << encodings.min_footprint_bytes << " bytes)";
+      }
+    }
+    rec.rationale.push_back(note.str());
+  }
+
+  // Emit DDL for tables whose layout changes — or whose cost-derived
+  // encodings differ from the codecs the store currently has (or would
+  // pick), so encoding-only recommendations stay actionable. Budget mode
+  // records the constraint in a WITH (MEMORY_BUDGET ...) clause.
   for (const auto& [name, ctx] : rec.layouts) {
     const LogicalTable* table = db_->catalog().GetTable(name);
     if (table == nullptr) continue;
-    if (table->layout() == ctx.layout) continue;
     const TableStatistics* stats = db_->catalog().GetStatistics(name);
-    rec.ddl.push_back(LayoutDdl(name, ctx, table->schema(), stats));
+    if (table->layout() == ctx.layout &&
+        !EncodingsDiffer(table->schema(), ctx, stats)) {
+      continue;
+    }
+    rec.ddl.push_back(LayoutDdl(name, ctx, table->schema(), stats,
+                                options_.encoding.memory_budget_bytes));
   }
   return rec;
 }
 
 Status StorageAdvisor::Apply(const Recommendation& recommendation) {
   for (const auto& [name, ctx] : recommendation.layouts) {
-    HSDB_RETURN_IF_ERROR(db_->ApplyLayout(name, ctx.layout));
+    // Only act on tables the recommendation actually changes — same
+    // criterion as the DDL emission — so unchanged tables are not
+    // rematerialized just to pin the codecs they already use.
+    const LogicalTable* table = db_->catalog().GetTable(name);
+    if (table == nullptr) continue;
+    if (table->layout() == ctx.layout &&
+        !EncodingsDiffer(table->schema(), ctx,
+                         db_->catalog().GetStatistics(name))) {
+      continue;
+    }
+    // The searched per-column codecs are applied with the layout: the
+    // rebuild's bulk-load merge encodes every column-store piece with the
+    // recommended codec instead of re-running the footprint-greedy picker.
+    HSDB_RETURN_IF_ERROR(db_->ApplyLayout(name, ctx.layout, ctx.encodings));
   }
   return Status::OK();
 }

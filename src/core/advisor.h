@@ -14,10 +14,12 @@
 #define HSDB_CORE_ADVISOR_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/calibration.h"
+#include "core/encoding_search.h"
 #include "core/partition_advisor.h"
 #include "core/probe_runner.h"
 #include "core/table_advisor.h"
@@ -32,12 +34,20 @@ struct AdvisorOptions {
   CalibrationOptions calibration;
   TableAdvisor::Options table_options;
   PartitionAdvisor::Options partition_options;
+  /// Per-column encoding search over the chosen layouts: candidates, exact
+  /// fallback threshold and — the user knob — encoding.memory_budget_bytes,
+  /// the total memory budget for encoded column-store segments.
+  /// Recommendations under a budget emit a WITH (MEMORY_BUDGET ...) DDL
+  /// clause and cost-derived ENCODING (...) assignments.
+  EncodingSearchOptions encoding;
   /// Raw queries retained by the online recorder (reservoir sample).
   size_t recorder_sample = 4096;
 };
 
 struct Recommendation {
-  /// Chosen layout per table (with locality context for the estimator).
+  /// Chosen layout per table (with locality context for the estimator;
+  /// LayoutContext::encodings carries the cost-derived per-column codecs
+  /// the encoding search selected).
   std::map<std::string, LayoutContext> layouts;
   /// Table-level assignment (before partitioning), for comparison.
   std::map<std::string, StoreType> table_level_assignment;
@@ -46,6 +56,14 @@ struct Recommendation {
   double rs_only_cost_ms = 0.0;
   double cs_only_cost_ms = 0.0;
   double table_level_cost_ms = 0.0;
+
+  /// Encoding-search outcome: estimated footprint of the chosen encodings,
+  /// the workload cost the picker's heuristic assignment would have had,
+  /// the budget (echoed from AdvisorOptions) and whether it was met.
+  double encoding_footprint_bytes = 0.0;
+  double encoding_picker_cost_ms = 0.0;
+  std::optional<double> memory_budget_bytes;
+  bool encoding_budget_feasible = true;
 
   /// Pseudo-DDL statements realizing the recommendation.
   std::vector<std::string> ddl;

@@ -71,6 +71,14 @@ CostModelParams CostModelParams::Default() {
   cs.c_encoding_scan[static_cast<int>(Encoding::kRle)] = 0.55;
   cs.c_encoding_scan[static_cast<int>(Encoding::kFrameOfReference)] = 0.8;
   cs.c_encoding_scan[static_cast<int>(Encoding::kRaw)] = 1.25;
+  // Analytic re-encode shape: the dictionary pays the profiling sort plus
+  // id packing, FOR repacks deltas, RLE emits runs, raw is a plain copy.
+  // Calibration replaces these with measured per-codec encode throughput.
+  cs.c_encoding_reencode[static_cast<int>(Encoding::kDictionary)] = 1.0;
+  cs.c_encoding_reencode[static_cast<int>(Encoding::kRle)] = 0.6;
+  cs.c_encoding_reencode[static_cast<int>(Encoding::kFrameOfReference)] = 0.75;
+  cs.c_encoding_reencode[static_cast<int>(Encoding::kRaw)] = 0.4;
+  cs.c_merge_share = 0.3;
 
   p.base_join[0][0] = 1.0;
   p.base_join[0][1] = 1.15;
@@ -95,7 +103,11 @@ std::string CostModelParams::ToString() const {
     for (int e = 0; e < kNumEncodings; ++e) {
       os << (e > 0 ? "," : "") << sp.c_encoding_scan[e];
     }
-    os << "}\n";
+    os << "} c_enc_reencode={";
+    for (int e = 0; e < kNumEncodings; ++e) {
+      os << (e > 0 ? "," : "") << sp.c_encoding_reencode[e];
+    }
+    os << "}*" << sp.c_merge_share << "\n";
   }
   os << "base_join={" << base_join[0][0] << "," << base_join[0][1] << ";"
      << base_join[1][0] << "," << base_join[1][1] << "}"
@@ -109,7 +121,10 @@ namespace {
 /// can dip below zero when extrapolating far left of the calibrated range.
 double ClampMultiplier(double m) { return std::max(m, 1e-4); }
 
-constexpr char kSerializationMagic[] = "hsdb_cost_model_v2";
+// v3 added the delta-merge re-encoding terms (c_encoding_reencode,
+// c_merge_share). Older headers (v1 without encoding terms, v2 without the
+// re-encode terms) are rejected so stale caches trigger recalibration.
+constexpr char kSerializationMagic[] = "hsdb_cost_model_v3";
 
 void PutFn(std::ostream& os, const LinearFn& fn) {
   os << fn.intercept << " " << fn.slope << "\n";
@@ -168,6 +183,8 @@ std::string CostModelParams::Serialize() const {
     PutFn(os, sp.f_rows_build);
     for (double c : sp.c_encoding_scan) os << c << " ";
     os << "\n";
+    for (double c : sp.c_encoding_reencode) os << c << " ";
+    os << sp.c_merge_share << "\n";
   }
   for (int f = 0; f < kNumStoreTypes; ++f) {
     for (int d = 0; d < kNumStoreTypes; ++d) {
@@ -218,6 +235,10 @@ Result<CostModelParams> CostModelParams::Deserialize(
     for (double& c : sp.c_encoding_scan) {
       if (!(is >> c)) return fail();
     }
+    for (double& c : sp.c_encoding_reencode) {
+      if (!(is >> c)) return fail();
+    }
+    if (!(is >> sp.c_merge_share)) return fail();
   }
   for (int f = 0; f < kNumStoreTypes; ++f) {
     for (int d = 0; d < kNumStoreTypes; ++d) {
@@ -335,9 +356,25 @@ double CostModel::PointSelectCost(StoreType store,
              sp.f_selected_columns(static_cast<double>(selected_columns)));
 }
 
-double CostModel::InsertCost(StoreType store, double rows) const {
+double CostModel::EncodingReencodeMultiplier(StoreType store,
+                                             Encoding encoding) const {
+  if (store != StoreType::kColumn) return 1.0;
+  return ClampMultiplier(
+      params_.of(store).c_encoding_reencode[static_cast<int>(encoding)]);
+}
+
+double CostModel::InsertCost(StoreType store, double rows,
+                             double encoding_reencode) const {
   const StoreCostParams& sp = params_.of(store);
-  return sp.base_insert * ClampMultiplier(sp.f_rows_insert(rows));
+  double cost = sp.base_insert * ClampMultiplier(sp.f_rows_insert(rows));
+  // The re-encode term shifts only the merge share of the amortized insert
+  // cost: cheaper codecs (raw copy, run emission) make merges — not the
+  // delta append itself — faster.
+  if (store == StoreType::kColumn && sp.c_merge_share > 0.0) {
+    cost *= ClampMultiplier(
+        1.0 + sp.c_merge_share * (ClampMultiplier(encoding_reencode) - 1.0));
+  }
+  return cost;
 }
 
 double CostModel::UpdateCost(StoreType store, size_t affected_columns,

@@ -67,6 +67,15 @@ struct StoreCostParams {
   // (storage/compression/encoding_calibration.h); identity for the row
   // store.
   double c_encoding_scan[kNumEncodings] = {1.0, 1.0, 1.0, 1.0};
+
+  // Delta-merge re-encoding terms (column store): relative cost of
+  // re-encoding one column segment under each codec at merge time,
+  // normalized to the dictionary codec = 1 (calibrated by the per-codec
+  // encode microprobes), and the share of the amortized insert cost that
+  // merge re-encoding accounts for. Identity / zero for the row store,
+  // which has no delta merges.
+  double c_encoding_reencode[kNumEncodings] = {1.0, 1.0, 1.0, 1.0};
+  double c_merge_share = 0.0;
 };
 
 /// Full parameter set: one StoreCostParams per store plus the store-
@@ -151,11 +160,19 @@ class CostModel {
   /// (dictionary = 1); always 1 for the row store.
   double EncodingScanMultiplier(StoreType store, Encoding encoding) const;
 
+  /// Relative delta-merge re-encode cost of a column-store column under
+  /// `encoding` (dictionary = 1); always 1 for the row store.
+  double EncodingReencodeMultiplier(StoreType store, Encoding encoding) const;
+
   /// Primary-key point lookup: hash access + k-column tuple reconstruction.
   double PointSelectCost(StoreType store, size_t selected_columns) const;
 
-  /// Insert (§3.1 "Inserts and Updates").
-  double InsertCost(StoreType store, double rows) const;
+  /// Insert (§3.1 "Inserts and Updates"). `encoding_reencode` is the
+  /// table's average per-codec re-encode multiplier (delta-merge term); it
+  /// scales the merge share of the column store's amortized insert cost and
+  /// is ignored by the row store.
+  double InsertCost(StoreType store, double rows,
+                    double encoding_reencode = 1.0) const;
 
   /// Update (§3.1 "Inserts and Updates").
   double UpdateCost(StoreType store, size_t affected_columns,

@@ -1,0 +1,450 @@
+#include "core/encoding_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "catalog/statistics.h"
+
+namespace hsdb {
+
+namespace {
+
+constexpr double kCostEps = 1e-12;
+
+/// Per-table search state: candidate codecs, footprints and the current
+/// choice per column.
+struct TableState {
+  std::string name;
+  std::vector<std::vector<Encoding>> candidates;  // per column
+  std::vector<std::vector<double>> bytes;         // parallel to candidates
+  std::vector<size_t> choice;                     // candidate index per column
+  std::vector<size_t> picker_choice;
+  /// The codec the statistics carry: the store's current codec for
+  /// column-resident tables, the picker's estimate otherwise — the
+  /// incumbent assignment the hysteresis rule protects.
+  std::vector<size_t> incumbent_choice;
+  /// Whether the column lands in a column-store piece (vertical row-store
+  /// columns are excluded: they are not encoded and carry no footprint).
+  std::vector<bool> searchable;
+
+  std::vector<Encoding> Encodings() const {
+    std::vector<Encoding> out(choice.size());
+    for (size_t c = 0; c < choice.size(); ++c) {
+      out[c] = candidates[c][choice[c]];
+    }
+    return out;
+  }
+
+  double FootprintBytes() const {
+    double total = 0.0;
+    for (size_t c = 0; c < choice.size(); ++c) {
+      if (searchable[c]) total += bytes[c][choice[c]];
+    }
+    return total;
+  }
+};
+
+/// One searchable (table, column) coordinate.
+struct Item {
+  size_t table;
+  size_t column;
+};
+
+}  // namespace
+
+EncodingSearchResult EncodingSearch::Search(
+    const std::vector<WeightedQuery>& workload,
+    const std::map<std::string, LayoutContext>& layouts) const {
+  EncodingSearchResult result;
+
+  // ---- Candidate sets: the picker's profile rules prune per column -------
+  std::vector<TableState> tables;
+  for (const auto& [name, ctx] : layouts) {
+    if (!HasColumnStorePiece(ctx.layout)) continue;
+    const TableStatistics* stats = catalog_->GetStatistics(name);
+    const LogicalTable* table = catalog_->GetTable(name);
+    if (stats == nullptr || stats->columns.empty() || table == nullptr) {
+      continue;
+    }
+    const Schema& schema = table->schema();
+    const compression::EncodingPicker picker(options_.picker);
+
+    TableState state;
+    state.name = name;
+    const size_t n = stats->columns.size();
+    state.candidates.resize(n);
+    state.bytes.resize(n);
+    state.choice.resize(n);
+    state.picker_choice.resize(n);
+    state.incumbent_choice.resize(n);
+    state.searchable.assign(n, true);
+    for (ColumnId c = 0; c < n; ++c) {
+      compression::EncodingProfile profile =
+          StatisticsEncodingProfile(stats->columns[c], stats->row_count);
+      std::vector<Encoding> candidates =
+          compression::CandidateEncodings(profile, options_.picker);
+      Encoding picked = picker.Pick(profile);
+      state.candidates[c] = candidates;
+      state.bytes[c].reserve(candidates.size());
+      for (Encoding e : candidates) {
+        double b = compression::EstimateEncodedBytes(e, profile);
+        if (!std::isfinite(b)) b = std::numeric_limits<double>::max();
+        state.bytes[c].push_back(b);
+      }
+      size_t picked_index = 0;
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        if (candidates[i] == picked) picked_index = i;
+      }
+      state.picker_choice[c] = picked_index;
+      // The incumbent falls back to the picker when the stats codec is not
+      // a candidate (e.g. RLE pruned after the run structure degraded).
+      state.incumbent_choice[c] = picked_index;
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        if (candidates[i] == stats->columns[c].encoding) {
+          state.incumbent_choice[c] = i;
+        }
+      }
+      state.choice[c] = picked_index;
+      // Vertical row-store columns are not column-encoded (the replicated
+      // primary key stays encoded in the base piece).
+      state.searchable[c] = ColumnInColumnStorePiece(ctx.layout, schema, c);
+    }
+    tables.push_back(std::move(state));
+  }
+  if (tables.empty()) return result;
+
+  std::vector<Item> items;
+  size_t combinations = 1;
+  bool overflow = false;
+  for (size_t t = 0; t < tables.size(); ++t) {
+    for (size_t c = 0; c < tables[t].choice.size(); ++c) {
+      if (!tables[t].searchable[c] || tables[t].candidates[c].size() < 2) {
+        continue;
+      }
+      items.push_back(Item{t, c});
+      if (!overflow) {
+        combinations *= tables[t].candidates[c].size();
+        if (combinations > options_.exact_combination_limit) overflow = true;
+      }
+    }
+  }
+
+  // ---- Evaluation under the current per-table choices --------------------
+  // Incremental: a candidate assignment differs from the previously
+  // evaluated one in a few columns of a few tables, so only queries
+  // touching those tables are re-costed. Queries touching no searched
+  // table contribute a constant computed once.
+  std::map<std::string, size_t> index_of;
+  for (size_t t = 0; t < tables.size(); ++t) {
+    index_of.emplace(tables[t].name, t);
+  }
+  auto layout_provider = [&](const std::string& name) {
+    auto it = layouts.find(name);
+    LayoutContext ctx = it == layouts.end()
+                            ? LayoutContext::SingleStore(StoreType::kRow)
+                            : it->second;
+    auto ti = index_of.find(name);
+    if (ti != index_of.end()) {
+      ctx.encodings = tables[ti->second].Encodings();
+    }
+    return ctx;
+  };
+
+  struct QueryEval {
+    const WeightedQuery* wq = nullptr;
+    std::vector<size_t> touched;  // searched-table indices
+    double cost = 0.0;            // weighted, as of the last evaluate()
+  };
+  std::vector<QueryEval> affected;
+  double running_total = 0.0;  // fixed queries now, + affected after eval
+  for (const WeightedQuery& wq : workload) {
+    QueryEval entry;
+    entry.wq = &wq;
+    for (const std::string& name : TablesOf(wq.query)) {
+      auto it = index_of.find(name);
+      if (it != index_of.end() &&
+          std::find(entry.touched.begin(), entry.touched.end(),
+                    it->second) == entry.touched.end()) {
+        entry.touched.push_back(it->second);
+      }
+    }
+    if (entry.touched.empty()) {
+      running_total += wq.weight * estimator_.QueryCost(wq.query,
+                                                        layout_provider);
+    } else {
+      affected.push_back(std::move(entry));
+    }
+  }
+
+  // Tables whose encodings changed since the last evaluate(). Mutation
+  // sites mark their table; evaluate() consumes the set.
+  size_t evaluated = 0;
+  bool all_dirty = true;
+  std::vector<size_t> dirty;
+  auto mark_dirty = [&](size_t t) {
+    if (!all_dirty &&
+        std::find(dirty.begin(), dirty.end(), t) == dirty.end()) {
+      dirty.push_back(t);
+    }
+  };
+  auto evaluate = [&]() {
+    ++evaluated;
+    for (QueryEval& entry : affected) {
+      bool stale = all_dirty;
+      for (size_t t : entry.touched) {
+        if (stale) break;
+        stale = std::find(dirty.begin(), dirty.end(), t) != dirty.end();
+      }
+      if (!stale) continue;
+      running_total -= entry.cost;
+      entry.cost = entry.wq->weight *
+                   estimator_.QueryCost(entry.wq->query, layout_provider);
+      running_total += entry.cost;
+    }
+    all_dirty = false;
+    dirty.clear();
+    return running_total;
+  };
+  auto mark_all_dirty = [&]() {
+    all_dirty = true;
+    dirty.clear();
+  };
+  auto total_footprint = [&]() {
+    double total = 0.0;
+    for (const TableState& state : tables) total += state.FootprintBytes();
+    return total;
+  };
+
+  // Feasibility floor: every searchable column at its smallest codec.
+  double min_footprint = 0.0;
+  for (const TableState& state : tables) {
+    for (size_t c = 0; c < state.choice.size(); ++c) {
+      if (!state.searchable[c]) continue;
+      min_footprint +=
+          *std::min_element(state.bytes[c].begin(), state.bytes[c].end());
+    }
+  }
+  result.min_footprint_bytes = min_footprint;
+
+  // ---- Picker and incumbent baselines ------------------------------------
+  for (TableState& state : tables) state.choice = state.picker_choice;
+  mark_all_dirty();
+  result.picker_cost_ms = evaluate();
+  result.picker_footprint_bytes = total_footprint();
+
+  bool incumbent_is_picker = true;
+  for (const TableState& state : tables) {
+    incumbent_is_picker =
+        incumbent_is_picker && state.incumbent_choice == state.picker_choice;
+  }
+  double incumbent_cost = result.picker_cost_ms;
+  double incumbent_footprint = result.picker_footprint_bytes;
+  if (!incumbent_is_picker) {
+    for (TableState& state : tables) state.choice = state.incumbent_choice;
+    mark_all_dirty();
+    incumbent_cost = evaluate();
+    incumbent_footprint = total_footprint();
+  }
+
+  const std::optional<double>& budget = options_.memory_budget_bytes;
+  auto feasible_at = [&](double footprint) {
+    return !budget.has_value() || footprint <= *budget + 1e-6;
+  };
+
+  // The incumbent preloads the winner: the search must earn any deviation.
+  double best_cost = incumbent_cost;
+  double best_footprint = incumbent_footprint;
+  std::vector<std::vector<size_t>> best_choice;
+  auto snapshot = [&]() {
+    best_choice.clear();
+    for (const TableState& state : tables) best_choice.push_back(state.choice);
+  };
+  for (TableState& state : tables) state.choice = state.incumbent_choice;
+  snapshot();
+
+  if (!overflow && !items.empty()) {
+    // ---- Exact enumeration over the candidate cross-product --------------
+    result.exact = true;
+    bool any_feasible = feasible_at(incumbent_footprint);
+    // Enumerate with non-item columns pinned at the picker choice (their
+    // candidate set is a singleton anyway).
+    std::vector<size_t> odometer(items.size(), 0);
+    for (const Item& item : items) {
+      tables[item.table].choice[item.column] = 0;
+    }
+    mark_all_dirty();
+    bool done = false;
+    while (!done) {
+      double footprint = total_footprint();
+      if (feasible_at(footprint)) {
+        double cost = evaluate();
+        bool better =
+            !any_feasible || cost < best_cost - kCostEps ||
+            (cost <= best_cost + kCostEps && footprint < best_footprint);
+        if (better) {
+          best_cost = cost;
+          best_footprint = footprint;
+          snapshot();
+        }
+        any_feasible = true;
+      }
+      // Advance the odometer.
+      size_t i = 0;
+      for (; i < items.size(); ++i) {
+        size_t limit =
+            tables[items[i].table].candidates[items[i].column].size();
+        size_t next = odometer[i] + 1;
+        odometer[i] = next < limit ? next : 0;
+        tables[items[i].table].choice[items[i].column] = odometer[i];
+        mark_dirty(items[i].table);
+        if (next < limit) break;
+      }
+      done = i == items.size();
+    }
+    if (!any_feasible) {
+      // Budget below the floor: fall back to the minimal footprint.
+      for (TableState& state : tables) {
+        for (size_t c = 0; c < state.choice.size(); ++c) {
+          if (!state.searchable[c]) continue;
+          state.choice[c] = static_cast<size_t>(
+              std::min_element(state.bytes[c].begin(), state.bytes[c].end()) -
+              state.bytes[c].begin());
+        }
+      }
+      mark_all_dirty();
+      best_cost = evaluate();
+      best_footprint = total_footprint();
+      snapshot();
+      result.feasible = false;
+    }
+  } else {
+    // ---- Greedy knapsack --------------------------------------------------
+    // Phase 1: coordinate descent on workload cost, budget ignored. Starting
+    // from the picker's assignment this can only improve the cost.
+    for (TableState& state : tables) state.choice = state.picker_choice;
+    mark_all_dirty();
+    double cur_cost = result.picker_cost_ms;
+    bool improved = true;
+    int passes = 0;
+    while (improved && passes++ < 8) {
+      improved = false;
+      for (const Item& item : items) {
+        TableState& state = tables[item.table];
+        size_t original = state.choice[item.column];
+        size_t best_i = original;
+        double best_i_cost = cur_cost;
+        double best_i_bytes = state.bytes[item.column][original];
+        for (size_t i = 0; i < state.candidates[item.column].size(); ++i) {
+          if (i == original) continue;
+          state.choice[item.column] = i;
+          mark_dirty(item.table);
+          double cost = evaluate();
+          double b = state.bytes[item.column][i];
+          if (cost < best_i_cost - kCostEps ||
+              (cost <= best_i_cost + kCostEps && b < best_i_bytes)) {
+            best_i = i;
+            best_i_cost = cost;
+            best_i_bytes = b;
+          }
+        }
+        state.choice[item.column] = best_i;
+        mark_dirty(item.table);
+        if (best_i != original) {
+          cur_cost = best_i_cost;
+          improved = true;
+        }
+      }
+    }
+
+    // Phase 2: repair the budget — repeatedly take the swap to a smaller
+    // codec with the best cost-increase / bytes-saved ratio (the classic
+    // greedy knapsack eviction over per-column footprint deltas).
+    double cur_footprint = total_footprint();
+    while (budget.has_value() && cur_footprint > *budget + 1e-6) {
+      double best_ratio = std::numeric_limits<double>::infinity();
+      double best_saved = 0.0;
+      size_t best_item = items.size();
+      size_t best_cand = 0;
+      double best_swap_cost = cur_cost;
+      for (size_t n = 0; n < items.size(); ++n) {
+        TableState& state = tables[items[n].table];
+        size_t cur = state.choice[items[n].column];
+        double cur_bytes = state.bytes[items[n].column][cur];
+        for (size_t i = 0; i < state.candidates[items[n].column].size();
+             ++i) {
+          double saved = cur_bytes - state.bytes[items[n].column][i];
+          if (saved <= 0.0) continue;
+          state.choice[items[n].column] = i;
+          mark_dirty(items[n].table);
+          double cost = evaluate();
+          state.choice[items[n].column] = cur;
+          mark_dirty(items[n].table);
+          double ratio = (cost - cur_cost) / saved;
+          if (ratio < best_ratio ||
+              (ratio <= best_ratio + kCostEps && saved > best_saved)) {
+            best_ratio = ratio;
+            best_saved = saved;
+            best_item = n;
+            best_cand = i;
+            best_swap_cost = cost;
+          }
+        }
+      }
+      if (best_item == items.size()) break;  // nothing left to shrink
+      tables[items[best_item].table].choice[items[best_item].column] =
+          best_cand;
+      mark_dirty(items[best_item].table);
+      cur_cost = best_swap_cost;
+      cur_footprint -= best_saved;
+    }
+
+    best_cost = cur_cost;
+    best_footprint = total_footprint();
+    result.feasible = feasible_at(best_footprint);
+    snapshot();
+
+    // Never-worse guarantee: when the picker's own assignment is feasible
+    // and cheaper, keep it.
+    if (feasible_at(result.picker_footprint_bytes) &&
+        result.picker_cost_ms < best_cost - kCostEps) {
+      for (size_t t = 0; t < tables.size(); ++t) {
+        tables[t].choice = tables[t].picker_choice;
+      }
+      best_cost = result.picker_cost_ms;
+      best_footprint = result.picker_footprint_bytes;
+      result.feasible = true;
+      snapshot();
+    }
+  }
+
+  // ---- Hysteresis: recommendation stability ------------------------------
+  // Keep the incumbent encodings unless the winner improves materially.
+  // Guarded so the never-worse-than-picker and budget guarantees survive:
+  // the incumbent must itself be feasible and no costlier than the picker.
+  if (feasible_at(incumbent_footprint) &&
+      incumbent_cost <= result.picker_cost_ms + kCostEps &&
+      best_cost > incumbent_cost -
+                      options_.min_improvement * incumbent_cost) {
+    for (TableState& state : tables) state.choice = state.incumbent_choice;
+    best_cost = incumbent_cost;
+    best_footprint = incumbent_footprint;
+    result.feasible = true;
+    snapshot();
+  }
+
+  // ---- Materialize the winner -------------------------------------------
+  for (size_t t = 0; t < tables.size(); ++t) {
+    tables[t].choice = best_choice[t];
+    TableEncodingAssignment assignment;
+    assignment.encodings = tables[t].Encodings();
+    assignment.footprint_bytes = tables[t].FootprintBytes();
+    result.tables.emplace(tables[t].name, std::move(assignment));
+  }
+  result.cost_ms = best_cost;
+  result.footprint_bytes = best_footprint;
+  result.evaluated_assignments = evaluated;
+  return result;
+}
+
+}  // namespace hsdb

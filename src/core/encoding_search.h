@@ -1,0 +1,110 @@
+// EncodingSearch: per-column codec selection as a first-class advisor
+// search dimension. Where PR 1 delegated the encoding choice to the
+// heuristic EncodingPicker (smallest estimated footprint per column), the
+// search enumerates the feasible codecs of every column-store column —
+// pruned by the picker's profile rules — and minimizes the *workload* cost
+// under a user-supplied memory budget: fast codecs (RLE run skipping,
+// frame-of-reference) trade scan speed against footprint, and the
+// delta-merge re-encoding term prices codec choice into the insert cost.
+//
+// The optimization is a knapsack over per-column footprint deltas: greedy
+// coordinate descent plus a best-ratio eviction loop in the general case,
+// exact enumeration when the candidate cross-product is small. The picker's
+// assignment is always evaluated as a baseline, so an unconstrained search
+// never returns a costlier assignment than the picker's.
+#ifndef HSDB_CORE_ENCODING_SEARCH_H_
+#define HSDB_CORE_ENCODING_SEARCH_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/workload_cost.h"
+#include "storage/compression/encoding_picker.h"
+
+namespace hsdb {
+
+struct EncodingSearchOptions {
+  /// Total memory budget (bytes) for the encoded main segments of all
+  /// column-store-resident columns across the design. Unset = unconstrained
+  /// (the search still runs and minimizes workload cost).
+  std::optional<double> memory_budget_bytes;
+  /// Exact enumeration when the candidate cross-product has at most this
+  /// many combinations; greedy knapsack beyond. 0 forces greedy.
+  size_t exact_combination_limit = 4096;
+  /// Recommendation-stability hysteresis: keep the incumbent encodings (the
+  /// codecs the statistics carry — what the store currently uses, or the
+  /// picker's choice for hypothetical moves) unless the best found
+  /// assignment improves the workload cost by at least this fraction while
+  /// the incumbent is budget-feasible and no worse than the picker
+  /// baseline. Prevents DDL churn between cost-near-equal codecs on
+  /// columns the workload barely touches. 0 disables.
+  double min_improvement = 0.02;
+  /// Pruning rules for the per-column candidate sets; must mirror the
+  /// store's picker options so the search only proposes codecs the store
+  /// would accept.
+  compression::EncodingPicker::Options picker;
+};
+
+/// Chosen codecs of one table, in logical column order (every column gets
+/// an entry; columns of row-store pieces keep the picker's choice and do
+/// not count toward the footprint).
+struct TableEncodingAssignment {
+  std::vector<Encoding> encodings;
+  /// Estimated encoded footprint (bytes) of the column-store columns.
+  double footprint_bytes = 0.0;
+};
+
+struct EncodingSearchResult {
+  /// Assignment per table with a column-store piece. Tables without
+  /// statistics (or without column-store pieces) are absent.
+  std::map<std::string, TableEncodingAssignment> tables;
+
+  /// Workload cost under the chosen assignment / under the picker's.
+  double cost_ms = 0.0;
+  double picker_cost_ms = 0.0;
+
+  /// Total estimated footprint of the chosen / picker assignment, plus the
+  /// tightest footprint any assignment could reach (per-column minima) —
+  /// the feasibility floor a budget is checked against.
+  double footprint_bytes = 0.0;
+  double picker_footprint_bytes = 0.0;
+  double min_footprint_bytes = 0.0;
+
+  /// False when the budget lies below min_footprint_bytes; the result then
+  /// carries the minimal-footprint assignment.
+  bool feasible = true;
+  /// True when the candidate cross-product was enumerated exhaustively.
+  bool exact = false;
+  size_t evaluated_assignments = 0;
+};
+
+class EncodingSearch {
+ public:
+  EncodingSearch(const CostModel* model, const Catalog* catalog)
+      : EncodingSearch(model, catalog, EncodingSearchOptions{}) {}
+  EncodingSearch(const CostModel* model, const Catalog* catalog,
+                 EncodingSearchOptions options)
+      : estimator_(model, catalog),
+        catalog_(catalog),
+        options_(std::move(options)) {}
+
+  /// Searches the per-column encoding assignment for every table in
+  /// `layouts` that has a column-store piece and catalog statistics. The
+  /// returned encodings are meant to be installed into
+  /// LayoutContext::encodings (the estimator then costs scans/inserts with
+  /// them) and into the advisor's ENCODING (...) DDL clauses.
+  EncodingSearchResult Search(
+      const std::vector<WeightedQuery>& workload,
+      const std::map<std::string, LayoutContext>& layouts) const;
+
+ private:
+  WorkloadCostEstimator estimator_;
+  const Catalog* catalog_;
+  EncodingSearchOptions options_;
+};
+
+}  // namespace hsdb
+
+#endif  // HSDB_CORE_ENCODING_SEARCH_H_

@@ -83,6 +83,89 @@ WorkloadCostEstimator::TableFacts WorkloadCostEstimator::FactsOf(
   return facts;
 }
 
+double WorkloadCostEstimator::ScanEncodingMultiplier(
+    const TableFacts& facts, const LayoutContext& ctx,
+    const std::vector<ColumnId>& needed) const {
+  // Per-column codecs come from the layout's candidate assignment (the
+  // encoding search) first, the statistics' picker choices second. With
+  // neither there is nothing finer than the table-wide mean.
+  const bool has_stats =
+      facts.stats != nullptr && !facts.stats->columns.empty();
+  if (ctx.encodings.empty() && !has_stats) return facts.encoding_scan;
+  // Only columns resident in a column-store piece have an encoded segment
+  // to decode; a vertical split's row-store columns contribute nothing.
+  auto encoding_of = [&](ColumnId c) -> std::optional<Encoding> {
+    if (facts.table != nullptr &&
+        !ColumnInColumnStorePiece(ctx.layout, facts.table->schema(), c)) {
+      return std::nullopt;
+    }
+    if (c < ctx.encodings.size()) return ctx.encodings[c];
+    if (has_stats && c < facts.stats->columns.size()) {
+      return facts.stats->columns[c].encoding;
+    }
+    return std::nullopt;
+  };
+  double total = 0.0;
+  size_t count = 0;
+  if (!needed.empty()) {
+    // Mean over the distinct columns the query touches: the scan decodes
+    // exactly these segments.
+    std::vector<ColumnId> cols = needed;
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    for (ColumnId c : cols) {
+      if (std::optional<Encoding> e = encoding_of(c)) {
+        total += model_->EncodingScanMultiplier(StoreType::kColumn, *e);
+        ++count;
+      }
+    }
+  }
+  if (count == 0) {
+    // Column-blind queries (COUNT(*)-style) decode whatever they touch;
+    // charge the table-wide mean.
+    const size_t n =
+        std::max(ctx.encodings.size(),
+                 has_stats ? facts.stats->columns.size() : size_t{0});
+    for (ColumnId c = 0; c < n; ++c) {
+      if (std::optional<Encoding> e = encoding_of(c)) {
+        total += model_->EncodingScanMultiplier(StoreType::kColumn, *e);
+        ++count;
+      }
+    }
+  }
+  return count == 0 ? facts.encoding_scan
+                    : total / static_cast<double>(count);
+}
+
+double WorkloadCostEstimator::InsertReencodeMultiplier(
+    const TableFacts& facts, const LayoutContext& ctx) const {
+  // A merge re-encodes every column of the column-store piece — and only
+  // those: the non-key columns a vertical split sends to the row store
+  // carry no re-encode work.
+  auto encoded_in_cs_piece = [&](ColumnId c) {
+    if (facts.table == nullptr) return true;
+    return ColumnInColumnStorePiece(ctx.layout, facts.table->schema(), c);
+  };
+  double total = 0.0;
+  size_t count = 0;
+  if (!ctx.encodings.empty()) {
+    for (ColumnId c = 0; c < ctx.encodings.size(); ++c) {
+      if (!encoded_in_cs_piece(c)) continue;
+      total += model_->EncodingReencodeMultiplier(StoreType::kColumn,
+                                                  ctx.encodings[c]);
+      ++count;
+    }
+  } else if (facts.stats != nullptr) {
+    for (ColumnId c = 0; c < facts.stats->columns.size(); ++c) {
+      if (!encoded_in_cs_piece(c)) continue;
+      total += model_->EncodingReencodeMultiplier(
+          StoreType::kColumn, facts.stats->columns[c].encoding);
+      ++count;
+    }
+  }
+  return count == 0 ? 1.0 : total / static_cast<double>(count);
+}
+
 double WorkloadCostEstimator::PredicateSelectivity(
     const TableFacts& facts,
     const std::vector<const PredicateTerm*>& terms) const {
@@ -167,6 +250,22 @@ double WorkloadCostEstimator::AggregationQueryCost(
   double selectivity = PredicateSelectivity(fact, fact_terms);
   LayoutContext ctx = layout_of(q.tables[0]);
 
+  // Fact-side columns the query touches: they decide which vertical piece
+  // serves it and which encoded segments a column-store scan decodes.
+  std::vector<ColumnId> needed;
+  for (const AggregateExpr& agg : q.aggregates) {
+    if (agg.fn != AggFn::kCount && agg.column.table_index == 0) {
+      needed.push_back(agg.column.column);
+    }
+  }
+  for (const ColumnRef& ref : q.group_by) {
+    if (ref.table_index == 0) needed.push_back(ref.column);
+  }
+  for (const PredicateTerm* term : fact_terms) {
+    needed.push_back(term->column.column);
+  }
+  const double enc_scan = ScanEncodingMultiplier(fact, ctx, needed);
+
   // Join queries: cost per store combination of the involved tables.
   if (q.tables.size() > 1) {
     std::vector<CostModel::JoinSide> dims;
@@ -189,19 +288,8 @@ double WorkloadCostEstimator::AggregationQueryCost(
     cost += model_->JoinAggregationCost(ctx.layout.base_store, aggs, grouped,
                                         filtered, cold_rows,
                                         fact.compression, dims, selectivity,
-                                        fact.encoding_scan);
+                                        enc_scan);
     return cost;
-  }
-
-  // Single table: the fact-side columns the query touches decide which
-  // vertical piece serves it.
-  std::vector<ColumnId> needed;
-  for (const AggregateExpr& agg : q.aggregates) {
-    if (agg.fn != AggFn::kCount) needed.push_back(agg.column.column);
-  }
-  for (const ColumnRef& ref : q.group_by) needed.push_back(ref.column);
-  for (const PredicateTerm& term : q.predicate) {
-    needed.push_back(term.column.column);
   }
 
   double cost = 0.0;
@@ -219,7 +307,7 @@ double WorkloadCostEstimator::AggregationQueryCost(
     if (Covered(pieces.in_cs, needed)) {
       cost += model_->AggregationCost(ctx.layout.base_store, aggs, grouped,
                                       filtered, cold_rows, fact.compression,
-                                      selectivity, fact.encoding_scan);
+                                      selectivity, enc_scan);
     } else if (Covered(pieces.in_rs, needed)) {
       cost += model_->AggregationCost(StoreType::kRow, aggs, grouped,
                                       filtered, cold_rows, 1.0, selectivity);
@@ -227,13 +315,13 @@ double WorkloadCostEstimator::AggregationQueryCost(
       // Spanning: CS piece scan plus the PK-stitch penalty.
       cost += model_->AggregationCost(ctx.layout.base_store, aggs, grouped,
                                       filtered, cold_rows, fact.compression,
-                                      selectivity, fact.encoding_scan);
+                                      selectivity, enc_scan);
       cost += model_->StitchCost(cold_rows);
     }
   } else {
     cost += model_->AggregationCost(ctx.layout.base_store, aggs, grouped,
                                     filtered, cold_rows, fact.compression,
-                                    selectivity, fact.encoding_scan);
+                                    selectivity, enc_scan);
   }
   return cost;
 }
@@ -277,18 +365,19 @@ double WorkloadCostEstimator::SelectQueryCost(
     return h * point_in(ctx.layout.horizontal->hot_store) + (1.0 - h) * cold;
   }
 
+  std::vector<ColumnId> needed = q.select_columns;
+  for (const PredicateTerm* term : terms) needed.push_back(term->column.column);
+  const double enc_scan = ScanEncodingMultiplier(facts, ctx, needed);
+
   // Which piece(s) serve the select?
   auto piece_cost = [&](StoreType store, double rows, bool spanning) {
     double c = model_->SelectCost(store, k, selectivity,
                                   store == StoreType::kRow ? rs_indexed
                                                            : true,
-                                  rows, facts.encoding_scan);
+                                  rows, enc_scan);
     if (spanning) c += model_->StitchCost(selectivity * rows + 1.0);
     return c;
   };
-
-  std::vector<ColumnId> needed = q.select_columns;
-  for (const PredicateTerm* term : terms) needed.push_back(term->column.column);
 
   auto cold_cost = [&](double rows) {
     if (!ctx.layout.vertical.has_value()) {
@@ -327,20 +416,24 @@ double WorkloadCostEstimator::InsertQueryCost(
     const InsertQuery& q, const LayoutProvider& layout_of) const {
   TableFacts facts = FactsOf(q.table);
   LayoutContext ctx = layout_of(q.table);
+  // A column-store piece amortizes delta-merge re-encoding of every column
+  // into its insert cost; the multiplier is 1 for row-store pieces.
+  const double reencode = InsertReencodeMultiplier(facts, ctx);
 
   auto cold_cost = [&](double rows) {
     if (!ctx.layout.vertical.has_value()) {
-      return model_->InsertCost(ctx.layout.base_store, rows);
+      return model_->InsertCost(ctx.layout.base_store, rows, reencode);
     }
     // Vertical split: the tuple is written into both pieces.
     return model_->InsertCost(StoreType::kRow, rows) +
-           model_->InsertCost(ctx.layout.base_store, rows);
+           model_->InsertCost(ctx.layout.base_store, rows, reencode);
   };
 
   if (!ctx.layout.horizontal.has_value()) return cold_cost(facts.rows);
   double hot_rows = facts.rows * ctx.hot_row_fraction;
   double h = ctx.hot_insert_fraction;
-  return h * model_->InsertCost(ctx.layout.horizontal->hot_store, hot_rows) +
+  return h * model_->InsertCost(ctx.layout.horizontal->hot_store, hot_rows,
+                                reencode) +
          (1.0 - h) * cold_cost(facts.rows - hot_rows);
 }
 
@@ -362,19 +455,21 @@ double WorkloadCostEstimator::UpdateQueryCost(
       schema.primary_key().size() == 1 &&
       IsPointPredicateOn(q.predicate, schema.primary_key()[0]);
   const bool rs_indexed = HasRowStoreIndex(facts, terms);
-  auto locate_in = [&](StoreType store, double rows) {
-    if (pk_point || rows <= 0.0) return 0.0;
-    return model_->SelectCost(
-        store, 1, selectivity,
-        store == StoreType::kRow ? rs_indexed : true, rows,
-        facts.encoding_scan);
-  };
 
-  // Predicate columns decide which vertical piece performs the locate.
+  // Predicate columns decide which vertical piece performs the locate (and
+  // which encoded segments a column-store locate scans).
   std::vector<ColumnId> pred_cols;
   for (const PredicateTerm* term : terms) {
     pred_cols.push_back(term->column.column);
   }
+  const double enc_scan = ScanEncodingMultiplier(facts, ctx, pred_cols);
+
+  auto locate_in = [&](StoreType store, double rows) {
+    if (pk_point || rows <= 0.0) return 0.0;
+    return model_->SelectCost(
+        store, 1, selectivity,
+        store == StoreType::kRow ? rs_indexed : true, rows, enc_scan);
+  };
 
   auto cold_cost = [&](double rows) {
     if (!ctx.layout.vertical.has_value()) {

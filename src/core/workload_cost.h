@@ -37,6 +37,13 @@ struct LayoutContext {
   /// Fraction of inserts routing to the hot piece (1.0 when new keys land
   /// above the boundary, the usual case for ascending keys).
   double hot_insert_fraction = 1.0;
+  /// Candidate per-column codecs (logical column order) for the table's
+  /// column-store pieces. Empty means "whatever the EncodingPicker chose"
+  /// (the catalog statistics' encodings). When set, the estimator costs
+  /// scans with the multipliers of the codecs each query actually touches
+  /// and inserts with the codecs' delta-merge re-encode term — this is the
+  /// dimension the advisor's EncodingSearch explores.
+  std::vector<Encoding> encodings;
 
   static LayoutContext SingleStore(StoreType store) {
     LayoutContext ctx;
@@ -82,6 +89,21 @@ class WorkloadCostEstimator {
     const LogicalTable* table = nullptr;     // may be null
   };
   TableFacts FactsOf(const std::string& name) const;
+
+  /// Scan multiplier of a column-store piece for a query touching `needed`
+  /// columns: mean per-encoding multiplier over those columns, using the
+  /// layout's candidate encodings when set and the statistics' encodings
+  /// otherwise. Falls back to the table-wide mean (facts.encoding_scan)
+  /// when neither names per-column codecs or `needed` is empty.
+  double ScanEncodingMultiplier(const TableFacts& facts,
+                                const LayoutContext& ctx,
+                                const std::vector<ColumnId>& needed) const;
+
+  /// Delta-merge re-encode multiplier of an insert into a column-store
+  /// piece: mean re-encode multiplier over all columns (a merge re-encodes
+  /// every segment).
+  double InsertReencodeMultiplier(const TableFacts& facts,
+                                  const LayoutContext& ctx) const;
 
   double PredicateSelectivity(const TableFacts& facts,
                               const std::vector<const PredicateTerm*>& terms)

@@ -24,11 +24,24 @@ Status Database::MoveTable(const std::string& name, StoreType store) {
 }
 
 Status Database::ApplyLayout(const std::string& name,
-                             const TableLayout& layout) {
+                             const TableLayout& layout,
+                             const std::vector<Encoding>& encodings) {
   HSDB_ASSIGN_OR_RETURN(LogicalTable * table, catalog_.Find(name));
-  if (table->layout() == layout) return Status::OK();
+  PhysicalOptions options = table->physical_options();
+  if (!encodings.empty()) {
+    options.column.column_encodings.assign(encodings.begin(),
+                                           encodings.end());
+  }
+  // No-op only when both the layout and the pinned codecs already match;
+  // an encoding-only change still rematerializes (the re-encode happens at
+  // the bulk-load merge).
+  if (table->layout() == layout &&
+      options.column.column_encodings ==
+          table->physical_options().column.column_encodings) {
+    return Status::OK();
+  }
   HSDB_ASSIGN_OR_RETURN(std::unique_ptr<LogicalTable> rebuilt,
-                        Rematerialize(*table, layout));
+                        Rematerialize(*table, layout, options));
   HSDB_RETURN_IF_ERROR(catalog_.ReplaceTable(name, std::move(rebuilt)));
   return catalog_.UpdateStatistics(name);
 }

@@ -43,8 +43,12 @@ class Database {
   Status MoveTable(const std::string& name, StoreType store);
 
   /// Reorganizes a table under an arbitrary layout (partitioned or not) and
-  /// refreshes its statistics.
-  Status ApplyLayout(const std::string& name, const TableLayout& layout);
+  /// refreshes its statistics. A non-empty `encodings` (one codec per
+  /// logical column) pins the column-store pieces' per-column codecs — the
+  /// engine-side realization of the advisor's ENCODING (...) clauses; empty
+  /// keeps the adaptive EncodingPicker behavior.
+  Status ApplyLayout(const std::string& name, const TableLayout& layout,
+                     const std::vector<Encoding>& encodings = {});
 
  private:
   Catalog catalog_;

@@ -94,6 +94,7 @@ Result<RowId> ColumnTable::Insert(Row row) {
   live_.PushBack(true);
   ++live_count_;
   if (track_pk) pk_index_.emplace(std::move(pk), rid);
+  BumpDataVersion();
   return rid;
 }
 
@@ -137,6 +138,7 @@ Status ColumnTable::DeleteRow(RowId rid) {
   }
   live_.Clear(rid);
   --live_count_;
+  BumpDataVersion();
   return Status::OK();
 }
 
@@ -290,8 +292,15 @@ void ColumnTable::MergeDelta() {
   const size_t new_n = live_count_;
   const bool compacting = delta_rows() > 0 || new_n != live_.size();
   if (!compacting) return;
-  const compression::EncodingPicker picker(options_.encoding);
-  for (ColumnVariant& column : columns_) {
+  for (ColumnId col = 0; col < columns_.size(); ++col) {
+    // A pinned per-column codec (an applied advisor recommendation)
+    // overrides the adaptive picker for this column.
+    compression::EncodingPicker::Options picker_options = options_.encoding;
+    if (col < options_.column_encodings.size() &&
+        options_.column_encodings[col].has_value()) {
+      picker_options.force = *options_.column_encodings[col];
+    }
+    const compression::EncodingPicker picker(picker_options);
     std::visit(
         [&](auto& data) {
           using T = typename std::decay_t<decltype(data.delta)>::value_type;
@@ -312,7 +321,7 @@ void ColumnTable::MergeDelta() {
           data.delta.shrink_to_fit();
           data.delta_dict.clear();
         },
-        column);
+        columns_[col]);
   }
   main_size_ = new_n;
   live_.Resize(new_n);
@@ -326,6 +335,9 @@ void ColumnTable::MergeDelta() {
     }
   }
   ++merge_count_;
+  // A merge re-encodes segments (codecs can change), so statistics derived
+  // from the physical encoding are stale even though the values are not.
+  BumpDataVersion();
 }
 
 size_t ColumnTable::DictionarySize(ColumnId col) const {

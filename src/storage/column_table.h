@@ -47,6 +47,13 @@ class ColumnTable final : public PhysicalTable {
     /// default; set encoding.adaptive=false for dictionary-only segments,
     /// or encoding.force to pin one codec).
     compression::EncodingPicker::Options encoding;
+    /// Pins the codec of individual columns (this table's column ids; an
+    /// unset entry or a shorter vector falls back to `encoding`). This is
+    /// how the advisor's cost-derived ENCODING (...) assignment is applied:
+    /// merges encode the pinned columns with the requested codec
+    /// (dictionary fallback when inapplicable) instead of re-running the
+    /// footprint-greedy picker.
+    std::vector<std::optional<Encoding>> column_encodings;
   };
 
   static std::unique_ptr<ColumnTable> Create(Schema schema, Options options);

@@ -66,5 +66,44 @@ std::array<double, kNumEncodings> MeasureEncodingScanMultipliers(
   return multipliers;
 }
 
+std::array<double, kNumEncodings> MeasureEncodingReencodeMultipliers(
+    size_t rows) {
+  Rng rng(20120832);  // fixed seed: probe data is part of the protocol
+
+  // One run-structured low-cardinality column every codec can represent, so
+  // the measured difference is the codec's encode work, not the data shape.
+  std::vector<int64_t> values(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    values[i] = static_cast<int64_t>(i / 64) % 1024;
+  }
+  // Light shuffling keeps some run structure while defeating pathological
+  // branch-prediction-friendly monotone input.
+  for (size_t i = 0; i < rows / 16; ++i) {
+    std::swap(values[rng.Index(rows)], values[rng.Index(rows)]);
+  }
+
+  auto encode_ms = [&](Encoding encoding) {
+    volatile size_t sink = 0;
+    return MedianTimeMs(
+        [&] {
+          auto seg = EncodedSegment<int64_t>::Encode(values, encoding);
+          sink = sink + seg.payload_bytes();
+        },
+        5);
+  };
+
+  double dict_ms = std::max(encode_ms(Encoding::kDictionary), 1e-6);
+  std::array<double, kNumEncodings> multipliers;
+  multipliers[static_cast<int>(Encoding::kDictionary)] = 1.0;
+  multipliers[static_cast<int>(Encoding::kRle)] =
+      encode_ms(Encoding::kRle) / dict_ms;
+  multipliers[static_cast<int>(Encoding::kFrameOfReference)] =
+      encode_ms(Encoding::kFrameOfReference) / dict_ms;
+  multipliers[static_cast<int>(Encoding::kRaw)] =
+      encode_ms(Encoding::kRaw) / dict_ms;
+  for (double& m : multipliers) m = std::clamp(m, 0.2, 3.0);
+  return multipliers;
+}
+
 }  // namespace compression
 }  // namespace hsdb

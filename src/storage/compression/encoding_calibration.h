@@ -22,6 +22,14 @@ namespace compression {
 std::array<double, kNumEncodings> MeasureEncodingScanMultipliers(
     size_t rows = 1 << 17);
 
+/// Times a full profile+encode pass per codec over the same run-structured
+/// column — the work a delta merge repeats for every column segment.
+/// Returns multipliers normalized to the dictionary codec, clamped to a
+/// sane range; installed as StoreCostParams::c_encoding_reencode so the
+/// advisor's insert term reflects the merge cost of each codec choice.
+std::array<double, kNumEncodings> MeasureEncodingReencodeMultipliers(
+    size_t rows = 1 << 16);
+
 }  // namespace compression
 }  // namespace hsdb
 

@@ -151,26 +151,34 @@ double EstimateEncodedBytes(Encoding encoding,
   return std::numeric_limits<double>::infinity();
 }
 
+std::vector<Encoding> CandidateEncodings(
+    const EncodingProfile& profile, const EncodingPicker::Options& options) {
+  if (options.force.has_value()) {
+    return {EncodingApplicable(*options.force, profile)
+                ? *options.force
+                : Encoding::kDictionary};
+  }
+  if (!options.adaptive || profile.row_count == 0) {
+    return {Encoding::kDictionary};
+  }
+  // Candidate order breaks ties toward faster predicate evaluation
+  // (dictionary id ranges, then run skipping).
+  std::vector<Encoding> candidates = {Encoding::kDictionary};
+  if (profile.AvgRunLength() >= options.min_avg_run_length) {
+    candidates.push_back(Encoding::kRle);
+  }
+  if (EncodingApplicable(Encoding::kFrameOfReference, profile)) {
+    candidates.push_back(Encoding::kFrameOfReference);
+  }
+  candidates.push_back(Encoding::kRaw);
+  return candidates;
+}
+
 Encoding EncodingPicker::Pick(const EncodingProfile& profile) const {
-  if (options_.force.has_value()) {
-    return EncodingApplicable(*options_.force, profile)
-               ? *options_.force
-               : Encoding::kDictionary;
-  }
-  if (!options_.adaptive || profile.row_count == 0) {
-    return Encoding::kDictionary;
-  }
-  // Smallest estimated footprint wins; candidate order breaks ties toward
-  // faster predicate evaluation (dictionary id ranges, then run skipping).
-  const Encoding candidates[] = {Encoding::kDictionary, Encoding::kRle,
-                                 Encoding::kFrameOfReference, Encoding::kRaw};
+  // Smallest estimated footprint among the candidate codecs wins.
   Encoding best = Encoding::kDictionary;
   double best_bytes = std::numeric_limits<double>::infinity();
-  for (Encoding e : candidates) {
-    if (e == Encoding::kRle &&
-        profile.AvgRunLength() < options_.min_avg_run_length) {
-      continue;
-    }
+  for (Encoding e : CandidateEncodings(profile, options_)) {
     double bytes = EstimateEncodedBytes(e, profile);
     if (bytes < best_bytes) {
       best = e;

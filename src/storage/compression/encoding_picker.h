@@ -88,6 +88,15 @@ class EncodingPicker {
   Options options_;
 };
 
+/// Codecs that may represent a column with this profile, pruned by the
+/// picker's rules (RLE only past min_avg_run_length, frame-of-reference
+/// only on integer domains; force/non-adaptive collapse to one entry). The
+/// dictionary is always present and first — this is the advisor's
+/// per-column candidate set when it searches over encodings, so the search
+/// explores exactly the choices the store would accept.
+std::vector<Encoding> CandidateEncodings(const EncodingProfile& profile,
+                                         const EncodingPicker::Options& options);
+
 }  // namespace compression
 }  // namespace hsdb
 

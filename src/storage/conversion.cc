@@ -19,10 +19,16 @@ std::unique_ptr<PhysicalTable> ConvertStore(const PhysicalTable& src,
 
 Result<std::unique_ptr<LogicalTable>> Rematerialize(
     const LogicalTable& src, TableLayout new_layout) {
+  return Rematerialize(src, std::move(new_layout), src.physical_options());
+}
+
+Result<std::unique_ptr<LogicalTable>> Rematerialize(
+    const LogicalTable& src, TableLayout new_layout,
+    const PhysicalOptions& options) {
   HSDB_ASSIGN_OR_RETURN(
       std::unique_ptr<LogicalTable> out,
       LogicalTable::Create(src.name(), src.schema(), std::move(new_layout),
-                           src.physical_options()));
+                           options));
   Status failure = Status::OK();
   src.ForEachRow([&](Row row) {
     if (!failure.ok()) return;

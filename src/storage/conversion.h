@@ -18,9 +18,15 @@ std::unique_ptr<PhysicalTable> ConvertStore(const PhysicalTable& src,
 
 /// Rebuilds `src` under `new_layout`: creates an empty logical table with the
 /// new layout, streams all logical rows across, merges column-store pieces.
-/// This is how the engine applies an advisor recommendation.
+/// This is how the engine applies an advisor recommendation. The overload
+/// taking PhysicalOptions replaces the source's physical tuning — e.g. to
+/// pin the advisor's cost-derived per-column codecs
+/// (ColumnTable::Options::column_encodings, logical column ids).
 Result<std::unique_ptr<LogicalTable>> Rematerialize(
     const LogicalTable& src, TableLayout new_layout);
+Result<std::unique_ptr<LogicalTable>> Rematerialize(
+    const LogicalTable& src, TableLayout new_layout,
+    const PhysicalOptions& options);
 
 }  // namespace hsdb
 

@@ -85,7 +85,19 @@ Fragment LogicalTable::MakeFragment(const std::vector<ColumnId>& columns,
   for (size_t i = 0; i < columns.size(); ++i) {
     frag.logical_to_frag[columns[i]] = static_cast<int>(i);
   }
-  frag.table = MakePhysicalTable(schema_.Project(columns), store, options_);
+  // Pinned per-column codecs are specified in logical column ids; slice
+  // them into this fragment's column order.
+  PhysicalOptions options = options_;
+  if (!options.column.column_encodings.empty()) {
+    std::vector<std::optional<Encoding>> sliced(columns.size());
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i] < options.column.column_encodings.size()) {
+        sliced[i] = options.column.column_encodings[columns[i]];
+      }
+    }
+    options.column.column_encodings = std::move(sliced);
+  }
+  frag.table = MakePhysicalTable(schema_.Project(columns), store, options);
   return frag;
 }
 
@@ -105,6 +117,16 @@ size_t LogicalTable::memory_bytes() const {
     }
   }
   return total;
+}
+
+uint64_t LogicalTable::data_version() const {
+  uint64_t version = 0;
+  for (const RowGroup& group : groups_) {
+    for (const Fragment& frag : group.fragments) {
+      version += frag.table->data_version();
+    }
+  }
+  return version;
 }
 
 size_t LogicalTable::RouteInsert(const Row& row) const {

@@ -74,6 +74,13 @@ class LogicalTable {
   size_t row_count() const;
   size_t memory_bytes() const;
 
+  /// Statistics version of the whole table: moves whenever any piece's
+  /// value distribution or encoding changed (see
+  /// PhysicalTable::data_version). Catalog::UpdateStatistics memoizes
+  /// Analyze() — and with it the EncodingPicker re-profiling of every
+  /// column — on this counter.
+  uint64_t data_version() const;
+
   // DML (routed across pieces) ----------------------------------------------
 
   /// Inserts a row; enforces primary-key uniqueness across all groups.

@@ -70,4 +70,22 @@ Status TableLayout::Validate(const Schema& schema) const {
   return Status::OK();
 }
 
+bool HasColumnStorePiece(const TableLayout& layout) {
+  if (layout.base_store == StoreType::kColumn) return true;
+  return layout.horizontal.has_value() &&
+         layout.horizontal->hot_store == StoreType::kColumn;
+}
+
+bool ColumnInColumnStorePiece(const TableLayout& layout, const Schema& schema,
+                              ColumnId col) {
+  if (!HasColumnStorePiece(layout)) return false;
+  // The replicated primary key stays encoded in the base piece even when a
+  // vertical split sends it to the row-store piece as well.
+  if (!layout.vertical.has_value() || schema.IsPrimaryKeyColumn(col)) {
+    return true;
+  }
+  const std::vector<ColumnId>& rs = layout.vertical->row_store_columns;
+  return std::find(rs.begin(), rs.end(), col) == rs.end();
+}
+
 }  // namespace hsdb

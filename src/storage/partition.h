@@ -77,6 +77,17 @@ struct TableLayout {
   Status Validate(const Schema& schema) const;
 };
 
+/// True when any piece of the layout is column-resident (and therefore
+/// stores compressed, per-column-encoded segments the advisor's encoding
+/// machinery applies to).
+bool HasColumnStorePiece(const TableLayout& layout);
+
+/// True when logical column `col` of a table with this layout lands in a
+/// column-store piece (and is therefore encoded): false only for the
+/// non-key columns a vertical split sends to the row store.
+bool ColumnInColumnStorePiece(const TableLayout& layout, const Schema& schema,
+                              ColumnId col);
+
 }  // namespace hsdb
 
 #endif  // HSDB_STORAGE_PARTITION_H_

@@ -71,10 +71,22 @@ class PhysicalTable {
   /// here once it exceeds the configured threshold).
   virtual void AfterStatement() {}
 
+  /// Statistics version counter: bumped by every mutation that can change
+  /// the table's value distribution or physical encoding (insert, update,
+  /// delete, delta merge). Analyze()/the EncodingPicker profile of the
+  /// table is stale iff this moved — the catalog memoizes statistics
+  /// refreshes on it instead of re-profiling every column unconditionally.
+  uint64_t data_version() const { return data_version_; }
+
  protected:
   explicit PhysicalTable(Schema schema) : schema_(std::move(schema)) {}
 
+  void BumpDataVersion() { ++data_version_; }
+
   Schema schema_;
+
+ private:
+  uint64_t data_version_ = 0;
 };
 
 }  // namespace hsdb

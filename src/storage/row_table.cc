@@ -38,6 +38,7 @@ Result<RowId> RowTable::Insert(Row row) {
     (void)index;
     IndexInsert(col, rid);
   }
+  BumpDataVersion();
   return rid;
 }
 
@@ -77,6 +78,7 @@ Status RowTable::UpdateRow(RowId rid, const std::vector<ColumnId>& columns,
     WriteCell(slot, col, coerced[i]);
     if (indexes_.find(col) != indexes_.end()) IndexInsert(col, rid);
   }
+  BumpDataVersion();
   return Status::OK();
 }
 
@@ -92,6 +94,7 @@ Status RowTable::DeleteRow(RowId rid) {
   }
   live_.Clear(rid);
   --live_count_;
+  BumpDataVersion();
   return Status::OK();
 }
 

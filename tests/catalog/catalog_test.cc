@@ -178,6 +178,44 @@ TEST(StatisticsTest, SampledDistinctOnLargeTable) {
   EXPECT_EQ(stats.column(1).distinct_count, 4u);
 }
 
+TEST(CatalogTest, StatisticsRefreshMemoizedOnDataVersion) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .CreateTable("t", SimpleSchema(),
+                               TableLayout::SingleStore(StoreType::kColumn))
+                  .ok());
+  LogicalTable* t = catalog.GetTable("t");
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        t->Insert({i, int32_t(i % 4), static_cast<double>(i), "s"}).ok());
+  }
+  ASSERT_TRUE(catalog.UpdateStatistics("t").ok());
+  const TableStatistics* first = catalog.GetStatistics("t");
+  ASSERT_NE(first, nullptr);
+
+  // Nothing mutated: the refresh is a no-op (no re-profiling), observable
+  // as the same statistics object being kept.
+  ASSERT_TRUE(catalog.UpdateStatistics("t").ok());
+  EXPECT_EQ(catalog.GetStatistics("t"), first);
+  catalog.UpdateAllStatistics();
+  EXPECT_EQ(catalog.GetStatistics("t"), first);
+
+  // Any mutation moves the data version and invalidates the memo ...
+  ASSERT_TRUE(t->Insert({int64_t{1000}, int32_t{0}, 0.5, "x"}).ok());
+  ASSERT_TRUE(catalog.UpdateStatistics("t").ok());
+  const TableStatistics* second = catalog.GetStatistics("t");
+  EXPECT_NE(second, first);
+  EXPECT_EQ(second->row_count, 101u);
+
+  // ... and so does a delta merge, which can change column encodings even
+  // though the values stayed put.
+  uint64_t before = t->data_version();
+  t->ForceMerge();
+  EXPECT_GT(t->data_version(), before);
+  ASSERT_TRUE(catalog.UpdateStatistics("t").ok());
+  EXPECT_NE(catalog.GetStatistics("t"), second);
+}
+
 TEST(CatalogTest, ReplaceTableValidatesSchema) {
   Catalog catalog;
   ASSERT_TRUE(catalog

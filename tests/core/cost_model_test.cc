@@ -169,5 +169,32 @@ TEST(CostModelTest, ParamsToStringSmoke) {
   EXPECT_FALSE(CostModelParams::Default().ToString().empty());
 }
 
+TEST(CostModelTest, InsertReencodeTermScalesMergeShareOnly) {
+  CostModel model;
+  const double rows = 5e5;
+  double base = model.InsertCost(StoreType::kColumn, rows);
+  // Cheaper re-encoding (raw copy at merge time) lowers the column-store
+  // insert cost, costlier re-encoding raises it — but only by the merge
+  // share, never proportionally.
+  double cheap = model.InsertCost(StoreType::kColumn, rows, 0.4);
+  double costly = model.InsertCost(StoreType::kColumn, rows, 2.0);
+  EXPECT_LT(cheap, base);
+  EXPECT_GT(costly, base);
+  double share =
+      model.params().of(StoreType::kColumn).c_merge_share;
+  EXPECT_NEAR(cheap, base * (1.0 + share * (0.4 - 1.0)), 1e-12);
+  EXPECT_NEAR(costly, base * (1.0 + share * (2.0 - 1.0)), 1e-12);
+  // The row store has no delta merges: the term is inert there.
+  EXPECT_DOUBLE_EQ(model.InsertCost(StoreType::kRow, rows, 0.4),
+                   model.InsertCost(StoreType::kRow, rows));
+  // Multiplier accessor mirrors the clamped parameter table.
+  EXPECT_DOUBLE_EQ(
+      model.EncodingReencodeMultiplier(StoreType::kRow, Encoding::kRaw), 1.0);
+  EXPECT_LT(model.EncodingReencodeMultiplier(StoreType::kColumn,
+                                             Encoding::kRaw),
+            model.EncodingReencodeMultiplier(StoreType::kColumn,
+                                             Encoding::kDictionary));
+}
+
 }  // namespace
 }  // namespace hsdb
