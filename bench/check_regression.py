@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
-"""CI perf-regression gate for the micro benchmarks.
+"""CI perf-regression gate for the gated benchmarks.
 
 Merges one or more google-benchmark JSON outputs (micro_compression,
-micro_costmodel) into a single BENCH_micro.json and compares it against the
-committed baseline: the gate fails when any benchmark's time regresses by
-more than the threshold (default 25%).
+micro_costmodel, and fig_joint_budget's --json advisor timings) into a
+single BENCH_micro.json and compares it against the committed baseline: the
+gate fails when any benchmark's time regresses by more than the threshold
+(default 25%).
 
 Baseline and PR runs usually execute on different machines, so raw ratios
 mix machine speed with real regressions. The gate therefore normalizes each
@@ -18,10 +19,14 @@ Usage:
   check_regression.py --baseline bench/baselines/BENCH_micro.json \
       --out BENCH_micro.json [--threshold 1.25] new1.json [new2.json ...]
 
-Regenerate the baseline (on any machine, Release build) with:
-  ./build/micro_compression --benchmark_out=mc.json --benchmark_out_format=json
-  ./build/micro_costmodel   --benchmark_out=cm.json --benchmark_out_format=json
-  python3 bench/check_regression.py --merge-only --out bench/baselines/BENCH_micro.json mc.json cm.json
+Regenerate the baseline preferably through CI: trigger the workflow's
+"Run workflow" button (workflow_dispatch) and commit the uploaded
+'baseline-candidate' artifact as bench/baselines/BENCH_micro.json. On any
+machine (Release build) the equivalent is:
+  ./build/micro_compression --benchmark_repetitions=3 --benchmark_out=mc.json --benchmark_out_format=json
+  ./build/micro_costmodel   --benchmark_repetitions=3 --benchmark_out=cm.json --benchmark_out_format=json
+  HSDB_BENCH_SCALE=0.02 ./build/fig_joint_budget --json fjb.json
+  python3 bench/check_regression.py --merge-only --out bench/baselines/BENCH_micro.json mc.json cm.json fjb.json
 """
 
 import argparse

@@ -101,6 +101,36 @@ std::string LayoutDdl(const std::string& table, const LayoutContext& ctx,
   return os.str();
 }
 
+/// Locality context of a table's *current* layout — the incumbent design
+/// the joint search's hysteresis rule protects. The hot row fraction of a
+/// horizontal split is reconstructed from the primary-key statistics (the
+/// boundary relative to the key domain); the context matters only for
+/// costing, the layout itself decides incumbency.
+LayoutContext CurrentLayoutContext(const LogicalTable& table,
+                                   const TableStatistics* stats) {
+  LayoutContext ctx;
+  ctx.layout = table.layout();
+  if (ctx.layout.horizontal.has_value() && stats != nullptr) {
+    const ColumnId pk = ctx.layout.horizontal->column;
+    if (pk < stats->columns.size() && stats->column(pk).min.has_value() &&
+        stats->column(pk).max.has_value()) {
+      const double domain =
+          std::max(1.0, *stats->column(pk).max - *stats->column(pk).min);
+      ctx.hot_row_fraction = std::clamp(
+          (*stats->column(pk).max - ctx.layout.horizontal->boundary) /
+              domain,
+          0.0, 1.0);
+      // A boundary above the data domain is the fresh-data partition: the
+      // hot piece is (still) empty and point access targets existing cold
+      // rows — the same locality PartitionAdvisor attached when it created
+      // the split. Populated hot ranges keep the optimistic default (the
+      // range was chosen because accesses concentrate there).
+      if (ctx.hot_row_fraction == 0.0) ctx.hot_access_fraction = 0.0;
+    }
+  }
+  return ctx;
+}
+
 }  // namespace
 
 std::string Recommendation::Summary() const {
@@ -109,7 +139,11 @@ std::string Recommendation::Summary() const {
   os << "  estimated workload cost: " << estimated_cost_ms << " ms\n";
   os << "  baselines: RS-only " << rs_only_cost_ms << " ms, CS-only "
      << cs_only_cost_ms << " ms, table-level " << table_level_cost_ms
-     << " ms\n";
+     << " ms";
+  if (sequential_cost_ms > 0.0) {
+    os << ", sequential pipeline " << sequential_cost_ms << " ms";
+  }
+  os << "\n";
   if (encoding_footprint_bytes > 0.0) {
     os << "  encodings: " << encoding_footprint_bytes << " bytes";
     if (memory_budget_bytes.has_value()) {
@@ -117,6 +151,14 @@ std::string Recommendation::Summary() const {
          << (encoding_budget_feasible ? "met" : "NOT met") << ")";
     }
     os << ", picker baseline " << encoding_picker_cost_ms << " ms\n";
+  }
+  if (!encoding_footprint_by_table.empty() &&
+      memory_budget_bytes.has_value() && *memory_budget_bytes > 0.0) {
+    os << "  budget attribution:\n";
+    for (const auto& [name, bytes] : encoding_footprint_by_table) {
+      os << "    " << name << ": " << bytes << " bytes ("
+         << 100.0 * bytes / *memory_budget_bytes << "% of budget)\n";
+    }
   }
   for (const std::string& r : rationale) os << "  - " << r << "\n";
   for (const std::string& d : ddl) os << "  " << d << "\n";
@@ -242,6 +284,7 @@ Result<Recommendation> StorageAdvisor::Recommend(
   rec.cs_only_cost_ms = table_result.cs_only_cost_ms;
   rec.table_level_cost_ms = table_result.estimated_cost_ms;
 
+  std::map<std::string, std::vector<LayoutCandidate>> heuristic_candidates;
   if (options_.enable_partitioning) {
     PartitionAdvisor partition_advisor(model_.get(), &db_->catalog(),
                                        options_.partition_options);
@@ -251,6 +294,7 @@ Result<Recommendation> StorageAdvisor::Recommend(
     rec.layouts = part.layouts;
     rec.estimated_cost_ms = part.estimated_cost_ms;
     rec.rationale = part.rationale;
+    heuristic_candidates = std::move(part.candidates);
   } else {
     for (const auto& [name, store] : table_result.assignment) {
       rec.layouts.emplace(name, LayoutContext::SingleStore(store));
@@ -259,37 +303,117 @@ Result<Recommendation> StorageAdvisor::Recommend(
     }
     rec.estimated_cost_ms = table_result.estimated_cost_ms;
   }
+  rec.sequential_cost_ms = rec.estimated_cost_ms;
 
-  // Per-column encoding search over the chosen layouts: replace the
-  // picker's heuristic codec choices with the cost-optimal assignment
-  // under the configured memory budget.
   EncodingSearch encoding_search(model_.get(), &db_->catalog(),
                                  options_.encoding);
-  EncodingSearchResult encodings =
-      encoding_search.Search(workload, rec.layouts);
-  if (!encodings.tables.empty()) {
-    for (const auto& [name, assignment] : encodings.tables) {
-      rec.layouts.at(name).encodings = assignment.encodings;
-    }
-    rec.estimated_cost_ms = encodings.cost_ms;
-    rec.encoding_footprint_bytes = encodings.footprint_bytes;
-    rec.encoding_picker_cost_ms = encodings.picker_cost_ms;
-    rec.memory_budget_bytes = options_.encoding.memory_budget_bytes;
-    rec.encoding_budget_feasible = encodings.feasible;
-    std::ostringstream note;
-    note << "encoding search (" << (encodings.exact ? "exact" : "greedy")
-         << ", " << encodings.evaluated_assignments
-         << " assignments): footprint " << encodings.footprint_bytes
-         << " bytes vs picker " << encodings.picker_footprint_bytes
-         << " bytes";
-    if (options_.encoding.memory_budget_bytes.has_value()) {
-      note << ", budget " << *options_.encoding.memory_budget_bytes
-           << " bytes " << (encodings.feasible ? "met" : "NOT met");
-      if (!encodings.feasible) {
-        note << " (floor " << encodings.min_footprint_bytes << " bytes)";
+  if (options_.joint_budget_search) {
+    // Joint mode: the staged pick anchors candidate 0 of every table, the
+    // plain single-store layouts and the PartitionAdvisor's heuristic
+    // splits widen the space, and the table's current layout rides along so
+    // the hysteresis rule can protect it across flips. The search then
+    // trades footprint across layout flips and codec swaps under the one
+    // shared memory budget.
+    std::map<std::string, std::vector<LayoutCandidate>> candidates;
+    for (const auto& [name, ctx] : rec.layouts) {
+      std::vector<LayoutCandidate> list;
+      auto add = [&](const LayoutContext& candidate, std::string reason) {
+        for (const LayoutCandidate& existing : list) {
+          if (existing.context.layout == candidate.layout) return;
+        }
+        list.push_back({candidate, std::move(reason)});
+      };
+      add(ctx, "sequential pick");
+      add(LayoutContext::SingleStore(StoreType::kRow),
+          "unpartitioned ROW store");
+      add(LayoutContext::SingleStore(StoreType::kColumn),
+          "unpartitioned COLUMN store");
+      auto hc = heuristic_candidates.find(name);
+      if (hc != heuristic_candidates.end()) {
+        for (const LayoutCandidate& candidate : hc->second) {
+          add(candidate.context, candidate.reason);
+        }
       }
+      if (const LogicalTable* table = db_->catalog().GetTable(name)) {
+        add(CurrentLayoutContext(*table, db_->catalog().GetStatistics(name)),
+            "current layout");
+      }
+      candidates.emplace(name, std::move(list));
     }
-    rec.rationale.push_back(note.str());
+    JointSearchResult joint = encoding_search.SearchJoint(workload,
+                                                          candidates);
+    if (!joint.tables.empty()) {
+      for (const auto& [name, design] : joint.tables) {
+        rec.layouts.at(name) = design.context;
+        rec.encoding_footprint_by_table[name] = design.footprint_bytes;
+        // Report a move only when the chosen layout deviates from the
+        // staged pick AND from what the catalog already has (hysteresis
+        // keeping the current layout against a drifted staged pick is not
+        // a move — no DDL is emitted for it either).
+        const LogicalTable* table = db_->catalog().GetTable(name);
+        if (design.layout_changed && table != nullptr &&
+            !(table->layout() == design.context.layout)) {
+          std::ostringstream flip;
+          flip << name << ": joint budget search moved the layout to "
+               << design.context.layout.ToString() << " (" << design.reason
+               << ", footprint " << design.footprint_bytes << " bytes)";
+          rec.rationale.push_back(flip.str());
+        }
+      }
+      rec.estimated_cost_ms = joint.cost_ms;
+      rec.sequential_cost_ms = joint.sequential_cost_ms;
+      rec.encoding_footprint_bytes = joint.footprint_bytes;
+      rec.encoding_picker_cost_ms = joint.picker_cost_ms;
+      rec.memory_budget_bytes = options_.encoding.memory_budget_bytes;
+      rec.encoding_budget_feasible = joint.feasible;
+      std::ostringstream note;
+      note << "joint layout+encoding search ("
+           << (joint.exact ? "exact" : "greedy") << ", "
+           << joint.evaluated_assignments << " designs): cost "
+           << joint.cost_ms << " ms vs sequential pipeline "
+           << joint.sequential_cost_ms << " ms, footprint "
+           << joint.footprint_bytes << " bytes";
+      if (options_.encoding.memory_budget_bytes.has_value()) {
+        note << ", budget " << *options_.encoding.memory_budget_bytes
+             << " bytes " << (joint.feasible ? "met" : "NOT met");
+        if (!joint.feasible) {
+          note << " (floor " << joint.min_footprint_bytes << " bytes)";
+        }
+      }
+      rec.rationale.push_back(note.str());
+    }
+  } else {
+    // Staged mode: per-column encoding search over the frozen layouts —
+    // the picker's heuristic codec choices replaced by the cost-optimal
+    // assignment under the configured memory budget.
+    EncodingSearchResult encodings =
+        encoding_search.Search(workload, rec.layouts);
+    if (!encodings.tables.empty()) {
+      for (const auto& [name, assignment] : encodings.tables) {
+        rec.layouts.at(name).encodings = assignment.encodings;
+        rec.encoding_footprint_by_table[name] = assignment.footprint_bytes;
+      }
+      rec.estimated_cost_ms = encodings.cost_ms;
+      rec.sequential_cost_ms = encodings.cost_ms;
+      rec.encoding_footprint_bytes = encodings.footprint_bytes;
+      rec.encoding_picker_cost_ms = encodings.picker_cost_ms;
+      rec.memory_budget_bytes = options_.encoding.memory_budget_bytes;
+      rec.encoding_budget_feasible = encodings.feasible;
+      std::ostringstream note;
+      note << "encoding search (" << (encodings.exact ? "exact" : "greedy")
+           << ", " << encodings.evaluated_assignments
+           << " assignments): footprint " << encodings.footprint_bytes
+           << " bytes vs picker " << encodings.picker_footprint_bytes
+           << " bytes";
+      if (options_.encoding.memory_budget_bytes.has_value()) {
+        note << ", budget " << *options_.encoding.memory_budget_bytes
+             << " bytes " << (encodings.feasible ? "met" : "NOT met");
+        if (!encodings.feasible) {
+          note << " (floor " << encodings.min_footprint_bytes << " bytes)";
+        }
+      }
+      rec.rationale.push_back(note.str());
+    }
   }
 
   // Emit DDL for tables whose layout changes — or whose cost-derived

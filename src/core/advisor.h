@@ -40,6 +40,13 @@ struct AdvisorOptions {
   /// Recommendations under a budget emit a WITH (MEMORY_BUDGET ...) DDL
   /// clause and cost-derived ENCODING (...) assignments.
   EncodingSearchOptions encoding;
+  /// Joint layout+encoding search (default): layout candidates and codec
+  /// assignments are explored together under the one shared memory budget,
+  /// so a binding budget can flip a table's layout (row store, narrower
+  /// hybrid split) instead of only downgrading codecs. With false the
+  /// advisor restores the staged pipeline: TableAdvisor/PartitionAdvisor
+  /// freeze the layouts, then the encoding search runs on them.
+  bool joint_budget_search = true;
   /// Raw queries retained by the online recorder (reservoir sample).
   size_t recorder_sample = 4096;
 };
@@ -64,6 +71,14 @@ struct Recommendation {
   double encoding_picker_cost_ms = 0.0;
   std::optional<double> memory_budget_bytes;
   bool encoding_budget_feasible = true;
+
+  /// Joint-search reporting: what the staged layout-then-encoding pipeline
+  /// would have cost (the joint result never exceeds it when the staged
+  /// design is budget-feasible; equal to estimated_cost_ms when the joint
+  /// mode is disabled), and the per-table encoded footprint the chosen
+  /// design charges against the budget (budget attribution).
+  double sequential_cost_ms = 0.0;
+  std::map<std::string, double> encoding_footprint_by_table;
 
   /// Pseudo-DDL statements realizing the recommendation.
   std::vector<std::string> ddl;

@@ -12,6 +12,16 @@
 // exact enumeration when the candidate cross-product is small. The picker's
 // assignment is always evaluated as a baseline, so an unconstrained search
 // never returns a costlier assignment than the picker's.
+//
+// SearchJoint widens the search space to the *layout* dimension: instead of
+// optimizing codecs over layouts a prior stage froze, it explores per-table
+// layout candidates (row/column/hybrid splits, supplied by the caller from
+// the PartitionAdvisor's heuristics) crossed with the per-column codec
+// assignments, all under one shared memory budget. A binding budget can
+// then flip a table to the row store or a narrower hybrid split — footprint
+// relief the staged pipeline cannot express — and the sequential
+// layout-then-encoding solution is always evaluated as a baseline, so the
+// joint result is never costlier whenever that solution is feasible.
 #ifndef HSDB_CORE_ENCODING_SEARCH_H_
 #define HSDB_CORE_ENCODING_SEARCH_H_
 
@@ -52,7 +62,9 @@ struct EncodingSearchOptions {
 /// not count toward the footprint).
 struct TableEncodingAssignment {
   std::vector<Encoding> encodings;
-  /// Estimated encoded footprint (bytes) of the column-store columns.
+  /// Estimated encoded footprint (bytes) of the column-store columns,
+  /// scaled by the row mass the column-store pieces actually hold (a
+  /// horizontal split's row-store hot piece carries no encoded segments).
   double footprint_bytes = 0.0;
 };
 
@@ -80,6 +92,56 @@ struct EncodingSearchResult {
   size_t evaluated_assignments = 0;
 };
 
+/// One table's chosen design in the joint layout+encoding search.
+struct JointTableDesign {
+  /// Index into the caller's candidate list for this table.
+  size_t candidate_index = 0;
+  /// Chosen layout (+locality context) with the chosen per-column codecs
+  /// installed in LayoutContext::encodings.
+  LayoutContext context;
+  /// The chosen candidate's label, for the rationale.
+  std::string reason;
+  /// Estimated encoded footprint (bytes) of this table's column-store
+  /// pieces under the chosen design — the table's budget attribution.
+  double footprint_bytes = 0.0;
+  /// True when the chosen layout differs from the sequential (staged)
+  /// pipeline's pick, i.e. the flip only the joint search can express.
+  bool layout_changed = false;
+};
+
+struct JointSearchResult {
+  /// Chosen design per table with catalog statistics. Tables without
+  /// statistics keep their candidate-0 layout and are absent here.
+  std::map<std::string, JointTableDesign> tables;
+
+  /// Workload cost and footprint of the chosen joint design.
+  double cost_ms = 0.0;
+  double footprint_bytes = 0.0;
+  /// False when no layout+codec combination meets the budget; the result
+  /// then carries the minimal-footprint design across all candidates.
+  bool feasible = true;
+
+  /// The sequential pipeline's solution — layouts frozen at candidate 0,
+  /// the encoding search run on them under the same budget. The joint
+  /// result never costs more whenever this solution is itself feasible.
+  double sequential_cost_ms = 0.0;
+  double sequential_footprint_bytes = 0.0;
+  bool sequential_feasible = true;
+
+  /// The picker's heuristic assignment on the sequential layouts (the
+  /// pre-search baseline, echoed for reporting).
+  double picker_cost_ms = 0.0;
+
+  /// Tightest footprint any layout+codec combination could reach — the
+  /// feasibility floor a budget is checked against. Zero whenever every
+  /// table has a pure row-store candidate.
+  double min_footprint_bytes = 0.0;
+
+  /// True when the layout x codec cross-product was enumerated exhaustively.
+  bool exact = false;
+  size_t evaluated_assignments = 0;
+};
+
 class EncodingSearch {
  public:
   EncodingSearch(const CostModel* model, const Catalog* catalog)
@@ -98,6 +160,23 @@ class EncodingSearch {
   EncodingSearchResult Search(
       const std::vector<WeightedQuery>& workload,
       const std::map<std::string, LayoutContext>& layouts) const;
+
+  /// Joint layout+encoding search. `candidates` supplies per table the
+  /// layout alternatives to explore; entry 0 must be the staged pipeline's
+  /// pick (it anchors the sequential baseline and the layout_changed
+  /// reporting). The search minimizes workload cost over the cross-product
+  /// of layout candidates and per-column codec assignments under the
+  /// options' shared memory budget, reusing the incremental dirty-table
+  /// evaluation so flipping one table re-costs only the queries touching
+  /// it. Guarantees: never costlier than the sequential pipeline when the
+  /// sequential design is feasible; the hysteresis rule (min_improvement)
+  /// keeps the table's *current* catalog layout and codecs across
+  /// cost-near-equal alternatives, preventing DDL churn on layout flips
+  /// exactly as on codec swaps.
+  JointSearchResult SearchJoint(
+      const std::vector<WeightedQuery>& workload,
+      const std::map<std::string, std::vector<LayoutCandidate>>& candidates)
+      const;
 
  private:
   WorkloadCostEstimator estimator_;

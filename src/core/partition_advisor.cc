@@ -39,19 +39,18 @@ bool HasOlapColumns(const Schema& schema, const TableWorkloadStats& tstats,
 
 }  // namespace
 
-std::vector<std::pair<LayoutContext, std::string>>
-PartitionAdvisor::Candidates(const std::string& name,
-                             const TableWorkloadStats& tstats,
-                             StoreType table_level_store) const {
-  std::vector<std::pair<LayoutContext, std::string>> candidates;
+std::vector<LayoutCandidate> PartitionAdvisor::Candidates(
+    const std::string& name, const TableWorkloadStats& tstats,
+    StoreType table_level_store) const {
+  std::vector<LayoutCandidate> candidates;
   const LogicalTable* table = catalog_->GetTable(name);
   const TableStatistics* stats = catalog_->GetStatistics(name);
   if (table == nullptr) return candidates;
   const Schema& schema = table->schema();
 
   // Baseline: the unpartitioned table-level choice.
-  candidates.emplace_back(LayoutContext::SingleStore(table_level_store),
-                          "table-level store");
+  candidates.push_back({LayoutContext::SingleStore(table_level_store),
+                        "table-level store"});
 
   // Partitioning requires a single-column numeric primary key (the split
   // column) and table statistics for the key domain.
@@ -134,7 +133,7 @@ PartitionAdvisor::Candidates(const std::string& name,
     ctx.hot_row_fraction = hot_row_fraction;
     ctx.hot_access_fraction = hot_access_fraction;
     ctx.hot_insert_fraction = 1.0;
-    candidates.emplace_back(ctx, "horizontal: " + horizontal_reason);
+    candidates.push_back({ctx, "horizontal: " + horizontal_reason});
   }
   if (vertical.has_value()) {
     LayoutContext ctx;
@@ -147,7 +146,7 @@ PartitionAdvisor::Candidates(const std::string& name,
       os << schema.column(vertical->row_store_columns[i]).name;
     }
     os << "] to the row store";
-    candidates.emplace_back(ctx, os.str());
+    candidates.push_back({ctx, os.str()});
   }
   if (horizontal.has_value() && vertical.has_value()) {
     LayoutContext ctx;
@@ -157,8 +156,8 @@ PartitionAdvisor::Candidates(const std::string& name,
     ctx.hot_row_fraction = hot_row_fraction;
     ctx.hot_access_fraction = hot_access_fraction;
     ctx.hot_insert_fraction = 1.0;
-    candidates.emplace_back(
-        ctx, "combined horizontal (" + horizontal_reason + ") + vertical");
+    candidates.push_back(
+        {ctx, "combined horizontal (" + horizontal_reason + ") + vertical"});
   }
   return candidates;
 }
@@ -191,26 +190,27 @@ PartitionAdvisorResult PartitionAdvisor::Recommend(
     double best_cost = 0.0;
     size_t best = 0;
     for (size_t i = 0; i < candidates.size(); ++i) {
-      result.layouts[name] = candidates[i].first;
+      result.layouts[name] = candidates[i].context;
       double cost = estimator_.WorkloadCost(workload, provider);
       if (i == 0 || cost < best_cost) {
         best_cost = cost;
         best = i;
       }
     }
-    result.layouts[name] = candidates[best].first;
+    result.layouts[name] = candidates[best].context;
     result.estimated_cost_ms = best_cost;
-    if (candidates[best].first.layout.IsPartitioned()) {
-      result.rationale.push_back(name + ": " + candidates[best].second +
+    if (candidates[best].context.layout.IsPartitioned()) {
+      result.rationale.push_back(name + ": " + candidates[best].reason +
                                  " (" +
-                                 candidates[best].first.layout.ToString() +
+                                 candidates[best].context.layout.ToString() +
                                  ")");
     } else {
       result.rationale.push_back(
           name + ": unpartitioned " +
           std::string(StoreTypeName(
-              candidates[best].first.layout.base_store)));
+              candidates[best].context.layout.base_store)));
     }
+    result.candidates.emplace(name, std::move(candidates));
   }
   result.estimated_cost_ms = estimator_.WorkloadCost(workload, provider);
   return result;

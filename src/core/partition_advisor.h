@@ -26,6 +26,11 @@ struct PartitionAdvisorResult {
   double estimated_cost_ms = 0.0;
   /// Human-readable per-table reasoning.
   std::vector<std::string> rationale;
+  /// Every heuristic candidate that was validated per table (first entry:
+  /// the unpartitioned table-level baseline). The joint layout+encoding
+  /// search re-uses these as the table's layout alternatives instead of
+  /// freezing the single chosen layout before the encoding search runs.
+  std::map<std::string, std::vector<LayoutCandidate>> candidates;
 };
 
 class PartitionAdvisor {
@@ -60,10 +65,11 @@ class PartitionAdvisor {
       const std::map<std::string, StoreType>& table_level) const;
 
  private:
-  /// Heuristic layout candidates for one table.
-  std::vector<std::pair<LayoutContext, std::string>> Candidates(
-      const std::string& name, const TableWorkloadStats& tstats,
-      StoreType table_level_store) const;
+  /// Heuristic layout candidates for one table; Recommend() exposes them
+  /// through PartitionAdvisorResult::candidates for the joint search.
+  std::vector<LayoutCandidate> Candidates(const std::string& name,
+                                          const TableWorkloadStats& tstats,
+                                          StoreType table_level_store) const;
 
   const CostModel* model_;
   const Catalog* catalog_;

@@ -60,6 +60,32 @@ std::vector<const PredicateTerm*> TermsForTable(const Predicate& predicate,
 
 }  // namespace
 
+double EncodedRowFraction(const LayoutContext& ctx, const Schema& schema,
+                          ColumnId col) {
+  const TableLayout& layout = ctx.layout;
+  const double hot = layout.horizontal.has_value()
+                         ? std::clamp(ctx.hot_row_fraction, 0.0, 1.0)
+                         : 0.0;
+  double fraction = 0.0;
+  // Cold/base piece: the column is encoded there when the base piece is
+  // column-resident and a vertical split does not send it to the row store
+  // (the replicated primary key stays encoded in the base piece).
+  bool in_base_cs = layout.base_store == StoreType::kColumn;
+  if (in_base_cs && layout.vertical.has_value() &&
+      !schema.IsPrimaryKeyColumn(col)) {
+    const std::vector<ColumnId>& rs = layout.vertical->row_store_columns;
+    in_base_cs = std::find(rs.begin(), rs.end(), col) == rs.end();
+  }
+  if (in_base_cs) fraction += 1.0 - hot;
+  // Hot piece: whole rows, so every column is encoded when it is a
+  // column-store partition.
+  if (layout.horizontal.has_value() &&
+      layout.horizontal->hot_store == StoreType::kColumn) {
+    fraction += hot;
+  }
+  return fraction;
+}
+
 WorkloadCostEstimator::TableFacts WorkloadCostEstimator::FactsOf(
     const std::string& name) const {
   TableFacts facts;

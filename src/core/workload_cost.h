@@ -55,6 +55,27 @@ struct LayoutContext {
 /// Supplies the candidate layout per table name.
 using LayoutProvider = std::function<LayoutContext(const std::string&)>;
 
+/// One candidate physical design of a table, labelled for the rationale:
+/// the unit the joint layout+encoding search enumerates per table. The
+/// PartitionAdvisor produces these (its heuristic layouts), the advisor adds
+/// the plain single-store layouts and the table's current layout, and
+/// EncodingSearch::SearchJoint explores the cross-product with the
+/// per-column codec assignments under one shared memory budget.
+struct LayoutCandidate {
+  LayoutContext context;
+  std::string reason;
+};
+
+/// Fraction of column `col`'s row mass that resides in a column-store piece
+/// (and therefore holds an encoded segment counting toward a memory
+/// budget): 0 for row-store layouts and for the non-key columns a vertical
+/// split sends to the row store; reduced by the hot row fraction when a
+/// horizontal split keeps hot rows in the row store. This is the weight the
+/// budgeted searches apply to per-column encoded-footprint estimates — a
+/// narrower hybrid split genuinely shrinks the encoded footprint.
+double EncodedRowFraction(const LayoutContext& ctx, const Schema& schema,
+                          ColumnId col);
+
 class WorkloadCostEstimator {
  public:
   WorkloadCostEstimator(const CostModel* model, const Catalog* catalog)

@@ -32,6 +32,13 @@ Status Database::ApplyLayout(const std::string& name,
     options.column.column_encodings.assign(encodings.begin(),
                                            encodings.end());
   }
+  // A layout without a column-store piece has no encoded segments: drop any
+  // codec pins instead of carrying them along, so a later move back to the
+  // column store re-enters the adaptive picker rather than resurrecting
+  // codecs that were solved for an old layout or budget.
+  if (!HasColumnStorePiece(layout)) {
+    options.column.column_encodings.clear();
+  }
   // No-op only when both the layout and the pinned codecs already match;
   // an encoding-only change still rematerializes (the re-encode happens at
   // the bulk-load merge).

@@ -46,7 +46,10 @@ class Database {
   /// refreshes its statistics. A non-empty `encodings` (one codec per
   /// logical column) pins the column-store pieces' per-column codecs — the
   /// engine-side realization of the advisor's ENCODING (...) clauses; empty
-  /// keeps the adaptive EncodingPicker behavior.
+  /// keeps the adaptive EncodingPicker behavior. Moving to a layout with no
+  /// column-store piece (e.g. a budget-driven row-store flip) clears any
+  /// existing pins, so a later move back to the column store starts from
+  /// the adaptive picker again.
   Status ApplyLayout(const std::string& name, const TableLayout& layout,
                      const std::vector<Encoding>& encodings = {});
 
