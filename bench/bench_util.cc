@@ -11,8 +11,18 @@ namespace hsdb {
 namespace bench {
 
 namespace {
-constexpr char kCachePath[] = "hsdb_calibration.cache";
+
+/// Calibration-cache location: HSDB_CALIBRATION_CACHE overrides; the
+/// default is relative to the invoking directory, which the documented
+/// workflow (run benches from build/) keeps out of the source tree — the
+/// file is gitignored either way. See docs/ARCHITECTURE.md, "Calibration
+/// cache lifecycle".
+const char* CachePath() {
+  const char* env = std::getenv("HSDB_CALIBRATION_CACHE");
+  return env != nullptr && env[0] != '\0' ? env : "hsdb_calibration.cache";
 }
+
+}  // namespace
 
 double ScaleFactor() {
   const char* env = std::getenv("HSDB_BENCH_SCALE");
@@ -39,7 +49,7 @@ size_t ScaledQueries(double paper_queries, size_t min_queries) {
 CostModelParams CalibratedParams() {
   const char* recal = std::getenv("HSDB_BENCH_RECALIBRATE");
   if (recal == nullptr || recal[0] == '0') {
-    std::ifstream in(kCachePath);
+    std::ifstream in(CachePath());
     if (in.good()) {
       std::stringstream buffer;
       buffer << in.rdbuf();
@@ -47,7 +57,7 @@ CostModelParams CalibratedParams() {
           CostModelParams::Deserialize(buffer.str());
       if (params.ok()) {
         std::printf("[calibration] loaded cached model from %s\n",
-                    kCachePath);
+                    CachePath());
         return *params;
       }
       std::printf("[calibration] cache unreadable, recalibrating\n");
@@ -55,7 +65,7 @@ CostModelParams CalibratedParams() {
   }
   std::printf(
       "[calibration] running probe suite (cached afterwards in %s)...\n",
-      kCachePath);
+      CachePath());
   std::fflush(stdout);
   Stopwatch sw;
   EngineProbeRunner runner;
@@ -63,7 +73,7 @@ CostModelParams CalibratedParams() {
   CalibrationReport report = Calibrate(runner, options);
   std::printf("[calibration] done in %.1f s, mean r2 = %.4f\n",
               sw.ElapsedMs() / 1000.0, report.mean_r_squared);
-  std::ofstream out(kCachePath);
+  std::ofstream out(CachePath());
   out << report.params.Serialize();
   return report.params;
 }

@@ -7,8 +7,12 @@
 // milliseconds are not comparable to the paper's testbed.
 //
 // Calibration: the cost model is calibrated once per machine and cached in
-// build/hsdb_calibration.cache (delete it or set HSDB_BENCH_RECALIBRATE=1 to
-// refresh).
+// hsdb_calibration.cache relative to the invoking directory — run benches
+// from build/ so the cache lands there (it is gitignored regardless).
+// HSDB_CALIBRATION_CACHE overrides the path; delete the file or set
+// HSDB_BENCH_RECALIBRATE=1 to refresh. A serialization-version bump (see
+// kSerializationMagic in src/core/cost_model.cc) invalidates stale caches
+// automatically.
 #ifndef HSDB_BENCH_BENCH_UTIL_H_
 #define HSDB_BENCH_BENCH_UTIL_H_
 

@@ -110,6 +110,13 @@ class Bitmap {
     }
   }
 
+  /// Raw word access for bulk kernels (word i covers bits [64i, 64i+64);
+  /// unused high bits of the last word are kept zero). The packed-predicate
+  /// path (storage/compression/simd/bitunpack.h) ANDs match masks directly
+  /// into these words.
+  const uint64_t* words() const { return words_.data(); }
+  uint64_t* mutable_words() { return words_.data(); }
+
   size_t memory_bytes() const { return words_.capacity() * sizeof(uint64_t); }
 
  private:

@@ -14,8 +14,11 @@ void BitPackedVector::Append(uint64_t v) {
   size_t bit = size_ * bit_width_;
   size_t word = bit >> 6;
   uint32_t shift = static_cast<uint32_t>(bit & 63);
-  if (word + 1 >= words_.size()) {
-    words_.resize(word + 2, 0);
+  // Keep kSlackWords of zeroed slack past the value's first word: the bulk
+  // decode kernels load whole 16-byte windows and may read past the last
+  // value's bits (see words()).
+  if (word + kSlackWords >= words_.size()) {
+    words_.resize(word + kSlackWords + 1, 0);
   }
   words_[word] |= v << shift;
   if (shift + bit_width_ > 64) {

@@ -47,10 +47,22 @@ class BitPackedVector {
   /// Overwrites slot `i` with `v` (used by in-place id rewrites).
   void Set(size_t i, uint64_t v);
 
+  /// Raw little-endian word array for the bulk decode kernels
+  /// (storage/compression/simd/bitunpack.h). Invariant: the array always
+  /// extends at least kSlackWords past the word holding the last value's
+  /// first bit, so the kernels' 16-byte window loads never run off the end.
+  const uint64_t* words() const { return words_.data(); }
+
+  /// Trailing slack words Append maintains past the last value (the decode
+  /// kernels' over-read allowance; see simd::kPackedSlackWords).
+  static constexpr size_t kSlackWords = 2;
+
   /// Bytes of payload storage currently reserved.
   size_t memory_bytes() const { return words_.capacity() * sizeof(uint64_t); }
 
-  void Reserve(size_t n) { words_.reserve((n * bit_width_ + 63) / 64 + 1); }
+  void Reserve(size_t n) {
+    words_.reserve((n * bit_width_ + 63) / 64 + kSlackWords);
+  }
 
  private:
   uint64_t mask() const {

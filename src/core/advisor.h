@@ -31,8 +31,13 @@ struct AdvisorOptions {
   /// Consider horizontal/vertical partitioning (§3.2); with false the
   /// advisor stops at table-level recommendations (§3.1).
   bool enable_partitioning = true;
+  /// Probe-suite configuration for InitializeCostModel (reference rows,
+  /// sweep points, whether to run the per-codec microprobes).
   CalibrationOptions calibration;
+  /// Search strategy of the table-level RS/CS assignment (exhaustive vs
+  /// hill climbing, join handling).
   TableAdvisor::Options table_options;
+  /// Horizontal/vertical split enumeration limits and validation.
   PartitionAdvisor::Options partition_options;
   /// Per-column encoding search over the chosen layouts: candidates, exact
   /// fallback threshold and — the user knob — encoding.memory_budget_bytes,
@@ -59,6 +64,10 @@ struct Recommendation {
   /// Table-level assignment (before partitioning), for comparison.
   std::map<std::string, StoreType> table_level_assignment;
 
+  /// Estimated workload cost (ms) of the recommended design and of the
+  /// comparison baselines the paper reports: everything in the row store,
+  /// everything in the column store, and the table-level (unpartitioned)
+  /// assignment.
   double estimated_cost_ms = 0.0;
   double rs_only_cost_ms = 0.0;
   double cs_only_cost_ms = 0.0;
@@ -85,11 +94,16 @@ struct Recommendation {
   /// Per-table reasoning.
   std::vector<std::string> rationale;
 
+  /// Human-readable report: costs, per-table DDL + rationale, encoding
+  /// footprints and budget attribution.
   std::string Summary() const;
 };
 
+/// The end-to-end advisor tool; see the class comment at the top of this
+/// header and docs/ARCHITECTURE.md §3 for the pipeline it wraps.
 class StorageAdvisor {
  public:
+  /// Advises `db` (not owned; must outlive the advisor) with defaults.
   explicit StorageAdvisor(Database* db) : StorageAdvisor(db, AdvisorOptions{}) {}
   StorageAdvisor(Database* db, AdvisorOptions options);
   ~StorageAdvisor();

@@ -121,10 +121,14 @@ namespace {
 /// can dip below zero when extrapolating far left of the calibrated range.
 double ClampMultiplier(double m) { return std::max(m, 1e-4); }
 
-// v3 added the delta-merge re-encoding terms (c_encoding_reencode,
-// c_merge_share). Older headers (v1 without encoding terms, v2 without the
-// re-encode terms) are rejected so stale caches trigger recalibration.
-constexpr char kSerializationMagic[] = "hsdb_cost_model_v3";
+// Version history (docs/ARCHITECTURE.md "Calibration cache lifecycle"):
+// v2 added the per-codec scan terms (c_encoding_scan), v3 the delta-merge
+// re-encoding terms (c_encoding_reencode, c_merge_share). v4 changes no
+// field but marks the SIMD decode kernels (storage/compression/simd/):
+// they shift the measured per-codec scan/re-encode throughput, so
+// scalar-era v1-v3 calibrations are rejected and caches recalibrate with
+// the vectorized engine.
+constexpr char kSerializationMagic[] = "hsdb_cost_model_v4";
 
 void PutFn(std::ostream& os, const LinearFn& fn) {
   os << fn.intercept << " " << fn.slope << "\n";

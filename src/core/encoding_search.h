@@ -73,7 +73,8 @@ struct EncodingSearchResult {
   /// statistics (or without column-store pieces) are absent.
   std::map<std::string, TableEncodingAssignment> tables;
 
-  /// Workload cost under the chosen assignment / under the picker's.
+  /// Estimated workload cost (ms) under the chosen assignment / under the
+  /// picker's heuristic assignment.
   double cost_ms = 0.0;
   double picker_cost_ms = 0.0;
 
@@ -89,6 +90,7 @@ struct EncodingSearchResult {
   bool feasible = true;
   /// True when the candidate cross-product was enumerated exhaustively.
   bool exact = false;
+  /// Workload evaluations the search performed (search-effort metric).
   size_t evaluated_assignments = 0;
 };
 
@@ -114,7 +116,8 @@ struct JointSearchResult {
   /// statistics keep their candidate-0 layout and are absent here.
   std::map<std::string, JointTableDesign> tables;
 
-  /// Workload cost and footprint of the chosen joint design.
+  /// Estimated workload cost (ms) and encoded footprint (bytes) of the
+  /// chosen joint design.
   double cost_ms = 0.0;
   double footprint_bytes = 0.0;
   /// False when no layout+codec combination meets the budget; the result
@@ -139,11 +142,15 @@ struct JointSearchResult {
 
   /// True when the layout x codec cross-product was enumerated exhaustively.
   bool exact = false;
+  /// Workload evaluations the search performed (search-effort metric).
   size_t evaluated_assignments = 0;
 };
 
+/// Runs the encoding (Search) and joint layout+encoding (SearchJoint)
+/// optimizations against a cost model and catalog; stateless between calls.
 class EncodingSearch {
  public:
+  /// Searches with default options (unconstrained budget, 2% hysteresis).
   EncodingSearch(const CostModel* model, const Catalog* catalog)
       : EncodingSearch(model, catalog, EncodingSearchOptions{}) {}
   EncodingSearch(const CostModel* model, const Catalog* catalog,

@@ -23,9 +23,14 @@
 #include "common/bitmap.h"
 #include "common/bitpack.h"
 #include "common/macros.h"
+#include "storage/compression/simd/bitunpack.h"
 
 namespace hsdb {
 namespace compression {
+
+/// Values decoded per block by the bulk scan paths: large enough to
+/// amortize the SIMD kernel dispatch, small enough to stay in L1.
+inline constexpr size_t kDecodeBlock = 1024;
 
 /// Resolved typed range predicate. Numeric instantiations compare in double
 /// space (exactly like the row store's ValueRange path); the std::string
@@ -121,10 +126,28 @@ class DictionaryCodec {
   size_t size() const { return ids_.size(); }
   T Get(size_t i) const { return dict_[ids_.Get(i)]; }
 
+  /// Sequential decode through the bulk bit-unpack kernels: ids are
+  /// materialized blockwise (SIMD when the CPU has it), INT64 dictionaries
+  /// additionally use the unpack+gather kernel.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     const size_t n = ids_.size();
-    for (size_t i = 0; i < n; ++i) fn(i, dict_[ids_.Get(i)]);
+    if constexpr (std::is_same_v<T, int64_t>) {
+      int64_t values[kDecodeBlock];
+      for (size_t base = 0; base < n; base += kDecodeBlock) {
+        const size_t m = std::min(kDecodeBlock, n - base);
+        simd::UnpackDict64(ids_.words(), base, m, ids_.bit_width(),
+                           dict_.data(), values);
+        for (size_t j = 0; j < m; ++j) fn(base + j, values[j]);
+      }
+    } else {
+      uint64_t ids[kDecodeBlock];
+      for (size_t base = 0; base < n; base += kDecodeBlock) {
+        const size_t m = std::min(kDecodeBlock, n - base);
+        simd::UnpackBits(ids_.words(), base, m, ids_.bit_width(), ids);
+        for (size_t j = 0; j < m; ++j) fn(base + j, dict_[ids[j]]);
+      }
+    }
   }
 
   /// fn(i, value) for every set bit of `bits` below size().
@@ -149,10 +172,11 @@ class DictionaryCodec {
                   [&](const T& v) { return !pred.AboveHi(v); }) -
               dict_.begin();
     }
-    inout->ForEachSetInRange(0, size(), [&](size_t rid) {
-      uint64_t id = ids_.Get(rid);
-      if (id < id_lo || id >= id_hi) inout->Clear(rid);
-    });
+    // Compare the packed ids against the translated interval without
+    // decoding: the kernel ANDs 64-row match masks into the bitmap words.
+    HSDB_DCHECK(inout->size() >= size());
+    simd::FilterPackedRange(ids_.words(), size(), ids_.bit_width(), id_lo,
+                            id_hi, inout->mutable_words());
   }
 
   size_t distinct_count() const { return dict_.size(); }
@@ -275,10 +299,20 @@ class ForCodec {
   size_t size() const { return deltas_.size(); }
   T Get(size_t i) const { return Decode(deltas_.Get(i)); }
 
+  /// Sequential decode through the bulk reconstruction kernel (unpack +
+  /// base add, SIMD when the CPU has it).
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     const size_t n = deltas_.size();
-    for (size_t i = 0; i < n; ++i) fn(i, Decode(deltas_.Get(i)));
+    int64_t values[kDecodeBlock];
+    for (size_t base = 0; base < n; base += kDecodeBlock) {
+      const size_t m = std::min(kDecodeBlock, n - base);
+      simd::UnpackForDeltas(deltas_.words(), base, m, deltas_.bit_width(),
+                            base_, values);
+      for (size_t j = 0; j < m; ++j) {
+        fn(base + j, static_cast<T>(values[j]));
+      }
+    }
   }
 
   /// fn(i, value) for every set bit of `bits` below size().
@@ -289,20 +323,52 @@ class ForCodec {
   }
 
   void FilterRange(const BoundsPred<T>& pred, Bitmap* inout) const {
-    // Decode is increasing in the packed delta, so the matching set is the
-    // contiguous delta interval [d_lo, d_hi).
+    HSDB_DCHECK(inout->size() >= size());
+    if (size() == 0) return;
+    // Decode is increasing in the packed delta, so the matching set is a
+    // contiguous delta interval [d_lo, d_hi_incl]. Inclusive bounds with
+    // explicit emptiness: max_delta_ + 1 would wrap to 0 when the delta
+    // span is the full 64-bit range, silently clearing every row.
     uint64_t d_lo = 0;
-    uint64_t d_hi = max_delta_ + 1;
+    uint64_t d_hi_incl = max_delta_;
+    bool empty = false;
     if (pred.has_lo) {
-      d_lo = FirstDelta([&](uint64_t d) { return !pred.BelowLo(Decode(d)); });
+      if (pred.BelowLo(Decode(max_delta_))) {
+        empty = true;  // even the largest value is below the lower bound
+      } else {
+        d_lo =
+            FirstDelta([&](uint64_t d) { return !pred.BelowLo(Decode(d)); });
+      }
     }
-    if (pred.has_hi) {
-      d_hi = FirstDelta([&](uint64_t d) { return pred.AboveHi(Decode(d)); });
+    if (!empty && pred.has_hi) {
+      if (pred.AboveHi(Decode(0))) {
+        empty = true;  // even the smallest value is above the upper bound
+      } else {
+        // Last delta not above the bound; FirstDelta >= 1 here, and a
+        // not-found result (max_delta_ + 1, possibly wrapped to 0) minus
+        // one lands back on max_delta_ either way.
+        d_hi_incl =
+            FirstDelta([&](uint64_t d) { return pred.AboveHi(Decode(d)); }) -
+            1;
+      }
     }
-    inout->ForEachSetInRange(0, size(), [&](size_t rid) {
-      uint64_t d = deltas_.Get(rid);
-      if (d < d_lo || d >= d_hi) inout->Clear(rid);
-    });
+    if (empty) {
+      inout->ClearRange(0, size());
+      return;
+    }
+    if (d_hi_incl == ~uint64_t{0}) {
+      // The exclusive-bound kernel cannot express "everything up to
+      // UINT64_MAX"; only reachable at bit width 64 (full-range deltas).
+      if (d_lo == 0) return;  // every row matches
+      inout->ForEachSetInRange(0, size(), [&](size_t rid) {
+        if (deltas_.Get(rid) < d_lo) inout->Clear(rid);
+      });
+      return;
+    }
+    // Compare the packed deltas against the translated interval without
+    // decoding: the kernel ANDs 64-row match masks into the bitmap words.
+    simd::FilterPackedRange(deltas_.words(), size(), deltas_.bit_width(),
+                            d_lo, d_hi_incl + 1, inout->mutable_words());
   }
 
   size_t payload_bytes() const {
@@ -323,12 +389,16 @@ class ForCodec {
         static_cast<uint64_t>(base_) + delta));
   }
 
-  /// Smallest delta in [0, max_delta_ + 1) satisfying the monotone
-  /// predicate `p`, or max_delta_ + 1 when none does.
+  /// Smallest delta in [0, max_delta_] satisfying the monotone predicate
+  /// `p`, or max_delta_ + 1 when none does. The search stays inside the
+  /// inclusive range, so it is exact even when max_delta_ + 1 wraps to 0
+  /// (full 64-bit delta span); only the not-found return can wrap, and
+  /// FilterRange's callers rule that case out before calling.
   template <typename Pred>
   uint64_t FirstDelta(Pred p) const {
+    if (!p(max_delta_)) return max_delta_ + 1;
     uint64_t lo = 0;
-    uint64_t hi = max_delta_ + 1;
+    uint64_t hi = max_delta_;  // invariant: p(hi) holds
     while (lo < hi) {
       uint64_t mid = lo + (hi - lo) / 2;
       if (p(mid)) {

@@ -28,6 +28,8 @@ enum class Encoding : uint8_t {
   kRaw = 3,
 };
 
+/// Number of codecs in Encoding; sizes the per-encoding cost-model arrays
+/// (StoreCostParams::c_encoding_scan / c_encoding_reencode).
 inline constexpr int kNumEncodings = 4;
 
 /// Human-readable codec name ("DICTIONARY", "RLE", ...), as used in the

@@ -75,9 +75,12 @@ class EncodingPicker {
     double min_avg_run_length = 3.0;
   };
 
+  /// Default picker: adaptive, no forced codec, RLE past 3-value runs.
   EncodingPicker() : EncodingPicker(Options{}) {}
   explicit EncodingPicker(Options options) : options_(options) {}
 
+  /// The pruning rules this picker applies (mirrored by the advisor's
+  /// encoding search so it only proposes codecs the store would accept).
   const Options& options() const { return options_; }
 
   /// Smallest-estimated-size applicable codec; ties break toward the

@@ -1,0 +1,307 @@
+// AVX2 tier of the bit-unpack kernels. Two decode shapes:
+//
+//  - width <= 16 ("window" path): eight consecutive values span at most
+//    127 bits, so one 16-byte load covers them. The window is broadcast to
+//    both 128-bit halves, vpshufb gathers each value's bytes into its own
+//    32-bit lane, vpsrlvd aligns the field and a mask isolates it — eight
+//    codes per ~5 instructions.
+//  - 17 <= width <= 32 ("gather" path): four values per iteration via a
+//    byte-granular vpgatherqq (each lane loads the 8 bytes holding its
+//    value), vpsrlvq + mask isolate the fields.
+//
+// Widths above 32 fall through to the scalar tier (they are not produced by
+// realistic dictionaries/deltas and the 64-bit lanes stop paying off).
+//
+// All functions carry the `target("avx2")` attribute so this file compiles
+// without global -mavx2; the dispatcher only calls them after a cpuid check.
+#include "storage/compression/simd/kernels.h"
+
+#if HSDB_SIMD_X86
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace hsdb {
+namespace compression {
+namespace simd {
+namespace internal {
+
+namespace {
+
+#define HSDB_TARGET_AVX2 __attribute__((target("avx2")))
+
+/// Precomputed per-call state of the window path: the vpshufb control that
+/// routes window bytes into 32-bit lanes and the per-lane field shifts.
+/// Valid for any value index congruent to `start` modulo 8 (the bit phase
+/// within the window's first byte repeats every 8 values).
+struct WindowPlan {
+  alignas(32) uint8_t shuffle[32];
+  alignas(32) uint32_t shifts[8];
+};
+
+WindowPlan MakeWindowPlan(size_t start, uint32_t width) {
+  WindowPlan plan;
+  const uint32_t phase = static_cast<uint32_t>((start * width) & 7);
+  for (uint32_t j = 0; j < 8; ++j) {
+    const uint32_t r = phase + j * width;
+    plan.shifts[j] = r & 7;
+    const uint32_t s = r >> 3;
+    for (uint32_t k = 0; k < 4; ++k) {
+      const uint32_t idx = s + k;
+      // Byte layout of the vpshufb control: lane j of each 128-bit half
+      // reads from the same broadcast window; indexes past the 16-byte
+      // window select zero (safe: those bits are masked out anyway).
+      const uint32_t pos = (j / 4) * 16 + (j % 4) * 4 + k;
+      plan.shuffle[pos] = idx <= 15 ? static_cast<uint8_t>(idx) : 0x80;
+    }
+  }
+  return plan;
+}
+
+/// Decodes the eight codes at value indexes [v, v+8) into 32-bit lanes.
+/// `ctrl`/`vshift` must come from a WindowPlan whose phase matches v mod 8.
+HSDB_TARGET_AVX2 inline __m256i DecodeWindow(const unsigned char* bytes,
+                                             size_t v, uint32_t width,
+                                             __m256i ctrl, __m256i vshift,
+                                             __m256i vmask) {
+  const __m128i win = _mm_loadu_si128(
+      reinterpret_cast<const __m128i*>(bytes + ((v * width) >> 3)));
+  const __m256i grp =
+      _mm256_shuffle_epi8(_mm256_broadcastsi128_si256(win), ctrl);
+  return _mm256_and_si256(_mm256_srlv_epi32(grp, vshift), vmask);
+}
+
+/// Gather-path state (17 <= width <= 32): per-lane bit cursors plus the
+/// constants the decode step needs.
+struct GatherPlan {
+  __m256i vbit;   // bit offset of each lane's next value
+  __m256i vstep;  // 4 * width
+  __m256i v7;
+  __m256i vmask;
+};
+
+HSDB_TARGET_AVX2 inline GatherPlan MakeGatherPlan(size_t start,
+                                                  uint32_t width) {
+  const uint64_t w = width;
+  GatherPlan plan;
+  plan.vbit =
+      _mm256_add_epi64(_mm256_set1_epi64x(static_cast<long long>(start * w)),
+                       _mm256_set_epi64x(3 * w, 2 * w, w, 0));
+  plan.vstep = _mm256_set1_epi64x(static_cast<long long>(4 * w));
+  plan.v7 = _mm256_set1_epi64x(7);
+  plan.vmask = _mm256_set1_epi64x((uint64_t{1} << width) - 1);
+  return plan;
+}
+
+/// Decodes the four codes at the plan's cursor into 64-bit lanes (one
+/// byte-granular 8-byte load per lane) and advances the cursor.
+HSDB_TARGET_AVX2 inline __m256i DecodeGatherQuad(const unsigned char* bytes,
+                                                 GatherPlan& plan) {
+  const __m256i voff = _mm256_srli_epi64(plan.vbit, 3);
+  const __m256i vsh = _mm256_and_si256(plan.vbit, plan.v7);
+  __m256i v = _mm256_i64gather_epi64(
+      reinterpret_cast<const long long*>(bytes), voff, 1);
+  v = _mm256_and_si256(_mm256_srlv_epi64(v, vsh), plan.vmask);
+  plan.vbit = _mm256_add_epi64(plan.vbit, plan.vstep);
+  return v;
+}
+
+}  // namespace
+
+HSDB_TARGET_AVX2
+void UnpackBitsAvx2(const uint64_t* words, size_t start, size_t count,
+                    uint32_t width, uint64_t* out) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(words);
+  size_t i = 0;
+  if (width <= 16) {
+    const WindowPlan plan = MakeWindowPlan(start, width);
+    const __m256i ctrl =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(plan.shuffle));
+    const __m256i vshift =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(plan.shifts));
+    const __m256i vmask = _mm256_set1_epi32((1 << width) - 1);
+    for (; i + 8 <= count; i += 8) {
+      const __m256i codes =
+          DecodeWindow(bytes, start + i, width, ctrl, vshift, vmask);
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(out + i),
+          _mm256_cvtepu32_epi64(_mm256_castsi256_si128(codes)));
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(out + i + 4),
+          _mm256_cvtepu32_epi64(_mm256_extracti128_si256(codes, 1)));
+    }
+  } else if (width <= 32) {
+    GatherPlan plan = MakeGatherPlan(start, width);
+    for (; i + 4 <= count; i += 4) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                          DecodeGatherQuad(bytes, plan));
+    }
+  }
+  if (i < count) {
+    UnpackBitsScalar(words, start + i, count - i, width, out + i);
+  }
+}
+
+HSDB_TARGET_AVX2
+void UnpackDict64Avx2(const uint64_t* words, size_t start, size_t count,
+                      uint32_t width, const int64_t* dict, int64_t* out) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(words);
+  const auto* dict_ll = reinterpret_cast<const long long*>(dict);
+  size_t i = 0;
+  if (width <= 16) {
+    const WindowPlan plan = MakeWindowPlan(start, width);
+    const __m256i ctrl =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(plan.shuffle));
+    const __m256i vshift =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(plan.shifts));
+    const __m256i vmask = _mm256_set1_epi32((1 << width) - 1);
+    for (; i + 8 <= count; i += 8) {
+      const __m256i codes =
+          DecodeWindow(bytes, start + i, width, ctrl, vshift, vmask);
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(out + i),
+          _mm256_i32gather_epi64(dict_ll, _mm256_castsi256_si128(codes), 8));
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(out + i + 4),
+          _mm256_i32gather_epi64(dict_ll, _mm256_extracti128_si256(codes, 1),
+                                 8));
+    }
+  } else if (width <= 32) {
+    GatherPlan plan = MakeGatherPlan(start, width);
+    for (; i + 4 <= count; i += 4) {
+      const __m256i codes = DecodeGatherQuad(bytes, plan);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                          _mm256_i64gather_epi64(dict_ll, codes, 8));
+    }
+  }
+  if (i < count) {
+    UnpackDict64Scalar(words, start + i, count - i, width, dict, out + i);
+  }
+}
+
+HSDB_TARGET_AVX2
+void UnpackForDeltasAvx2(const uint64_t* words, size_t start, size_t count,
+                         uint32_t width, int64_t base, int64_t* out) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(words);
+  const __m256i vbase = _mm256_set1_epi64x(base);
+  size_t i = 0;
+  if (width <= 16) {
+    const WindowPlan plan = MakeWindowPlan(start, width);
+    const __m256i ctrl =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(plan.shuffle));
+    const __m256i vshift =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(plan.shifts));
+    const __m256i vmask = _mm256_set1_epi32((1 << width) - 1);
+    for (; i + 8 <= count; i += 8) {
+      const __m256i codes =
+          DecodeWindow(bytes, start + i, width, ctrl, vshift, vmask);
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(out + i),
+          _mm256_add_epi64(
+              vbase, _mm256_cvtepu32_epi64(_mm256_castsi256_si128(codes))));
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(out + i + 4),
+          _mm256_add_epi64(vbase, _mm256_cvtepu32_epi64(
+                                      _mm256_extracti128_si256(codes, 1))));
+    }
+  } else if (width <= 32) {
+    GatherPlan plan = MakeGatherPlan(start, width);
+    for (; i + 4 <= count; i += 4) {
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(out + i),
+          _mm256_add_epi64(vbase, DecodeGatherQuad(bytes, plan)));
+    }
+  }
+  if (i < count) {
+    UnpackForDeltasScalar(words, start + i, count - i, width, base, out + i);
+  }
+}
+
+HSDB_TARGET_AVX2
+void FilterPackedRangeAvx2(const uint64_t* words, size_t n, uint32_t width,
+                           uint64_t lo, uint64_t hi, uint64_t* bm_words) {
+  if (width > 32) {
+    FilterPackedRangeScalar(words, n, width, lo, hi, bm_words);
+    return;
+  }
+  const auto* bytes = reinterpret_cast<const unsigned char*>(words);
+  const size_t n_words = (n + 63) / 64;
+  const size_t full_words = n / 64;
+  if (width <= 16) {
+    // Codes fit 16 bits, so the interval bounds can be clamped into the
+    // signed 32-bit lane domain without changing any comparison result.
+    const uint64_t cap = uint64_t{1} << 17;
+    const __m256i vlo =
+        _mm256_set1_epi32(static_cast<int>(std::min(lo, cap)));
+    const __m256i vhi =
+        _mm256_set1_epi32(static_cast<int>(std::min(hi, cap)));
+    // Row 0 starts the packing, so the window phase is 0 for every group
+    // of eight rows (64*width bits per bitmap word is byte-aligned).
+    const WindowPlan plan = MakeWindowPlan(0, width);
+    const __m256i ctrl =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(plan.shuffle));
+    const __m256i vshift =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(plan.shifts));
+    const __m256i vmask = _mm256_set1_epi32((1 << width) - 1);
+    for (size_t wi = 0; wi < full_words; ++wi) {
+      if (bm_words[wi] == 0) continue;
+      const size_t row0 = wi * 64;
+      uint64_t match = 0;
+      for (uint32_t k = 0; k < 8; ++k) {
+        const __m256i codes = DecodeWindow(bytes, row0 + 8 * k, width,
+                                           ctrl, vshift, vmask);
+        const __m256i keep = _mm256_andnot_si256(
+            _mm256_cmpgt_epi32(vlo, codes), _mm256_cmpgt_epi32(vhi, codes));
+        const auto m8 = static_cast<uint32_t>(
+            _mm256_movemask_ps(_mm256_castsi256_ps(keep)));
+        match |= static_cast<uint64_t>(m8) << (8 * k);
+      }
+      bm_words[wi] &= match;
+    }
+  } else {
+    // Codes fit 32 bits: clamp the bounds into the signed 64-bit domain.
+    const uint64_t cap = uint64_t{1} << 33;
+    const __m256i vlo = _mm256_set1_epi64x(
+        static_cast<long long>(std::min(lo, cap)));
+    const __m256i vhi = _mm256_set1_epi64x(
+        static_cast<long long>(std::min(hi, cap)));
+    for (size_t wi = 0; wi < full_words; ++wi) {
+      if (bm_words[wi] == 0) continue;
+      const size_t row0 = wi * 64;
+      uint64_t match = 0;
+      GatherPlan plan = MakeGatherPlan(row0, width);
+      for (uint32_t k = 0; k < 16; ++k) {
+        const __m256i codes = DecodeGatherQuad(bytes, plan);
+        const __m256i keep = _mm256_andnot_si256(
+            _mm256_cmpgt_epi64(vlo, codes), _mm256_cmpgt_epi64(vhi, codes));
+        const auto m4 = static_cast<uint32_t>(
+            _mm256_movemask_pd(_mm256_castsi256_pd(keep)));
+        match |= static_cast<uint64_t>(m4) << (4 * k);
+      }
+      bm_words[wi] &= match;
+    }
+  }
+  // Partial trailing bitmap word: scalar, preserving bits at or past n.
+  if (full_words < n_words && bm_words[full_words] != 0) {
+    const size_t row0 = full_words * 64;
+    const size_t m = n - row0;
+    uint64_t buf[64];
+    UnpackBitsScalar(words, row0, m, width, buf);
+    uint64_t match = ~uint64_t{0} << m;
+    for (size_t j = 0; j < m; ++j) {
+      match |= static_cast<uint64_t>(buf[j] >= lo && buf[j] < hi) << j;
+    }
+    bm_words[full_words] &= match;
+  }
+}
+
+#undef HSDB_TARGET_AVX2
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace compression
+}  // namespace hsdb
+
+#endif  // HSDB_SIMD_X86

@@ -1,0 +1,231 @@
+// SSE4.2 tier of the bit-unpack kernels. Vectorizes widths <= 16 with the
+// same 16-byte-window shape as the AVX2 tier, worked in 128-bit halves:
+// pshufb routes each value's bytes into a 32-bit lane, and — SSE has no
+// per-lane variable shift — pmulld by 2^(8 - shift) aligns every field at
+// bit 8, so one uniform psrld(8) + mask isolates all four codes. Widths
+// above 16 fall through to the scalar tier.
+//
+// All functions carry the `target("sse4.2")` attribute so this file
+// compiles without global ISA flags; the dispatcher only calls them after a
+// cpuid check. (No lambdas here: a lambda body would not inherit the
+// enclosing function's target attribute.)
+#include "storage/compression/simd/kernels.h"
+
+#if HSDB_SIMD_X86
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace hsdb {
+namespace compression {
+namespace simd {
+namespace internal {
+
+namespace {
+
+#define HSDB_TARGET_SSE42 __attribute__((target("sse4.2")))
+
+/// Window plan for one 16-byte load holding eight values: pshufb controls
+/// and field-aligning multipliers for values j=0..3 (lo) and j=4..7 (hi).
+/// Valid for any value index congruent to `start` modulo 8 (the bit phase
+/// within the window's first byte repeats every 8 values).
+struct WindowPlan128 {
+  alignas(16) uint8_t shuffle_lo[16];
+  alignas(16) uint8_t shuffle_hi[16];
+  alignas(16) uint32_t mult_lo[4];
+  alignas(16) uint32_t mult_hi[4];
+};
+
+WindowPlan128 MakeWindowPlan128(size_t start, uint32_t width) {
+  WindowPlan128 plan;
+  const uint32_t phase = static_cast<uint32_t>((start * width) & 7);
+  for (uint32_t j = 0; j < 8; ++j) {
+    const uint32_t r = phase + j * width;
+    const uint32_t s = r >> 3;
+    const uint32_t t = r & 7;
+    uint8_t* shuffle = j < 4 ? plan.shuffle_lo : plan.shuffle_hi;
+    uint32_t* mult = j < 4 ? plan.mult_lo : plan.mult_hi;
+    mult[j % 4] = 256u >> t;  // *2^(8-t): field moves to bits [8, 8+width)
+    for (uint32_t k = 0; k < 4; ++k) {
+      // Indexes past the 16-byte window select zero (safe: those bits are
+      // masked out anyway).
+      const uint32_t idx = s + k;
+      shuffle[(j % 4) * 4 + k] =
+          idx <= 15 ? static_cast<uint8_t>(idx) : 0x80;
+    }
+  }
+  return plan;
+}
+
+/// Loaded vector constants of a WindowPlan128.
+struct WindowVecs {
+  __m128i ctrl_lo, ctrl_hi, mult_lo, mult_hi, mask;
+};
+
+HSDB_TARGET_SSE42 inline WindowVecs LoadPlan(const WindowPlan128& plan,
+                                             uint32_t width) {
+  WindowVecs v;
+  v.ctrl_lo =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(plan.shuffle_lo));
+  v.ctrl_hi =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(plan.shuffle_hi));
+  v.mult_lo = _mm_load_si128(reinterpret_cast<const __m128i*>(plan.mult_lo));
+  v.mult_hi = _mm_load_si128(reinterpret_cast<const __m128i*>(plan.mult_hi));
+  v.mask = _mm_set1_epi32((1 << width) - 1);
+  return v;
+}
+
+/// Decodes four codes from the window into 32-bit lanes.
+HSDB_TARGET_SSE42 inline __m128i DecodeQuad(__m128i win, __m128i ctrl,
+                                            __m128i mult, __m128i mask) {
+  const __m128i grp = _mm_shuffle_epi8(win, ctrl);
+  return _mm_and_si128(_mm_srli_epi32(_mm_mullo_epi32(grp, mult), 8), mask);
+}
+
+HSDB_TARGET_SSE42 inline __m128i LoadWindow(const unsigned char* bytes,
+                                            size_t v, uint32_t width) {
+  return _mm_loadu_si128(
+      reinterpret_cast<const __m128i*>(bytes + ((v * width) >> 3)));
+}
+
+/// Zero-extends and stores four 32-bit codes as two __m128i of 64-bit
+/// lanes at out[0..3], adding `vbase` to each.
+HSDB_TARGET_SSE42 inline void StoreWidened(__m128i quad, __m128i vbase,
+                                           int64_t* out) {
+  auto* dst = reinterpret_cast<__m128i*>(out);
+  _mm_storeu_si128(dst, _mm_add_epi64(vbase, _mm_cvtepu32_epi64(quad)));
+  _mm_storeu_si128(
+      dst + 1,
+      _mm_add_epi64(vbase, _mm_cvtepu32_epi64(_mm_srli_si128(quad, 8))));
+}
+
+}  // namespace
+
+HSDB_TARGET_SSE42
+void UnpackBitsSse42(const uint64_t* words, size_t start, size_t count,
+                     uint32_t width, uint64_t* out) {
+  size_t i = 0;
+  if (width <= 16) {
+    const auto* bytes = reinterpret_cast<const unsigned char*>(words);
+    const WindowPlan128 plan = MakeWindowPlan128(start, width);
+    const WindowVecs v = LoadPlan(plan, width);
+    const __m128i zero = _mm_setzero_si128();
+    for (; i + 8 <= count; i += 8) {
+      const __m128i win = LoadWindow(bytes, start + i, width);
+      StoreWidened(DecodeQuad(win, v.ctrl_lo, v.mult_lo, v.mask), zero,
+                   reinterpret_cast<int64_t*>(out + i));
+      StoreWidened(DecodeQuad(win, v.ctrl_hi, v.mult_hi, v.mask), zero,
+                   reinterpret_cast<int64_t*>(out + i + 4));
+    }
+  }
+  if (i < count) {
+    UnpackBitsScalar(words, start + i, count - i, width, out + i);
+  }
+}
+
+HSDB_TARGET_SSE42
+void UnpackDict64Sse42(const uint64_t* words, size_t start, size_t count,
+                       uint32_t width, const int64_t* dict, int64_t* out) {
+  size_t i = 0;
+  if (width <= 16) {
+    const auto* bytes = reinterpret_cast<const unsigned char*>(words);
+    const WindowPlan128 plan = MakeWindowPlan128(start, width);
+    const WindowVecs v = LoadPlan(plan, width);
+    alignas(16) uint32_t codes[8];
+    for (; i + 8 <= count; i += 8) {
+      const __m128i win = LoadWindow(bytes, start + i, width);
+      _mm_store_si128(reinterpret_cast<__m128i*>(codes),
+                      DecodeQuad(win, v.ctrl_lo, v.mult_lo, v.mask));
+      _mm_store_si128(reinterpret_cast<__m128i*>(codes + 4),
+                      DecodeQuad(win, v.ctrl_hi, v.mult_hi, v.mask));
+      for (uint32_t j = 0; j < 8; ++j) out[i + j] = dict[codes[j]];
+    }
+  }
+  if (i < count) {
+    UnpackDict64Scalar(words, start + i, count - i, width, dict, out + i);
+  }
+}
+
+HSDB_TARGET_SSE42
+void UnpackForDeltasSse42(const uint64_t* words, size_t start, size_t count,
+                          uint32_t width, int64_t base, int64_t* out) {
+  size_t i = 0;
+  if (width <= 16) {
+    const auto* bytes = reinterpret_cast<const unsigned char*>(words);
+    const WindowPlan128 plan = MakeWindowPlan128(start, width);
+    const WindowVecs v = LoadPlan(plan, width);
+    const __m128i vbase = _mm_set1_epi64x(base);
+    for (; i + 8 <= count; i += 8) {
+      const __m128i win = LoadWindow(bytes, start + i, width);
+      StoreWidened(DecodeQuad(win, v.ctrl_lo, v.mult_lo, v.mask), vbase,
+                   out + i);
+      StoreWidened(DecodeQuad(win, v.ctrl_hi, v.mult_hi, v.mask), vbase,
+                   out + i + 4);
+    }
+  }
+  if (i < count) {
+    UnpackForDeltasScalar(words, start + i, count - i, width, base, out + i);
+  }
+}
+
+HSDB_TARGET_SSE42
+void FilterPackedRangeSse42(const uint64_t* words, size_t n, uint32_t width,
+                            uint64_t lo, uint64_t hi, uint64_t* bm_words) {
+  if (width > 16) {
+    FilterPackedRangeScalar(words, n, width, lo, hi, bm_words);
+    return;
+  }
+  const auto* bytes = reinterpret_cast<const unsigned char*>(words);
+  const size_t n_words = (n + 63) / 64;
+  const size_t full_words = n / 64;
+  // Codes fit 16 bits; clamp the bounds into the signed 32-bit lane domain.
+  const uint64_t cap = uint64_t{1} << 17;
+  const __m128i vlo = _mm_set1_epi32(static_cast<int>(std::min(lo, cap)));
+  const __m128i vhi = _mm_set1_epi32(static_cast<int>(std::min(hi, cap)));
+  // Row 0 starts the packing: 64*width bits per bitmap word is
+  // byte-aligned, so one plan covers every group of eight rows.
+  const WindowPlan128 plan = MakeWindowPlan128(0, width);
+  const WindowVecs v = LoadPlan(plan, width);
+  for (size_t wi = 0; wi < full_words; ++wi) {
+    if (bm_words[wi] == 0) continue;  // conjunction: nothing left to narrow
+    const size_t row0 = wi * 64;
+    uint64_t match = 0;
+    for (uint32_t k = 0; k < 8; ++k) {
+      const __m128i win = LoadWindow(bytes, row0 + 8 * k, width);
+      const __m128i c_lo = DecodeQuad(win, v.ctrl_lo, v.mult_lo, v.mask);
+      const __m128i c_hi = DecodeQuad(win, v.ctrl_hi, v.mult_hi, v.mask);
+      const __m128i keep_lo = _mm_andnot_si128(_mm_cmpgt_epi32(vlo, c_lo),
+                                               _mm_cmpgt_epi32(vhi, c_lo));
+      const __m128i keep_hi = _mm_andnot_si128(_mm_cmpgt_epi32(vlo, c_hi),
+                                               _mm_cmpgt_epi32(vhi, c_hi));
+      const auto m_lo =
+          static_cast<uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(keep_lo)));
+      const auto m_hi =
+          static_cast<uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(keep_hi)));
+      match |= static_cast<uint64_t>(m_lo | (m_hi << 4)) << (8 * k);
+    }
+    bm_words[wi] &= match;
+  }
+  // Partial trailing bitmap word: scalar, preserving bits at or past n.
+  if (full_words < n_words && bm_words[full_words] != 0) {
+    const size_t row0 = full_words * 64;
+    const size_t m = n - row0;
+    uint64_t buf[64];
+    UnpackBitsScalar(words, row0, m, width, buf);
+    uint64_t match = ~uint64_t{0} << m;
+    for (size_t j = 0; j < m; ++j) {
+      match |= static_cast<uint64_t>(buf[j] >= lo && buf[j] < hi) << j;
+    }
+    bm_words[full_words] &= match;
+  }
+}
+
+#undef HSDB_TARGET_SSE42
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace compression
+}  // namespace hsdb
+
+#endif  // HSDB_SIMD_X86

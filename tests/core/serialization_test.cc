@@ -166,14 +166,17 @@ TEST(CostModelSerializationTest, EncodingTermsRoundTrip) {
 
 TEST(CostModelSerializationTest, RejectsStaleFormatVersions) {
   std::string text = CostModelParams::Default().Serialize();
-  ASSERT_NE(text.find("hsdb_cost_model_v3"), std::string::npos);
-  // A v1 cache (no encoding terms at all) and a v2 cache (scan terms but no
-  // re-encode terms) must both fail deserialization — the caller's cue to
-  // recalibrate rather than run with a silently incomplete model.
-  for (const char* stale : {"hsdb_cost_model_v1", "hsdb_cost_model_v2"}) {
+  ASSERT_NE(text.find("hsdb_cost_model_v4"), std::string::npos);
+  // A v1 cache (no encoding terms at all), a v2 cache (scan terms but no
+  // re-encode terms) and a v3 cache (same fields, but calibrated against
+  // the scalar decode loops the SIMD kernels replaced) must all fail
+  // deserialization — the caller's cue to recalibrate rather than run with
+  // a silently incomplete or scalar-era model.
+  for (const char* stale :
+       {"hsdb_cost_model_v1", "hsdb_cost_model_v2", "hsdb_cost_model_v3"}) {
     std::string stale_text = text;
-    stale_text.replace(stale_text.find("hsdb_cost_model_v3"),
-                       std::string("hsdb_cost_model_v3").size(), stale);
+    stale_text.replace(stale_text.find("hsdb_cost_model_v4"),
+                       std::string("hsdb_cost_model_v4").size(), stale);
     EXPECT_FALSE(CostModelParams::Deserialize(stale_text).ok()) << stale;
   }
 }

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Docs link check: fails when README or docs/ reference a missing file or
+a nonexistent bench/example target.
+
+Checks, over README.md and every docs/*.md:
+  1. Markdown links `[text](path)` whose path is repo-relative (not a URL
+     or pure anchor) must resolve to an existing file or directory,
+     relative to the markdown file's own location.
+  2. Runnable-target mentions `./build/<name>` (and bare bench/example
+     target names in backticks) must correspond to a source file:
+     example_<x> -> examples/<x>.cpp, everything else -> bench/<name>.cc.
+
+Run from anywhere: paths resolve against the repository root (the parent
+of this script's directory). Exit code 0 = clean, 1 = broken references.
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+TARGET_RE = re.compile(
+    r"(?:\./)?build/((?:example_|fig|micro_|ablation_)[A-Za-z0-9_]+)")
+BARE_TARGET_RE = re.compile(
+    r"`((?:fig[0-9a-z_]+|micro_[a-z_]+|ablation_[a-z_]+|example_[a-z_]+))`")
+
+
+def target_source(name):
+    """Source file a build-target name must correspond to."""
+    if name.startswith("example_"):
+        return REPO / "examples" / (name[len("example_"):] + ".cpp")
+    return REPO / "bench" / (name + ".cc")
+
+
+def check_file(md_path):
+    problems = []
+    text = md_path.read_text(encoding="utf-8")
+
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = (md_path.parent / path).resolve()
+        if not resolved.exists():
+            problems.append(f"{md_path.relative_to(REPO)}: broken link "
+                            f"'{target}' (no file {path})")
+
+    names = set(TARGET_RE.findall(text)) | set(BARE_TARGET_RE.findall(text))
+    for name in sorted(names):
+        src = target_source(name)
+        if not src.exists():
+            problems.append(f"{md_path.relative_to(REPO)}: references "
+                            f"target '{name}' but {src.relative_to(REPO)} "
+                            f"does not exist")
+    return problems
+
+
+def main():
+    md_files = [REPO / "README.md"]
+    md_files += sorted((REPO / "docs").glob("*.md"))
+    missing = [p for p in md_files if not p.exists()]
+    if missing:
+        for p in missing:
+            print(f"ERROR: expected doc {p.relative_to(REPO)} is missing")
+        return 1
+
+    problems = []
+    for md in md_files:
+        problems.extend(check_file(md))
+
+    if problems:
+        print(f"FAIL: {len(problems)} broken doc reference(s):")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"OK: {len(md_files)} docs checked, all links and bench/example "
+          f"targets resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
