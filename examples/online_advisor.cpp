@@ -1,11 +1,17 @@
 // Online-mode demo (paper §4, Fig. 5): the advisor records extended workload
-// statistics while the system runs, recommends an initial layout, then the
-// workload drifts and a re-evaluation recommends an adaptation.
+// statistics while the system runs and the AdaptationController closes the
+// loop — each epoch it measures how far the live workload has drifted from
+// the profile the current design was solved for, re-runs the joint search
+// only when the drift crosses its thresholds, and converges to the new
+// design through budgeted incremental migration steps. Stationary epochs
+// cost nothing (no re-search); an OLTP -> OLAP phase shift triggers exactly
+// one adaptation.
 //
-//   $ ./build/examples/online_advisor
+//   $ ./build/example_online_advisor
 #include <cstdio>
 
 #include "core/advisor.h"
+#include "online/controller.h"
 #include "workload/generator.h"
 #include "workload/runner.h"
 
@@ -27,8 +33,10 @@ int main() {
   StorageAdvisor advisor(&db);
   advisor.StartRecording();
 
-  // Phase 1: transactional period — point updates and lookups.
-  std::printf("phase 1: OLTP period (600 queries)...\n");
+  // Initial design: record one transactional epoch, solve, apply. Apply
+  // stamps the advisor with the profile the design was solved for — the
+  // drift baseline.
+  std::printf("epoch 0: OLTP period (600 queries)...\n");
   {
     WorkloadOptions opts;
     opts.olap_fraction = 0.0;
@@ -38,30 +46,41 @@ int main() {
   }
   Result<Recommendation> rec = advisor.RecommendOnline();
   HSDB_CHECK(rec.ok());
-  std::printf("online recommendation after phase 1:\n%s\n",
-              rec->Summary().c_str());
+  std::printf("initial online recommendation:\n%s\n", rec->Summary().c_str());
   HSDB_CHECK(advisor.Apply(*rec).ok());
   std::printf("applied: %s\n\n",
               db.catalog().GetTable(spec.name)->layout().ToString().c_str());
 
-  // Phase 2: the workload drifts to analytics; reset the statistics window
-  // (as a periodic re-evaluation would) and record the new behaviour.
-  std::printf("phase 2: workload drifts to analytics (150 queries)...\n");
-  advisor.recorder()->Reset();
-  {
+  // Hand the loop to the controller: explicit Tick() per epoch here (call
+  // controller.Start() instead for the background thread).
+  AdaptationOptions options;
+  options.min_epoch_queries = 64;
+  options.cooldown_epochs = 1;
+  AdaptationController& controller = advisor.StartAutoAdapt(options);
+
+  // Epochs 1-2 stay transactional (no drift — the controller must not
+  // re-search); from epoch 3 the workload turns analytic and one adaptation
+  // migrates the table.
+  for (int epoch = 1; epoch <= 5; ++epoch) {
+    const bool analytic = epoch >= 3;
     WorkloadOptions opts;
-    opts.olap_fraction = 0.8;
-    opts.seed = 2;
-    SyntheticWorkloadGenerator gen(spec, rows, opts);
-    RunWorkload(db, gen.Generate(150));
+    opts.olap_fraction = analytic ? 0.8 : 0.0;
+    opts.seed = 100 + epoch;
+    SyntheticWorkloadGenerator gen(
+        spec, db.catalog().GetTable(spec.name)->row_count(), opts);
+    std::printf("epoch %d: %s (300 queries)...\n", epoch,
+                analytic ? "analytic phase" : "transactional phase");
+    RunWorkload(db, gen.Generate(300));
+    AdaptationLogEntry entry = controller.Tick();
+    std::printf("  -> %s\n", entry.ToString().c_str());
   }
-  rec = advisor.RecommendOnline();
-  HSDB_CHECK(rec.ok());
-  std::printf("online recommendation after the drift:\n%s\n",
-              rec->Summary().c_str());
-  HSDB_CHECK(advisor.Apply(*rec).ok());
-  std::printf("applied: %s\n",
+
+  std::printf("\n%s\n", controller.LogSummary().c_str());
+  std::printf("final layout: %s\n",
               db.catalog().GetTable(spec.name)->layout().ToString().c_str());
+  std::printf("re-searches: %zu (stationary epochs cost none)\n",
+              controller.researches());
+  advisor.StopAutoAdapt();
   advisor.StopRecording();
   return 0;
 }

@@ -4,29 +4,11 @@
 #include <sstream>
 
 #include "core/workload_model.h"
+#include "online/controller.h"
 
 namespace hsdb {
 
 namespace {
-
-/// True when the recommendation's per-column codecs deviate from what the
-/// catalog statistics carry (the store's current codecs for column-resident
-/// tables, the picker's choice for hypothetical moves) on any column of a
-/// column-store piece.
-bool EncodingsDiffer(const Schema& schema, const LayoutContext& ctx,
-                     const TableStatistics* stats) {
-  if (ctx.encodings.size() != schema.num_columns() || stats == nullptr ||
-      stats->columns.size() != schema.num_columns()) {
-    return false;
-  }
-  for (ColumnId c = 0; c < schema.num_columns(); ++c) {
-    if (ColumnInColumnStorePiece(ctx.layout, schema, c) &&
-        ctx.encodings[c] != stats->column(c).encoding) {
-      return true;
-    }
-  }
-  return false;
-}
 
 /// " ENCODING (col CODEC, ...)" clause naming the codec of every column
 /// that lands in a column-store piece. The codecs are the encoding search's
@@ -101,41 +83,17 @@ std::string LayoutDdl(const std::string& table, const LayoutContext& ctx,
   return os.str();
 }
 
-/// Locality context of a table's *current* layout — the incumbent design
-/// the joint search's hysteresis rule protects. The hot row fraction of a
-/// horizontal split is reconstructed from the primary-key statistics (the
-/// boundary relative to the key domain); the context matters only for
-/// costing, the layout itself decides incumbency.
-LayoutContext CurrentLayoutContext(const LogicalTable& table,
-                                   const TableStatistics* stats) {
-  LayoutContext ctx;
-  ctx.layout = table.layout();
-  if (ctx.layout.horizontal.has_value() && stats != nullptr) {
-    const ColumnId pk = ctx.layout.horizontal->column;
-    if (pk < stats->columns.size() && stats->column(pk).min.has_value() &&
-        stats->column(pk).max.has_value()) {
-      const double domain =
-          std::max(1.0, *stats->column(pk).max - *stats->column(pk).min);
-      ctx.hot_row_fraction = std::clamp(
-          (*stats->column(pk).max - ctx.layout.horizontal->boundary) /
-              domain,
-          0.0, 1.0);
-      // A boundary above the data domain is the fresh-data partition: the
-      // hot piece is (still) empty and point access targets existing cold
-      // rows — the same locality PartitionAdvisor attached when it created
-      // the split. Populated hot ranges keep the optimistic default (the
-      // range was chosen because accesses concentrate there).
-      if (ctx.hot_row_fraction == 0.0) ctx.hot_access_fraction = 0.0;
-    }
-  }
-  return ctx;
-}
-
 }  // namespace
 
 std::string Recommendation::Summary() const {
   std::ostringstream os;
   os << "Storage advisor recommendation\n";
+  if (!solved_for.empty()) {
+    os << "  solved for: " << solved_for.total_queries
+       << " queries, OLAP fraction " << solved_for.olap_fraction;
+    if (solved_epoch > 0) os << ", epoch " << solved_epoch;
+    os << "\n";
+  }
   os << "  estimated workload cost: " << estimated_cost_ms << " ms\n";
   os << "  baselines: RS-only " << rs_only_cost_ms << " ms, CS-only "
      << cs_only_cost_ms << " ms, table-level " << table_level_cost_ms
@@ -170,9 +128,13 @@ StorageAdvisor::StorageAdvisor(Database* db, AdvisorOptions options)
       options_(options),
       model_(std::make_unique<CostModel>()),
       recorder_(std::make_unique<WorkloadRecorder>(
-          &db->catalog(), options.recorder_sample)) {}
+          &db->catalog(), options.recorder_sample,
+          options.recorder_hot_keys)) {}
 
 StorageAdvisor::~StorageAdvisor() {
+  // The controller's background thread ticks against the recorder and the
+  // database; join it before detaching anything.
+  controller_.reset();
   if (recording_) db_->set_observer(nullptr);
 }
 
@@ -192,13 +154,13 @@ void StorageAdvisor::SetCostModelParams(CostModelParams params) {
 }
 
 Status StorageAdvisor::EnsureStatistics(
-    const std::vector<WeightedQuery>& workload) {
+    const std::vector<WeightedQuery>& workload, bool refresh) {
   for (const WeightedQuery& wq : workload) {
     for (const std::string& name : TablesOf(wq.query)) {
       if (db_->catalog().GetTable(name) == nullptr) {
         return Status::NotFound("workload references unknown table " + name);
       }
-      if (db_->catalog().GetStatistics(name) == nullptr) {
+      if (refresh || db_->catalog().GetStatistics(name) == nullptr) {
         HSDB_RETURN_IF_ERROR(db_->catalog().UpdateStatistics(name));
       }
     }
@@ -241,40 +203,75 @@ void StorageAdvisor::StopRecording() {
   recording_ = false;
 }
 
+AdaptationController& StorageAdvisor::StartAutoAdapt(
+    const AdaptationOptions& options) {
+  if (!recording_) StartRecording();
+  controller_ = std::make_unique<AdaptationController>(this, db_, options);
+  return *controller_;
+}
+
+AdaptationController& StorageAdvisor::StartAutoAdapt() {
+  return StartAutoAdapt(AdaptationOptions{});
+}
+
+void StorageAdvisor::StopAutoAdapt() { controller_.reset(); }
+
 Result<Recommendation> StorageAdvisor::RecommendOnline() {
   if (!recording_) {
     return Status::FailedPrecondition(
         "online mode requires StartRecording()");
   }
-  if (recorder_->seen_queries() == 0) {
-    return Status::FailedPrecondition("no queries recorded yet");
+  if (recorder_->epoch_seen_queries() == 0) {
+    return Status::FailedPrecondition(
+        "no queries recorded in the current epoch");
   }
+  // Consume the epoch atomically: snapshot the extended statistics and the
+  // sample, then roll the recorder so queries arriving during (or after)
+  // the search land in the next epoch — the search below never sees a mix
+  // of two windows.
+  const WorkloadStatistics stats = recorder_->statistics();
+  const std::vector<Query> sample = recorder_->recorded_queries();
+  const uint64_t epoch_seen = recorder_->epoch_seen_queries();
+  const uint64_t epoch = recorder_->epoch();
+  recorder_->BeginEpoch();
+
   std::vector<WeightedQuery> workload;
-  if (recorder_->recorded_queries().empty()) {
+  if (sample.empty()) {
     // Statistics-only mode (no raw query log retained): reconstruct a
     // representative weighted workload from the extended statistics.
-    workload = BuildWorkloadModel(recorder_->statistics(), db_->catalog());
+    workload = BuildWorkloadModel(stats, db_->catalog());
     if (workload.empty()) {
       return Status::FailedPrecondition(
           "statistics do not describe any known table");
     }
   } else {
-    // Scale the retained sample back to the full stream volume.
-    double scale = static_cast<double>(recorder_->seen_queries()) /
-                   static_cast<double>(recorder_->recorded_queries().size());
-    workload.reserve(recorder_->recorded_queries().size());
-    for (const Query& q : recorder_->recorded_queries()) {
+    // Scale the retained sample back to the epoch's full stream volume.
+    double scale = static_cast<double>(epoch_seen) /
+                   static_cast<double>(sample.size());
+    workload.reserve(sample.size());
+    for (const Query& q : sample) {
       workload.push_back(WeightedQuery{q, scale});
     }
   }
-  HSDB_RETURN_IF_ERROR(EnsureStatistics(workload));
-  return Recommend(workload, recorder_->statistics());
+  // Refresh the catalog statistics of every touched table (memoized on the
+  // table's data_version, so unmutated tables are not re-profiled): the
+  // search pairs this epoch's workload profile with this epoch's data
+  // statistics instead of whatever an earlier epoch left behind.
+  HSDB_RETURN_IF_ERROR(EnsureStatistics(workload, /*refresh=*/true));
+  Result<Recommendation> rec = Recommend(workload, stats);
+  if (rec.ok()) rec->solved_epoch = epoch;
+  return rec;
 }
 
 Result<Recommendation> StorageAdvisor::Recommend(
     const std::vector<WeightedQuery>& workload,
     const WorkloadStatistics& stats) {
   Recommendation rec;
+  // Stamp what the search is about to be solved for: the drift detector
+  // compares live statistics against this snapshot, and the migration
+  // planner orders steps by gain on this workload.
+  rec.solved_for = WorkloadProfile::Snapshot(stats);
+  rec.solved_workload = workload;
 
   TableAdvisor table_advisor(model_.get(), &db_->catalog(),
                              options_.table_options);
@@ -435,6 +432,11 @@ Result<Recommendation> StorageAdvisor::Recommend(
 }
 
 Status StorageAdvisor::Apply(const Recommendation& recommendation) {
+  // The applied design is now the one solved for this profile — the
+  // baseline the adaptation loop measures drift against.
+  if (!recommendation.solved_for.empty()) {
+    solved_profile_ = recommendation.solved_for;
+  }
   for (const auto& [name, ctx] : recommendation.layouts) {
     // Only act on tables the recommendation actually changes — same
     // criterion as the DDL emission — so unchanged tables are not

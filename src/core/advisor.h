@@ -23,9 +23,13 @@
 #include "core/partition_advisor.h"
 #include "core/probe_runner.h"
 #include "core/table_advisor.h"
+#include "online/drift.h"
 #include "workload/recorder.h"
 
 namespace hsdb {
+
+class AdaptationController;
+struct AdaptationOptions;
 
 struct AdvisorOptions {
   /// Consider horizontal/vertical partitioning (§3.2); with false the
@@ -54,6 +58,11 @@ struct AdvisorOptions {
   bool joint_budget_search = true;
   /// Raw queries retained by the online recorder (reservoir sample).
   size_t recorder_sample = 4096;
+  /// Counters of the online recorder's per-table hot-update-key sketch
+  /// (SpaceSaving capacity): any key updated more than 1/capacity of the
+  /// time is guaranteed tracked. Larger = finer hot-set resolution at a
+  /// little more recording memory.
+  size_t recorder_hot_keys = 64;
 };
 
 struct Recommendation {
@@ -94,6 +103,17 @@ struct Recommendation {
   /// Per-table reasoning.
   std::vector<std::string> rationale;
 
+  /// The workload profile this recommendation was solved for (normalized
+  /// snapshot of the statistics that drove the search). The online
+  /// adaptation loop compares live statistics against it to decide when a
+  /// re-search is due (src/online/drift.h).
+  WorkloadProfile solved_for;
+  /// Recorder epoch the online mode snapshotted (0 for offline mode).
+  uint64_t solved_epoch = 0;
+  /// The weighted workload the recommendation was costed on — the
+  /// migration planner re-uses it to order steps by workload-cost gain.
+  std::vector<WeightedQuery> solved_workload;
+
   /// Human-readable report: costs, per-table DDL + rationale, encoding
   /// footprints and budget attribution.
   std::string Summary() const;
@@ -133,10 +153,42 @@ class StorageAdvisor {
   void StopRecording();
   WorkloadRecorder* recorder() { return recorder_.get(); }
 
-  /// Recommendation from the statistics and query sample recorded since
-  /// StartRecording()/last reset. FailedPrecondition when not recording or
-  /// nothing was recorded.
+  /// Recommendation from the statistics and query sample recorded in the
+  /// current epoch (since StartRecording()/the last epoch rollover).
+  /// The epoch is consumed atomically: the recorded profile and sample are
+  /// snapshotted, the recorder rolls to the next epoch, and the catalog
+  /// statistics of every touched table are refreshed before the search — a
+  /// re-search never mixes the workload profile of one epoch with the data
+  /// statistics of another. FailedPrecondition when not recording or when
+  /// the current epoch is empty.
   Result<Recommendation> RecommendOnline();
+
+  // --- Online adaptation (src/online/) --------------------------------------
+
+  /// Starts the epoch-driven adaptation loop: attaches the recorder (as
+  /// StartRecording) if needed and creates the AdaptationController that
+  /// re-runs the joint search when recorded statistics drift from the
+  /// profile the applied design was solved for, migrating incrementally.
+  /// Call controller->Tick() per epoch (or controller->Start() for the
+  /// background thread). Replaces any previous controller.
+  AdaptationController& StartAutoAdapt(const AdaptationOptions& options);
+  AdaptationController& StartAutoAdapt();
+  /// The active controller; nullptr before StartAutoAdapt/after Stop.
+  AdaptationController* auto_adapt() { return controller_.get(); }
+  /// Destroys the controller (joining its background thread if running);
+  /// recording continues.
+  void StopAutoAdapt();
+
+  /// The profile the currently *applied* design was solved for: stamped by
+  /// Apply() from the applied recommendation, re-stamped by the controller
+  /// when a re-search validates the design for a new profile. Empty until
+  /// a recommendation with a profile is applied.
+  const std::optional<WorkloadProfile>& solved_profile() const {
+    return solved_profile_;
+  }
+  void set_solved_profile(WorkloadProfile profile) {
+    solved_profile_ = std::move(profile);
+  }
 
   // --- Applying recommendations -------------------------------------------
 
@@ -148,12 +200,19 @@ class StorageAdvisor {
   Result<Recommendation> Recommend(
       const std::vector<WeightedQuery>& workload,
       const WorkloadStatistics& stats);
-  Status EnsureStatistics(const std::vector<WeightedQuery>& workload);
+  /// Statistics for every touched table: with `refresh` false only tables
+  /// that were never analyzed are profiled (offline mode); with true every
+  /// touched table is re-analyzed (memoized on data_version — the online
+  /// mode's per-epoch refresh).
+  Status EnsureStatistics(const std::vector<WeightedQuery>& workload,
+                          bool refresh = false);
 
   Database* db_;
   AdvisorOptions options_;
   std::unique_ptr<CostModel> model_;
   std::unique_ptr<WorkloadRecorder> recorder_;
+  std::unique_ptr<AdaptationController> controller_;
+  std::optional<WorkloadProfile> solved_profile_;
   bool recording_ = false;
 };
 

@@ -592,4 +592,44 @@ double WorkloadCostEstimator::WorkloadCostAssignment(
   });
 }
 
+LayoutContext CurrentLayoutContext(const LogicalTable& table,
+                                   const TableStatistics* stats) {
+  LayoutContext ctx;
+  ctx.layout = table.layout();
+  if (ctx.layout.horizontal.has_value() && stats != nullptr) {
+    const ColumnId pk = ctx.layout.horizontal->column;
+    if (pk < stats->columns.size() && stats->column(pk).min.has_value() &&
+        stats->column(pk).max.has_value()) {
+      const double domain =
+          std::max(1.0, *stats->column(pk).max - *stats->column(pk).min);
+      ctx.hot_row_fraction = std::clamp(
+          (*stats->column(pk).max - ctx.layout.horizontal->boundary) /
+              domain,
+          0.0, 1.0);
+      // A boundary above the data domain is the fresh-data partition: the
+      // hot piece is (still) empty and point access targets existing cold
+      // rows — the same locality PartitionAdvisor attached when it created
+      // the split. Populated hot ranges keep the optimistic default (the
+      // range was chosen because accesses concentrate there).
+      if (ctx.hot_row_fraction == 0.0) ctx.hot_access_fraction = 0.0;
+    }
+  }
+  return ctx;
+}
+
+bool EncodingsDiffer(const Schema& schema, const LayoutContext& ctx,
+                     const TableStatistics* stats) {
+  if (ctx.encodings.size() != schema.num_columns() || stats == nullptr ||
+      stats->columns.size() != schema.num_columns()) {
+    return false;
+  }
+  for (ColumnId c = 0; c < schema.num_columns(); ++c) {
+    if (ColumnInColumnStorePiece(ctx.layout, schema, c) &&
+        ctx.encodings[c] != stats->column(c).encoding) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace hsdb

@@ -76,6 +76,22 @@ struct LayoutCandidate {
 double EncodedRowFraction(const LayoutContext& ctx, const Schema& schema,
                           ColumnId col);
 
+/// Locality context of a table's *current* layout — the incumbent design
+/// the joint search's hysteresis rule protects and the baseline the online
+/// migration planner costs step gains against. The hot row fraction of a
+/// horizontal split is reconstructed from the primary-key statistics (the
+/// boundary relative to the key domain); the context matters only for
+/// costing, the layout itself decides incumbency.
+LayoutContext CurrentLayoutContext(const LogicalTable& table,
+                                   const TableStatistics* stats);
+
+/// True when the context's per-column codecs deviate from what the catalog
+/// statistics carry (the store's current codecs for column-resident tables,
+/// the picker's choice for hypothetical moves) on any column of a
+/// column-store piece — i.e. when applying the context would re-encode.
+bool EncodingsDiffer(const Schema& schema, const LayoutContext& ctx,
+                     const TableStatistics* stats);
+
 class WorkloadCostEstimator {
  public:
   WorkloadCostEstimator(const CostModel* model, const Catalog* catalog)

@@ -50,6 +50,7 @@ Status Database::ApplyLayout(const std::string& name,
   HSDB_ASSIGN_OR_RETURN(std::unique_ptr<LogicalTable> rebuilt,
                         Rematerialize(*table, layout, options));
   HSDB_RETURN_IF_ERROR(catalog_.ReplaceTable(name, std::move(rebuilt)));
+  ++layout_epoch_;
   return catalog_.UpdateStatistics(name);
 }
 

@@ -53,10 +53,18 @@ class Database {
   Status ApplyLayout(const std::string& name, const TableLayout& layout,
                      const std::vector<Encoding>& encodings = {});
 
+  /// Counts physical reorganizations: +1 for every ApplyLayout/MoveTable
+  /// that actually rematerialized a table (no-op calls don't count). The
+  /// online migration executor applies a recommendation as several budgeted
+  /// steps; this counter is how its callers (and tests) observe that the
+  /// convergence really happened incrementally.
+  uint64_t layout_epoch() const { return layout_epoch_; }
+
  private:
   Catalog catalog_;
   Executor executor_;
   QueryObserver* observer_ = nullptr;
+  uint64_t layout_epoch_ = 0;
 };
 
 }  // namespace hsdb

@@ -27,6 +27,7 @@ TableWorkloadStats& WorkloadStatistics::TableEntry(const std::string& name,
   auto it = tables_.find(name);
   if (it != tables_.end()) return it->second;
   TableWorkloadStats stats;
+  stats.hot_update_keys = SpaceSaving(hot_key_capacity_);
   const LogicalTable* table = catalog.GetTable(name);
   size_t num_columns = table != nullptr ? table->schema().num_columns() : 0;
   stats.columns.resize(num_columns);
@@ -178,27 +179,41 @@ void WorkloadStatistics::Reset() {
 }
 
 WorkloadRecorder::WorkloadRecorder(const Catalog* catalog,
-                                   size_t max_recorded_queries)
-    : catalog_(catalog), max_queries_(max_recorded_queries) {}
+                                   size_t max_recorded_queries,
+                                   size_t hot_key_capacity)
+    : catalog_(catalog),
+      max_queries_(max_recorded_queries),
+      hot_key_capacity_(hot_key_capacity),
+      statistics_(hot_key_capacity) {}
 
 void WorkloadRecorder::OnQuery(const Query& query, const QueryResult&) {
   statistics_.Record(query, *catalog_);
   ++seen_;
+  ++epoch_seen_;
   if (max_queries_ == 0) return;
   if (queries_.size() < max_queries_) {
     queries_.push_back(query);
     return;
   }
-  // Reservoir sampling keeps a uniform sample of the stream.
+  // Reservoir sampling keeps a uniform sample of the epoch's stream.
   uint64_t j = static_cast<uint64_t>(
-      rng_.UniformInt(0, static_cast<int64_t>(seen_) - 1));
+      rng_.UniformInt(0, static_cast<int64_t>(epoch_seen_) - 1));
   if (j < max_queries_) queries_[j] = query;
 }
 
+void WorkloadRecorder::BeginEpoch() {
+  statistics_ = WorkloadStatistics(hot_key_capacity_);
+  queries_.clear();
+  epoch_seen_ = 0;
+  ++epoch_;
+}
+
 void WorkloadRecorder::Reset() {
-  statistics_.Reset();
+  statistics_ = WorkloadStatistics(hot_key_capacity_);
   queries_.clear();
   seen_ = 0;
+  epoch_seen_ = 0;
+  epoch_ = 0;
 }
 
 }  // namespace hsdb

@@ -69,6 +69,13 @@ struct TableWorkloadStats {
 /// Workload statistics across all tables.
 class WorkloadStatistics {
  public:
+  WorkloadStatistics() = default;
+  /// `hot_key_capacity` sizes the per-table SpaceSaving sketch of hot
+  /// update keys (counters tracked, not keys seen — the sketch stays
+  /// bounded regardless).
+  explicit WorkloadStatistics(size_t hot_key_capacity)
+      : hot_key_capacity_(hot_key_capacity) {}
+
   /// Folds one executed query into the statistics. `catalog` provides
   /// schema/stats context (histogram domains, column counts).
   void Record(const Query& query, const Catalog& catalog);
@@ -94,32 +101,58 @@ class WorkloadStatistics {
   std::map<std::string, TableWorkloadStats> tables_;
   uint64_t total_queries_ = 0;
   uint64_t olap_queries_ = 0;
+  size_t hot_key_capacity_ = 64;
 };
 
 /// QueryObserver collecting WorkloadStatistics and (optionally) a bounded
-/// sample of the raw queries for advisor re-costing.
+/// sample of the raw queries for advisor re-costing. Recording is windowed
+/// into *epochs*: statistics and the reservoir sample describe the current
+/// epoch only (since the last BeginEpoch/Reset), which is the unit the
+/// online advisor snapshots atomically — one re-search never mixes stats
+/// from two epochs. The lifetime query count survives epoch rollovers.
 class WorkloadRecorder : public QueryObserver {
  public:
   /// `max_recorded_queries` bounds the raw query log (reservoir sampling);
   /// 0 disables raw retention (statistics only — the cheap mode whose
   /// quality trade-off bench/ablation_statistics measures).
+  /// `hot_key_capacity` sizes the per-table hot-update-key sketch
+  /// (AdvisorOptions::recorder_hot_keys is the user knob).
   explicit WorkloadRecorder(const Catalog* catalog,
-                            size_t max_recorded_queries = 4096);
+                            size_t max_recorded_queries = 4096,
+                            size_t hot_key_capacity = 64);
 
   void OnQuery(const Query& query, const QueryResult& result) override;
 
+  /// Statistics and sample of the current epoch.
   const WorkloadStatistics& statistics() const { return statistics_; }
   const std::vector<Query>& recorded_queries() const { return queries_; }
-  uint64_t seen_queries() const { return seen_; }
 
+  /// Queries observed since construction / the last full Reset (lifetime —
+  /// NOT reset by BeginEpoch).
+  uint64_t seen_queries() const { return seen_; }
+  /// Queries observed in the current epoch.
+  uint64_t epoch_seen_queries() const { return epoch_seen_; }
+  /// Current epoch index (0 after construction/Reset; +1 per BeginEpoch).
+  uint64_t epoch() const { return epoch_; }
+
+  /// Ends the current epoch: clears the statistics and the sample, advances
+  /// the epoch counter, keeps the lifetime query count. The online advisor
+  /// calls this after snapshotting an epoch for a re-search; the
+  /// AdaptationController calls it to roll the observation window.
+  void BeginEpoch();
+
+  /// Full reset: clears everything including the epoch counter.
   void Reset();
 
  private:
   const Catalog* catalog_;
   size_t max_queries_;
+  size_t hot_key_capacity_;
   WorkloadStatistics statistics_;
   std::vector<Query> queries_;
   uint64_t seen_ = 0;
+  uint64_t epoch_seen_ = 0;
+  uint64_t epoch_ = 0;
   Rng rng_{0xc0ffee};
 };
 

@@ -295,6 +295,90 @@ TEST_F(AdvisorTest, OnlineModeAdaptsToWorkloadShift) {
   EXPECT_EQ(second->table_level_assignment.at("t"), StoreType::kColumn);
 }
 
+TEST_F(AdvisorTest, RecommendOnlineConsumesEpochAtomically) {
+  StorageAdvisor advisor(&db_);
+  advisor.StartRecording();
+  WorkloadOptions o;
+  o.olap_fraction = 0.0;
+  SyntheticWorkloadGenerator gen(spec_, 5000, o);
+  RunWorkload(db_, gen.Generate(300));
+  EXPECT_EQ(advisor.recorder()->epoch(), 0u);
+  auto r = advisor.RecommendOnline();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->solved_epoch, 0u);
+  // The epoch was snapshotted and rolled: a second re-search has no window
+  // of its own and must refuse rather than reuse (or mix) the old one.
+  EXPECT_EQ(advisor.recorder()->epoch(), 1u);
+  EXPECT_EQ(advisor.recorder()->epoch_seen_queries(), 0u);
+  EXPECT_EQ(advisor.recorder()->seen_queries(), 300u);  // lifetime kept
+  EXPECT_EQ(advisor.RecommendOnline().status().code(),
+            StatusCode::kFailedPrecondition);
+  // Fresh traffic opens the next epoch.
+  RunWorkload(db_, gen.Generate(100));
+  auto second = advisor.RecommendOnline();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->solved_epoch, 1u);
+  // The second recommendation was solved on the 100-query window only.
+  EXPECT_EQ(second->solved_for.total_queries, 100u);
+}
+
+TEST_F(AdvisorTest, RecommendOnlineRefreshesCatalogStatistics) {
+  StorageAdvisor advisor(&db_);
+  advisor.StartRecording();
+  const uint64_t rows_before =
+      db_.catalog().GetStatistics("t")->row_count;
+  // The epoch's inserts mutate the table; the re-search must pair the
+  // epoch's profile with refreshed data statistics, not the stale ones.
+  WorkloadOptions o;
+  o.olap_fraction = 0.0;
+  o.insert_weight = 1.0;
+  o.update_weight = 0.0;
+  o.point_select_weight = 0.0;
+  SyntheticWorkloadGenerator gen(spec_, 5000, o);
+  RunWorkload(db_, gen.Generate(50));
+  ASSERT_TRUE(advisor.RecommendOnline().ok());
+  EXPECT_EQ(db_.catalog().GetStatistics("t")->row_count, rows_before + 50);
+}
+
+TEST_F(AdvisorTest, RecommendationCarriesSolvedProfileAndWorkload) {
+  StorageAdvisor advisor(&db_);
+  WorkloadOptions o;
+  o.olap_fraction = 0.9;
+  SyntheticWorkloadGenerator gen(spec_, 5000, o);
+  auto r = advisor.RecommendOffline(gen.Generate(200));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->solved_for.empty());
+  EXPECT_EQ(r->solved_for.total_queries, 200u);
+  const TableProfile* t = r->solved_for.table("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_GT(t->olap_fraction, 0.5);
+  EXPECT_EQ(r->solved_workload.size(), 200u);
+  // Apply stamps the advisor with the design's solved-for baseline.
+  EXPECT_FALSE(advisor.solved_profile().has_value());
+  ASSERT_TRUE(advisor.Apply(*r).ok());
+  ASSERT_TRUE(advisor.solved_profile().has_value());
+  EXPECT_EQ(advisor.solved_profile()->total_queries, 200u);
+}
+
+TEST_F(AdvisorTest, RecorderHotKeyCapacityFlowsFromOptions) {
+  AdvisorOptions options;
+  options.recorder_hot_keys = 4;
+  StorageAdvisor advisor(&db_, options);
+  advisor.StartRecording();
+  for (int64_t i = 0; i < 50; ++i) {
+    UpdateQuery u;
+    u.table = "t";
+    u.predicate = {{{0, 0}, ValueRange::Eq(Value(i % 25))}};
+    u.set_columns = {spec_.keyfigure(0)};
+    u.set_values = {Value(1.0)};
+    ASSERT_TRUE(db_.Execute(Query(u)).ok());
+  }
+  const TableWorkloadStats* t =
+      advisor.recorder()->statistics().table("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_LE(t->hot_update_keys.tracked(), 4u);
+}
+
 TEST_F(AdvisorTest, DdlMentionsPartitioningClauses) {
   StorageAdvisor advisor(&db_);
   // Force a partitioned recommendation via a hot-update + OLAP mix.

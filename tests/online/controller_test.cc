@@ -1,0 +1,290 @@
+#include "online/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+#include "workload/runner.h"
+
+namespace hsdb {
+namespace {
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_.name = "t";
+    ASSERT_TRUE(db_.CreateTable("t", spec_.MakeSchema(),
+                                TableLayout::SingleStore(StoreType::kRow))
+                    .ok());
+    ASSERT_TRUE(
+        PopulateSynthetic(db_.catalog().GetTable("t"), spec_, 3000).ok());
+    ASSERT_TRUE(db_.catalog().UpdateStatistics("t").ok());
+    advisor_ = std::make_unique<StorageAdvisor>(&db_);
+    advisor_->SetCostModelParams(CostModelParams::Default());
+  }
+
+  void RunEpoch(double olap_fraction, uint64_t seed, size_t count = 200) {
+    WorkloadOptions opts;
+    opts.olap_fraction = olap_fraction;
+    opts.seed = seed;
+    SyntheticWorkloadGenerator gen(
+        spec_, db_.catalog().GetTable("t")->row_count(), opts);
+    RunWorkload(db_, gen.Generate(count));
+  }
+
+  /// Records one OLTP epoch, solves and applies the initial design — the
+  /// solved-for baseline every test drifts against.
+  void SolveInitialDesign() {
+    advisor_->StartRecording();
+    RunEpoch(/*olap_fraction=*/0.0, /*seed=*/1, /*count=*/400);
+    Result<Recommendation> rec = advisor_->RecommendOnline();
+    ASSERT_TRUE(rec.ok());
+    ASSERT_TRUE(advisor_->Apply(*rec).ok());
+    ASSERT_TRUE(advisor_->solved_profile().has_value());
+  }
+
+  Database db_;
+  SyntheticTableSpec spec_;
+  std::unique_ptr<StorageAdvisor> advisor_;
+};
+
+TEST_F(ControllerTest, StationaryWorkloadNeverResearches) {
+  SolveInitialDesign();
+  AdaptationController& controller = advisor_->StartAutoAdapt();
+  const TableLayout before = db_.catalog().GetTable("t")->layout();
+  for (uint64_t epoch = 1; epoch <= 4; ++epoch) {
+    RunEpoch(0.0, 10 + epoch);
+    AdaptationLogEntry e = controller.Tick();
+    EXPECT_EQ(e.decision, AdaptDecision::kNoDrift) << e.ToString();
+  }
+  EXPECT_EQ(controller.researches(), 0u);
+  EXPECT_EQ(controller.adaptations(), 0u);
+  EXPECT_EQ(db_.catalog().GetTable("t")->layout(), before);
+  EXPECT_EQ(controller.ticks(), 4u);
+}
+
+TEST_F(ControllerTest, PhaseShiftTriggersAdaptation) {
+  SolveInitialDesign();
+  EXPECT_EQ(db_.catalog().GetTable("t")->layout().base_store,
+            StoreType::kRow);
+  AdaptationController& controller = advisor_->StartAutoAdapt();
+  RunEpoch(/*olap_fraction=*/0.9, /*seed=*/42);
+  AdaptationLogEntry e = controller.Tick();
+  EXPECT_EQ(e.decision, AdaptDecision::kAdapted) << e.ToString();
+  EXPECT_GT(e.global_drift, 0.2);
+  EXPECT_EQ(controller.researches(), 1u);
+  EXPECT_EQ(controller.adaptations(), 1u);
+  EXPECT_GE(e.migration_steps_applied, 1u);
+  // The adaptation moved the table to the analytic store and improved the
+  // estimated cost on the drifted workload.
+  EXPECT_EQ(db_.catalog().GetTable("t")->layout().base_store,
+            StoreType::kColumn);
+  EXPECT_LT(e.cost_after_ms, e.cost_before_ms);
+  // The solved-for baseline moved with the adaptation: the same analytic
+  // workload no longer reads as drift.
+  RunEpoch(0.9, 43);
+  EXPECT_EQ(controller.Tick().decision, AdaptDecision::kNoDrift);
+  EXPECT_EQ(controller.researches(), 1u);
+}
+
+TEST_F(ControllerTest, CooldownSuppressesThrashOnAlternatingPhases) {
+  SolveInitialDesign();
+  // Alternating OLTP/OLAP phases, one per epoch. Without damping the
+  // controller would re-solve (and re-migrate) every epoch; the cool-down
+  // bounds re-searches to one per (cooldown + 1) window.
+  AdaptationOptions with_cooldown;
+  with_cooldown.cooldown_epochs = 3;
+  AdaptationController& controller =
+      advisor_->StartAutoAdapt(with_cooldown);
+  const int epochs = 8;
+  size_t cooldown_decisions = 0;
+  for (int epoch = 1; epoch <= epochs; ++epoch) {
+    RunEpoch(epoch % 2 == 1 ? 0.9 : 0.0, 100 + epoch);
+    AdaptationLogEntry e = controller.Tick();
+    if (e.decision == AdaptDecision::kCooldown) ++cooldown_decisions;
+  }
+  // Every epoch drifts relative to the last solved profile, so without the
+  // cool-down there would be `epochs` re-searches; with it, at most
+  // ceil(epochs / (cooldown + 1)).
+  EXPECT_LE(controller.researches(),
+            static_cast<size_t>((epochs + with_cooldown.cooldown_epochs) /
+                                (with_cooldown.cooldown_epochs + 1)));
+  EXPECT_GE(cooldown_decisions, 1u);
+  EXPECT_LT(controller.researches(), static_cast<size_t>(epochs));
+}
+
+TEST_F(ControllerTest, IdleEpochsAccumulateTraffic) {
+  SolveInitialDesign();
+  AdaptationOptions options;
+  options.min_epoch_queries = 100;
+  AdaptationController& controller = advisor_->StartAutoAdapt(options);
+  // 60 queries: below the floor — the tick must not judge (or roll) the
+  // window.
+  RunEpoch(0.9, 7, /*count=*/60);
+  EXPECT_EQ(controller.Tick().decision, AdaptDecision::kIdle);
+  EXPECT_EQ(advisor_->recorder()->epoch_seen_queries(), 60u);
+  // Another 60 queries push the same window over the floor.
+  RunEpoch(0.9, 8, /*count=*/60);
+  AdaptationLogEntry e = controller.Tick();
+  EXPECT_EQ(e.queries, 120u);
+  EXPECT_NE(e.decision, AdaptDecision::kIdle);
+}
+
+TEST_F(ControllerTest, BudgetedMigrationConvergesOverEpochs) {
+  // Second table so the adaptation plan has two steps.
+  SyntheticTableSpec other = spec_;
+  other.name = "u";
+  ASSERT_TRUE(db_.CreateTable("u", other.MakeSchema(),
+                              TableLayout::SingleStore(StoreType::kRow))
+                  .ok());
+  ASSERT_TRUE(
+      PopulateSynthetic(db_.catalog().GetTable("u"), other, 3000).ok());
+  ASSERT_TRUE(db_.catalog().UpdateStatistics("u").ok());
+
+  advisor_->StartRecording();
+  auto run_both = [&](double olap, uint64_t seed) {
+    for (const SyntheticTableSpec* s : {&spec_, &other}) {
+      WorkloadOptions opts;
+      opts.olap_fraction = olap;
+      opts.seed = seed;
+      SyntheticWorkloadGenerator gen(
+          *s, db_.catalog().GetTable(s->name)->row_count(), opts);
+      RunWorkload(db_, gen.Generate(150));
+    }
+  };
+  run_both(0.0, 1);
+  Result<Recommendation> rec = advisor_->RecommendOnline();
+  ASSERT_TRUE(rec.ok());
+  ASSERT_TRUE(advisor_->Apply(*rec).ok());
+
+  AdaptationOptions options;
+  options.migration_steps_per_tick = 1;  // one table per epoch
+  AdaptationController& controller = advisor_->StartAutoAdapt(options);
+  const uint64_t layout_epoch_before = db_.layout_epoch();
+
+  run_both(0.9, 2);
+  AdaptationLogEntry adapt = controller.Tick();
+  ASSERT_EQ(adapt.decision, AdaptDecision::kAdapted) << adapt.ToString();
+  EXPECT_EQ(adapt.migration_steps_applied, 1u);
+  ASSERT_NE(controller.active_migration(), nullptr);
+  EXPECT_EQ(controller.active_migration()->remaining(), 1u);
+
+  // The next tick advances the in-flight migration instead of judging
+  // drift, and the plan finishes.
+  run_both(0.9, 3);
+  AdaptationLogEntry step = controller.Tick();
+  EXPECT_EQ(step.decision, AdaptDecision::kMigrationStep) << step.ToString();
+  EXPECT_EQ(step.migration_steps_applied, 1u);
+  EXPECT_EQ(controller.active_migration(), nullptr);
+  // Two separate physical reorganizations — genuinely incremental.
+  EXPECT_EQ(db_.layout_epoch(), layout_epoch_before + 2);
+  // Converged to the re-search's recommendation for both tables.
+  EXPECT_EQ(db_.catalog().GetTable("t")->layout().base_store,
+            StoreType::kColumn);
+  EXPECT_EQ(db_.catalog().GetTable("u")->layout().base_store,
+            StoreType::kColumn);
+  EXPECT_EQ(controller.researches(), 1u);
+}
+
+TEST_F(ControllerTest, WedgedMigrationIsAbandonedAndDriftResumes) {
+  // Two tables so the adaptation leaves a pending step after the first
+  // tick; the pending step's table is then dropped, so it can never apply.
+  SyntheticTableSpec other = spec_;
+  other.name = "u";
+  ASSERT_TRUE(db_.CreateTable("u", other.MakeSchema(),
+                              TableLayout::SingleStore(StoreType::kRow))
+                  .ok());
+  ASSERT_TRUE(
+      PopulateSynthetic(db_.catalog().GetTable("u"), other, 3000).ok());
+  ASSERT_TRUE(db_.catalog().UpdateStatistics("u").ok());
+  advisor_->StartRecording();
+  auto run_both = [&](double olap, uint64_t seed) {
+    for (const SyntheticTableSpec* s : {&spec_, &other}) {
+      WorkloadOptions opts;
+      opts.olap_fraction = olap;
+      opts.seed = seed;
+      SyntheticWorkloadGenerator gen(
+          *s, db_.catalog().GetTable(s->name)->row_count(), opts);
+      RunWorkload(db_, gen.Generate(150));
+    }
+  };
+  run_both(0.0, 1);
+  Result<Recommendation> rec = advisor_->RecommendOnline();
+  ASSERT_TRUE(rec.ok());
+  ASSERT_TRUE(advisor_->Apply(*rec).ok());
+
+  AdaptationOptions options;
+  options.migration_steps_per_tick = 1;
+  AdaptationController& controller = advisor_->StartAutoAdapt(options);
+  run_both(0.9, 2);
+  ASSERT_EQ(controller.Tick().decision, AdaptDecision::kAdapted);
+  ASSERT_NE(controller.active_migration(), nullptr);
+  const std::string pending =
+      controller.active_migration()->steps.back().table;
+  ASSERT_TRUE(db_.catalog().DropTable(pending).ok());
+
+  // The failing step is retried a bounded number of ticks, then the plan
+  // is abandoned — the controller must not wedge on it forever.
+  int failed_ticks = 0;
+  while (controller.active_migration() != nullptr) {
+    AdaptationLogEntry e = controller.Tick();
+    EXPECT_EQ(e.decision, AdaptDecision::kMigrationStep);
+    EXPECT_EQ(e.migration_steps_applied, 0u);
+    ASSERT_LE(++failed_ticks, 5);
+  }
+  EXPECT_EQ(failed_ticks, 3);  // kMaxMigrationFailures
+  // Drift detection is live again on the surviving table.
+  const SyntheticTableSpec& survivor = pending == "t" ? other : spec_;
+  ASSERT_NE(db_.catalog().GetTable(survivor.name), nullptr);
+  WorkloadOptions opts;
+  opts.olap_fraction = 0.9;
+  opts.seed = 9;
+  SyntheticWorkloadGenerator gen(
+      survivor, db_.catalog().GetTable(survivor.name)->row_count(), opts);
+  RunWorkload(db_, gen.Generate(200));
+  AdaptationLogEntry after = controller.Tick();
+  EXPECT_NE(after.decision, AdaptDecision::kMigrationStep);
+}
+
+TEST_F(ControllerTest, BackgroundThreadStartsAndStops) {
+  SolveInitialDesign();
+  AdaptationOptions options;
+  options.tick_interval = std::chrono::milliseconds(5);
+  AdaptationController& controller = advisor_->StartAutoAdapt(options);
+  EXPECT_FALSE(controller.running());
+  controller.Start();
+  EXPECT_TRUE(controller.running());
+  // Idle ticks only (no traffic): wait until the thread has provably run.
+  while (controller.ticks() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  controller.Stop();
+  EXPECT_FALSE(controller.running());
+  const size_t ticks = controller.ticks();
+  for (const AdaptationLogEntry& e : controller.log()) {
+    EXPECT_EQ(e.decision, AdaptDecision::kIdle);
+  }
+  // Stopped means stopped.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(controller.ticks(), ticks);
+  // StopAutoAdapt destroys the controller cleanly.
+  advisor_->StopAutoAdapt();
+  EXPECT_EQ(advisor_->auto_adapt(), nullptr);
+}
+
+TEST_F(ControllerTest, BootstrapWithoutSolvedProfileResearchesOnce) {
+  // Auto-adapt on a hand-built layout: no solved-for profile exists, so the
+  // first judged epoch bootstraps with a search.
+  AdaptationController& controller = advisor_->StartAutoAdapt();
+  RunEpoch(0.0, 5);
+  AdaptationLogEntry e = controller.Tick();
+  EXPECT_NE(e.decision, AdaptDecision::kIdle);
+  EXPECT_EQ(controller.researches(), 1u);
+  EXPECT_TRUE(advisor_->solved_profile().has_value());
+  // Second stationary epoch: baseline now exists, no further search.
+  RunEpoch(0.0, 6);
+  EXPECT_EQ(controller.Tick().decision, AdaptDecision::kNoDrift);
+  EXPECT_EQ(controller.researches(), 1u);
+}
+
+}  // namespace
+}  // namespace hsdb

@@ -1,0 +1,190 @@
+#include "online/drift.h"
+
+#include <gtest/gtest.h>
+
+#include "executor/database.h"
+#include "workload/generator.h"
+#include "workload/runner.h"
+
+namespace hsdb {
+namespace {
+
+class DriftTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_.name = "t";
+    ASSERT_TRUE(db_.CreateTable("t", spec_.MakeSchema(),
+                                TableLayout::SingleStore(StoreType::kRow))
+                    .ok());
+    ASSERT_TRUE(
+        PopulateSynthetic(db_.catalog().GetTable("t"), spec_, 2000).ok());
+    ASSERT_TRUE(db_.catalog().UpdateStatistics("t").ok());
+  }
+
+  /// Records `count` generated queries into a fresh statistics object
+  /// without executing them (the recorder's Record path is what matters).
+  WorkloadStatistics Record(const WorkloadOptions& opts, size_t count) {
+    WorkloadStatistics stats;
+    SyntheticWorkloadGenerator gen(spec_, 2000, opts);
+    for (const Query& q : gen.Generate(count)) {
+      stats.Record(q, db_.catalog());
+    }
+    return stats;
+  }
+
+  static WorkloadOptions Oltp(uint64_t seed) {
+    WorkloadOptions o;
+    o.olap_fraction = 0.0;
+    o.seed = seed;
+    return o;
+  }
+
+  static WorkloadOptions Olap(uint64_t seed) {
+    WorkloadOptions o;
+    o.olap_fraction = 0.9;
+    o.seed = seed;
+    return o;
+  }
+
+  Database db_;
+  SyntheticTableSpec spec_;
+};
+
+TEST_F(DriftTest, SnapshotNormalizesCounters) {
+  WorkloadOptions o = Oltp(1);
+  o.insert_weight = 0.0;
+  o.update_weight = 1.0;
+  o.point_select_weight = 1.0;
+  WorkloadProfile p = WorkloadProfile::Snapshot(Record(o, 400));
+  ASSERT_EQ(p.total_queries, 400u);
+  const TableProfile* t = p.table("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->queries, 400u);
+  // Mix fractions form a distribution.
+  double sum = 0.0;
+  for (double f : t->MixVector()) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_NEAR(t->update_fraction + t->point_select_fraction, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(t->insert_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(t->olap_fraction, 0.0);
+  // Column usage shares form a distribution too.
+  double usage = 0.0;
+  for (double u : t->column_usage) usage += u;
+  EXPECT_NEAR(usage, 1.0, 1e-9);
+  // Update-key density captured with its domain and sample count.
+  EXPECT_GT(t->update_key_samples, 0u);
+  double mass = 0.0;
+  for (double d : t->update_key_density) mass += d;
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+TEST_F(DriftTest, TotalVariationBounds) {
+  EXPECT_DOUBLE_EQ(TotalVariation({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(TotalVariation({1.0, 0.0}, {1.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(TotalVariation({1.0, 0.0}, {0.0, 1.0}), 1.0);
+  // Padded with zeros to equal length.
+  EXPECT_DOUBLE_EQ(TotalVariation({1.0}, {0.0, 1.0}), 1.0);
+  EXPECT_NEAR(TotalVariation({0.5, 0.5}, {0.25, 0.75}), 0.25, 1e-12);
+}
+
+TEST_F(DriftTest, StationaryWorkloadScoresLow) {
+  WorkloadProfile a = WorkloadProfile::Snapshot(Record(Oltp(1), 400));
+  WorkloadProfile b = WorkloadProfile::Snapshot(Record(Oltp(2), 400));
+  DriftDetector detector;
+  DriftReport report = detector.Compare(a, b);
+  EXPECT_FALSE(report.exceeded) << report.Summary();
+  EXPECT_LT(report.global_score, 0.1);
+}
+
+TEST_F(DriftTest, PhaseShiftExceedsThreshold) {
+  WorkloadProfile a = WorkloadProfile::Snapshot(Record(Oltp(1), 400));
+  WorkloadProfile b = WorkloadProfile::Snapshot(Record(Olap(2), 400));
+  DriftDetector detector;
+  DriftReport report = detector.Compare(a, b);
+  EXPECT_TRUE(report.exceeded) << report.Summary();
+  ASSERT_EQ(report.tables.count("t"), 1u);
+  EXPECT_GT(report.tables.at("t").mix, 0.5);
+  EXPECT_EQ(report.max_table, "t");
+}
+
+TEST_F(DriftTest, UpdateKeyShapeShiftDetectedAloneAndSymmetric) {
+  // Same query mix, same columns — only the update-key *placement* moves
+  // from uniform to the top 10% of the domain.
+  WorkloadOptions uniform = Oltp(1);
+  uniform.insert_weight = 0.0;
+  uniform.update_weight = 1.0;
+  uniform.point_select_weight = 0.0;
+  WorkloadOptions hot = uniform;
+  hot.seed = 2;
+  hot.hot_key_fraction = 0.1;
+  WorkloadProfile a = WorkloadProfile::Snapshot(Record(uniform, 600));
+  WorkloadProfile b = WorkloadProfile::Snapshot(Record(hot, 600));
+  const TableProfile* ta = a.table("t");
+  const TableProfile* tb = b.table("t");
+  ASSERT_NE(ta, nullptr);
+  ASSERT_NE(tb, nullptr);
+  double div = UpdateKeyDivergence(*ta, *tb, 32);
+  EXPECT_GT(div, 0.5);
+  EXPECT_DOUBLE_EQ(div, UpdateKeyDivergence(*tb, *ta, 32));
+  // The shape shift alone (mix unchanged) crosses the component threshold.
+  DriftDetector detector;
+  EXPECT_TRUE(detector.Compare(a, b).exceeded);
+  // Identical windows score zero.
+  EXPECT_DOUBLE_EQ(UpdateKeyDivergence(*ta, *ta, 32), 0.0);
+}
+
+TEST_F(DriftTest, SmallUpdateSamplesAreNotJudged) {
+  WorkloadOptions uniform = Oltp(1);
+  uniform.insert_weight = 0.0;
+  uniform.update_weight = 1.0;
+  uniform.point_select_weight = 0.0;
+  WorkloadOptions hot = uniform;
+  hot.hot_key_fraction = 0.05;
+  // 10 updates each: far below min_update_samples.
+  WorkloadProfile a = WorkloadProfile::Snapshot(Record(uniform, 10));
+  WorkloadProfile b = WorkloadProfile::Snapshot(Record(hot, 10));
+  EXPECT_DOUBLE_EQ(
+      UpdateKeyDivergence(*a.table("t"), *b.table("t"), 32), 0.0);
+}
+
+TEST_F(DriftTest, NewTableWithTrafficIsMaximalDrift) {
+  WorkloadProfile solved = WorkloadProfile::Snapshot(Record(Oltp(1), 200));
+  // Live window sees a table the design never saw.
+  SyntheticTableSpec other = spec_;
+  other.name = "fresh";
+  ASSERT_TRUE(db_.CreateTable("fresh", other.MakeSchema(),
+                              TableLayout::SingleStore(StoreType::kRow))
+                  .ok());
+  WorkloadStatistics live_stats;
+  SyntheticWorkloadGenerator gen(other, 2000, Oltp(3));
+  for (const Query& q : gen.Generate(100)) {
+    live_stats.Record(q, db_.catalog());
+  }
+  DriftReport report =
+      DriftDetector().Compare(solved, WorkloadProfile::Snapshot(live_stats));
+  EXPECT_TRUE(report.exceeded);
+  EXPECT_DOUBLE_EQ(report.tables.at("fresh").score, 1.0);
+}
+
+TEST_F(DriftTest, TablesBelowMinQueriesAreSkipped) {
+  WorkloadProfile solved = WorkloadProfile::Snapshot(Record(Oltp(1), 200));
+  // 4 live queries: below min_table_queries, not judged even though the
+  // mix is wildly different.
+  WorkloadProfile live = WorkloadProfile::Snapshot(Record(Olap(2), 4));
+  DriftReport report = DriftDetector().Compare(solved, live);
+  EXPECT_TRUE(report.tables.empty());
+  EXPECT_FALSE(report.exceeded);
+}
+
+TEST_F(DriftTest, EmptyBaselineIsDrift) {
+  WorkloadProfile live = WorkloadProfile::Snapshot(Record(Oltp(1), 100));
+  DriftReport report = DriftDetector().Compare(WorkloadProfile{}, live);
+  EXPECT_TRUE(report.exceeded);
+  EXPECT_DOUBLE_EQ(report.global_score, 1.0);
+  // ... but an empty live window against an empty baseline is not.
+  EXPECT_FALSE(
+      DriftDetector().Compare(WorkloadProfile{}, WorkloadProfile{}).exceeded);
+}
+
+}  // namespace
+}  // namespace hsdb

@@ -1,0 +1,226 @@
+#include "online/migration.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+#include "workload/runner.h"
+
+namespace hsdb {
+namespace {
+
+/// Two identically populated databases, so one can Apply a recommendation
+/// one-shot while the other migrates incrementally.
+class MigrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    hot_.name = "hot";
+    cold_.name = "cold";
+    for (Database* db : {&one_shot_, &incremental_}) {
+      for (const SyntheticTableSpec* spec : {&hot_, &cold_}) {
+        ASSERT_TRUE(db->CreateTable(spec->name, spec->MakeSchema(),
+                                    TableLayout::SingleStore(StoreType::kRow))
+                        .ok());
+        ASSERT_TRUE(PopulateSynthetic(db->catalog().GetTable(spec->name),
+                                      *spec, 2000)
+                        .ok());
+      }
+      db->catalog().UpdateAllStatistics();
+    }
+  }
+
+  /// An analytic recommendation over both tables (they start in the row
+  /// store, so both flip), solved against `db`.
+  Recommendation AnalyticRecommendation(Database* db) {
+    std::vector<Query> workload;
+    for (const SyntheticTableSpec* spec : {&hot_, &cold_}) {
+      WorkloadOptions opts;
+      opts.olap_fraction = 0.9;
+      opts.seed = 7;
+      SyntheticWorkloadGenerator gen(*spec, 2000, opts);
+      // The hot table carries most of the traffic: its flip must order
+      // first (higher workload gain at equal rebuild cost).
+      size_t count = spec == &hot_ ? 300 : 30;
+      for (Query& q : gen.Generate(count)) workload.push_back(std::move(q));
+    }
+    StorageAdvisor advisor(db);
+    advisor.SetCostModelParams(CostModelParams::Default());
+    Result<Recommendation> rec = advisor.RecommendOffline(workload);
+    HSDB_CHECK(rec.ok());
+    return std::move(rec).value();
+  }
+
+  Database one_shot_;
+  Database incremental_;
+  SyntheticTableSpec hot_;
+  SyntheticTableSpec cold_;
+};
+
+TEST_F(MigrationTest, PlanCoversChangedTablesAndOrdersByGainPerCost) {
+  Recommendation rec = AnalyticRecommendation(&incremental_);
+  CostModel model(CostModelParams::Default());
+  MigrationExecutor executor(&incremental_, &model);
+  MigrationPlan plan = executor.Plan(rec);
+  ASSERT_EQ(plan.steps.size(), 2u);
+  EXPECT_FALSE(plan.Done());
+  // Both are unpartitioned store changes with positive cost estimates.
+  for (const MigrationStep& step : plan.steps) {
+    EXPECT_EQ(step.kind, MigrationStepKind::kLayoutFlip);
+    EXPECT_GT(step.estimated_cost_ms, 0.0);
+  }
+  // The heavily scanned table migrates first.
+  EXPECT_EQ(plan.steps[0].table, "hot");
+  EXPECT_GT(plan.steps[0].estimated_gain_ms, plan.steps[1].estimated_gain_ms);
+  EXPECT_GT(plan.total_estimated_cost_ms, 0.0);
+  EXPECT_NE(plan.Summary().find("2 step(s)"), std::string::npos);
+}
+
+TEST_F(MigrationTest, UnchangedDesignPlansNothing) {
+  Recommendation rec = AnalyticRecommendation(&incremental_);
+  CostModel model(CostModelParams::Default());
+  MigrationExecutor executor(&incremental_, &model);
+  // Apply everything, then re-plan the same recommendation: no steps.
+  MigrationPlan plan = executor.Plan(rec);
+  ASSERT_TRUE(executor.ExecuteSteps(&plan, 10).status.ok());
+  ASSERT_TRUE(plan.Done());
+  EXPECT_EQ(executor.Plan(rec).steps.size(), 0u);
+}
+
+TEST_F(MigrationTest, StepBudgetConvergesToOneShotApply) {
+  CostModel model(CostModelParams::Default());
+
+  // One-shot: the advisor applies the recommendation in a single call.
+  Recommendation rec_a = AnalyticRecommendation(&one_shot_);
+  StorageAdvisor advisor(&one_shot_);
+  ASSERT_TRUE(advisor.Apply(rec_a).ok());
+
+  // Incremental: the same recommendation (solved independently but over an
+  // identical database) executes one step per call.
+  Recommendation rec_b = AnalyticRecommendation(&incremental_);
+  MigrationExecutor executor(&incremental_, &model);
+  MigrationPlan plan = executor.Plan(rec_b);
+  ASSERT_EQ(plan.steps.size(), 2u);
+  const uint64_t layout_epoch_before = incremental_.layout_epoch();
+  size_t calls = 0;
+  while (!plan.Done()) {
+    MigrationExecutor::Progress applied =
+        executor.ExecuteSteps(&plan, /*max_steps=*/1);
+    ASSERT_TRUE(applied.status.ok());
+    EXPECT_EQ(applied.executed, 1u);
+    ++calls;
+  }
+  EXPECT_EQ(calls, 2u);
+  EXPECT_EQ(incremental_.layout_epoch(), layout_epoch_before + 2);
+
+  // Converged to exactly the one-shot result.
+  for (const char* name : {"hot", "cold"}) {
+    EXPECT_EQ(incremental_.catalog().GetTable(name)->layout(),
+              one_shot_.catalog().GetTable(name)->layout())
+        << name;
+  }
+}
+
+TEST_F(MigrationTest, CostBudgetStretchesButNeverStalls) {
+  CostModel model(CostModelParams::Default());
+  Recommendation rec = AnalyticRecommendation(&incremental_);
+  MigrationExecutor executor(&incremental_, &model);
+  MigrationPlan plan = executor.Plan(rec);
+  ASSERT_EQ(plan.steps.size(), 2u);
+  // A budget far below any single step still executes exactly one step per
+  // call (guaranteed progress), never zero, never two.
+  const double tiny_budget = plan.steps[0].estimated_cost_ms / 1000.0;
+  while (!plan.Done()) {
+    MigrationExecutor::Progress applied =
+        executor.ExecuteSteps(&plan, /*max_steps=*/10, tiny_budget);
+    ASSERT_TRUE(applied.status.ok());
+    EXPECT_EQ(applied.executed, 1u);
+  }
+  // A budget covering everything executes the remainder in one call.
+  Recommendation back = AnalyticRecommendation(&incremental_);
+  // (design already analytic: flip both back to the row store instead)
+  for (auto& [name, ctx] : back.layouts) {
+    ctx = LayoutContext::SingleStore(StoreType::kRow);
+  }
+  MigrationPlan back_plan = executor.Plan(back);
+  ASSERT_EQ(back_plan.steps.size(), 2u);
+  MigrationExecutor::Progress applied = executor.ExecuteSteps(
+      &back_plan, /*max_steps=*/10,
+      back_plan.total_estimated_cost_ms * 2.0);
+  ASSERT_TRUE(applied.status.ok());
+  EXPECT_EQ(applied.executed, 2u);
+  EXPECT_TRUE(back_plan.Done());
+}
+
+TEST_F(MigrationTest, ReencodeStepKindForEncodingOnlyChange) {
+  // Move both tables to the column store first.
+  Recommendation rec = AnalyticRecommendation(&incremental_);
+  CostModel model(CostModelParams::Default());
+  MigrationExecutor executor(&incremental_, &model);
+  MigrationPlan plan = executor.Plan(rec);
+  ASSERT_TRUE(executor.ExecuteSteps(&plan, 10).status.ok());
+  ASSERT_TRUE(incremental_.catalog().UpdateStatistics("hot").ok());
+
+  // Hand-build an encoding-only change: same layout, one codec forced away
+  // from what the statistics carry.
+  const LogicalTable* hot = incremental_.catalog().GetTable("hot");
+  ASSERT_EQ(hot->layout().base_store, StoreType::kColumn);
+  const TableStatistics* stats = incremental_.catalog().GetStatistics("hot");
+  ASSERT_NE(stats, nullptr);
+  Recommendation reencode;
+  LayoutContext ctx = CurrentLayoutContext(*hot, stats);
+  ctx.encodings.resize(hot->schema().num_columns());
+  bool flipped_one = false;
+  for (ColumnId c = 0; c < hot->schema().num_columns(); ++c) {
+    ctx.encodings[c] = stats->column(c).encoding;
+    if (!flipped_one && ctx.encodings[c] != Encoding::kRaw) {
+      ctx.encodings[c] = Encoding::kRaw;
+      flipped_one = true;
+    }
+  }
+  ASSERT_TRUE(flipped_one);
+  reencode.layouts.emplace("hot", ctx);
+  MigrationPlan reencode_plan = executor.Plan(reencode);
+  ASSERT_EQ(reencode_plan.steps.size(), 1u);
+  EXPECT_EQ(reencode_plan.steps[0].kind, MigrationStepKind::kReencode);
+  ASSERT_TRUE(executor.ExecuteSteps(&reencode_plan, 1).status.ok());
+}
+
+TEST_F(MigrationTest, FailedStepReportsPartialProgressAndRetries) {
+  CostModel model(CostModelParams::Default());
+  Recommendation rec = AnalyticRecommendation(&incremental_);
+  MigrationExecutor executor(&incremental_, &model);
+  MigrationPlan plan = executor.Plan(rec);
+  ASSERT_EQ(plan.steps.size(), 2u);
+  // Sabotage the second step: its table disappears between Plan and
+  // execution.
+  ASSERT_TRUE(incremental_.catalog().DropTable(plan.steps[1].table).ok());
+  MigrationExecutor::Progress progress = executor.ExecuteSteps(&plan, 10);
+  // The first rebuild really happened and is reported despite the failure.
+  EXPECT_EQ(progress.executed, 1u);
+  EXPECT_FALSE(progress.status.ok());
+  EXPECT_FALSE(plan.Done());
+  EXPECT_EQ(plan.next_step, 1u);  // cursor on the failing step, retryable
+  EXPECT_EQ(incremental_.catalog().GetTable(plan.steps[0].table)->layout(),
+            plan.steps[0].target_layout);
+}
+
+TEST_F(MigrationTest, PartitionChangeStepKind) {
+  Recommendation rec;
+  TableLayout layout = TableLayout::SingleStore(StoreType::kColumn);
+  layout.horizontal = HorizontalSpec{hot_.id_column(), 1500.0,
+                                     StoreType::kRow};
+  LayoutContext ctx;
+  ctx.layout = layout;
+  ctx.hot_row_fraction = 0.25;
+  rec.layouts.emplace("hot", ctx);
+  CostModel model(CostModelParams::Default());
+  MigrationExecutor executor(&incremental_, &model);
+  MigrationPlan plan = executor.Plan(rec);
+  ASSERT_EQ(plan.steps.size(), 1u);
+  EXPECT_EQ(plan.steps[0].kind, MigrationStepKind::kPartitionChange);
+  ASSERT_TRUE(executor.ExecuteSteps(&plan, 1).status.ok());
+  EXPECT_TRUE(
+      incremental_.catalog().GetTable("hot")->layout().IsPartitioned());
+}
+
+}  // namespace
+}  // namespace hsdb

@@ -158,10 +158,69 @@ TEST_F(RecorderTest, ResetClears) {
   db_.set_observer(&recorder);
   ASSERT_TRUE(
       db_.Execute(Query(InsertQuery{"t", SyntheticRow(spec_, 5001)})).ok());
+  recorder.BeginEpoch();
   recorder.Reset();
   EXPECT_EQ(recorder.statistics().total_queries(), 0u);
   EXPECT_TRUE(recorder.recorded_queries().empty());
   EXPECT_EQ(recorder.seen_queries(), 0u);
+  EXPECT_EQ(recorder.epoch_seen_queries(), 0u);
+  EXPECT_EQ(recorder.epoch(), 0u);
+}
+
+TEST_F(RecorderTest, BeginEpochRollsWindowButKeepsLifetimeCount) {
+  WorkloadRecorder recorder(&db_.catalog(), /*max_recorded_queries=*/100);
+  db_.set_observer(&recorder);
+  WorkloadOptions opts;
+  SyntheticWorkloadGenerator gen(spec_, 1000, opts);
+  RunWorkload(db_, gen.Generate(150));
+  EXPECT_EQ(recorder.epoch(), 0u);
+  EXPECT_EQ(recorder.epoch_seen_queries(), 150u);
+
+  recorder.BeginEpoch();
+  // The window is clean, the lifetime count is not.
+  EXPECT_EQ(recorder.epoch(), 1u);
+  EXPECT_EQ(recorder.epoch_seen_queries(), 0u);
+  EXPECT_EQ(recorder.seen_queries(), 150u);
+  EXPECT_EQ(recorder.statistics().total_queries(), 0u);
+  EXPECT_TRUE(recorder.recorded_queries().empty());
+
+  // The next epoch's sample scales against the epoch count, not the
+  // lifetime count: 80 queries into a 100-slot reservoir keeps all 80.
+  RunWorkload(db_, gen.Generate(80));
+  EXPECT_EQ(recorder.epoch_seen_queries(), 80u);
+  EXPECT_EQ(recorder.recorded_queries().size(), 80u);
+  EXPECT_EQ(recorder.statistics().total_queries(), 80u);
+  EXPECT_EQ(recorder.seen_queries(), 230u);
+}
+
+TEST_F(RecorderTest, HotKeyCapacityIsConfigurable) {
+  WorkloadRecorder recorder(&db_.catalog(), /*max_recorded_queries=*/0,
+                            /*hot_key_capacity=*/8);
+  db_.set_observer(&recorder);
+  // Updates over many more distinct keys than the sketch tracks.
+  for (int64_t i = 0; i < 200; ++i) {
+    UpdateQuery u;
+    u.table = "t";
+    u.predicate = {{{0, 0}, ValueRange::Eq(Value(i % 100))}};
+    u.set_columns = {spec_.keyfigure(0)};
+    u.set_values = {Value(1.0)};
+    ASSERT_TRUE(db_.Execute(Query(u)).ok());
+  }
+  const TableWorkloadStats* t = recorder.statistics().table("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_LE(t->hot_update_keys.tracked(), 8u);
+  EXPECT_EQ(t->hot_update_keys.total(), 200u);
+  // The capacity survives the epoch rollover.
+  recorder.BeginEpoch();
+  UpdateQuery u;
+  u.table = "t";
+  u.predicate = {{{0, 0}, ValueRange::Eq(Value(int64_t{1}))}};
+  u.set_columns = {spec_.keyfigure(0)};
+  u.set_values = {Value(1.0)};
+  for (int64_t i = 0; i < 20; ++i) ASSERT_TRUE(db_.Execute(Query(u)).ok());
+  t = recorder.statistics().table("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_LE(t->hot_update_keys.tracked(), 8u);
 }
 
 }  // namespace
