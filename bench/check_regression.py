@@ -82,6 +82,38 @@ def merge(paths, out_path):
     return merged
 
 
+def check_telemetry_overhead(new, threshold):
+    """Asserts the telemetry layer's overhead bound within a single run.
+
+    BM_TelemetryOverhead runs the same aggregation scan in three modes:
+    telemetry:0 raw executor (no accounting), telemetry:1 registry disabled,
+    telemetry:2 enabled. All three rows come from the same binary on the
+    same machine, so the raw ratios are meaningful without the fleet-median
+    normalization: enabled/disabled and disabled/raw must both stay under
+    the threshold (default 2%). Returns a list of failure strings.
+    """
+    times = {}
+    for mode in (0, 1, 2):
+        name = f"BM_TelemetryOverhead/telemetry:{mode}"
+        if name in new and new[name] > 0:
+            times[mode] = new[name]
+    if len(times) < 3:
+        print("NOTE: BM_TelemetryOverhead rows missing; telemetry overhead "
+              "not checked (rebuild micro_compression?)")
+        return []
+    failures = []
+    for label, num, den in (("disabled-vs-raw", 1, 0),
+                            ("enabled-vs-disabled", 2, 1)):
+        ratio = times[num] / times[den]
+        status = "REGRESSION" if ratio > threshold else "ok"
+        print(f"telemetry overhead {label}: {ratio:.4f}x "
+              f"(limit {threshold:.2f}x) {status}")
+        if ratio > threshold:
+            failures.append(
+                f"telemetry overhead {label}: {ratio:.4f}x > {threshold:.2f}x")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("results", nargs="+", help="benchmark JSON outputs to merge")
@@ -89,6 +121,9 @@ def main():
     parser.add_argument("--out", required=True, help="merged output path (BENCH_micro.json)")
     parser.add_argument("--threshold", type=float, default=1.25,
                         help="max allowed normalized time ratio (1.25 = 25%% regression)")
+    parser.add_argument("--telemetry-threshold", type=float, default=1.02,
+                        help="max allowed telemetry on/off time ratio within "
+                             "this run (1.02 = 2%% overhead)")
     parser.add_argument("--merge-only", action="store_true",
                         help="only merge the inputs into --out (baseline regeneration)")
     args = parser.parse_args()
@@ -102,6 +137,8 @@ def main():
 
     _, old = load_benchmarks(args.baseline)
     _, new = load_benchmarks(args.out)
+
+    overhead_failures = check_telemetry_overhead(new, args.telemetry_threshold)
 
     common = sorted(name for name in set(old) & set(new) if old[name] > 0)
     missing = sorted(set(old) - set(new))
@@ -135,6 +172,11 @@ def main():
               f"{(args.threshold - 1) * 100:.0f}% (normalized):")
         for name, norm in failures:
             print(f"  {name}: {norm:.3f}x")
+        return 1
+    if overhead_failures:
+        print("\nFAIL: telemetry overhead bound violated:")
+        for line in overhead_failures:
+            print(f"  {line}")
         return 1
     print("\nOK: no benchmark regressed past the threshold")
     return 0

@@ -10,9 +10,11 @@
 
 #include "common/bitpack.h"
 #include "common/random.h"
+#include "executor/database.h"
 #include "storage/column_table.h"
 #include "storage/compression/encoded_segment.h"
 #include "storage/compression/simd/bitunpack.h"
+#include "workload/synthetic.h"
 
 namespace hsdb {
 namespace {
@@ -283,6 +285,59 @@ void BM_ColumnTableAggregate(benchmark::State& state) {
   state.counters["compression_ratio"] = t->CompressionRate(1);
 }
 BENCHMARK(BM_ColumnTableAggregate)->Arg(0)->Arg(1)->ArgName("adaptive");
+
+// ---- Telemetry overhead ----------------------------------------------------
+// The observability layer's acceptance gate: per-query telemetry (trace
+// spans, metric updates, latency histogram) must stay under 2% on a
+// representative aggregation scan (bench/check_regression.py asserts the
+// within-run ratios). Three modes:
+//   telemetry:0  raw Executor::Execute — no Database-level accounting at
+//                all, the stand-in for an HSDB_TELEMETRY=OFF build
+//   telemetry:1  Database::Execute with the registry disabled (runtime off)
+//   telemetry:2  Database::Execute with telemetry enabled (traced path)
+
+constexpr size_t kTelemetryBenchRows = 1 << 18;
+
+Database& TelemetryBenchDb() {
+  static Database* db = [] {
+    static telemetry::MetricsRegistry registry;
+    auto* d = new Database(&registry);
+    SyntheticTableSpec spec;
+    spec.name = "bench";
+    HSDB_CHECK(d->CreateTable(spec.name, spec.MakeSchema(),
+                              TableLayout::SingleStore(StoreType::kColumn))
+                   .ok());
+    HSDB_CHECK(PopulateSynthetic(d->catalog().GetTable(spec.name), spec,
+                                 kTelemetryBenchRows)
+                   .ok());
+    HSDB_CHECK(d->catalog().UpdateStatistics(spec.name).ok());
+    return d;
+  }();
+  return *db;
+}
+
+void BM_TelemetryOverhead(benchmark::State& state) {
+  Database& db = TelemetryBenchDb();
+  Executor raw(&db.catalog());
+  AggregationQuery agg;
+  agg.tables = {"bench"};
+  AggregateExpr sum;
+  sum.fn = AggFn::kSum;
+  sum.column = {SyntheticTableSpec{}.keyfigure(0), 0};
+  agg.aggregates = {sum};
+  const Query query(agg);
+
+  const int mode = static_cast<int>(state.range(0));
+  db.metrics().set_enabled(mode == 2);
+  for (auto _ : state) {
+    Result<QueryResult> result =
+        mode == 0 ? raw.Execute(query) : db.Execute(query);
+    benchmark::DoNotOptimize(result);
+  }
+  db.metrics().set_enabled(true);
+  state.SetItemsProcessed(state.iterations() * kTelemetryBenchRows);
+}
+BENCHMARK(BM_TelemetryOverhead)->DenseRange(0, 2)->ArgName("telemetry");
 
 }  // namespace
 }  // namespace hsdb

@@ -7,6 +7,13 @@
 // cost nothing (no re-search); an OLTP -> OLAP phase shift triggers exactly
 // one adaptation.
 //
+// The demo also doubles as a telemetry tour: the StorageAdvisor installs a
+// cost predictor into the Database, so every executed query yields an
+// observed-vs-predicted residual, and after each epoch the live telemetry
+// snapshot (query counts, latency percentiles, residual error, drift) is
+// printed straight from the metrics the engine maintains anyway. See
+// docs/OBSERVABILITY.md for the full metric catalog.
+//
 //   $ ./build/example_online_advisor
 #include <cstdio>
 
@@ -16,6 +23,37 @@
 #include "workload/runner.h"
 
 using namespace hsdb;
+
+namespace {
+
+/// One compact telemetry line per epoch, read back from the engine's own
+/// metrics: lifetime query/error counts, latency percentiles, the cost
+/// model's mean absolute relative error, and the last drift score.
+void PrintTelemetry(const Database& db) {
+  if (!telemetry::kCompiledIn || !db.metrics().enabled()) {
+    std::printf("  telemetry: disabled\n");
+    return;
+  }
+  TelemetryReport report = db.TelemetrySnapshot();
+  std::printf(
+      "  telemetry: %llu queries (%llu errors), latency p50 %.3f ms "
+      "p95 %.3f ms, %llu layout epoch(s)\n",
+      static_cast<unsigned long long>(report.queries),
+      static_cast<unsigned long long>(report.errors),
+      report.p50_latency_ms, report.p95_latency_ms,
+      static_cast<unsigned long long>(report.layout_epochs));
+  if (report.cost.global.samples > 0) {
+    std::printf(
+        "  cost model: %llu residual samples, mean |rel err| %.2f, "
+        "p95 |rel err| %.2f (signed mean %+.2f)\n",
+        static_cast<unsigned long long>(report.cost.global.samples),
+        report.cost.global.mean_abs_rel_error,
+        report.cost.global.p95_abs_rel_error,
+        report.cost.global.mean_rel_error);
+  }
+}
+
+}  // namespace
 
 int main() {
   SyntheticTableSpec spec;
@@ -30,6 +68,8 @@ int main() {
       PopulateSynthetic(db.catalog().GetTable(spec.name), spec, rows).ok());
   db.catalog().UpdateAllStatistics();
 
+  // Constructing the advisor installs its cost model as the Database's cost
+  // predictor: from here on every query is one predicted-vs-observed sample.
   StorageAdvisor advisor(&db);
   advisor.StartRecording();
 
@@ -48,8 +88,10 @@ int main() {
   HSDB_CHECK(rec.ok());
   std::printf("initial online recommendation:\n%s\n", rec->Summary().c_str());
   HSDB_CHECK(advisor.Apply(*rec).ok());
-  std::printf("applied: %s\n\n",
+  std::printf("applied: %s\n",
               db.catalog().GetTable(spec.name)->layout().ToString().c_str());
+  PrintTelemetry(db);
+  std::printf("\n");
 
   // Hand the loop to the controller: explicit Tick() per epoch here (call
   // controller.Start() instead for the background thread).
@@ -73,6 +115,7 @@ int main() {
     RunWorkload(db, gen.Generate(300));
     AdaptationLogEntry entry = controller.Tick();
     std::printf("  -> %s\n", entry.ToString().c_str());
+    PrintTelemetry(db);
   }
 
   std::printf("\n%s\n", controller.LogSummary().c_str());
@@ -80,6 +123,10 @@ int main() {
               db.catalog().GetTable(spec.name)->layout().ToString().c_str());
   std::printf("re-searches: %zu (stationary epochs cost none)\n",
               controller.researches());
+  // The full per-table residual breakdown, and the raw exposition a scrape
+  // endpoint would serve (tools/hsdb_stat dumps the same two formats).
+  std::printf("\nfinal telemetry report:\n%s",
+              db.TelemetrySnapshot().ToString().c_str());
   advisor.StopAutoAdapt();
   advisor.StopRecording();
   return 0;

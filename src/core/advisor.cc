@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/stopwatch.h"
 #include "core/workload_model.h"
 #include "online/controller.h"
+#include "telemetry/metrics.h"
 
 namespace hsdb {
 
@@ -129,13 +131,29 @@ StorageAdvisor::StorageAdvisor(Database* db, AdvisorOptions options)
       model_(std::make_unique<CostModel>()),
       recorder_(std::make_unique<WorkloadRecorder>(
           &db->catalog(), options.recorder_sample,
-          options.recorder_hot_keys)) {}
+          options.recorder_hot_keys, &db->metrics())) {
+  // Close the loop between prediction and observation: every query the
+  // database executes from now on is costed by the advisor's model under
+  // the catalog's *current* layouts, so the result carries an
+  // observed-vs-predicted residual (Database::cost_feedback()). The lambda
+  // reads model_ at call time — InitializeCostModel swapping in calibrated
+  // parameters takes effect immediately.
+  db_->set_cost_predictor([this](const Query& query) {
+    WorkloadCostEstimator estimator(model_.get(), &db_->catalog());
+    return estimator.QueryCost(query, [this](const std::string& name) {
+      const LogicalTable* table = db_->catalog().GetTable(name);
+      if (table == nullptr) return LayoutContext{};
+      return CurrentLayoutContext(*table, db_->catalog().GetStatistics(name));
+    });
+  });
+}
 
 StorageAdvisor::~StorageAdvisor() {
   // The controller's background thread ticks against the recorder and the
   // database; join it before detaching anything.
   controller_.reset();
   if (recording_) db_->set_observer(nullptr);
+  db_->set_cost_predictor(nullptr);
 }
 
 CalibrationReport StorageAdvisor::InitializeCostModel() {
@@ -266,6 +284,20 @@ Result<Recommendation> StorageAdvisor::RecommendOnline() {
 Result<Recommendation> StorageAdvisor::Recommend(
     const std::vector<WeightedQuery>& workload,
     const WorkloadStatistics& stats) {
+  // Search telemetry: phase timings, search effort and the stability /
+  // budget-repair outcomes. Registration is idempotent and Recommend runs
+  // at adaptation frequency, so fetching handles here is fine.
+  telemetry::MetricsRegistry& reg = db_->metrics();
+  const bool telemetry_on = telemetry::kCompiledIn && reg.enabled();
+  auto observe_phase = [&](const char* phase, double ms) {
+    if (!telemetry_on) return;
+    reg.GetHistogram("hsdb_advisor_phase_ms",
+                     "Advisor search phase wall time in milliseconds.",
+                     {{"phase", phase}})
+        .Observe(ms);
+  };
+  Stopwatch total_sw;
+
   Recommendation rec;
   // Stamp what the search is about to be solved for: the drift detector
   // compares live statistics against this snapshot, and the migration
@@ -273,9 +305,11 @@ Result<Recommendation> StorageAdvisor::Recommend(
   rec.solved_for = WorkloadProfile::Snapshot(stats);
   rec.solved_workload = workload;
 
+  Stopwatch phase_sw;
   TableAdvisor table_advisor(model_.get(), &db_->catalog(),
                              options_.table_options);
   TableAdvisorResult table_result = table_advisor.Recommend(workload);
+  observe_phase("table", phase_sw.ElapsedMs());
   rec.table_level_assignment = table_result.assignment;
   rec.rs_only_cost_ms = table_result.rs_only_cost_ms;
   rec.cs_only_cost_ms = table_result.cs_only_cost_ms;
@@ -283,11 +317,13 @@ Result<Recommendation> StorageAdvisor::Recommend(
 
   std::map<std::string, std::vector<LayoutCandidate>> heuristic_candidates;
   if (options_.enable_partitioning) {
+    phase_sw.Restart();
     PartitionAdvisor partition_advisor(model_.get(), &db_->catalog(),
                                        options_.partition_options);
     PartitionAdvisorResult part =
         partition_advisor.Recommend(workload, stats,
                                     table_result.assignment);
+    observe_phase("partition", phase_sw.ElapsedMs());
     rec.layouts = part.layouts;
     rec.estimated_cost_ms = part.estimated_cost_ms;
     rec.rationale = part.rationale;
@@ -302,6 +338,10 @@ Result<Recommendation> StorageAdvisor::Recommend(
   }
   rec.sequential_cost_ms = rec.estimated_cost_ms;
 
+  size_t evaluated_assignments = 0;
+  size_t repair_iterations = 0;
+  bool hysteresis_applied = false;
+  phase_sw.Restart();
   EncodingSearch encoding_search(model_.get(), &db_->catalog(),
                                  options_.encoding);
   if (options_.joint_budget_search) {
@@ -339,6 +379,9 @@ Result<Recommendation> StorageAdvisor::Recommend(
     }
     JointSearchResult joint = encoding_search.SearchJoint(workload,
                                                           candidates);
+    evaluated_assignments = joint.evaluated_assignments;
+    repair_iterations = joint.repair_iterations;
+    hysteresis_applied = joint.hysteresis_applied;
     if (!joint.tables.empty()) {
       for (const auto& [name, design] : joint.tables) {
         rec.layouts.at(name) = design.context;
@@ -385,6 +428,9 @@ Result<Recommendation> StorageAdvisor::Recommend(
     // assignment under the configured memory budget.
     EncodingSearchResult encodings =
         encoding_search.Search(workload, rec.layouts);
+    evaluated_assignments = encodings.evaluated_assignments;
+    repair_iterations = encodings.repair_iterations;
+    hysteresis_applied = encodings.hysteresis_applied;
     if (!encodings.tables.empty()) {
       for (const auto& [name, assignment] : encodings.tables) {
         rec.layouts.at(name).encodings = assignment.encodings;
@@ -427,6 +473,29 @@ Result<Recommendation> StorageAdvisor::Recommend(
     }
     rec.ddl.push_back(LayoutDdl(name, ctx, table->schema(), stats,
                                 options_.encoding.memory_budget_bytes));
+  }
+
+  if (telemetry_on) {
+    observe_phase(options_.joint_budget_search ? "joint_search"
+                                               : "encoding_search",
+                  phase_sw.ElapsedMs());
+    observe_phase("total", total_sw.ElapsedMs());
+    reg.GetCounter("hsdb_advisor_searches_total",
+                   "Full advisor recommendation searches run.")
+        .Increment();
+    reg.GetCounter("hsdb_advisor_evaluated_assignments_total",
+                   "Workload cost evaluations performed by the "
+                   "encoding/joint searches (search effort).")
+        .Increment(evaluated_assignments);
+    reg.GetCounter("hsdb_advisor_budget_repair_iterations_total",
+                   "Greedy budget-repair evictions across all searches.")
+        .Increment(repair_iterations);
+    if (hysteresis_applied) {
+      reg.GetCounter("hsdb_advisor_hysteresis_rejections_total",
+                     "Searches where the hysteresis rule kept the incumbent "
+                     "design against a marginal challenger.")
+          .Increment();
+    }
   }
   return rec;
 }

@@ -453,6 +453,7 @@ EncodingSearchResult EncodingSearch::Search(
       mark_dirty(items[best_item].table);
       cur_cost = best_swap_cost;
       cur_footprint -= best_saved;
+      ++result.repair_iterations;
     }
 
     best_cost = cur_cost;
@@ -486,6 +487,7 @@ EncodingSearchResult EncodingSearch::Search(
     best_cost = incumbent_cost;
     best_footprint = incumbent_footprint;
     result.feasible = true;
+    result.hysteresis_applied = true;
     snapshot();
   }
 
@@ -988,6 +990,7 @@ JointSearchResult EncodingSearch::SearchJoint(
       mark_dirty(move_table);
       cur_cost = best_move_cost;
       cur_footprint -= best_saved;
+      ++result.repair_iterations;
     }
     // Re-evaluate cleanly (the eviction loop tracks the footprint
     // incrementally) and offer the repaired design to the winner.
@@ -1040,6 +1043,7 @@ JointSearchResult EncodingSearch::SearchJoint(
     best_cost = incumbent_cost;
     best_footprint = incumbent_footprint;
     result.feasible = true;
+    result.hysteresis_applied = true;
     snapshot();
   }
 

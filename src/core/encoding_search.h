@@ -92,6 +92,12 @@ struct EncodingSearchResult {
   bool exact = false;
   /// Workload evaluations the search performed (search-effort metric).
   size_t evaluated_assignments = 0;
+  /// Budget-repair evictions the greedy search performed to squeeze the
+  /// assignment under the budget (0 when the budget held immediately).
+  size_t repair_iterations = 0;
+  /// True when the hysteresis rule kept the incumbent assignment against a
+  /// marginally better challenger.
+  bool hysteresis_applied = false;
 };
 
 /// One table's chosen design in the joint layout+encoding search.
@@ -144,6 +150,12 @@ struct JointSearchResult {
   bool exact = false;
   /// Workload evaluations the search performed (search-effort metric).
   size_t evaluated_assignments = 0;
+  /// Budget-repair evictions the greedy search performed to squeeze the
+  /// design under the budget (0 when the budget held immediately).
+  size_t repair_iterations = 0;
+  /// True when the hysteresis rule kept the incumbent design against a
+  /// marginally better challenger.
+  bool hysteresis_applied = false;
 };
 
 /// Runs the encoding (Search) and joint layout+encoding (SearchJoint)

@@ -1,22 +1,143 @@
 #include "executor/database.h"
 
+#include <cmath>
+#include <sstream>
+#include <utility>
+
 #include "common/stopwatch.h"
 #include "storage/conversion.h"
+#include "telemetry/trace.h"
 
 namespace hsdb {
 
+Database::Database(telemetry::MetricsRegistry* metrics)
+    : executor_(&catalog_),
+      metrics_(metrics != nullptr ? metrics
+                                  : &telemetry::MetricsRegistry::Global()) {
+  for (int i = 0; i < kNumQueryKinds; ++i) {
+    const std::string kind(QueryKindName(static_cast<QueryKind>(i)));
+    queries_total_[i] = &metrics_->GetCounter(
+        "hsdb_queries_total", "Queries executed, by query kind.",
+        {{"kind", kind}});
+    query_errors_total_[i] = &metrics_->GetCounter(
+        "hsdb_query_errors_total", "Queries that failed, by query kind.",
+        {{"kind", kind}});
+  }
+  rematerializations_total_ = &metrics_->GetCounter(
+      "hsdb_rematerializations_total",
+      "Physical table reorganizations (layout/encoding rebuilds).");
+  query_latency_ms_ = &metrics_->GetHistogram(
+      "hsdb_query_latency_ms", "End-to-end query latency in milliseconds.");
+  cost_abs_rel_error_ = &metrics_->GetHistogram(
+      "hsdb_cost_abs_rel_error",
+      "Absolute relative error |observed-predicted|/observed of the cost "
+      "model, per query.",
+      {}, /*min_bound=*/1e-4);
+  cost_predicted_total_ms_ = &metrics_->GetGauge(
+      "hsdb_cost_predicted_total_ms",
+      "Sum of predicted query costs (ms) over all costed queries.");
+  cost_observed_total_ms_ = &metrics_->GetGauge(
+      "hsdb_cost_observed_total_ms",
+      "Sum of observed query times (ms) over all costed queries.");
+}
+
 Result<QueryResult> Database::Execute(const Query& query) {
+  if (TelemetryOn()) return ExecuteTraced(query);
+  // Fast path: no tracer installed, no metric updates — behaviorally
+  // identical to the pre-telemetry executor (plus the error hook).
   Stopwatch sw;
-  HSDB_ASSIGN_OR_RETURN(QueryResult result, executor_.Execute(query));
+  Result<QueryResult> executed = executor_.Execute(query);
+  if (!executed.ok()) {
+    if (observer_ != nullptr) observer_->OnQueryError(query, executed.status());
+    return executed.status();
+  }
+  QueryResult result = std::move(executed).value();
+  AfterStatementMaintenance(query);
+  result.elapsed_ms = sw.ElapsedMs();
+  if (observer_ != nullptr) observer_->OnQuery(query, result);
+  return result;
+}
+
+Result<QueryResult> Database::ExecuteTraced(const Query& query) {
+  const QueryKind kind = KindOf(query);
+  // Predict before executing: the prediction must see the pre-statement
+  // catalog state (an INSERT changes delta sizes the estimator reads).
+  double predicted_ms = -1.0;
+  if (cost_predictor_) predicted_ms = cost_predictor_(query);
+
+  telemetry::Tracer tracer("query");
+  Stopwatch sw;
+  Result<QueryResult> executed = [&] {
+    telemetry::ScopedSpan span("execute");
+    return executor_.Execute(query);
+  }();
+  if (!executed.ok()) {
+    query_errors_total_[static_cast<int>(kind)]->Increment();
+    if (observer_ != nullptr) observer_->OnQueryError(query, executed.status());
+    return executed.status();
+  }
+  QueryResult result = std::move(executed).value();
+  {
+    telemetry::ScopedSpan span("delta_merge");
+    AfterStatementMaintenance(query);
+  }
+  result.elapsed_ms = sw.ElapsedMs();
+  result.trace = std::make_shared<const telemetry::TraceSpan>(tracer.Finish());
+
+  queries_total_[static_cast<int>(kind)]->Increment();
+  query_latency_ms_->Observe(result.elapsed_ms);
+  if (predicted_ms >= 0.0) {
+    result.predicted_cost_ms = predicted_ms;
+    const std::vector<std::string> tables = TablesOf(query);
+    cost_feedback_.Record(tables.empty() ? std::string() : tables.front(),
+                          predicted_ms, result.elapsed_ms);
+    if (result.elapsed_ms > 0.0) {
+      cost_abs_rel_error_->Observe(
+          std::abs(result.elapsed_ms - predicted_ms) / result.elapsed_ms);
+      cost_predicted_total_ms_->Add(predicted_ms);
+      cost_observed_total_ms_->Add(result.elapsed_ms);
+    }
+  }
+  if (observer_ != nullptr) observer_->OnQuery(query, result);
+  return result;
+}
+
+void Database::AfterStatementMaintenance(const Query& query) {
   // Statement-boundary maintenance on the tables the query touched.
   for (const std::string& name : TablesOf(query)) {
     if (LogicalTable* table = catalog_.GetTable(name)) {
       table->AfterStatement();
     }
   }
-  result.elapsed_ms = sw.ElapsedMs();
-  if (observer_ != nullptr) observer_->OnQuery(query, result);
-  return result;
+}
+
+TelemetryReport Database::TelemetrySnapshot() const {
+  TelemetryReport report;
+  report.enabled = TelemetryOn();
+  report.layout_epochs = layout_epoch_;
+  if (!report.enabled) return report;
+  for (int i = 0; i < kNumQueryKinds; ++i) {
+    report.queries += queries_total_[i]->value();
+    report.errors += query_errors_total_[i]->value();
+  }
+  report.p50_latency_ms = query_latency_ms_->Quantile(0.5);
+  report.p95_latency_ms = query_latency_ms_->Quantile(0.95);
+  report.p99_latency_ms = query_latency_ms_->Quantile(0.99);
+  report.cost = cost_feedback_.snapshot();
+  return report;
+}
+
+std::string TelemetryReport::ToString() const {
+  std::ostringstream os;
+  if (!enabled) {
+    os << "telemetry disabled (" << layout_epochs << " layout epoch(s))\n";
+    return os.str();
+  }
+  os << "queries " << queries << " (errors " << errors << "), latency p50 "
+     << p50_latency_ms << " ms p95 " << p95_latency_ms << " ms p99 "
+     << p99_latency_ms << " ms, layout epochs " << layout_epochs << "\n"
+     << cost.ToString();
+  return os.str();
 }
 
 Status Database::MoveTable(const std::string& name, StoreType store) {
@@ -51,6 +172,7 @@ Status Database::ApplyLayout(const std::string& name,
                         Rematerialize(*table, layout, options));
   HSDB_RETURN_IF_ERROR(catalog_.ReplaceTable(name, std::move(rebuilt)));
   ++layout_epoch_;
+  if (TelemetryOn()) rematerializations_total_->Increment();
   return catalog_.UpdateStatistics(name);
 }
 

@@ -1,21 +1,51 @@
 // Database: the engine facade — catalog + executor + statement-boundary
 // maintenance + workload observation + the layout-change DDL the storage
-// advisor's recommendations execute.
+// advisor's recommendations execute. Also the engine's telemetry anchor:
+// every Execute stamps the result with a phase-decomposed trace span tree
+// and (when a cost predictor is installed) the estimator's predicted cost,
+// feeds the observed-vs-predicted residual into a CostFeedback accumulator,
+// and mirrors query counts/latencies into the MetricsRegistry.
 #ifndef HSDB_EXECUTOR_DATABASE_H_
 #define HSDB_EXECUTOR_DATABASE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 
 #include "catalog/catalog.h"
 #include "executor/executor.h"
 #include "executor/observer.h"
+#include "telemetry/cost_feedback.h"
+#include "telemetry/metrics.h"
 
 namespace hsdb {
 
+/// Point-in-time view of the engine's query telemetry, returned by
+/// Database::TelemetrySnapshot(): lifetime query/error counts, latency
+/// percentiles, rematerialization count, and the per-table
+/// observed-vs-predicted cost residual statistics.
+struct TelemetryReport {
+  /// False when telemetry is compiled out or the registry is disabled; the
+  /// other fields are then zero/empty.
+  bool enabled = false;
+  uint64_t queries = 0;
+  uint64_t errors = 0;
+  /// Physical reorganizations (layout_epoch()).
+  uint64_t layout_epochs = 0;
+  double p50_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  telemetry::CostFeedback::Snapshot cost;
+
+  std::string ToString() const;
+};
+
 class Database {
  public:
-  Database() : executor_(&catalog_) {}
+  /// `metrics` is the registry query telemetry lands in; nullptr = the
+  /// process-wide MetricsRegistry::Global(). Injected by tests that need
+  /// isolated counters.
+  explicit Database(telemetry::MetricsRegistry* metrics = nullptr);
   HSDB_DISALLOW_COPY_AND_ASSIGN(Database);
 
   Catalog& catalog() { return catalog_; }
@@ -29,12 +59,37 @@ class Database {
   }
 
   /// Executes one query: runs it, stamps the wall-clock time, performs
-  /// statement-boundary maintenance on the touched tables (delta merges) and
-  /// notifies the observer.
+  /// statement-boundary maintenance on the touched tables (delta merges)
+  /// and notifies the observer. With telemetry enabled the result also
+  /// carries the span tree of the execution phases and the predicted cost
+  /// (when a predictor is installed); failures invoke
+  /// QueryObserver::OnQueryError and count into the error metrics.
   Result<QueryResult> Execute(const Query& query);
 
   /// Installs/removes the workload observer (not owned).
   void set_observer(QueryObserver* observer) { observer_ = observer; }
+
+  // Telemetry -------------------------------------------------------------
+
+  telemetry::MetricsRegistry& metrics() { return *metrics_; }
+  const telemetry::MetricsRegistry& metrics() const { return *metrics_; }
+
+  /// Predicts the cost (ms) of a query under the current catalog design.
+  /// The StorageAdvisor installs one backed by its cost model; every
+  /// executed query then yields an observed-vs-predicted residual.
+  using CostPredictor = std::function<double(const Query&)>;
+  void set_cost_predictor(CostPredictor predictor) {
+    cost_predictor_ = std::move(predictor);
+  }
+  bool has_cost_predictor() const { return cost_predictor_ != nullptr; }
+
+  /// The accumulated observed-vs-predicted residual stream.
+  const telemetry::CostFeedback& cost_feedback() const {
+    return cost_feedback_;
+  }
+
+  /// Snapshot of the engine-level telemetry (see TelemetryReport).
+  TelemetryReport TelemetrySnapshot() const;
 
   // Layout DDL -----------------------------------------------------------
 
@@ -61,10 +116,29 @@ class Database {
   uint64_t layout_epoch() const { return layout_epoch_; }
 
  private:
+  /// True when per-query telemetry should run right now.
+  bool TelemetryOn() const {
+    return telemetry::kCompiledIn && metrics_->enabled();
+  }
+  Result<QueryResult> ExecuteTraced(const Query& query);
+  void AfterStatementMaintenance(const Query& query);
+
   Catalog catalog_;
   Executor executor_;
   QueryObserver* observer_ = nullptr;
   uint64_t layout_epoch_ = 0;
+
+  telemetry::MetricsRegistry* metrics_;
+  CostPredictor cost_predictor_;
+  telemetry::CostFeedback cost_feedback_;
+  // Cached metric handles (registered once, incremented lock-free).
+  telemetry::Counter* queries_total_[kNumQueryKinds] = {};
+  telemetry::Counter* query_errors_total_[kNumQueryKinds] = {};
+  telemetry::Counter* rematerializations_total_ = nullptr;
+  telemetry::LogHistogram* query_latency_ms_ = nullptr;
+  telemetry::LogHistogram* cost_abs_rel_error_ = nullptr;
+  telemetry::Gauge* cost_predicted_total_ms_ = nullptr;
+  telemetry::Gauge* cost_observed_total_ms_ = nullptr;
 };
 
 }  // namespace hsdb

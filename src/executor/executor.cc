@@ -7,6 +7,7 @@
 
 #include "executor/aggregate.h"
 #include "storage/scan_dispatch.h"
+#include "telemetry/trace.h"
 
 namespace hsdb {
 namespace {
@@ -42,6 +43,7 @@ Status ValidateTerms(const Schema& schema,
 /// bitmap when one is available for a term's column.
 Bitmap EvaluateOnFragment(const Fragment& frag,
                           const std::vector<const PredicateTerm*>& terms) {
+  telemetry::ScopedSpan span("predicate");
   const PhysicalTable& table = *frag.table;
   if (table.store() == StoreType::kRow) {
     const auto& rs = static_cast<const RowTable&>(table);
@@ -193,6 +195,7 @@ Result<QueryResult> Executor::ExecuteSelect(const SelectQuery& q) {
   // Point fast path: single equality on a single-column primary key.
   if (schema.primary_key().size() == 1 &&
       IsPointPredicateOn(q.predicate, schema.primary_key()[0])) {
+    telemetry::ScopedSpan scan_span("scan");
     Result<Row> row =
         table->GetByPk(PrimaryKey::Of(*q.predicate[0].range.lo));
     if (row.ok() && limit > 0) {
@@ -207,6 +210,7 @@ Result<QueryResult> Executor::ExecuteSelect(const SelectQuery& q) {
   }
   needed = UniqueColumns(std::move(needed));
 
+  telemetry::ScopedSpan scan_span("scan");
   for (size_t g = 0; g < table->groups().size(); ++g) {
     if (result.rows.size() >= limit) break;
     const RowGroup& group = table->groups()[g];
@@ -223,6 +227,7 @@ Result<QueryResult> Executor::ExecuteSelect(const SelectQuery& q) {
       });
     } else {
       // Vertical-split slow path: resolve keys, then stitch projections.
+      telemetry::ScopedSpan stitch_span("stitch");
       HSDB_ASSIGN_OR_RETURN(std::vector<PrimaryKey> pks,
                             MatchingPksInGroup(group, terms));
       for (const PrimaryKey& pk : pks) {
@@ -237,6 +242,7 @@ Result<QueryResult> Executor::ExecuteSelect(const SelectQuery& q) {
 
 Result<QueryResult> Executor::ExecuteInsert(const InsertQuery& q) {
   HSDB_ASSIGN_OR_RETURN(LogicalTable * table, catalog_->Find(q.table));
+  telemetry::ScopedSpan write_span("write");
   HSDB_RETURN_IF_ERROR(table->Insert(q.row));
   QueryResult result;
   result.affected_rows = 1;
@@ -270,11 +276,15 @@ Result<QueryResult> Executor::ExecuteUpdate(const UpdateQuery& q) {
   }
 
   std::vector<PrimaryKey> all_pks;
-  for (const RowGroup& group : table->groups()) {
-    HSDB_ASSIGN_OR_RETURN(std::vector<PrimaryKey> pks,
-                          MatchingPksInGroup(group, terms));
-    for (PrimaryKey& pk : pks) all_pks.push_back(std::move(pk));
+  {
+    telemetry::ScopedSpan scan_span("scan");
+    for (const RowGroup& group : table->groups()) {
+      HSDB_ASSIGN_OR_RETURN(std::vector<PrimaryKey> pks,
+                            MatchingPksInGroup(group, terms));
+      for (PrimaryKey& pk : pks) all_pks.push_back(std::move(pk));
+    }
   }
+  telemetry::ScopedSpan write_span("write");
   for (const PrimaryKey& pk : all_pks) {
     HSDB_RETURN_IF_ERROR(table->UpdateByPk(pk, q.set_columns, q.set_values));
     ++result.affected_rows;
@@ -303,11 +313,15 @@ Result<QueryResult> Executor::ExecuteDelete(const DeleteQuery& q) {
     return result;
   }
   std::vector<PrimaryKey> all_pks;
-  for (const RowGroup& group : table->groups()) {
-    HSDB_ASSIGN_OR_RETURN(std::vector<PrimaryKey> pks,
-                          MatchingPksInGroup(group, terms));
-    for (PrimaryKey& pk : pks) all_pks.push_back(std::move(pk));
+  {
+    telemetry::ScopedSpan scan_span("scan");
+    for (const RowGroup& group : table->groups()) {
+      HSDB_ASSIGN_OR_RETURN(std::vector<PrimaryKey> pks,
+                            MatchingPksInGroup(group, terms));
+      for (PrimaryKey& pk : pks) all_pks.push_back(std::move(pk));
+    }
   }
+  telemetry::ScopedSpan write_span("write");
   for (const PrimaryKey& pk : all_pks) {
     HSDB_RETURN_IF_ERROR(table->DeleteByPk(pk));
     ++result.affected_rows;
@@ -395,11 +409,13 @@ Result<QueryResult> Executor::SingleTableAggregation(
   }
   needed = UniqueColumns(std::move(needed));
 
+  telemetry::ScopedSpan scan_span("scan");
   for (size_t g = 0; g < table->groups().size(); ++g) {
     const RowGroup& group = table->groups()[g];
     const Fragment* cover = CoveringFragment(group, needed);
     if (cover != nullptr) {
       Bitmap bm = EvaluateOnFragment(*cover, terms);
+      telemetry::ScopedSpan decode_span("decode");
       if (!grouped) {
         for (size_t i = 0; i < q.aggregates.size(); ++i) {
           const AggregateExpr& agg = q.aggregates[i];
@@ -439,6 +455,7 @@ Result<QueryResult> Executor::SingleTableAggregation(
       }
     } else {
       // Spanning path: stitch full logical rows (vertical-partition join).
+      telemetry::ScopedSpan stitch_span("stitch");
       table->ForEachRowInGroup(g, [&](const Row& row) {
         for (const PredicateTerm* term : terms) {
           if (!term->range.Contains(row[term->column.column])) return;
@@ -523,18 +540,21 @@ Result<QueryResult> Executor::StarJoinAggregation(const AggregationQuery& q) {
   }
 
   // Build dimension hash tables (predicates on the dimension applied here).
-  for (DimSide& dim : dims) {
-    HSDB_ASSIGN_OR_RETURN(LogicalTable * dt,
-                          catalog_->Find(q.tables[dim.table_index]));
-    std::vector<const PredicateTerm*> dim_terms =
-        TermsForTable(q.predicate, dim.table_index);
-    HSDB_RETURN_IF_ERROR(ValidateTerms(dt->schema(), dim_terms));
-    dt->ForEachRow([&](const Row& row) {
-      for (const PredicateTerm* term : dim_terms) {
-        if (!term->range.Contains(row[term->column.column])) return;
-      }
-      dim.rows.emplace(row[dim.dim_join_col], ProjectRow(row, dim.needed));
-    });
+  {
+    telemetry::ScopedSpan build_span("join_build");
+    for (DimSide& dim : dims) {
+      HSDB_ASSIGN_OR_RETURN(LogicalTable * dt,
+                            catalog_->Find(q.tables[dim.table_index]));
+      std::vector<const PredicateTerm*> dim_terms =
+          TermsForTable(q.predicate, dim.table_index);
+      HSDB_RETURN_IF_ERROR(ValidateTerms(dt->schema(), dim_terms));
+      dt->ForEachRow([&](const Row& row) {
+        for (const PredicateTerm* term : dim_terms) {
+          if (!term->range.Contains(row[term->column.column])) return;
+        }
+        dim.rows.emplace(row[dim.dim_join_col], ProjectRow(row, dim.needed));
+      });
+    }
   }
 
   std::vector<const PredicateTerm*> fact_terms = TermsForTable(q.predicate, 0);
@@ -607,6 +627,7 @@ Result<QueryResult> Executor::StarJoinAggregation(const AggregationQuery& q) {
   }
   needed = UniqueColumns(std::move(needed));
 
+  telemetry::ScopedSpan probe_span("probe");
   for (size_t g = 0; g < fact->groups().size(); ++g) {
     const RowGroup& group = fact->groups()[g];
     if (const Fragment* cover = CoveringFragment(group, needed)) {

@@ -4,6 +4,7 @@
 #ifndef HSDB_EXECUTOR_OBSERVER_H_
 #define HSDB_EXECUTOR_OBSERVER_H_
 
+#include "common/status.h"
 #include "executor/query.h"
 #include "executor/result.h"
 
@@ -16,6 +17,15 @@ class QueryObserver {
   /// Called after every successful query execution with the executed query
   /// and its (timed) result.
   virtual void OnQuery(const Query& query, const QueryResult& result) = 0;
+
+  /// Called when a query fails to execute, with the error the executor
+  /// returned. Default no-op so observers that only care about the
+  /// successful stream (the workload recorder) are unaffected — but failed
+  /// queries are observable, not silently dropped.
+  virtual void OnQueryError(const Query& query, const Status& status) {
+    (void)query;
+    (void)status;
+  }
 };
 
 }  // namespace hsdb

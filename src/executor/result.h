@@ -3,9 +3,11 @@
 #define HSDB_EXECUTOR_RESULT_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/row.h"
+#include "telemetry/trace.h"
 
 namespace hsdb {
 
@@ -23,6 +25,19 @@ struct QueryResult {
 
   /// Wall-clock execution time, filled by Database::Execute.
   double elapsed_ms = 0.0;
+
+  /// The estimator's predicted cost for this query under the catalog's
+  /// current layouts, filled by Database::Execute when a cost predictor is
+  /// installed (the StorageAdvisor wires its cost model in) and telemetry
+  /// is enabled. Negative = no prediction available. Together with
+  /// elapsed_ms this is one observed-vs-predicted residual sample; the
+  /// Database folds it into its CostFeedback accumulator.
+  double predicted_cost_ms = -1.0;
+
+  /// Phase-decomposed execution trace (root span "query"), filled by
+  /// Database::Execute when telemetry is enabled; null otherwise. Shared so
+  /// copying a result stays cheap.
+  std::shared_ptr<const telemetry::TraceSpan> trace;
 };
 
 }  // namespace hsdb

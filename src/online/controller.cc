@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/workload_cost.h"
+#include "telemetry/metrics.h"
 
 namespace hsdb {
 
@@ -71,6 +72,7 @@ AdaptationLogEntry AdaptationController::Tick() {
 
 AdaptationLogEntry AdaptationController::TickLocked() {
   WorkloadRecorder* recorder = advisor_->recorder();
+  const size_t abandons_before = abandons_;
   AdaptationLogEntry e;
   e.epoch = recorder->epoch();
   e.queries = recorder->epoch_seen_queries();
@@ -103,6 +105,7 @@ AdaptationLogEntry AdaptationController::TickLocked() {
         detail << "; plan abandoned";
         migration_.reset();
         migration_failures_ = 0;
+        ++abandons_;
       }
     }
     e.detail = detail.str();
@@ -180,8 +183,52 @@ AdaptationLogEntry AdaptationController::TickLocked() {
 
   ++ticks_;
   log_.push_back(e);
-  while (log_.size() > options_.max_log_entries) log_.pop_front();
+  while (log_.size() > options_.max_log_entries) {
+    log_.pop_front();
+    ++log_dropped_;
+  }
+  RecordTickMetrics(e, abandons_ > abandons_before);
   return e;
+}
+
+void AdaptationController::RecordTickMetrics(const AdaptationLogEntry& entry,
+                                             bool abandoned) {
+  telemetry::MetricsRegistry& reg = db_->metrics();
+  if (!telemetry::kCompiledIn || !reg.enabled()) return;
+  reg.GetCounter("hsdb_adapt_ticks_total",
+                 "Adaptation controller ticks, by decision.",
+                 {{"decision", AdaptDecisionName(entry.decision)}})
+      .Increment();
+  reg.GetGauge("hsdb_adapt_drift_score",
+               "Query-weighted mean drift score at the last judged tick.")
+      .Set(entry.global_drift);
+  if (entry.decision == AdaptDecision::kResearchedNoChange ||
+      entry.decision == AdaptDecision::kAdapted) {
+    reg.GetCounter("hsdb_adapt_researches_total",
+                   "Joint-search re-runs the controller triggered.")
+        .Increment();
+  }
+  if (entry.decision == AdaptDecision::kAdapted) {
+    reg.GetCounter("hsdb_adapt_adaptations_total",
+                   "Re-searches that changed the design and began migrating.")
+        .Increment();
+  }
+  if (entry.migration_steps_applied > 0) {
+    reg.GetCounter("hsdb_adapt_migration_steps_total",
+                   "Migration steps executed by the controller.")
+        .Increment(entry.migration_steps_applied);
+  }
+  if (abandoned) {
+    reg.GetCounter("hsdb_adapt_migration_abandons_total",
+                   "Migration plans abandoned after repeated step failures.")
+        .Increment();
+  }
+  if (log_dropped_ > 0) {
+    reg.GetGauge("hsdb_adapt_log_dropped",
+                 "Adaptation-log entries dropped by the retention bound "
+                 "(lifetime).")
+        .Set(static_cast<double>(log_dropped_));
+  }
 }
 
 void AdaptationController::Start() {
@@ -229,6 +276,16 @@ size_t AdaptationController::ticks() const {
   return ticks_;
 }
 
+size_t AdaptationController::abandons() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return abandons_;
+}
+
+size_t AdaptationController::log_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_dropped_;
+}
+
 const MigrationPlan* AdaptationController::active_migration() const {
   std::lock_guard<std::mutex> lock(mu_);
   return migration_.has_value() ? &*migration_ : nullptr;
@@ -244,6 +301,10 @@ std::string AdaptationController::LogSummary() const {
   std::ostringstream os;
   os << "adaptation log: " << ticks_ << " tick(s), " << researches_
      << " re-search(es), " << adaptations_ << " adaptation(s)";
+  if (log_dropped_ > 0) {
+    os << " (" << log_dropped_ << " oldest entr"
+       << (log_dropped_ == 1 ? "y" : "ies") << " dropped)";
+  }
   for (const AdaptationLogEntry& e : log_) os << "\n  " << e.ToString();
   return os.str();
 }

@@ -116,6 +116,12 @@ class AdaptationController {
   size_t adaptations() const;
   /// Ticks performed.
   size_t ticks() const;
+  /// Migration plans abandoned after repeated step failures.
+  size_t abandons() const;
+  /// Adaptation-log entries dropped by the max_log_entries bound (lifetime)
+  /// — when this is non-zero, log() is a suffix of the history, not all of
+  /// it.
+  size_t log_dropped() const;
   /// The in-flight migration plan; nullptr when fully converged.
   const MigrationPlan* active_migration() const;
   std::vector<AdaptationLogEntry> log() const;
@@ -125,6 +131,8 @@ class AdaptationController {
   AdaptationLogEntry TickLocked();
   /// Estimated cost of the *current* catalog design on `workload`.
   double CurrentDesignCost(const std::vector<WeightedQuery>& workload) const;
+  /// Mirrors the tick's outcome into the metrics registry.
+  void RecordTickMetrics(const AdaptationLogEntry& entry, bool abandoned);
 
   StorageAdvisor* advisor_;
   Database* db_;
@@ -143,6 +151,8 @@ class AdaptationController {
   size_t researches_ = 0;
   size_t adaptations_ = 0;
   size_t ticks_ = 0;
+  size_t abandons_ = 0;
+  size_t log_dropped_ = 0;
   std::deque<AdaptationLogEntry> log_;
 
   std::thread thread_;

@@ -1,9 +1,13 @@
 #include "online/migration.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
+#include "common/stopwatch.h"
 #include "core/workload_cost.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace hsdb {
 
@@ -122,16 +126,51 @@ MigrationPlan MigrationExecutor::Plan(const Recommendation& rec) const {
 MigrationExecutor::Progress MigrationExecutor::ExecuteSteps(
     MigrationPlan* plan, size_t max_steps, std::optional<double> budget_ms) {
   Progress progress;
+  telemetry::MetricsRegistry& reg = db_->metrics();
+  const bool telemetry_on = telemetry::kCompiledIn && reg.enabled();
   double spent_ms = 0.0;
   while (!plan->Done() && progress.executed < max_steps) {
-    const MigrationStep& step = plan->steps[plan->next_step];
+    MigrationStep& step = plan->steps[plan->next_step];
     if (progress.executed > 0 && budget_ms.has_value() &&
         spent_ms + step.estimated_cost_ms > *budget_ms) {
       break;  // next step would blow the epoch's budget; resume next epoch
     }
-    progress.status =
-        db_->ApplyLayout(step.table, step.target_layout, step.encodings);
-    if (!progress.status.ok()) break;  // cursor stays on the failing step
+    Stopwatch sw;
+    {
+      telemetry::ScopedSpan span("migration_step");
+      progress.status =
+          db_->ApplyLayout(step.table, step.target_layout, step.encodings);
+    }
+    if (!progress.status.ok()) {
+      if (telemetry_on) {
+        reg.GetCounter("hsdb_migration_step_failures_total",
+                       "Migration steps that failed to apply.")
+            .Increment();
+      }
+      break;  // cursor stays on the failing step
+    }
+    step.observed_cost_ms = sw.ElapsedMs();
+    if (telemetry_on) {
+      reg.GetCounter("hsdb_migration_steps_total",
+                     "Migration steps executed, by step kind.",
+                     {{"kind", MigrationStepKindName(step.kind)}})
+          .Increment();
+      reg.GetHistogram("hsdb_migration_step_ms",
+                       "Wall-clock rebuild time of one migration step (ms).")
+          .Observe(step.observed_cost_ms);
+      // Rebuild-side observed-vs-predicted residual, same shape as the
+      // query-side hsdb_cost_abs_rel_error.
+      if (step.observed_cost_ms > 0.0 && step.estimated_cost_ms >= 0.0) {
+        reg.GetHistogram(
+               "hsdb_migration_cost_abs_rel_error",
+               "Absolute relative error |observed-predicted|/observed of "
+               "the migration rebuild-cost estimate, per step.",
+               {}, /*min_bound=*/1e-4)
+            .Observe(std::abs(step.observed_cost_ms -
+                              step.estimated_cost_ms) /
+                     step.observed_cost_ms);
+      }
+    }
     spent_ms += step.estimated_cost_ms;
     ++plan->next_step;
     ++progress.executed;

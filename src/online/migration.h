@@ -45,6 +45,11 @@ struct MigrationStep {
   /// on top of the current design (may be negative for steps that only pay
   /// off combined with others, e.g. budget-driven downgrades).
   double estimated_gain_ms = 0.0;
+  /// Measured wall-clock time (ms) of the step's rebuild, filled by
+  /// ExecuteSteps once the step has run. Negative = not executed yet.
+  /// Together with estimated_cost_ms this is the rebuild-side
+  /// observed-vs-predicted residual.
+  double observed_cost_ms = -1.0;
   std::string description;
 };
 

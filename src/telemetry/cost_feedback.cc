@@ -1,0 +1,97 @@
+#include "telemetry/cost_feedback.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace hsdb {
+namespace telemetry {
+
+void CostFeedback::Acc::Add(double predicted, double observed) {
+  const double rel = (observed - predicted) / observed;
+  ++n;
+  predicted_ms += predicted;
+  observed_ms += observed;
+  sum_rel += rel;
+  sum_abs_rel += std::abs(rel);
+  abs_rel.Observe(std::abs(rel));
+}
+
+CostFeedback::Stats CostFeedback::Acc::ToStats() const {
+  Stats stats;
+  stats.samples = n;
+  stats.predicted_total_ms = predicted_ms;
+  stats.observed_total_ms = observed_ms;
+  if (n > 0) {
+    stats.mean_rel_error = sum_rel / static_cast<double>(n);
+    stats.mean_abs_rel_error = sum_abs_rel / static_cast<double>(n);
+    stats.p50_abs_rel_error = abs_rel.Quantile(0.5);
+    stats.p95_abs_rel_error = abs_rel.Quantile(0.95);
+    stats.p99_abs_rel_error = abs_rel.Quantile(0.99);
+  }
+  return stats;
+}
+
+void CostFeedback::Record(const std::string& table, double predicted_ms,
+                          double observed_ms) {
+  if (!(observed_ms > 0.0) || !(predicted_ms >= 0.0)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  global_.Add(predicted_ms, observed_ms);
+  if (!table.empty()) tables_[table].Add(predicted_ms, observed_ms);
+}
+
+CostFeedback::Snapshot CostFeedback::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.global = global_.ToStats();
+  for (const auto& [name, acc] : tables_) {
+    snap.tables.emplace(name, acc.ToStats());
+  }
+  return snap;
+}
+
+uint64_t CostFeedback::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return global_.n;
+}
+
+void CostFeedback::Acc::Clear() {
+  n = 0;
+  predicted_ms = 0.0;
+  observed_ms = 0.0;
+  sum_rel = 0.0;
+  sum_abs_rel = 0.0;
+  abs_rel.Reset();
+}
+
+void CostFeedback::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  global_.Clear();
+  tables_.clear();
+}
+
+namespace {
+void PrintStats(std::ostringstream& os, const std::string& label,
+                const CostFeedback::Stats& stats) {
+  os << "  " << label << ": " << stats.samples << " sample(s)";
+  if (stats.samples > 0) {
+    os << ", predicted " << stats.predicted_total_ms << " ms vs observed "
+       << stats.observed_total_ms << " ms, mean rel err "
+       << stats.mean_rel_error << ", |rel err| mean "
+       << stats.mean_abs_rel_error << " p50 " << stats.p50_abs_rel_error
+       << " p95 " << stats.p95_abs_rel_error << " p99 "
+       << stats.p99_abs_rel_error;
+  }
+  os << "\n";
+}
+}  // namespace
+
+std::string CostFeedback::Snapshot::ToString() const {
+  std::ostringstream os;
+  os << "cost feedback (observed vs predicted):\n";
+  PrintStats(os, "all tables", global);
+  for (const auto& [name, stats] : tables) PrintStats(os, name, stats);
+  return os.str();
+}
+
+}  // namespace telemetry
+}  // namespace hsdb

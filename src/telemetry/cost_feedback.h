@@ -1,0 +1,78 @@
+// CostFeedback: the predicted-vs-observed cost residual stream. Every query
+// the Database executes with a cost predictor installed (the StorageAdvisor
+// wires its cost model in) contributes one sample: the estimator's
+// predicted cost and the measured wall-clock time. The accumulator keeps
+// per-table and global error statistics — sample counts, mean signed and
+// absolute relative error, and log-scale percentiles of the absolute
+// relative error — which is exactly the feedback a learned cost model
+// (ROADMAP item 4) regresses corrections from, and the ground truth that
+// tells an operator whether the advisor's recommendations can be trusted.
+#ifndef HSDB_TELEMETRY_COST_FEEDBACK_H_
+#define HSDB_TELEMETRY_COST_FEEDBACK_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace hsdb {
+namespace telemetry {
+
+class CostFeedback {
+ public:
+  struct Stats {
+    uint64_t samples = 0;
+    double predicted_total_ms = 0.0;
+    double observed_total_ms = 0.0;
+    /// Mean of (observed - predicted) / observed: positive = the model
+    /// underestimates, negative = it overestimates.
+    double mean_rel_error = 0.0;
+    /// Mean and percentiles of |observed - predicted| / observed.
+    double mean_abs_rel_error = 0.0;
+    double p50_abs_rel_error = 0.0;
+    double p95_abs_rel_error = 0.0;
+    double p99_abs_rel_error = 0.0;
+  };
+
+  struct Snapshot {
+    Stats global;
+    std::map<std::string, Stats> tables;
+    std::string ToString() const;
+  };
+
+  /// Folds one residual sample in. `table` is the query's primary table
+  /// (fact table for joins); empty attributes to the global stats only.
+  /// Non-positive observations are skipped (no meaningful relative error).
+  void Record(const std::string& table, double predicted_ms,
+              double observed_ms);
+
+  Snapshot snapshot() const;
+  uint64_t samples() const;
+  void Reset();
+
+ private:
+  struct Acc {
+    uint64_t n = 0;
+    double predicted_ms = 0.0;
+    double observed_ms = 0.0;
+    double sum_rel = 0.0;
+    double sum_abs_rel = 0.0;
+    /// |rel error| distribution; 1e-4 granularity floor covers 0.01% .. and
+    /// beyond on the factor-2 grid.
+    LogHistogram abs_rel{1e-4, 36};
+
+    Stats ToStats() const;
+    void Add(double predicted, double observed);
+    void Clear();
+  };
+
+  mutable std::mutex mu_;
+  Acc global_;
+  std::map<std::string, Acc> tables_;
+};
+
+}  // namespace telemetry
+}  // namespace hsdb
+
+#endif  // HSDB_TELEMETRY_COST_FEEDBACK_H_

@@ -1,0 +1,87 @@
+#include "telemetry/trace.h"
+
+#include <sstream>
+
+namespace hsdb {
+namespace telemetry {
+
+namespace {
+thread_local Tracer* g_current_tracer = nullptr;
+}  // namespace
+
+const TraceSpan* TraceSpan::Find(std::string_view span_name) const {
+  if (name == span_name) return this;
+  for (const TraceSpan& child : children) {
+    if (const TraceSpan* found = child.Find(span_name)) return found;
+  }
+  return nullptr;
+}
+
+size_t TraceSpan::TreeSize() const {
+  size_t total = 1;
+  for (const TraceSpan& child : children) total += child.TreeSize();
+  return total;
+}
+
+std::string TraceSpan::ToString(int indent) const {
+  std::ostringstream os;
+  os << std::string(static_cast<size_t>(indent) * 2, ' ') << name << "  "
+     << elapsed_ms << " ms\n";
+  for (const TraceSpan& child : children) os << child.ToString(indent + 1);
+  return os.str();
+}
+
+Tracer::Tracer(std::string root_name)
+    : root_start_(std::chrono::steady_clock::now()) {
+  TraceSpan root;
+  root.name = std::move(root_name);
+  stack_.push_back(std::move(root));
+  previous_ = g_current_tracer;
+  g_current_tracer = this;
+}
+
+Tracer::~Tracer() {
+  if (!finished_) {
+    g_current_tracer = previous_;
+    finished_ = true;
+  }
+}
+
+double Tracer::NowMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - root_start_)
+      .count();
+}
+
+Tracer* Tracer::Current() { return g_current_tracer; }
+
+void Tracer::Begin(std::string_view name) {
+  if (finished_) return;
+  TraceSpan span;
+  span.name.assign(name);
+  span.start_ms = NowMs();
+  stack_.push_back(std::move(span));
+}
+
+void Tracer::End() {
+  if (finished_ || stack_.size() <= 1) return;  // never pop the root
+  TraceSpan span = std::move(stack_.back());
+  stack_.pop_back();
+  span.elapsed_ms = NowMs() - span.start_ms;
+  stack_.back().children.push_back(std::move(span));
+}
+
+TraceSpan Tracer::Finish() {
+  while (stack_.size() > 1) End();
+  TraceSpan root = std::move(stack_.front());
+  stack_.clear();
+  root.elapsed_ms = NowMs() - root.start_ms;
+  if (!finished_) {
+    g_current_tracer = previous_;
+    finished_ = true;
+  }
+  return root;
+}
+
+}  // namespace telemetry
+}  // namespace hsdb

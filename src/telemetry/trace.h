@@ -1,0 +1,95 @@
+// Per-query trace spans: a lightweight tree of named, timed phases built
+// while a query executes. Database::Execute installs a Tracer for the
+// query; instrument sites down the executor open ScopedSpans ("scan",
+// "predicate", "decode", "delta_merge", ...) that nest into the tree; the
+// finished tree is stamped onto the QueryResult. When no tracer is
+// installed (telemetry disabled, or code running outside Database::Execute
+// — calibration probes, direct Executor use) a ScopedSpan is one
+// thread-local load and a branch.
+#ifndef HSDB_TELEMETRY_TRACE_H_
+#define HSDB_TELEMETRY_TRACE_H_
+
+#include <chrono>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+#include "telemetry/metrics.h"
+
+namespace hsdb {
+namespace telemetry {
+
+/// One node of a query's trace tree. Times are milliseconds; start_ms is
+/// relative to the root span's start, so a tree is self-contained.
+struct TraceSpan {
+  std::string name;
+  double start_ms = 0.0;
+  double elapsed_ms = 0.0;
+  std::vector<TraceSpan> children;
+
+  /// Depth-first search for the first span with this name (self included).
+  const TraceSpan* Find(std::string_view span_name) const;
+  /// Total number of spans in the subtree (self included).
+  size_t TreeSize() const;
+  /// Indented one-line-per-span rendering:
+  ///   query                  1.234 ms
+  ///     scan                 1.100 ms
+  std::string ToString(int indent = 0) const;
+};
+
+/// Builds one span tree. Construction opens the root span and installs the
+/// tracer as the thread's current one (restoring any previous tracer on
+/// destruction, so nested Database::Execute calls — e.g. from a probe —
+/// keep separate trees). Begin/End must nest; Finish closes everything
+/// still open and returns the tree.
+class Tracer {
+ public:
+  explicit Tracer(std::string root_name);
+  ~Tracer();
+  HSDB_DISALLOW_COPY_AND_ASSIGN(Tracer);
+
+  void Begin(std::string_view name);
+  void End();
+
+  /// Closes all open spans (root included) and returns the finished tree.
+  /// The tracer uninstalls itself; further Begin/End calls are ignored.
+  TraceSpan Finish();
+
+  /// The tracer installed on this thread, nullptr when none.
+  static Tracer* Current();
+
+ private:
+  double NowMs() const;
+
+  std::chrono::steady_clock::time_point root_start_;
+  /// stack_[0] is the root under construction; Begin pushes, End pops the
+  /// finished span into its parent's children.
+  std::vector<TraceSpan> stack_;
+  Tracer* previous_ = nullptr;
+  bool finished_ = false;
+};
+
+/// RAII phase marker. No-op (one thread-local load) when no tracer is
+/// installed on the thread; compiled to nothing under HSDB_NO_TELEMETRY.
+class ScopedSpan {
+ public:
+#ifdef HSDB_NO_TELEMETRY
+  explicit ScopedSpan(std::string_view) {}
+#else
+  explicit ScopedSpan(std::string_view name) : tracer_(Tracer::Current()) {
+    if (tracer_ != nullptr) tracer_->Begin(name);
+  }
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) tracer_->End();
+  }
+
+ private:
+  Tracer* tracer_;
+#endif
+};
+
+}  // namespace telemetry
+}  // namespace hsdb
+
+#endif  // HSDB_TELEMETRY_TRACE_H_

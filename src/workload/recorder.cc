@@ -180,25 +180,57 @@ void WorkloadStatistics::Reset() {
 
 WorkloadRecorder::WorkloadRecorder(const Catalog* catalog,
                                    size_t max_recorded_queries,
-                                   size_t hot_key_capacity)
+                                   size_t hot_key_capacity,
+                                   telemetry::MetricsRegistry* metrics)
     : catalog_(catalog),
       max_queries_(max_recorded_queries),
       hot_key_capacity_(hot_key_capacity),
-      statistics_(hot_key_capacity) {}
+      statistics_(hot_key_capacity),
+      metrics_(metrics != nullptr ? metrics
+                                  : &telemetry::MetricsRegistry::Global()) {
+  recorded_total_ = &metrics_->GetCounter(
+      "hsdb_recorder_queries_total",
+      "Queries the workload recorder observed (lifetime).");
+  epochs_total_ = &metrics_->GetCounter(
+      "hsdb_recorder_epochs_total", "Recorder epoch rollovers.");
+  epoch_gauge_ = &metrics_->GetGauge("hsdb_recorder_epoch",
+                                     "Current recorder epoch index.");
+  epoch_queries_gauge_ = &metrics_->GetGauge(
+      "hsdb_recorder_epoch_queries",
+      "Queries observed in the current recorder epoch.");
+  sampled_queries_gauge_ = &metrics_->GetGauge(
+      "hsdb_recorder_sampled_queries",
+      "Raw queries currently retained in the epoch's reservoir sample.");
+}
+
+void WorkloadRecorder::MirrorToMetrics() {
+  if (!telemetry::kCompiledIn || !metrics_->enabled()) return;
+  epoch_gauge_->Set(static_cast<double>(epoch_));
+  epoch_queries_gauge_->Set(static_cast<double>(epoch_seen_));
+  sampled_queries_gauge_->Set(static_cast<double>(queries_.size()));
+}
 
 void WorkloadRecorder::OnQuery(const Query& query, const QueryResult&) {
   statistics_.Record(query, *catalog_);
   ++seen_;
   ++epoch_seen_;
-  if (max_queries_ == 0) return;
+  if (telemetry::kCompiledIn && metrics_->enabled()) {
+    recorded_total_->Increment();
+  }
+  if (max_queries_ == 0) {
+    MirrorToMetrics();
+    return;
+  }
   if (queries_.size() < max_queries_) {
     queries_.push_back(query);
+    MirrorToMetrics();
     return;
   }
   // Reservoir sampling keeps a uniform sample of the epoch's stream.
   uint64_t j = static_cast<uint64_t>(
       rng_.UniformInt(0, static_cast<int64_t>(epoch_seen_) - 1));
   if (j < max_queries_) queries_[j] = query;
+  MirrorToMetrics();
 }
 
 void WorkloadRecorder::BeginEpoch() {
@@ -206,6 +238,10 @@ void WorkloadRecorder::BeginEpoch() {
   queries_.clear();
   epoch_seen_ = 0;
   ++epoch_;
+  if (telemetry::kCompiledIn && metrics_->enabled()) {
+    epochs_total_->Increment();
+  }
+  MirrorToMetrics();
 }
 
 void WorkloadRecorder::Reset() {
@@ -214,6 +250,7 @@ void WorkloadRecorder::Reset() {
   seen_ = 0;
   epoch_seen_ = 0;
   epoch_ = 0;
+  MirrorToMetrics();
 }
 
 }  // namespace hsdb

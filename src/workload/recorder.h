@@ -15,6 +15,7 @@
 #include "common/random.h"
 #include "common/topk.h"
 #include "executor/observer.h"
+#include "telemetry/metrics.h"
 
 namespace hsdb {
 
@@ -116,10 +117,13 @@ class WorkloadRecorder : public QueryObserver {
   /// 0 disables raw retention (statistics only — the cheap mode whose
   /// quality trade-off bench/ablation_statistics measures).
   /// `hot_key_capacity` sizes the per-table hot-update-key sketch
-  /// (AdvisorOptions::recorder_hot_keys is the user knob).
+  /// (AdvisorOptions::recorder_hot_keys is the user knob). `metrics` is the
+  /// registry the recorder mirrors its epoch/stream counters into; nullptr
+  /// = the process-wide default.
   explicit WorkloadRecorder(const Catalog* catalog,
                             size_t max_recorded_queries = 4096,
-                            size_t hot_key_capacity = 64);
+                            size_t hot_key_capacity = 64,
+                            telemetry::MetricsRegistry* metrics = nullptr);
 
   void OnQuery(const Query& query, const QueryResult& result) override;
 
@@ -145,6 +149,9 @@ class WorkloadRecorder : public QueryObserver {
   void Reset();
 
  private:
+  /// Pushes the current epoch/stream state into the registry gauges.
+  void MirrorToMetrics();
+
   const Catalog* catalog_;
   size_t max_queries_;
   size_t hot_key_capacity_;
@@ -154,6 +161,13 @@ class WorkloadRecorder : public QueryObserver {
   uint64_t epoch_seen_ = 0;
   uint64_t epoch_ = 0;
   Rng rng_{0xc0ffee};
+
+  telemetry::MetricsRegistry* metrics_;
+  telemetry::Counter* recorded_total_ = nullptr;
+  telemetry::Counter* epochs_total_ = nullptr;
+  telemetry::Gauge* epoch_gauge_ = nullptr;
+  telemetry::Gauge* epoch_queries_gauge_ = nullptr;
+  telemetry::Gauge* sampled_queries_gauge_ = nullptr;
 };
 
 }  // namespace hsdb

@@ -271,6 +271,89 @@ TEST_F(ControllerTest, BackgroundThreadStartsAndStops) {
   EXPECT_EQ(advisor_->auto_adapt(), nullptr);
 }
 
+TEST_F(ControllerTest, BoundedLogCountsDroppedEntries) {
+  SolveInitialDesign();
+  AdaptationOptions options;
+  options.max_log_entries = 2;
+  AdaptationController& controller = advisor_->StartAutoAdapt(options);
+  // Five idle ticks (no traffic) each append one log entry; the bound keeps
+  // the newest two and counts the rest instead of hiding the truncation.
+  for (int i = 0; i < 5; ++i) (void)controller.Tick();
+  EXPECT_EQ(controller.log().size(), 2u);
+  EXPECT_EQ(controller.log_dropped(), 3u);
+  EXPECT_NE(controller.LogSummary().find("3 oldest entries dropped"),
+            std::string::npos)
+      << controller.LogSummary();
+}
+
+TEST_F(ControllerTest, UnboundedEnoughLogDropsNothing) {
+  SolveInitialDesign();
+  AdaptationController& controller = advisor_->StartAutoAdapt();
+  for (int i = 0; i < 3; ++i) (void)controller.Tick();
+  EXPECT_EQ(controller.log_dropped(), 0u);
+  EXPECT_EQ(controller.LogSummary().find("dropped"), std::string::npos);
+}
+
+TEST(ControllerMetricsTest, TickMirrorsCountsIntoRegistry) {
+  if (!telemetry::kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  telemetry::MetricsRegistry registry;
+  Database db(&registry);
+  SyntheticTableSpec spec;
+  spec.name = "t";
+  ASSERT_TRUE(db.CreateTable("t", spec.MakeSchema(),
+                             TableLayout::SingleStore(StoreType::kRow))
+                  .ok());
+  ASSERT_TRUE(PopulateSynthetic(db.catalog().GetTable("t"), spec, 3000).ok());
+  ASSERT_TRUE(db.catalog().UpdateStatistics("t").ok());
+  StorageAdvisor advisor(&db);
+  advisor.SetCostModelParams(CostModelParams::Default());
+  advisor.StartRecording();
+
+  auto run_epoch = [&](double olap_fraction, uint64_t seed) {
+    WorkloadOptions opts;
+    opts.olap_fraction = olap_fraction;
+    opts.seed = seed;
+    SyntheticWorkloadGenerator gen(
+        spec, db.catalog().GetTable("t")->row_count(), opts);
+    RunWorkload(db, gen.Generate(200));
+  };
+  run_epoch(0.0, 1);
+  Result<Recommendation> rec = advisor.RecommendOnline();
+  ASSERT_TRUE(rec.ok());
+  ASSERT_TRUE(advisor.Apply(*rec).ok());
+
+  AdaptationController& controller = advisor.StartAutoAdapt();
+  run_epoch(0.0, 2);
+  ASSERT_EQ(controller.Tick().decision, AdaptDecision::kNoDrift);
+  run_epoch(0.9, 3);
+  ASSERT_EQ(controller.Tick().decision, AdaptDecision::kAdapted);
+
+  // The registry mirrors the controller's introspection counters.
+  EXPECT_EQ(registry
+                .GetCounter("hsdb_adapt_ticks_total", "",
+                            {{"decision", "no drift"}})
+                .value(),
+            1u);
+  EXPECT_EQ(registry
+                .GetCounter("hsdb_adapt_ticks_total", "",
+                            {{"decision", "adapted"}})
+                .value(),
+            1u);
+  EXPECT_EQ(registry.GetCounter("hsdb_adapt_researches_total").value(),
+            controller.researches());
+  EXPECT_EQ(registry.GetCounter("hsdb_adapt_adaptations_total").value(),
+            controller.adaptations());
+  EXPECT_GE(
+      registry.GetCounter("hsdb_adapt_migration_steps_total").value(), 1u);
+  // Drift gauge reflects the last judged tick.
+  EXPECT_GT(registry.GetGauge("hsdb_adapt_drift_score").value(), 0.2);
+  // The migration layer recorded its per-step telemetry too (the step kind
+  // depends on the recommended layout, so only the totals are asserted).
+  EXPECT_GE(registry.GetHistogram("hsdb_migration_step_ms").count(), 1u);
+  EXPECT_GE(
+      registry.GetHistogram("hsdb_migration_cost_abs_rel_error").count(), 1u);
+}
+
 TEST_F(ControllerTest, BootstrapWithoutSolvedProfileResearchesOnce) {
   // Auto-adapt on a hand-built layout: no solved-for profile exists, so the
   // first judged epoch bootstraps with a search.

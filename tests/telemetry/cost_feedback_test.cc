@@ -1,0 +1,110 @@
+#include "telemetry/cost_feedback.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hsdb {
+namespace telemetry {
+namespace {
+
+TEST(CostFeedbackTest, RecordsGlobalAndPerTableStats) {
+  CostFeedback fb;
+  fb.Record("orders", /*predicted_ms=*/1.0, /*observed_ms=*/2.0);
+  fb.Record("orders", 4.0, 4.0);
+  fb.Record("lineitem", 10.0, 5.0);
+
+  EXPECT_EQ(fb.samples(), 3u);
+  CostFeedback::Snapshot snap = fb.snapshot();
+  EXPECT_EQ(snap.global.samples, 3u);
+  EXPECT_DOUBLE_EQ(snap.global.predicted_total_ms, 15.0);
+  EXPECT_DOUBLE_EQ(snap.global.observed_total_ms, 11.0);
+
+  ASSERT_EQ(snap.tables.size(), 2u);
+  EXPECT_EQ(snap.tables.at("orders").samples, 2u);
+  EXPECT_EQ(snap.tables.at("lineitem").samples, 1u);
+  // lineitem: (5 - 10) / 5 = -1 (pure overestimate).
+  EXPECT_DOUBLE_EQ(snap.tables.at("lineitem").mean_rel_error, -1.0);
+  EXPECT_DOUBLE_EQ(snap.tables.at("lineitem").mean_abs_rel_error, 1.0);
+}
+
+TEST(CostFeedbackTest, SignOfMeanRelError) {
+  // rel = (observed - predicted) / observed: positive when the model
+  // underestimates, negative when it overestimates.
+  CostFeedback under;
+  under.Record("t", 1.0, 2.0);  // rel = +0.5
+  EXPECT_GT(under.snapshot().global.mean_rel_error, 0.0);
+
+  CostFeedback over;
+  over.Record("t", 2.0, 1.0);  // rel = -1.0
+  EXPECT_LT(over.snapshot().global.mean_rel_error, 0.0);
+}
+
+TEST(CostFeedbackTest, PerfectPredictionsHaveZeroError) {
+  CostFeedback fb;
+  for (int i = 1; i <= 10; ++i) {
+    fb.Record("t", static_cast<double>(i), static_cast<double>(i));
+  }
+  CostFeedback::Snapshot snap = fb.snapshot();
+  EXPECT_DOUBLE_EQ(snap.global.mean_rel_error, 0.0);
+  EXPECT_DOUBLE_EQ(snap.global.mean_abs_rel_error, 0.0);
+  // Zero errors land in the histogram's first bucket; p50 stays below the
+  // grid's floor upper bound (1e-4 on the factor-2 grid).
+  EXPECT_LE(snap.global.p50_abs_rel_error, 1e-4);
+}
+
+TEST(CostFeedbackTest, SkipsNonPositiveObservations) {
+  CostFeedback fb;
+  fb.Record("t", 1.0, 0.0);
+  fb.Record("t", 1.0, -3.0);
+  EXPECT_EQ(fb.samples(), 0u);
+  EXPECT_TRUE(fb.snapshot().tables.empty());
+}
+
+TEST(CostFeedbackTest, EmptyTableNameContributesToGlobalOnly) {
+  CostFeedback fb;
+  fb.Record("", 1.0, 2.0);
+  CostFeedback::Snapshot snap = fb.snapshot();
+  EXPECT_EQ(snap.global.samples, 1u);
+  EXPECT_TRUE(snap.tables.empty());
+}
+
+TEST(CostFeedbackTest, PercentilesTrackTheErrorDistribution) {
+  CostFeedback fb;
+  // 95 near-perfect predictions and 5 that are off by 2x: the p50 stays
+  // tiny while p99 reflects the heavy tail (abs rel error 0.5).
+  for (int i = 0; i < 95; ++i) fb.Record("t", 1.0, 1.0);
+  for (int i = 0; i < 5; ++i) fb.Record("t", 1.0, 2.0);
+  CostFeedback::Snapshot snap = fb.snapshot();
+  EXPECT_LE(snap.global.p50_abs_rel_error, 1e-4);
+  EXPECT_GE(snap.global.p99_abs_rel_error, 0.25);
+  EXPECT_LE(snap.global.p99_abs_rel_error, 1.0);
+  EXPECT_GE(snap.global.p99_abs_rel_error, snap.global.p95_abs_rel_error);
+}
+
+TEST(CostFeedbackTest, ResetClearsEverything) {
+  CostFeedback fb;
+  fb.Record("t", 1.0, 2.0);
+  ASSERT_EQ(fb.samples(), 1u);
+  fb.Reset();
+  EXPECT_EQ(fb.samples(), 0u);
+  CostFeedback::Snapshot snap = fb.snapshot();
+  EXPECT_EQ(snap.global.samples, 0u);
+  EXPECT_DOUBLE_EQ(snap.global.predicted_total_ms, 0.0);
+  EXPECT_TRUE(snap.tables.empty());
+  // Still usable after the reset.
+  fb.Record("t", 1.0, 1.0);
+  EXPECT_EQ(fb.samples(), 1u);
+}
+
+TEST(CostFeedbackTest, SnapshotToStringMentionsTables) {
+  CostFeedback fb;
+  fb.Record("orders", 1.0, 2.0);
+  const std::string text = fb.snapshot().ToString();
+  EXPECT_NE(text.find("orders"), std::string::npos);
+  EXPECT_FALSE(text.empty());
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace hsdb

@@ -1,0 +1,146 @@
+#include "telemetry/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+namespace hsdb {
+namespace telemetry {
+namespace {
+
+TEST(TracerTest, BuildsNestedTree) {
+  Tracer tracer("query");
+  tracer.Begin("execute");
+  tracer.Begin("scan");
+  tracer.End();
+  tracer.Begin("decode");
+  tracer.End();
+  tracer.End();
+  tracer.Begin("delta_merge");
+  tracer.End();
+  TraceSpan root = tracer.Finish();
+
+  EXPECT_EQ(root.name, "query");
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0].name, "execute");
+  EXPECT_EQ(root.children[1].name, "delta_merge");
+  ASSERT_EQ(root.children[0].children.size(), 2u);
+  EXPECT_EQ(root.children[0].children[0].name, "scan");
+  EXPECT_EQ(root.children[0].children[1].name, "decode");
+  EXPECT_EQ(root.TreeSize(), 5u);
+}
+
+TEST(TracerTest, FindLocatesSpansDepthFirst) {
+  Tracer tracer("query");
+  tracer.Begin("execute");
+  tracer.Begin("scan");
+  tracer.End();
+  tracer.End();
+  TraceSpan root = tracer.Finish();
+
+  ASSERT_NE(root.Find("scan"), nullptr);
+  EXPECT_EQ(root.Find("scan")->name, "scan");
+  EXPECT_EQ(root.Find("query"), &root);  // self included
+  EXPECT_EQ(root.Find("no_such_span"), nullptr);
+}
+
+TEST(TracerTest, TimesAreNonNegativeAndNested) {
+  Tracer tracer("query");
+  tracer.Begin("child");
+  tracer.End();
+  TraceSpan root = tracer.Finish();
+
+  EXPECT_GE(root.elapsed_ms, 0.0);
+  ASSERT_EQ(root.children.size(), 1u);
+  const TraceSpan& child = root.children[0];
+  EXPECT_GE(child.start_ms, 0.0);
+  EXPECT_GE(child.elapsed_ms, 0.0);
+  // The child lies inside the root's window.
+  EXPECT_LE(child.start_ms + child.elapsed_ms, root.elapsed_ms + 1e-6);
+}
+
+TEST(TracerTest, FinishClosesOpenSpans) {
+  Tracer tracer("query");
+  tracer.Begin("outer");
+  tracer.Begin("inner");  // never explicitly ended
+  TraceSpan root = tracer.Finish();
+
+  ASSERT_EQ(root.children.size(), 1u);
+  ASSERT_EQ(root.children[0].children.size(), 1u);
+  EXPECT_EQ(root.children[0].children[0].name, "inner");
+}
+
+TEST(TracerTest, InstallsAsThreadCurrentAndRestoresPrevious) {
+  EXPECT_EQ(Tracer::Current(), nullptr);
+  {
+    Tracer outer("outer");
+    EXPECT_EQ(Tracer::Current(), &outer);
+    {
+      Tracer inner("inner");
+      EXPECT_EQ(Tracer::Current(), &inner);
+      (void)inner.Finish();
+      // Finish uninstalls the tracer immediately, not at destruction.
+      EXPECT_EQ(Tracer::Current(), &outer);
+    }
+    EXPECT_EQ(Tracer::Current(), &outer);
+  }
+  EXPECT_EQ(Tracer::Current(), nullptr);
+}
+
+TEST(TracerTest, CurrentIsPerThread) {
+  Tracer tracer("main_thread");
+  EXPECT_EQ(Tracer::Current(), &tracer);
+  Tracer* seen_on_other_thread = &tracer;  // sentinel, must be overwritten
+  std::thread other(
+      [&seen_on_other_thread] { seen_on_other_thread = Tracer::Current(); });
+  other.join();
+  EXPECT_EQ(seen_on_other_thread, nullptr);
+}
+
+TEST(ScopedSpanTest, AddsSpanWhileTracerInstalled) {
+  Tracer tracer("query");
+  {
+    ScopedSpan span("phase");
+    { ScopedSpan nested("sub_phase"); }
+  }
+  TraceSpan root = tracer.Finish();
+#ifdef HSDB_NO_TELEMETRY
+  EXPECT_EQ(root.TreeSize(), 1u);  // instrument sites compile to nothing
+#else
+  ASSERT_EQ(root.children.size(), 1u);
+  EXPECT_EQ(root.children[0].name, "phase");
+  ASSERT_EQ(root.children[0].children.size(), 1u);
+  EXPECT_EQ(root.children[0].children[0].name, "sub_phase");
+#endif
+}
+
+TEST(ScopedSpanTest, NoOpWithoutTracer) {
+  ASSERT_EQ(Tracer::Current(), nullptr);
+  // Must not crash or install anything.
+  {
+    ScopedSpan span("orphan");
+    ScopedSpan nested("orphan_child");
+  }
+  EXPECT_EQ(Tracer::Current(), nullptr);
+}
+
+TEST(TraceSpanTest, ToStringIndentsChildren) {
+  TraceSpan root;
+  root.name = "query";
+  root.elapsed_ms = 1.5;
+  TraceSpan child;
+  child.name = "scan";
+  child.elapsed_ms = 1.0;
+  root.children.push_back(child);
+
+  const std::string text = root.ToString();
+  EXPECT_NE(text.find("query"), std::string::npos);
+  EXPECT_NE(text.find("scan"), std::string::npos);
+  // The child is indented relative to the root.
+  EXPECT_LT(text.find("query"), text.find("scan"));
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace hsdb
