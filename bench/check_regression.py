@@ -32,6 +32,7 @@ machine (Release build) the equivalent is:
 
 import argparse
 import json
+import os
 import statistics
 import sys
 
@@ -114,6 +115,40 @@ def check_telemetry_overhead(new, threshold):
     return failures
 
 
+def check_parallel_speedup(new, threshold):
+    """Asserts the morsel-parallel scan path actually scales, within-run.
+
+    BM_ParallelScan and BM_ParallelPackedFilter run the same scan at
+    threads:1 (serial code path) and threads:4; both rows come from the
+    same binary on the same machine, so like the telemetry check the raw
+    wall-clock ratio needs no fleet normalization. The bound only applies
+    on a multi-core runner (>= 4 CPUs): on smaller machines the rows are
+    reported but a missing speedup is expected, not a regression. Returns
+    a list of failure strings.
+    """
+    cpus = os.cpu_count() or 1
+    failures = []
+    for bench in ("BM_ParallelScan", "BM_ParallelPackedFilter"):
+        serial = new.get(f"{bench}/threads:1")
+        parallel = new.get(f"{bench}/threads:4")
+        if not serial or not parallel:
+            print(f"NOTE: {bench} thread rows missing; parallel speedup "
+                  "not checked (rebuild micro_compression?)")
+            continue
+        speedup = serial / parallel
+        if cpus < 4:
+            print(f"parallel speedup {bench}: {speedup:.2f}x at 4 threads "
+                  f"(not gated: only {cpus} CPU(s) on this runner)")
+            continue
+        status = "REGRESSION" if speedup < threshold else "ok"
+        print(f"parallel speedup {bench}: {speedup:.2f}x at 4 threads "
+              f"(limit {threshold:.2f}x) {status}")
+        if speedup < threshold:
+            failures.append(
+                f"parallel speedup {bench}: {speedup:.2f}x < {threshold:.2f}x")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("results", nargs="+", help="benchmark JSON outputs to merge")
@@ -124,6 +159,10 @@ def main():
     parser.add_argument("--telemetry-threshold", type=float, default=1.02,
                         help="max allowed telemetry on/off time ratio within "
                              "this run (1.02 = 2%% overhead)")
+    parser.add_argument("--parallel-speedup-threshold", type=float, default=2.5,
+                        help="min required 4-thread wall-clock speedup of the "
+                             "morsel-parallel scans, gated only on runners "
+                             "with >= 4 CPUs")
     parser.add_argument("--merge-only", action="store_true",
                         help="only merge the inputs into --out (baseline regeneration)")
     args = parser.parse_args()
@@ -139,6 +178,8 @@ def main():
     _, new = load_benchmarks(args.out)
 
     overhead_failures = check_telemetry_overhead(new, args.telemetry_threshold)
+    overhead_failures += check_parallel_speedup(
+        new, args.parallel_speedup_threshold)
 
     common = sorted(name for name in set(old) & set(new) if old[name] > 0)
     missing = sorted(set(old) - set(new))
@@ -174,7 +215,7 @@ def main():
             print(f"  {name}: {norm:.3f}x")
         return 1
     if overhead_failures:
-        print("\nFAIL: telemetry overhead bound violated:")
+        print("\nFAIL: within-run bound violated:")
         for line in overhead_failures:
             print(f"  {line}")
         return 1

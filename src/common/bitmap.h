@@ -76,6 +76,26 @@ class Bitmap {
     return total;
   }
 
+  /// Number of set bits in [begin, end). Reads only the words covering the
+  /// range, so disjoint ranges may be counted while other words are being
+  /// written (the parallel scan path counts per-morsel matches this way).
+  size_t CountInRange(size_t begin, size_t end) const {
+    HSDB_DCHECK(begin <= end && end <= size_);
+    if (begin >= end) return 0;
+    size_t first_word = begin >> 6;
+    size_t last_word = (end - 1) >> 6;
+    size_t total = 0;
+    for (size_t wi = first_word; wi <= last_word; ++wi) {
+      uint64_t w = words_[wi];
+      if (wi == first_word) w &= ~uint64_t{0} << (begin & 63);
+      if (wi == last_word && (end & 63) != 0) {
+        w &= (uint64_t{1} << (end & 63)) - 1;
+      }
+      total += static_cast<size_t>(std::popcount(w));
+    }
+    return total;
+  }
+
   /// Calls `fn(index)` for every set bit in ascending order.
   template <typename Fn>
   void ForEachSet(Fn&& fn) const {

@@ -1,0 +1,71 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace hsdb {
+
+ThreadPool::ThreadPool(size_t workers) {
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() noexcept {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    Job* job = queue_.front();
+    const size_t index = job->next++;
+    // The claimer of the last index retires the job from the queue; from
+    // here on only threads already running one of its indices touch it.
+    if (job->next == job->count) queue_.pop_front();
+    lock.unlock();
+    (*job->fn)(index);
+    pending_tasks_.fetch_sub(1, std::memory_order_relaxed);
+    lock.lock();
+    if (++job->done == job->count) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t count,
+                             const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  Job job;
+  job.fn = &fn;
+  job.count = count;
+  pending_tasks_.fetch_add(count, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_.push_back(&job);
+  work_cv_.notify_all();
+  // The caller works too: claim indices of our own job (wherever it sits in
+  // the queue) until none are left, then wait for stragglers.
+  while (job.next < job.count) {
+    const size_t index = job.next++;
+    if (job.next == job.count) {
+      queue_.erase(std::find(queue_.begin(), queue_.end(), &job));
+    }
+    lock.unlock();
+    fn(index);
+    pending_tasks_.fetch_sub(1, std::memory_order_relaxed);
+    lock.lock();
+    ++job.done;
+  }
+  done_cv_.wait(lock, [&job] { return job.done == job.count; });
+}
+
+}  // namespace hsdb

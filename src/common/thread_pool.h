@@ -1,0 +1,82 @@
+// ThreadPool: the engine's shared worker pool for morsel-parallel scans.
+//
+// The pool exposes exactly one execution shape, ParallelFor(count, fn):
+// run fn(0..count-1) across the workers *and the calling thread* and return
+// when every index finished. The caller participates, so a pool built for
+// degree-of-parallelism d spawns d-1 workers, and ParallelFor(count, fn)
+// with an empty pool degenerates to a plain serial loop. Multiple client
+// threads may issue ParallelFor concurrently: each call is an independent
+// job on a shared queue, workers interleave indices of all queued jobs
+// (FIFO by job), and a caller only blocks on its own job's completion —
+// workers never wait on jobs, so concurrent callers cannot deadlock.
+//
+// Tasks must not throw: the engine is Status-based and a throwing task
+// would otherwise leave sibling indices running; worker loops are noexcept
+// so an escaped exception terminates loudly instead of racing.
+#ifndef HSDB_COMMON_THREAD_POOL_H_
+#define HSDB_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace hsdb {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` worker threads (0 is valid: every ParallelFor then
+  /// runs inline on the caller).
+  explicit ThreadPool(size_t workers);
+  ~ThreadPool();
+  HSDB_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
+
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Runs fn(i) for every i in [0, count), distributing indices across the
+  /// workers and the calling thread; returns once all indices completed.
+  /// Indices are claimed atomically one at a time, so per-index work may be
+  /// uneven. Safe to call from multiple client threads concurrently; must
+  /// NOT be called from inside a pool task (no nesting).
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+  /// Tasks currently submitted but not yet finished (queued + running),
+  /// summed over all in-flight jobs. Sampled by the executor into the
+  /// worker-queue-depth gauge; approximate by nature.
+  size_t queue_depth() const {
+    return pending_tasks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Claim/done bookkeeping is guarded by mu_: indices are claimed one at a
+  // time under the lock (morsels are coarse, so the lock is cold), and the
+  // claimer of a job's last index removes the job from the queue — the
+  // stack-allocated Job can only be referenced again through the queue, so
+  // the submitting caller may safely return once done == count.
+  struct Job {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t count = 0;
+    size_t next = 0;  // next index to claim (guarded by mu_)
+    size_t done = 0;  // finished indices (guarded by mu_)
+  };
+
+  void WorkerLoop() noexcept;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: queue became non-empty / stop
+  std::condition_variable done_cv_;  // callers: some job finished an index
+  std::deque<Job*> queue_;           // jobs with unclaimed indices, FIFO
+  bool stop_ = false;
+  std::atomic<size_t> pending_tasks_{0};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hsdb
+
+#endif  // HSDB_COMMON_THREAD_POOL_H_

@@ -300,6 +300,37 @@ CalibrationReport Calibrate(ProbeRunner& runner,
     log << " (merge_share=" << cs.c_merge_share << ")\n";
   }
 
+  // ---- Morsel-parallel scan terms ----------------------------------------
+  if (!opt.parallel_dop_points.empty()) {
+    for (StoreType s : {StoreType::kRow, StoreType::kColumn}) {
+      StoreCostParams& sp = params.of(s);
+      const double serial =
+          runner.MeasureParallelScan(s, 1, ref_rows).ms;
+      if (serial <= 0.0) continue;  // runner without a parallel probe
+      // Fit speedup(d) = 1 + e*(d-1) through the measured points:
+      // per-point efficiency e_d = (serial/parallel - 1) / (d - 1),
+      // averaged (each probe gets equal weight).
+      double e_sum = 0.0;
+      int e_n = 0;
+      log << "c_parallel_core[" << StoreTypeName(s) << "]:";
+      for (int dop : opt.parallel_dop_points) {
+        if (dop <= 1) continue;
+        const double parallel = runner.MeasureParallelScan(s, dop, ref_rows).ms;
+        if (parallel <= 0.0) continue;
+        const double e = (serial / parallel - 1.0) / (dop - 1);
+        log << " d" << dop << "=" << serial / parallel << "x";
+        e_sum += e;
+        ++e_n;
+      }
+      if (e_n > 0) {
+        // A 1-core host measures ~0 marginal gain; clamp into [0, 1].
+        sp.c_parallel_core =
+            std::min(1.0, std::max(0.0, e_sum / e_n));
+      }
+      log << " -> e=" << sp.c_parallel_core << "\n";
+    }
+  }
+
   double sum_r2 = 0.0;
   for (double r2 : r2s) sum_r2 += r2;
   report.mean_r_squared = r2s.empty() ? 0.0 : sum_r2 / r2s.size();

@@ -57,6 +57,19 @@ class ProbeRunner {
   /// Extra cost of an aggregation spanning both pieces of a vertical split
   /// versus one covered by a single piece (per-table-size point).
   virtual ProbeResult MeasureStitch(size_t rows) = 0;
+
+  /// Ungrouped SUM scan at degree of parallelism `dop` (same table shape as
+  /// MeasureAggregation at the reference point). Non-pure with a zero
+  /// default so fakes that predate the parallel terms keep compiling; a
+  /// zero measurement skips the parallel fit and keeps the analytic
+  /// defaults.
+  virtual ProbeResult MeasureParallelScan(StoreType store, int dop,
+                                          size_t rows) {
+    (void)store;
+    (void)dop;
+    (void)rows;
+    return ProbeResult{};
+  }
 };
 
 struct CalibrationOptions {
@@ -81,6 +94,12 @@ struct CalibrationOptions {
   /// and delta-merge re-encode multipliers
   /// (StoreCostParams::c_encoding_reencode).
   bool calibrate_encoding_scan = true;
+
+  /// Degrees of parallelism to probe for the per-store parallel scan terms
+  /// (c_parallel_core); dop 1 is always measured as the baseline. Empty, or
+  /// a runner whose MeasureParallelScan returns zero, keeps the analytic
+  /// defaults.
+  std::vector<int> parallel_dop_points = {2, 4};
 };
 
 /// Selectivity of the aggregation filter probe; the fitted c_agg_filter is

@@ -79,6 +79,14 @@ CostModelParams CostModelParams::Default() {
   cs.c_encoding_reencode[static_cast<int>(Encoding::kFrameOfReference)] = 0.75;
   cs.c_encoding_reencode[static_cast<int>(Encoding::kRaw)] = 0.4;
   cs.c_merge_share = 0.3;
+  // Analytic parallel shape: row-store strided scans saturate memory
+  // bandwidth earlier than the column store's packed decode, so each extra
+  // core contributes less. Calibration replaces these with the measured
+  // parallel-scan speedup.
+  rs.c_parallel_core = 0.6;
+  rs.c_parallel_merge_ms = 0.02;
+  cs.c_parallel_core = 0.75;
+  cs.c_parallel_merge_ms = 0.01;
 
   p.base_join[0][0] = 1.0;
   p.base_join[0][1] = 1.15;
@@ -107,7 +115,8 @@ std::string CostModelParams::ToString() const {
     for (int e = 0; e < kNumEncodings; ++e) {
       os << (e > 0 ? "," : "") << sp.c_encoding_reencode[e];
     }
-    os << "}*" << sp.c_merge_share << "\n";
+    os << "}*" << sp.c_merge_share << " c_par=" << sp.c_parallel_core << "+"
+       << sp.c_parallel_merge_ms << "ms\n";
   }
   os << "base_join={" << base_join[0][0] << "," << base_join[0][1] << ";"
      << base_join[1][0] << "," << base_join[1][1] << "}"
@@ -127,8 +136,10 @@ double ClampMultiplier(double m) { return std::max(m, 1e-4); }
 // field but marks the SIMD decode kernels (storage/compression/simd/):
 // they shift the measured per-codec scan/re-encode throughput, so
 // scalar-era v1-v3 calibrations are rejected and caches recalibrate with
-// the vectorized engine.
-constexpr char kSerializationMagic[] = "hsdb_cost_model_v4";
+// the vectorized engine. v5 adds the morsel-parallel scan terms
+// (c_parallel_core, c_parallel_merge_ms); pre-parallel caches are rejected
+// so they recalibrate with the parallel probe.
+constexpr char kSerializationMagic[] = "hsdb_cost_model_v5";
 
 void PutFn(std::ostream& os, const LinearFn& fn) {
   os << fn.intercept << " " << fn.slope << "\n";
@@ -189,6 +200,7 @@ std::string CostModelParams::Serialize() const {
     os << "\n";
     for (double c : sp.c_encoding_reencode) os << c << " ";
     os << sp.c_merge_share << "\n";
+    os << sp.c_parallel_core << " " << sp.c_parallel_merge_ms << "\n";
   }
   for (int f = 0; f < kNumStoreTypes; ++f) {
     for (int d = 0; d < kNumStoreTypes; ++d) {
@@ -243,6 +255,7 @@ Result<CostModelParams> CostModelParams::Deserialize(
       if (!(is >> c)) return fail();
     }
     if (!(is >> sp.c_merge_share)) return fail();
+    if (!(is >> sp.c_parallel_core >> sp.c_parallel_merge_ms)) return fail();
   }
   for (int f = 0; f < kNumStoreTypes; ++f) {
     for (int d = 0; d < kNumStoreTypes; ++d) {
@@ -283,7 +296,17 @@ double CostModel::AggregationCost(StoreType store,
     cost += sp.base_agg[static_cast<int>(AggFn::kSum)] * sp.c_agg_filter *
             ClampMultiplier(sp.f_rows_agg(rows)) * compr;
   }
+  // Morsel-parallel scan: the whole filter+aggregate pass parallelizes;
+  // merging per-morsel partials is coordinator-side overhead.
+  if (dop_ > 1) {
+    cost = cost / ParallelSpeedup(sp) + sp.c_parallel_merge_ms;
+  }
   return cost;
+}
+
+double CostModel::ParallelSpeedup(const StoreCostParams& sp) const {
+  if (dop_ <= 1) return 1.0;
+  return 1.0 + std::max(sp.c_parallel_core, 0.0) * (dop_ - 1);
 }
 
 double CostModel::JoinAggregationCost(
@@ -342,6 +365,12 @@ double CostModel::SelectCost(StoreType store, size_t selected_columns,
                               : sp.f_selectivity_scan;
   cost *= ClampMultiplier(f_sel(selectivity));
   cost *= ClampMultiplier(sp.f_rows_select(rows));
+  // Morsel-parallel scan. Row-store index-seeded selections stay serial in
+  // the engine (the index path is already sub-linear), so only scan-shaped
+  // selections are scaled.
+  if (dop_ > 1 && !(store == StoreType::kRow && indexed)) {
+    cost = cost / ParallelSpeedup(sp) + sp.c_parallel_merge_ms;
+  }
   return cost;
 }
 

@@ -76,6 +76,17 @@ struct StoreCostParams {
   // which has no delta merges.
   double c_encoding_reencode[kNumEncodings] = {1.0, 1.0, 1.0, 1.0};
   double c_merge_share = 0.0;
+
+  // Morsel-parallel scan terms. Scan-shaped costs (aggregation, non-indexed
+  // selection) at degree of parallelism d are divided by the speedup
+  //   S(d) = 1 + c_parallel_core * (d - 1)
+  // — c_parallel_core is the marginal scan bandwidth each extra core
+  // contributes relative to the first (1 = perfect scaling; memory-bandwidth
+  // saturation keeps it below 1) — and charged c_parallel_merge_ms of
+  // coordinator-side merge overhead per scan. Calibrated by the parallel
+  // scan probe (MeasureParallelScan); identity at d = 1.
+  double c_parallel_core = 0.7;
+  double c_parallel_merge_ms = 0.01;
 };
 
 /// Full parameter set: one StoreCostParams per store plus the store-
@@ -122,6 +133,14 @@ class CostModel {
   explicit CostModel(CostModelParams params) : params_(std::move(params)) {}
 
   const CostModelParams& params() const { return params_; }
+
+  /// Degree of parallelism the engine runs eligible scans at (the advisor
+  /// mirrors Database::num_threads() here). Scan-shaped costs are divided
+  /// by the per-store parallel speedup; point lookups, joins and writes are
+  /// serial in the engine and stay unscaled. 1 (the default) disables the
+  /// adjustment.
+  void set_dop(int dop) { dop_ = dop < 1 ? 1 : dop; }
+  int dop() const { return dop_; }
 
   /// Single-table aggregation (paper §3.1 "Aggregation Queries").
   /// A predicate splits the cost into a filter pass over all rows
@@ -187,7 +206,11 @@ class CostModel {
   double UnionOverhead() const { return params_.c_union; }
 
  private:
+  /// Parallel speedup S(d) for scan-shaped work under `sp` (1 at dop 1).
+  double ParallelSpeedup(const StoreCostParams& sp) const;
+
   CostModelParams params_;
+  int dop_ = 1;
 };
 
 }  // namespace hsdb

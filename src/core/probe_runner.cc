@@ -109,15 +109,19 @@ double EngineProbeRunner::TimeQuery(Database& db, const Query& query) {
 EngineProbeRunner::Entry& EngineProbeRunner::ProbeTable(StoreType store,
                                                         size_t rows,
                                                         uint64_t distinct,
-                                                        bool indexed) {
+                                                        bool indexed,
+                                                        int dop) {
   std::string key = "t:" + std::string(StoreTypeName(store)) + ":" +
                     std::to_string(rows) + ":" + std::to_string(distinct) +
-                    (indexed ? ":idx" : "");
+                    (indexed ? ":idx" : "") +
+                    (dop > 1 ? ":d" + std::to_string(dop) : "");
   auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
 
   Entry entry;
-  entry.db = std::make_unique<Database>();
+  Database::Options db_options;
+  db_options.num_threads = dop;
+  entry.db = std::make_unique<Database>(db_options);
   HSDB_CHECK(entry.db
                  ->CreateTable("probe", ProbeSchema(),
                                TableLayout::SingleStore(store))
@@ -272,7 +276,9 @@ EngineProbeRunner::Entry& EngineProbeRunner::JoinTables(StoreType fact_store,
   if (it != cache_.end()) return it->second;
 
   Entry entry;
-  entry.db = std::make_unique<Database>();
+  Database::Options db_options;
+  db_options.num_threads = 1;  // join probes measure the serial engine
+  entry.db = std::make_unique<Database>(db_options);
   Schema fact = Schema::CreateOrDie({{"id", DataType::kInt64},
                                      {"fk", DataType::kInt64},
                                      {"kf", DataType::kDouble}},
@@ -326,7 +332,9 @@ EngineProbeRunner::Entry& EngineProbeRunner::StitchTable(size_t rows,
   auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
   Entry entry;
-  entry.db = std::make_unique<Database>();
+  Database::Options db_options;
+  db_options.num_threads = 1;  // stitch probes measure the serial engine
+  entry.db = std::make_unique<Database>(db_options);
   TableLayout layout = TableLayout::SingleStore(StoreType::kColumn);
   if (split) {
     layout.vertical = VerticalSpec{{2}};  // status column into the RS piece
@@ -348,6 +356,21 @@ EngineProbeRunner::Entry& EngineProbeRunner::StitchTable(size_t rows,
   table->ForceMerge();
   entry.db->catalog().UpdateAllStatistics();
   return cache_.emplace(key, std::move(entry)).first->second;
+}
+
+ProbeResult EngineProbeRunner::MeasureParallelScan(StoreType store, int dop,
+                                                   size_t rows) {
+  Entry& entry = ProbeTable(store, rows, /*distinct=*/1024,
+                            /*indexed=*/false, dop);
+  // Same shape as the reference aggregation probe: ungrouped, unfiltered
+  // SUM over the double measure column — the scan the parallel path
+  // morselizes.
+  AggregationQuery q;
+  q.tables = {"probe"};
+  q.aggregates = {{AggFn::kSum, {kD0, 0}}};
+  return ProbeResult{TimeQuery(*entry.db, Query(q)),
+                     store == StoreType::kColumn ? entry.compression_rate
+                                                 : 1.0};
 }
 
 ProbeResult EngineProbeRunner::MeasureStitch(size_t rows) {

@@ -38,6 +38,8 @@ class EngineProbeRunner : public ProbeRunner {
   ProbeResult MeasureJoin(StoreType fact_store, StoreType dim_store,
                           size_t fact_rows, size_t dim_rows) override;
   ProbeResult MeasureStitch(size_t rows) override;
+  ProbeResult MeasureParallelScan(StoreType store, int dop,
+                                  size_t rows) override;
 
   /// Releases all cached probe databases.
   void Evict() { cache_.clear(); }
@@ -51,9 +53,12 @@ class EngineProbeRunner : public ProbeRunner {
 
   /// Probe table of `rows` rows in `store` with `distinct` distinct values
   /// in the measure column (0 = all distinct); `indexed` adds row-store
-  /// sorted indexes on the id and filter columns.
+  /// sorted indexes on the id and filter columns. `dop` is the database's
+  /// degree of parallelism: 1 for every serial probe (so an HSDB_THREADS
+  /// environment does not leak parallelism into base costs), > 1 only for
+  /// the parallel scan probe.
   Entry& ProbeTable(StoreType store, size_t rows, uint64_t distinct,
-                    bool indexed);
+                    bool indexed, int dop = 1);
   Entry& JoinTables(StoreType fact_store, StoreType dim_store,
                     size_t fact_rows, size_t dim_rows);
   Entry& StitchTable(size_t rows, bool split);

@@ -1,19 +1,52 @@
 #include "executor/database.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "storage/conversion.h"
 #include "telemetry/trace.h"
 
 namespace hsdb {
 
-Database::Database(telemetry::MetricsRegistry* metrics)
+namespace {
+
+/// Resolves Options::num_threads: an explicit value wins, 0 consults the
+/// HSDB_THREADS environment variable, anything unusable degrades to serial.
+int ResolveNumThreads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("HSDB_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  return 1;
+}
+
+}  // namespace
+
+Database::Database(Options options)
     : executor_(&catalog_),
-      metrics_(metrics != nullptr ? metrics
-                                  : &telemetry::MetricsRegistry::Global()) {
+      num_threads_(ResolveNumThreads(options.num_threads)),
+      metrics_(options.metrics != nullptr
+                   ? options.metrics
+                   : &telemetry::MetricsRegistry::Global()) {
+  if (num_threads_ > 1) {
+    // d-way parallelism = the query thread + d-1 pool workers.
+    pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(num_threads_) - 1);
+    ParallelContext ctx;
+    ctx.pool = pool_.get();
+    ctx.morsels_total = &metrics_->GetCounter(
+        "hsdb_scan_morsels_total",
+        "Morsels dispatched by the parallel scan path.");
+    ctx.queue_depth = &metrics_->GetGauge(
+        "hsdb_scan_queue_depth",
+        "Worker-queue depth sampled at each parallel scan dispatch (pending "
+        "tasks plus the dispatched morsels).");
+    executor_.set_parallel(ctx);
+  }
   for (int i = 0; i < kNumQueryKinds; ++i) {
     const std::string kind(QueryKindName(static_cast<QueryKind>(i)));
     queries_total_[i] = &metrics_->GetCounter(
@@ -40,6 +73,8 @@ Database::Database(telemetry::MetricsRegistry* metrics)
       "hsdb_cost_observed_total_ms",
       "Sum of observed query times (ms) over all costed queries.");
 }
+
+Database::~Database() = default;
 
 Result<QueryResult> Database::Execute(const Query& query) {
   if (TelemetryOn()) return ExecuteTraced(query);

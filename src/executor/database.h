@@ -42,10 +42,24 @@ struct TelemetryReport {
 
 class Database {
  public:
-  /// `metrics` is the registry query telemetry lands in; nullptr = the
-  /// process-wide MetricsRegistry::Global(). Injected by tests that need
-  /// isolated counters.
-  explicit Database(telemetry::MetricsRegistry* metrics = nullptr);
+  struct Options {
+    /// Degree of parallelism for the morsel-parallel scan path. 1 keeps
+    /// every query on the serial path (no thread pool is created); d > 1
+    /// runs eligible scans on d threads (the caller plus d-1 pool workers).
+    /// 0 (the default) reads the HSDB_THREADS environment variable, falling
+    /// back to 1 when unset or unparsable.
+    int num_threads = 0;
+    /// Registry query telemetry lands in; nullptr = the process-wide
+    /// MetricsRegistry::Global(). Injected by tests that need isolated
+    /// counters.
+    telemetry::MetricsRegistry* metrics = nullptr;
+  };
+
+  explicit Database(Options options);
+  /// Back-compat convenience: default options with an explicit registry.
+  explicit Database(telemetry::MetricsRegistry* metrics = nullptr)
+      : Database(Options{0, metrics}) {}
+  ~Database();  // out of line: ThreadPool is forward-declared here
   HSDB_DISALLOW_COPY_AND_ASSIGN(Database);
 
   Catalog& catalog() { return catalog_; }
@@ -115,6 +129,10 @@ class Database {
   /// convergence really happened incrementally.
   uint64_t layout_epoch() const { return layout_epoch_; }
 
+  /// Resolved degree of parallelism (>= 1; see Options::num_threads). The
+  /// advisor reads this to configure the cost model's parallel scan factor.
+  int num_threads() const { return num_threads_; }
+
  private:
   /// True when per-query telemetry should run right now.
   bool TelemetryOn() const {
@@ -127,6 +145,8 @@ class Database {
   Executor executor_;
   QueryObserver* observer_ = nullptr;
   uint64_t layout_epoch_ = 0;
+  int num_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  // created only when num_threads_ > 1
 
   telemetry::MetricsRegistry* metrics_;
   CostPredictor cost_predictor_;

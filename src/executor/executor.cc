@@ -5,12 +5,25 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/thread_pool.h"
 #include "executor/aggregate.h"
 #include "storage/scan_dispatch.h"
+#include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
 namespace hsdb {
 namespace {
+
+/// Rows per morsel of the parallel scan path. A multiple of 64 so that
+/// morsel boundaries fall on bitmap word boundaries: each worker then writes
+/// a disjoint word range of the shared selection bitmap, and results are
+/// bit-identical for every thread count. Fixed (not derived from the thread
+/// count) so that per-morsel work — and therefore merged output — is
+/// independent of the degree of parallelism.
+constexpr size_t kMorselRows = 16384;
+static_assert(kMorselRows % 64 == 0, "morsels must be bitmap-word aligned");
+
+size_t MorselCount(size_t n) { return (n + kMorselRows - 1) / kMorselRows; }
 
 struct ValueHasher {
   size_t operator()(const Value& v) const { return v.Hash(); }
@@ -66,6 +79,169 @@ Bitmap EvaluateOnFragment(const Fragment& frag,
     table.FilterRange(frag.FragColumn(term->column.column), term->range, &bm);
   }
   return bm;
+}
+
+/// Whether the morsel-parallel scan path applies to this fragment: a pool
+/// is installed, the fragment spans more than one morsel, and no row-store
+/// sorted index would seed the bitmap (the index path is already
+/// sub-linear; morselizing it would only add overhead).
+bool UseParallelScan(const ParallelContext& ctx, const Fragment& frag,
+                     const std::vector<const PredicateTerm*>& terms) {
+  if (ctx.pool == nullptr) return false;
+  if (frag.table->slot_count() <= kMorselRows) return false;
+  if (frag.table->store() == StoreType::kRow) {
+    const auto& rs = static_cast<const RowTable&>(*frag.table);
+    for (const PredicateTerm* term : terms) {
+      if (rs.HasSortedIndex(frag.FragColumn(term->column.column))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Telemetry for one parallel dispatch: total morsels produced and the
+/// worker-queue depth at dispatch time (pending tasks already queued plus
+/// this scan's morsels).
+void NoteMorsels(const ParallelContext& ctx, size_t morsels) {
+  if (ctx.morsels_total != nullptr) ctx.morsels_total->Increment(morsels);
+  if (ctx.queue_depth != nullptr) {
+    ctx.queue_depth->Set(
+        static_cast<double>(ctx.pool->queue_depth() + morsels));
+  }
+}
+
+/// Narrows morsel [begin, end) of the shared bitmap by every term. Each
+/// morsel touches only its own bitmap words (begin is 64-aligned), so
+/// concurrent calls for disjoint morsels are safe.
+void FilterMorsel(const Fragment& frag,
+                  const std::vector<const PredicateTerm*>& terms,
+                  size_t begin, size_t end, Bitmap* bm) {
+  for (const PredicateTerm* term : terms) {
+    frag.table->FilterRangeSlice(frag.FragColumn(term->column.column),
+                                 term->range, begin, end, bm);
+  }
+}
+
+/// Morsel-parallel SELECT over a covering fragment: workers filter and
+/// materialize per-morsel row batches; the coordinator concatenates them in
+/// morsel order, which makes the output bit-identical to the serial path
+/// for every thread count.
+void ParallelSelectCover(const ParallelContext& ctx, const Fragment& cover,
+                         const std::vector<const PredicateTerm*>& terms,
+                         const std::vector<ColumnId>& select_columns,
+                         size_t limit, QueryResult* result) {
+  telemetry::ScopedSpan par_span("scan_parallel");
+  const size_t n = cover.table->slot_count();
+  const size_t morsels = MorselCount(n);
+  NoteMorsels(ctx, morsels);
+  Bitmap bm = cover.table->live_bitmap();
+  std::vector<std::vector<Row>> batches(morsels);
+  ctx.pool->ParallelFor(morsels, [&](size_t m) {
+    const size_t begin = m * kMorselRows;
+    const size_t end = std::min(begin + kMorselRows, n);
+    FilterMorsel(cover, terms, begin, end, &bm);
+    std::vector<Row>& rows = batches[m];
+    bm.ForEachSetInRange(begin, end, [&](size_t rid) {
+      if (rows.size() >= limit) return;  // no morsel needs more than `limit`
+      Row row;
+      row.reserve(select_columns.size());
+      for (ColumnId col : select_columns) {
+        row.push_back(cover.table->GetValue(rid, cover.FragColumn(col)));
+      }
+      rows.push_back(std::move(row));
+    });
+  });
+  for (std::vector<Row>& rows : batches) {
+    for (Row& row : rows) {
+      if (result->rows.size() >= limit) return;
+      result->rows.push_back(std::move(row));
+    }
+  }
+}
+
+/// Per-morsel partial aggregates, merged by the coordinator in morsel order.
+struct MorselAgg {
+  std::vector<AggState> totals;
+  GroupMap groups;
+};
+
+/// Morsel-parallel aggregation over a covering fragment. Ungrouped: each
+/// worker folds its morsel into a private AggState vector. Grouped: each
+/// worker builds a private GroupMap. The coordinator merges partials in
+/// morsel order, so results are deterministic for every thread count
+/// (floating-point sums still differ from the serial evaluation order when
+/// values are not exactly representable).
+void ParallelAggregateCover(const ParallelContext& ctx, const Fragment& cover,
+                            const std::vector<const PredicateTerm*>& terms,
+                            const AggregationQuery& q, bool grouped,
+                            std::vector<AggState>* totals,
+                            GroupMap* group_map) {
+  telemetry::ScopedSpan par_span("scan_parallel");
+  const size_t n = cover.table->slot_count();
+  const size_t morsels = MorselCount(n);
+  NoteMorsels(ctx, morsels);
+  Bitmap bm = cover.table->live_bitmap();
+  std::vector<MorselAgg> partials(morsels);
+  ctx.pool->ParallelFor(morsels, [&](size_t m) {
+    const size_t begin = m * kMorselRows;
+    const size_t end = std::min(begin + kMorselRows, n);
+    FilterMorsel(cover, terms, begin, end, &bm);
+    MorselAgg& partial = partials[m];
+    if (!grouped) {
+      partial.totals.assign(q.aggregates.size(), AggState{});
+      for (size_t i = 0; i < q.aggregates.size(); ++i) {
+        const AggregateExpr& agg = q.aggregates[i];
+        if (agg.fn == AggFn::kCount) {
+          partial.totals[i].AddCount(
+              static_cast<double>(bm.CountInRange(begin, end)));
+        } else {
+          ForEachNumericInRange(
+              *cover.table, cover.FragColumn(agg.column.column), bm, begin,
+              end, [&](RowId, double v) { partial.totals[i].Add(v); });
+        }
+      }
+      return;
+    }
+    bm.ForEachSetInRange(begin, end, [&](size_t rid) {
+      GroupKey key;
+      key.values.reserve(q.group_by.size());
+      for (const ColumnRef& ref : q.group_by) {
+        key.values.push_back(
+            cover.table->GetValue(rid, cover.FragColumn(ref.column)));
+      }
+      auto& states =
+          partial.groups
+              .try_emplace(std::move(key),
+                           std::vector<AggState>(q.aggregates.size()))
+              .first->second;
+      for (size_t i = 0; i < q.aggregates.size(); ++i) {
+        const AggregateExpr& agg = q.aggregates[i];
+        if (agg.fn == AggFn::kCount) {
+          states[i].AddCount(1.0);
+        } else {
+          states[i].Add(
+              cover.table->GetValue(rid, cover.FragColumn(agg.column.column))
+                  .AsNumeric());
+        }
+      }
+    });
+  });
+  for (MorselAgg& partial : partials) {
+    if (!grouped) {
+      for (size_t i = 0; i < partial.totals.size(); ++i) {
+        (*totals)[i].Merge(partial.totals[i]);
+      }
+      continue;
+    }
+    for (auto& [key, states] : partial.groups) {
+      auto& dst =
+          group_map
+              ->try_emplace(key, std::vector<AggState>(q.aggregates.size()))
+              .first->second;
+      for (size_t i = 0; i < states.size(); ++i) dst[i].Merge(states[i]);
+    }
+  }
 }
 
 const Fragment* CoveringFragment(const RowGroup& group,
@@ -215,6 +391,11 @@ Result<QueryResult> Executor::ExecuteSelect(const SelectQuery& q) {
     if (result.rows.size() >= limit) break;
     const RowGroup& group = table->groups()[g];
     if (const Fragment* cover = CoveringFragment(group, needed)) {
+      if (UseParallelScan(parallel_, *cover, terms)) {
+        ParallelSelectCover(parallel_, *cover, terms, q.select_columns, limit,
+                            &result);
+        continue;
+      }
       Bitmap bm = EvaluateOnFragment(*cover, terms);
       bm.ForEachSet([&](size_t rid) {
         if (result.rows.size() >= limit) return;
@@ -414,6 +595,11 @@ Result<QueryResult> Executor::SingleTableAggregation(
     const RowGroup& group = table->groups()[g];
     const Fragment* cover = CoveringFragment(group, needed);
     if (cover != nullptr) {
+      if (UseParallelScan(parallel_, *cover, terms)) {
+        ParallelAggregateCover(parallel_, *cover, terms, q, grouped, &totals,
+                               &group_map);
+        continue;
+      }
       Bitmap bm = EvaluateOnFragment(*cover, terms);
       telemetry::ScopedSpan decode_span("decode");
       if (!grouped) {

@@ -12,6 +12,21 @@
 
 namespace hsdb {
 
+class ThreadPool;
+namespace telemetry {
+class Counter;
+class Gauge;
+}  // namespace telemetry
+
+/// Shared-state handles for the morsel-parallel scan path. All members are
+/// optional: a null pool keeps every query on the serial path; null
+/// telemetry handles skip instrumentation.
+struct ParallelContext {
+  ThreadPool* pool = nullptr;
+  telemetry::Counter* morsels_total = nullptr;
+  telemetry::Gauge* queue_depth = nullptr;
+};
+
 class Executor {
  public:
   explicit Executor(Catalog* catalog) : catalog_(catalog) {}
@@ -19,6 +34,11 @@ class Executor {
   /// Executes one query. DML maintenance (delta merges) is NOT triggered
   /// here; the Database facade calls AfterStatement at statement boundaries.
   Result<QueryResult> Execute(const Query& query);
+
+  /// Installs the morsel-parallel scan context (Database wires this up when
+  /// configured with more than one thread). Thread-compatible: set once
+  /// before queries run.
+  void set_parallel(const ParallelContext& ctx) { parallel_ = ctx; }
 
  private:
   Result<QueryResult> ExecuteAggregation(const AggregationQuery& q);
@@ -31,6 +51,7 @@ class Executor {
   Result<QueryResult> StarJoinAggregation(const AggregationQuery& q);
 
   Catalog* catalog_;
+  ParallelContext parallel_;
 };
 
 }  // namespace hsdb

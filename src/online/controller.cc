@@ -232,6 +232,7 @@ void AdaptationController::RecordTickMetrics(const AdaptationLogEntry& entry,
 }
 
 void AdaptationController::Start() {
+  std::lock_guard<std::mutex> thread_lock(thread_mu_);
   if (thread_.joinable()) return;
   {
     std::lock_guard<std::mutex> lock(stop_mu_);
@@ -252,6 +253,7 @@ void AdaptationController::Start() {
 }
 
 void AdaptationController::Stop() {
+  std::lock_guard<std::mutex> thread_lock(thread_mu_);
   if (!thread_.joinable()) return;
   {
     std::lock_guard<std::mutex> lock(stop_mu_);
@@ -259,6 +261,12 @@ void AdaptationController::Stop() {
   }
   stop_cv_.notify_all();
   thread_.join();
+  thread_ = std::thread();
+}
+
+bool AdaptationController::running() const {
+  std::lock_guard<std::mutex> thread_lock(thread_mu_);
+  return thread_.joinable();
 }
 
 size_t AdaptationController::researches() const {

@@ -103,9 +103,11 @@ class AdaptationController {
   AdaptationLogEntry Tick();
 
   /// Starts/stops the background thread (Tick every tick_interval).
+  /// Thread-safe: Start/Stop/running may be called concurrently from any
+  /// thread (idempotent; the winner of a Start/Start race spawns once).
   void Start();
   void Stop();
-  bool running() const { return thread_.joinable(); }
+  bool running() const;
 
   // --- Introspection ------------------------------------------------------
 
@@ -155,6 +157,11 @@ class AdaptationController {
   size_t log_dropped_ = 0;
   std::deque<AdaptationLogEntry> log_;
 
+  /// Guards the thread object itself (Start/Stop/running lifecycle);
+  /// distinct from stop_mu_ so Stop can hold it across the join while the
+  /// worker still takes stop_mu_ for its interruptible sleep. The worker
+  /// never takes thread_mu_, so this cannot deadlock.
+  mutable std::mutex thread_mu_;
   std::thread thread_;
   std::mutex stop_mu_;
   std::condition_variable stop_cv_;

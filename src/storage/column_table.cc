@@ -176,7 +176,19 @@ Row ColumnTable::GetRow(RowId rid) const {
 
 void ColumnTable::FilterRange(ColumnId col, const ValueRange& range,
                               Bitmap* inout) const {
+  FilterRangeSlice(col, range, 0, live_.size(), inout);
+}
+
+void ColumnTable::FilterRangeSlice(ColumnId col, const ValueRange& range,
+                                   size_t begin, size_t end,
+                                   Bitmap* inout) const {
   HSDB_CHECK(inout->size() == live_.size());
+  HSDB_DCHECK(begin % 64 == 0 && begin <= end && end <= live_.size());
+  // The slice may straddle the main/delta boundary (main_size_ is not
+  // morsel-aligned): the encoded-segment part covers [begin, main_end), the
+  // raw delta part [delta_begin, end).
+  const size_t main_end = std::min(end, main_size_);
+  const size_t delta_begin = std::max(begin, main_size_);
   const DataType type = schema_.column(col).type;
   if (type == DataType::kVarchar) {
     const auto& data = std::get<ColumnData<std::string>>(columns_[col]);
@@ -193,8 +205,8 @@ void ColumnTable::FilterRange(ColumnId col, const ValueRange& range,
     }
     // Main: predicate evaluation on the encoded segment (dictionary id
     // ranges, run skipping). Delta: raw per-row comparison.
-    data.main.FilterRange(pred, inout);
-    inout->ForEachSetInRange(main_size_, live_.size(), [&](size_t rid) {
+    if (begin < main_end) data.main.FilterRangeSlice(pred, inout, begin, main_end);
+    inout->ForEachSetInRange(delta_begin, end, [&](size_t rid) {
       if (!pred.Keep(data.delta[rid - main_size_])) inout->Clear(rid);
     });
     return;
@@ -219,8 +231,10 @@ void ColumnTable::FilterRange(ColumnId col, const ValueRange& range,
             pred.has_hi = true;
             pred.hi = range.hi->AsNumeric();
           }
-          data.main.FilterRange(pred, inout);
-          inout->ForEachSetInRange(main_size_, live_.size(), [&](size_t rid) {
+          if (begin < main_end) {
+            data.main.FilterRangeSlice(pred, inout, begin, main_end);
+          }
+          inout->ForEachSetInRange(delta_begin, end, [&](size_t rid) {
             if (!pred.Keep(data.delta[rid - main_size_])) inout->Clear(rid);
           });
         }

@@ -79,6 +79,8 @@ class ColumnTable final : public PhysicalTable {
   Row GetRow(RowId rid) const override;
   void FilterRange(ColumnId col, const ValueRange& range,
                    Bitmap* inout) const override;
+  void FilterRangeSlice(ColumnId col, const ValueRange& range, size_t begin,
+                        size_t end, Bitmap* inout) const override;
   double CompressionRate(ColumnId col) const override;
   size_t memory_bytes() const override;
   void AfterStatement() override;
@@ -113,6 +115,13 @@ class ColumnTable final : public PhysicalTable {
   /// to `filter` when non-null (sized slot_count()).
   template <typename Fn>
   void ForEachNumeric(ColumnId col, const Bitmap* filter, Fn&& fn) const;
+
+  /// ForEachNumeric restricted to rids in [begin, end) of `filter`. Reads
+  /// only the filter words covering the range, so disjoint ranges may be
+  /// decoded concurrently (parallel aggregation morsels).
+  template <typename Fn>
+  void ForEachNumericRange(ColumnId col, const Bitmap& filter, size_t begin,
+                           size_t end, Fn&& fn) const;
 
  private:
   template <typename T>
@@ -192,6 +201,29 @@ void ColumnTable::ForEachNumeric(ColumnId col, const Bitmap* filter,
           fn(rid, internal::NumericCast(v));
         });
         bits.ForEachSetInRange(main_size_, bits.size(), [&](size_t rid) {
+          fn(rid, internal::NumericCast(data.delta[rid - main_size_]));
+        });
+      },
+      columns_[col]);
+}
+
+template <typename Fn>
+void ColumnTable::ForEachNumericRange(ColumnId col, const Bitmap& filter,
+                                      size_t begin, size_t end,
+                                      Fn&& fn) const {
+  std::visit(
+      [&](const auto& data) {
+        // Main part of the range: codec selective decode.
+        const size_t main_end = std::min(end, main_size_);
+        if (begin < main_end) {
+          data.main.ForEachInRange(filter, begin, main_end,
+                                   [&](size_t rid, const auto& v) {
+                                     fn(rid, internal::NumericCast(v));
+                                   });
+        }
+        // Delta part: raw vector lookups.
+        const size_t delta_begin = std::max(begin, main_size_);
+        filter.ForEachSetInRange(delta_begin, end, [&](size_t rid) {
           fn(rid, internal::NumericCast(data.delta[rid - main_size_]));
         });
       },

@@ -157,7 +157,29 @@ class DictionaryCodec {
                            [&](size_t i) { fn(i, dict_[ids_.Get(i)]); });
   }
 
+  /// ForEachIn restricted to [begin, end): reads only the bitmap words
+  /// covering the range (morsel-local decode).
+  template <typename Fn>
+  void ForEachInRange(const Bitmap& bits, size_t begin, size_t end,
+                      Fn&& fn) const {
+    bits.ForEachSetInRange(begin, std::min(end, size()),
+                           [&](size_t i) { fn(i, dict_[ids_.Get(i)]); });
+  }
+
   void FilterRange(const BoundsPred<T>& pred, Bitmap* inout) const {
+    FilterRangeSlice(pred, inout, 0, size());
+  }
+
+  /// FilterRange restricted to rows [begin, end): bits outside the slice are
+  /// untouched, so disjoint slices may be evaluated concurrently into one
+  /// shared bitmap. `begin` must be 64-aligned — the slice then starts on a
+  /// packed-word boundary (begin·width ≡ 0 mod 64) and writes only whole
+  /// bitmap words of its own, which is what makes concurrent slices safe.
+  void FilterRangeSlice(const BoundsPred<T>& pred, Bitmap* inout,
+                        size_t begin, size_t end) const {
+    HSDB_DCHECK(begin % 64 == 0 && begin <= end && end <= size());
+    HSDB_DCHECK(inout->size() >= size());
+    if (begin >= end) return;
     size_t id_lo = 0;
     size_t id_hi = dict_.size();
     if (pred.has_lo) {
@@ -174,9 +196,13 @@ class DictionaryCodec {
     }
     // Compare the packed ids against the translated interval without
     // decoding: the kernel ANDs 64-row match masks into the bitmap words.
-    HSDB_DCHECK(inout->size() >= size());
-    simd::FilterPackedRange(ids_.words(), size(), ids_.bit_width(), id_lo,
-                            id_hi, inout->mutable_words());
+    // The kernel leaves bits at or beyond its n untouched, so an offset
+    // call covers exactly the slice; reads past the last partial word stay
+    // inside the ids array's trailing slack words.
+    const uint32_t width = ids_.bit_width();
+    simd::FilterPackedRange(ids_.words() + begin * width / 64, end - begin,
+                            width, id_lo, id_hi,
+                            inout->mutable_words() + begin / 64);
   }
 
   size_t distinct_count() const { return dict_.size(); }
@@ -247,10 +273,49 @@ class RleCodec {
     });
   }
 
+  /// ForEachIn restricted to [begin, end): the run cursor starts at the run
+  /// containing `begin` (binary search once) and advances monotonically.
+  template <typename Fn>
+  void ForEachInRange(const Bitmap& bits, size_t begin, size_t end,
+                      Fn&& fn) const {
+    if (begin >= n_) return;
+    size_t run = std::upper_bound(starts_.begin(), starts_.end(),
+                                  static_cast<uint32_t>(begin)) -
+                 starts_.begin();
+    if (run > 0) --run;
+    bits.ForEachSetInRange(begin, std::min(end, n_), [&](size_t i) {
+      while (RunEnd(run) <= i) ++run;
+      fn(i, values_[run]);
+    });
+  }
+
   void FilterRange(const BoundsPred<T>& pred, Bitmap* inout) const {
     for (size_t run = 0; run < values_.size(); ++run) {
       if (!pred.Keep(values_[run])) {
         inout->ClearRange(starts_[run], RunEnd(run));
+      }
+    }
+  }
+
+  /// FilterRange restricted to rows [begin, end): binary-searches the first
+  /// run intersecting the slice, then decides runs until one starts at or
+  /// past `end`, clearing only the run∩slice intersection. Bits outside the
+  /// slice are untouched (64-aligned `begin` keeps concurrent slices on
+  /// disjoint bitmap words — ClearRange masks partial edge words, so the
+  /// alignment of `end` at the final morsel's tail is irrelevant for the
+  /// slice's own words).
+  void FilterRangeSlice(const BoundsPred<T>& pred, Bitmap* inout,
+                        size_t begin, size_t end) const {
+    HSDB_DCHECK(begin % 64 == 0 && begin <= end && end <= size());
+    if (begin >= end) return;
+    size_t run = std::upper_bound(starts_.begin(), starts_.end(),
+                                  static_cast<uint32_t>(begin)) -
+                 starts_.begin();
+    if (run > 0) --run;  // the run containing `begin`
+    for (; run < values_.size() && starts_[run] < end; ++run) {
+      if (!pred.Keep(values_[run])) {
+        inout->ClearRange(std::max<size_t>(starts_[run], begin),
+                          std::min(RunEnd(run), end));
       }
     }
   }
@@ -322,9 +387,26 @@ class ForCodec {
         0, size(), [&](size_t i) { fn(i, Decode(deltas_.Get(i))); });
   }
 
+  /// ForEachIn restricted to [begin, end).
+  template <typename Fn>
+  void ForEachInRange(const Bitmap& bits, size_t begin, size_t end,
+                      Fn&& fn) const {
+    bits.ForEachSetInRange(begin, std::min(end, size()),
+                           [&](size_t i) { fn(i, Decode(deltas_.Get(i))); });
+  }
+
   void FilterRange(const BoundsPred<T>& pred, Bitmap* inout) const {
+    FilterRangeSlice(pred, inout, 0, size());
+  }
+
+  /// FilterRange restricted to rows [begin, end): bits outside the slice
+  /// are untouched, so disjoint 64-aligned slices may run concurrently into
+  /// one shared bitmap (same contract as DictionaryCodec::FilterRangeSlice).
+  void FilterRangeSlice(const BoundsPred<T>& pred, Bitmap* inout,
+                        size_t begin, size_t end) const {
+    HSDB_DCHECK(begin % 64 == 0 && begin <= end && end <= size());
     HSDB_DCHECK(inout->size() >= size());
-    if (size() == 0) return;
+    if (begin >= end) return;
     // Decode is increasing in the packed delta, so the matching set is a
     // contiguous delta interval [d_lo, d_hi_incl]. Inclusive bounds with
     // explicit emptiness: max_delta_ + 1 would wrap to 0 when the delta
@@ -353,22 +435,26 @@ class ForCodec {
       }
     }
     if (empty) {
-      inout->ClearRange(0, size());
+      inout->ClearRange(begin, end);
       return;
     }
     if (d_hi_incl == ~uint64_t{0}) {
       // The exclusive-bound kernel cannot express "everything up to
       // UINT64_MAX"; only reachable at bit width 64 (full-range deltas).
       if (d_lo == 0) return;  // every row matches
-      inout->ForEachSetInRange(0, size(), [&](size_t rid) {
+      inout->ForEachSetInRange(begin, end, [&](size_t rid) {
         if (deltas_.Get(rid) < d_lo) inout->Clear(rid);
       });
       return;
     }
     // Compare the packed deltas against the translated interval without
-    // decoding: the kernel ANDs 64-row match masks into the bitmap words.
-    simd::FilterPackedRange(deltas_.words(), size(), deltas_.bit_width(),
-                            d_lo, d_hi_incl + 1, inout->mutable_words());
+    // decoding: the kernel ANDs 64-row match masks into the bitmap words
+    // of the slice only (see DictionaryCodec::FilterRangeSlice for why the
+    // offset call is exact and in-bounds).
+    const uint32_t width = deltas_.bit_width();
+    simd::FilterPackedRange(deltas_.words() + begin * width / 64,
+                            end - begin, width, d_lo, d_hi_incl + 1,
+                            inout->mutable_words() + begin / 64);
   }
 
   size_t payload_bytes() const {
@@ -431,7 +517,11 @@ class ForCodec<double> {
   void ForEach(Fn&&) const {}
   template <typename Fn>
   void ForEachIn(const Bitmap&, Fn&&) const {}
+  template <typename Fn>
+  void ForEachInRange(const Bitmap&, size_t, size_t, Fn&&) const {}
   void FilterRange(const BoundsPred<double>&, Bitmap*) const {}
+  void FilterRangeSlice(const BoundsPred<double>&, Bitmap*, size_t,
+                        size_t) const {}
   size_t payload_bytes() const { return 0; }
   size_t memory_bytes() const { return 0; }
 };
@@ -449,7 +539,11 @@ class ForCodec<std::string> {
   void ForEach(Fn&&) const {}
   template <typename Fn>
   void ForEachIn(const Bitmap&, Fn&&) const {}
+  template <typename Fn>
+  void ForEachInRange(const Bitmap&, size_t, size_t, Fn&&) const {}
   void FilterRange(const BoundsPred<std::string>&, Bitmap*) const {}
+  void FilterRangeSlice(const BoundsPred<std::string>&, Bitmap*, size_t,
+                        size_t) const {}
   size_t payload_bytes() const { return 0; }
   size_t memory_bytes() const { return 0; }
 };
@@ -481,8 +575,27 @@ class RawCodec {
                            [&](size_t i) { fn(i, values_[i]); });
   }
 
+  /// ForEachIn restricted to [begin, end).
+  template <typename Fn>
+  void ForEachInRange(const Bitmap& bits, size_t begin, size_t end,
+                      Fn&& fn) const {
+    bits.ForEachSetInRange(begin, std::min(end, size()),
+                           [&](size_t i) { fn(i, values_[i]); });
+  }
+
   void FilterRange(const BoundsPred<T>& pred, Bitmap* inout) const {
     inout->ForEachSetInRange(0, size(), [&](size_t rid) {
+      if (!pred.Keep(values_[rid])) inout->Clear(rid);
+    });
+  }
+
+  /// FilterRange restricted to rows [begin, end): bits outside the slice
+  /// are untouched, so disjoint 64-aligned slices may run concurrently into
+  /// one shared bitmap.
+  void FilterRangeSlice(const BoundsPred<T>& pred, Bitmap* inout,
+                        size_t begin, size_t end) const {
+    HSDB_DCHECK(begin % 64 == 0 && begin <= end && end <= size());
+    inout->ForEachSetInRange(begin, end, [&](size_t rid) {
       if (!pred.Keep(values_[rid])) inout->Clear(rid);
     });
   }

@@ -76,11 +76,35 @@ class EncodedSegment {
         codec_);
   }
 
+  /// ForEachIn restricted to indices in [begin, end): reads only the bitmap
+  /// words covering the range, so disjoint ranges may be decoded
+  /// concurrently (parallel aggregation morsels).
+  template <typename Fn>
+  void ForEachInRange(const Bitmap& bits, size_t begin, size_t end,
+                      Fn&& fn) const {
+    std::visit(
+        [&](const auto& c) {
+          c.ForEachInRange(bits, begin, end, std::forward<Fn>(fn));
+        },
+        codec_);
+  }
+
   /// Narrows `inout` over [0, size()) to rows whose value satisfies `pred`;
   /// bits at or beyond size() are untouched. Conjunction semantics: already
   /// cleared bits stay cleared.
   void FilterRange(const BoundsPred<T>& pred, Bitmap* inout) const {
     std::visit([&](const auto& c) { c.FilterRange(pred, inout); }, codec_);
+  }
+
+  /// FilterRange restricted to rows [begin, end): bits outside the slice
+  /// are untouched. With `begin` 64-aligned, disjoint slices write disjoint
+  /// bitmap words, so concurrent morsels may share one bitmap (the parallel
+  /// scan path relies on this).
+  void FilterRangeSlice(const BoundsPred<T>& pred, Bitmap* inout,
+                        size_t begin, size_t end) const {
+    std::visit(
+        [&](const auto& c) { c.FilterRangeSlice(pred, inout, begin, end); },
+        codec_);
   }
 
   /// Distinct values in the segment (the main "dictionary size" even for

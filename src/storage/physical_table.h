@@ -61,6 +61,21 @@ class PhysicalTable {
   virtual void FilterRange(ColumnId col, const ValueRange& range,
                            Bitmap* inout) const = 0;
 
+  /// FilterRange restricted to slots [begin, end): bits outside the slice
+  /// are untouched. The parallel scan path evaluates disjoint slices of one
+  /// shared bitmap concurrently, so implementations must only read/write
+  /// bitmap words inside the slice — guaranteed when `begin` is 64-aligned
+  /// (the morsel planner aligns every boundary; only the final `end` may be
+  /// unaligned). The default is the slow generic per-row path; both stores
+  /// override it with their scan kernels.
+  virtual void FilterRangeSlice(ColumnId col, const ValueRange& range,
+                                size_t begin, size_t end,
+                                Bitmap* inout) const {
+    inout->ForEachSetInRange(begin, end, [&](size_t rid) {
+      if (!range.Contains(GetValue(rid, col))) inout->Clear(rid);
+    });
+  }
+
   /// Compressed-size / plain-size ratio of a column; 1.0 for the row store.
   virtual double CompressionRate(ColumnId col) const = 0;
 

@@ -131,12 +131,19 @@ Row RowTable::GetRow(RowId rid) const {
 
 void RowTable::FilterRange(ColumnId col, const ValueRange& range,
                            Bitmap* inout) const {
+  FilterRangeSlice(col, range, 0, slots_.size(), inout);
+}
+
+void RowTable::FilterRangeSlice(ColumnId col, const ValueRange& range,
+                                size_t begin, size_t end,
+                                Bitmap* inout) const {
   HSDB_CHECK(inout->size() == slots_.size());
+  HSDB_DCHECK(begin <= end && end <= slots_.size());
   const DataType type = schema_.column(col).type;
+  const uint32_t offset = schema_.fixed_offset(col);
   if (type == DataType::kVarchar) {
     // String comparison through the pool; point predicates use interning.
-    const uint32_t offset = schema_.fixed_offset(col);
-    inout->ForEachSet([&](size_t rid) {
+    inout->ForEachSetInRange(begin, end, [&](size_t rid) {
       auto id = LoadAs<uint32_t>(slots_[rid] + offset);
       Value v(std::string(strings_.Get(id)));
       if (!range.Contains(v)) inout->Clear(rid);
@@ -151,12 +158,32 @@ void RowTable::FilterRange(ColumnId col, const ValueRange& range,
   const bool has_hi = range.hi.has_value();
   const bool lo_incl = range.lo_inclusive;
   const bool hi_incl = range.hi_inclusive;
-  ForEachNumeric(col, inout, [&](RowId rid, double v) {
+  auto keep_row = [&](RowId rid, double v) {
     bool keep = true;
     if (has_lo) keep = lo_incl ? (v >= lo) : (v > lo);
     if (keep && has_hi) keep = hi_incl ? (v <= hi) : (v < hi);
     if (!keep) inout->Clear(rid);
-  });
+  };
+  switch (type) {
+    case DataType::kInt32:
+    case DataType::kDate:
+      inout->ForEachSetInRange(begin, end, [&](size_t rid) {
+        keep_row(rid, static_cast<double>(LoadAs<int32_t>(slots_[rid] + offset)));
+      });
+      break;
+    case DataType::kInt64:
+      inout->ForEachSetInRange(begin, end, [&](size_t rid) {
+        keep_row(rid, static_cast<double>(LoadAs<int64_t>(slots_[rid] + offset)));
+      });
+      break;
+    case DataType::kDouble:
+      inout->ForEachSetInRange(begin, end, [&](size_t rid) {
+        keep_row(rid, LoadAs<double>(slots_[rid] + offset));
+      });
+      break;
+    case DataType::kVarchar:
+      break;  // handled above
+  }
 }
 
 size_t RowTable::memory_bytes() const {

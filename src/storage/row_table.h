@@ -59,6 +59,8 @@ class RowTable final : public PhysicalTable {
   Row GetRow(RowId rid) const override;
   void FilterRange(ColumnId col, const ValueRange& range,
                    Bitmap* inout) const override;
+  void FilterRangeSlice(ColumnId col, const ValueRange& range, size_t begin,
+                        size_t end, Bitmap* inout) const override;
   double CompressionRate(ColumnId) const override { return 1.0; }
   size_t memory_bytes() const override;
 
@@ -112,6 +114,35 @@ class RowTable final : public PhysicalTable {
         break;
       case DataType::kVarchar:
         HSDB_CHECK_MSG(false, "ForEachNumeric on VARCHAR column");
+    }
+  }
+
+  /// ForEachNumeric restricted to rids in [begin, end) of `filter`. Reads
+  /// only the filter words covering the range, so disjoint ranges may be
+  /// decoded concurrently (parallel aggregation morsels).
+  template <typename Fn>
+  void ForEachNumericRange(ColumnId col, const Bitmap& filter, size_t begin,
+                           size_t end, Fn&& fn) const {
+    const uint32_t offset = schema_.fixed_offset(col);
+    switch (schema_.column(col).type) {
+      case DataType::kInt32:
+      case DataType::kDate:
+        filter.ForEachSetInRange(begin, end, [&](size_t rid) {
+          fn(rid, static_cast<double>(LoadAs<int32_t>(slots_[rid] + offset)));
+        });
+        break;
+      case DataType::kInt64:
+        filter.ForEachSetInRange(begin, end, [&](size_t rid) {
+          fn(rid, static_cast<double>(LoadAs<int64_t>(slots_[rid] + offset)));
+        });
+        break;
+      case DataType::kDouble:
+        filter.ForEachSetInRange(begin, end, [&](size_t rid) {
+          fn(rid, LoadAs<double>(slots_[rid] + offset));
+        });
+        break;
+      case DataType::kVarchar:
+        HSDB_CHECK_MSG(false, "ForEachNumericRange on VARCHAR column");
     }
   }
 

@@ -22,6 +22,22 @@ void ForEachNumericIn(const PhysicalTable& table, ColumnId col,
   }
 }
 
+/// ForEachNumericIn restricted to rids in [begin, end) of `filter`. Safe to
+/// call concurrently for disjoint ranges of one shared filter bitmap (the
+/// parallel aggregation path decodes one morsel per call).
+template <typename Fn>
+void ForEachNumericInRange(const PhysicalTable& table, ColumnId col,
+                           const Bitmap& filter, size_t begin, size_t end,
+                           Fn&& fn) {
+  if (table.store() == StoreType::kRow) {
+    static_cast<const RowTable&>(table).ForEachNumericRange(
+        col, filter, begin, end, std::forward<Fn>(fn));
+  } else {
+    static_cast<const ColumnTable&>(table).ForEachNumericRange(
+        col, filter, begin, end, std::forward<Fn>(fn));
+  }
+}
+
 }  // namespace hsdb
 
 #endif  // HSDB_STORAGE_SCAN_DISPATCH_H_

@@ -1,0 +1,111 @@
+// ThreadPool contract tests: every index of a ParallelFor runs exactly
+// once, degenerate counts and worker counts fall back to the serial loop,
+// concurrent client threads share the pool without deadlock, and the
+// queue-depth gauge drains back to zero. The concurrency cases double as
+// the ThreadSanitizer probes for the claim/done bookkeeping.
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace hsdb {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_workers(), 3u);
+  constexpr size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.ParallelFor(kCount, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, DegenerateCounts) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(0, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  size_t only = 123;
+  pool.ParallelFor(1, [&](size_t i) { only = i; });
+  EXPECT_EQ(only, 0u);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(64, [&](size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 64u * 63u / 2);
+}
+
+TEST(ThreadPoolTest, UnevenTaskDurations) {
+  // One slow index must not stall the others, and the call still returns
+  // only when everything (including the slow index) finished.
+  ThreadPool pool(3);
+  std::atomic<size_t> done{0};
+  pool.ParallelFor(16, [&](size_t i) {
+    if (i == 0) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    done.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(done.load(), 16u);
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersShareThePool) {
+  // Several client threads issue ParallelFor against one pool at once —
+  // the executor does exactly this when queries arrive on multiple
+  // connections. Each caller must see all of its own indices and none of
+  // anyone else's, and nobody may deadlock.
+  ThreadPool pool(3);
+  constexpr int kCallers = 4;
+  constexpr size_t kCount = 300;
+  std::vector<std::atomic<size_t>> sums(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &sums, c] {
+      for (int round = 0; round < 10; ++round) {
+        std::atomic<size_t> sum{0};
+        pool.ParallelFor(kCount, [&](size_t i) {
+          sum.fetch_add(i + 1, std::memory_order_relaxed);
+        });
+        if (sum.load() != kCount * (kCount + 1) / 2) return;  // leave 0
+      }
+      sums[c].store(1, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(sums[c].load(), 1u) << "caller " << c;
+  }
+}
+
+TEST(ThreadPoolTest, QueueDepthDrainsToZero) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  std::atomic<size_t> peak{0};
+  pool.ParallelFor(128, [&](size_t) {
+    size_t depth = pool.queue_depth();
+    size_t prev = peak.load(std::memory_order_relaxed);
+    while (depth > prev &&
+           !peak.compare_exchange_weak(prev, depth,
+                                       std::memory_order_relaxed)) {
+    }
+  });
+  EXPECT_GT(peak.load(), 0u);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+}  // namespace
+}  // namespace hsdb
