@@ -2,8 +2,9 @@
 """CI perf-regression gate for the gated benchmarks.
 
 Merges one or more google-benchmark JSON outputs (micro_compression,
-micro_costmodel, and the --json advisor/adaptation timings of
-fig_joint_budget and fig_drift_adapt) into a single BENCH_micro.json and
+micro_costmodel, and the --json advisor/adaptation/migration timings of
+fig_joint_budget, fig_drift_adapt and fig_online_migration) into a single
+BENCH_micro.json and
 compares it against the committed baseline: the gate fails when any
 benchmark's time regresses by more than the threshold (default 25%).
 
@@ -27,7 +28,8 @@ machine (Release build) the equivalent is:
   ./build/micro_costmodel   --benchmark_repetitions=3 --benchmark_out=cm.json --benchmark_out_format=json
   HSDB_BENCH_SCALE=0.02 ./build/fig_joint_budget --json fjb.json
   HSDB_BENCH_SCALE=0.02 ./build/fig_drift_adapt --json fda.json
-  python3 bench/check_regression.py --merge-only --out bench/baselines/BENCH_micro.json mc.json cm.json fjb.json fda.json
+  HSDB_BENCH_SCALE=0.02 ./build/fig_online_migration --json fom.json
+  python3 bench/check_regression.py --merge-only --out bench/baselines/BENCH_micro.json mc.json cm.json fjb.json fda.json fom.json
 """
 
 import argparse

@@ -1,21 +1,28 @@
-// Online-mode demo (paper §4, Fig. 5): the advisor records extended workload
-// statistics while the system runs and the AdaptationController closes the
-// loop — each epoch it measures how far the live workload has drifted from
-// the profile the current design was solved for, re-runs the joint search
-// only when the drift crosses its thresholds, and converges to the new
-// design through budgeted incremental migration steps. Stationary epochs
+// Online-mode demo (paper §4, Fig. 5) under concurrency: the advisor
+// records extended workload statistics while FOUR client threads keep
+// executing, and the AdaptationController closes the loop — each epoch it
+// measures how far the live workload has drifted from the profile the
+// current design was solved for, re-runs the joint search only when the
+// drift crosses its thresholds, and converges to the new design through
+// budgeted incremental migration steps. The controller ticks *while the
+// clients are mid-flight*: migrations take the non-blocking
+// Database::MigrateShadow path (shadow copy + op-log replay + epoch-based
+// swap, docs/CONCURRENCY.md), so the clients never stop. Stationary epochs
 // cost nothing (no re-search); an OLTP -> OLAP phase shift triggers exactly
 // one adaptation.
 //
 // The demo also doubles as a telemetry tour: the StorageAdvisor installs a
 // cost predictor into the Database, so every executed query yields an
-// observed-vs-predicted residual, and after each epoch the live telemetry
-// snapshot (query counts, latency percentiles, residual error, drift) is
-// printed straight from the metrics the engine maintains anyway. See
-// docs/OBSERVABILITY.md for the full metric catalog.
+// observed-vs-predicted residual; after each epoch the live snapshot
+// (query counts, latency percentiles, residual error) is printed straight
+// from the metrics the engine maintains anyway, and every migration leaves
+// its trace in hsdb_migration_swap_ms / hsdb_migration_replay_rows_total /
+// hsdb_epoch_pinned_readers. See docs/OBSERVABILITY.md for the catalog.
 //
 //   $ ./build/example_online_advisor
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "core/advisor.h"
 #include "online/controller.h"
@@ -26,9 +33,11 @@ using namespace hsdb;
 
 namespace {
 
+constexpr int kClients = 4;
+
 /// One compact telemetry line per epoch, read back from the engine's own
 /// metrics: lifetime query/error counts, latency percentiles, the cost
-/// model's mean absolute relative error, and the last drift score.
+/// model's mean absolute relative error.
 void PrintTelemetry(const Database& db) {
   if (!telemetry::kCompiledIn || !db.metrics().enabled()) {
     std::printf("  telemetry: disabled\n");
@@ -51,6 +60,50 @@ void PrintTelemetry(const Database& db) {
         report.cost.global.p95_abs_rel_error,
         report.cost.global.mean_rel_error);
   }
+}
+
+/// The migration-side counters: how many cut-overs happened, how long the
+/// writer-visible swap window was, how many logged writes were replayed
+/// onto shadows, and how many readers were pinned at the last cut-over
+/// (the statements the retired version had to outlive).
+void PrintMigrationTelemetry(Database& db) {
+  if (!telemetry::kCompiledIn || !db.metrics().enabled()) return;
+  const telemetry::LogHistogram& swap =
+      db.metrics().GetHistogram("hsdb_migration_swap_ms");
+  if (swap.count() == 0) {
+    std::printf("  migration: no cut-overs yet\n");
+    return;
+  }
+  std::printf(
+      "  migration: %llu cut-over(s), swap window p50 %.3f ms p95 %.3f ms, "
+      "%llu replayed write op(s), %.0f reader(s) pinned at last swap\n",
+      static_cast<unsigned long long>(swap.count()), swap.Quantile(0.5),
+      swap.Quantile(0.95),
+      static_cast<unsigned long long>(
+          db.metrics().GetCounter("hsdb_migration_replay_rows_total").value()),
+      db.metrics().GetGauge("hsdb_epoch_pinned_readers").value());
+}
+
+/// Executes `queries` striped across kClients threads, all hammering the
+/// database at once. Returns the number of failed statements.
+size_t RunConcurrently(Database& db, const std::vector<Query>& queries) {
+  std::vector<size_t> failed(kClients, 0);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = c; i < queries.size(); i += kClients) {
+        Result<QueryResult> res = db.Execute(queries[i]);
+        if (!res.ok()) ++failed[c];
+      }
+    });
+  }
+  size_t total = 0;
+  for (int c = 0; c < kClients; ++c) {
+    clients[c].join();
+    total += failed[c];
+  }
+  return total;
 }
 
 }  // namespace
@@ -76,13 +129,14 @@ int main() {
   // Initial design: record one transactional epoch, solve, apply. Apply
   // stamps the advisor with the profile the design was solved for — the
   // drift baseline.
-  std::printf("epoch 0: OLTP period (600 queries)...\n");
+  std::printf("epoch 0: OLTP period (600 queries on %d client threads)...\n",
+              kClients);
   {
     WorkloadOptions opts;
     opts.olap_fraction = 0.0;
     opts.seed = 1;
     SyntheticWorkloadGenerator gen(spec, rows, opts);
-    RunWorkload(db, gen.Generate(600));
+    (void)RunConcurrently(db, gen.Generate(600));
   }
   Result<Recommendation> rec = advisor.RecommendOnline();
   HSDB_CHECK(rec.ok());
@@ -93,8 +147,10 @@ int main() {
   PrintTelemetry(db);
   std::printf("\n");
 
-  // Hand the loop to the controller: explicit Tick() per epoch here (call
-  // controller.Start() instead for the background thread).
+  // Hand the loop to the controller. Tick() runs on this (main) thread
+  // WHILE the epoch's client threads are still executing — any migration it
+  // starts overlaps live traffic on the non-blocking MigrateShadow path
+  // (controller.Start() would do the same from its own background thread).
   AdaptationOptions options;
   options.min_epoch_queries = 64;
   options.cooldown_epochs = 1;
@@ -102,7 +158,7 @@ int main() {
 
   // Epochs 1-2 stay transactional (no drift — the controller must not
   // re-search); from epoch 3 the workload turns analytic and one adaptation
-  // migrates the table.
+  // migrates the table under the clients' feet.
   for (int epoch = 1; epoch <= 5; ++epoch) {
     const bool analytic = epoch >= 3;
     WorkloadOptions opts;
@@ -110,12 +166,22 @@ int main() {
     opts.seed = 100 + epoch;
     SyntheticWorkloadGenerator gen(
         spec, db.catalog().GetTable(spec.name)->row_count(), opts);
-    std::printf("epoch %d: %s (300 queries)...\n", epoch,
-                analytic ? "analytic phase" : "transactional phase");
-    RunWorkload(db, gen.Generate(300));
-    AdaptationLogEntry entry = controller.Tick();
+    std::printf("epoch %d: %s (300 queries on %d client threads)...\n", epoch,
+                analytic ? "analytic phase" : "transactional phase", kClients);
+    // First half establishes the epoch's profile; the controller then judges
+    // drift and migrates while the second half is still in flight.
+    std::vector<Query> queries = gen.Generate(300);
+    std::vector<Query> first(queries.begin(), queries.begin() + 150);
+    std::vector<Query> second(queries.begin() + 150, queries.end());
+    size_t failed = RunConcurrently(db, first);
+    AdaptationLogEntry entry;
+    std::thread overlap([&] { failed += RunConcurrently(db, second); });
+    entry = controller.Tick();
+    overlap.join();
     std::printf("  -> %s\n", entry.ToString().c_str());
+    if (failed > 0) std::printf("  !! %zu statements failed\n", failed);
     PrintTelemetry(db);
+    PrintMigrationTelemetry(db);
   }
 
   std::printf("\n%s\n", controller.LogSummary().c_str());

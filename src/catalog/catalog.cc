@@ -1,16 +1,21 @@
 #include "catalog/catalog.h"
 
+#include <algorithm>
+#include <shared_mutex>
+#include <utility>
+
 namespace hsdb {
 
 Status Catalog::CreateTable(const std::string& name, Schema schema,
                             TableLayout layout, PhysicalOptions options) {
-  if (tables_.find(name) != tables_.end()) {
-    return Status::AlreadyExists("table " + name + " already exists");
-  }
   HSDB_ASSIGN_OR_RETURN(
       std::unique_ptr<LogicalTable> table,
       LogicalTable::Create(name, std::move(schema), std::move(layout),
                            options));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.find(name) != tables_.end()) {
+    return Status::AlreadyExists("table " + name + " already exists");
+  }
   Entry entry;
   entry.table = std::move(table);
   tables_.emplace(name, std::move(entry));
@@ -18,15 +23,23 @@ Status Catalog::CreateTable(const std::string& name, Schema schema,
 }
 
 Status Catalog::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("table " + name + " does not exist");
   }
+  // Readers may still be scanning this version: retire, don't destroy. The
+  // sync slot intentionally stays in syncs_ — a writer blocked on its latch
+  // across the drop must keep serializing against any same-named successor.
+  epochs_.RetireObject(std::move(it->second.table));
+  epochs_.RetireObject(std::move(it->second.statistics));
   tables_.erase(it);
+  epochs_.Advance();
   return Status::OK();
 }
 
 LogicalTable* Catalog::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.table.get();
 }
@@ -41,6 +54,7 @@ Result<LogicalTable*> Catalog::Find(const std::string& name) const {
 
 Status Catalog::ReplaceTable(const std::string& name,
                              std::unique_ptr<LogicalTable> table) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("table " + name + " does not exist");
@@ -48,55 +62,127 @@ Status Catalog::ReplaceTable(const std::string& name,
   if (!(it->second.table->schema() == table->schema())) {
     return Status::InvalidArgument("replacement schema mismatch");
   }
+  // Publish the new version; the old one and its statistics go to the
+  // epoch manager (in-flight readers resolved them under a pin).
+  epochs_.RetireObject(std::move(it->second.table));
+  epochs_.RetireObject(std::move(it->second.statistics));
   it->second.table = std::move(table);
-  it->second.statistics.reset();  // stale after a physical reorganization
+  it->second.statistics = nullptr;  // stale after a physical reorganization
+  it->second.analyzed_version = 0;
   return Status::OK();
 }
 
 std::vector<std::string> Catalog::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, entry] : tables_) names.push_back(name);
   return names;
 }
 
+size_t Catalog::table_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.size();
+}
+
 const TableStatistics* Catalog::GetStatistics(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return nullptr;
   return it->second.statistics.get();
 }
 
 Status Catalog::UpdateStatistics(const std::string& name) {
-  auto it = tables_.find(name);
-  if (it == tables_.end()) {
-    return Status::NotFound("table " + name + " does not exist");
+  // Pin-then-resolve: the pin keeps whatever version we resolve alive even
+  // if a migration swaps it out mid-analysis.
+  EpochPin pin(&epochs_);
+  LogicalTable* table = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tables_.find(name);
+    if (it == tables_.end()) {
+      return Status::NotFound("table " + name + " does not exist");
+    }
+    table = it->second.table.get();
   }
-  AnalyzeEntry(it->second);
+
+  std::shared_ptr<TableSync> s = sync(name);
+  std::unique_ptr<TableStatistics> fresh;
+  uint64_t version = 0;
+  {
+    // Reader lock: pause writers while profiling (data_version and the
+    // column contents are plain fields DML mutates), let scans proceed.
+    std::shared_lock<std::shared_mutex> rd(s->rw);
+    version = table->data_version();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = tables_.find(name);
+      if (it == tables_.end() || it->second.table.get() != table) {
+        return Status::OK();  // swapped/dropped meanwhile; nothing to refresh
+      }
+      if (it->second.statistics != nullptr &&
+          it->second.analyzed_version == version) {
+        return Status::OK();  // memoized: nothing mutated since last refresh
+      }
+    }
+    fresh = std::make_unique<TableStatistics>(Analyze(*table));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end() || it->second.table.get() != table) {
+    return Status::OK();  // analyzed a version that was swapped away
+  }
+  epochs_.RetireObject(std::move(it->second.statistics));
+  it->second.statistics = std::move(fresh);
+  it->second.analyzed_version = version;
   return Status::OK();
 }
 
 void Catalog::UpdateAllStatistics() {
-  for (auto& [name, entry] : tables_) AnalyzeEntry(entry);
-}
-
-void Catalog::AnalyzeEntry(Entry& entry) {
-  // Memoize on the table's statistics version counter: re-running Analyze
-  // (and with it the EncodingPicker re-profiling of every column) is only
-  // needed after a mutation or delta merge moved the counter.
-  const uint64_t version = entry.table->data_version();
-  if (entry.statistics != nullptr && entry.analyzed_version == version) {
-    return;
+  for (const std::string& name : TableNames()) {
+    // A name can vanish between the snapshot and the refresh (concurrent
+    // drop); that is not an error for a bulk refresh.
+    (void)UpdateStatistics(name);
   }
-  entry.statistics = std::make_unique<TableStatistics>(Analyze(*entry.table));
-  entry.analyzed_version = version;
 }
 
 size_t Catalog::total_memory_bytes() const {
+  EpochPin pin(&epochs_);
   size_t total = 0;
-  for (const auto& [name, entry] : tables_) {
-    total += entry.table->memory_bytes();
+  for (const std::string& name : TableNames()) {
+    LogicalTable* table = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = tables_.find(name);
+      if (it == tables_.end()) continue;
+      table = it->second.table.get();
+    }
+    std::shared_ptr<TableSync> s = sync(name);
+    std::shared_lock<std::shared_mutex> rd(s->rw);
+    total += table->memory_bytes();
   }
   return total;
+}
+
+std::shared_ptr<TableSync> Catalog::sync(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<TableSync>& slot = syncs_[name];
+  if (slot == nullptr) slot = std::make_shared<TableSync>();
+  return slot;
+}
+
+CatalogReadLock::CatalogReadLock(const Catalog& catalog,
+                                 std::vector<std::string> names)
+    : pin_(&catalog.epochs()) {
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  syncs_.reserve(names.size());
+  locks_.reserve(names.size());
+  for (const std::string& name : names) {
+    syncs_.push_back(catalog.sync(name));
+    locks_.emplace_back(syncs_.back()->rw);
+  }
 }
 
 }  // namespace hsdb

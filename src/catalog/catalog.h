@@ -1,16 +1,35 @@
 // System catalog: the registry of logical tables, their layout annotations
 // (paper §4: "for each table, there is an annotation that describes the
 // partitioning"), and their statistics.
+//
+// The catalog is the publication point of the engine's table versions, so
+// it also anchors the concurrency machinery (docs/CONCURRENCY.md):
+//
+//   - Every method is thread-safe; the internal map mutex sits *below*
+//     every table latch in the lock order (only the epoch manager's mutex
+//     is ever acquired under it), so it can be taken while holding any
+//     TableSync lock.
+//   - ReplaceTable and DropTable never destroy a table inline — a reader
+//     may still be scanning it. Replaced/dropped tables and statistics are
+//     retired into the EpochManager and reclaimed after the last reader
+//     pinned at or before the swap drains.
+//   - Each table name owns a TableSync (reader/writer lock + writer latch)
+//     that survives ReplaceTable; Database::Execute and the migration
+//     cut-over coordinate through it.
 #ifndef HSDB_CATALOG_CATALOG_H_
 #define HSDB_CATALOG_CATALOG_H_
 
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "catalog/statistics.h"
+#include "common/epoch.h"
 #include "storage/logical_table.h"
+#include "storage/table_version.h"
 
 namespace hsdb {
 
@@ -23,35 +42,56 @@ class Catalog {
   Status CreateTable(const std::string& name, Schema schema,
                      TableLayout layout, PhysicalOptions options = {});
 
+  /// Unpublishes the table; the object itself is retired, not destroyed
+  /// (an in-flight reader may still hold it).
   Status DropTable(const std::string& name);
 
-  /// Looks a table up; nullptr when absent.
+  /// Looks a table up; nullptr when absent. The pointer stays valid for as
+  /// long as the caller's epoch pin (or single-threaded ownership) does —
+  /// a concurrent ReplaceTable retires, never deletes, the version.
   LogicalTable* GetTable(const std::string& name) const;
 
   /// Looks a table up; NotFound when absent.
   Result<LogicalTable*> Find(const std::string& name) const;
 
   /// Swaps in a rematerialized replacement (layout change); schemas must
-  /// match. Statistics are refreshed lazily by the caller.
+  /// match. The previous version and its statistics are retired into the
+  /// epoch manager. Statistics are refreshed lazily by the caller.
   Status ReplaceTable(const std::string& name,
                       std::unique_ptr<LogicalTable> table);
 
   /// Table names in deterministic (sorted) order.
   std::vector<std::string> TableNames() const;
-  size_t table_count() const { return tables_.size(); }
+  size_t table_count() const;
 
-  /// Statistics for `name`; nullptr when never analyzed.
+  /// Statistics for `name`; nullptr when never analyzed. Same lifetime rule
+  /// as GetTable: valid under the caller's epoch pin.
   const TableStatistics* GetStatistics(const std::string& name) const;
 
   /// Refreshes statistics for one table / all tables. Memoized on the
   /// table's data_version(): when nothing mutated since the last refresh,
   /// the existing statistics are kept (no column re-profiling) and
-  /// GetStatistics keeps returning the same object.
+  /// GetStatistics keeps returning the same object. The analysis scan runs
+  /// under the table's reader lock (writers pause, readers proceed) and
+  /// outside the catalog mutex; a replaced statistics object is retired,
+  /// not destroyed.
   Status UpdateStatistics(const std::string& name);
   void UpdateAllStatistics();
 
-  /// Sum of memory across all tables.
+  /// Sum of memory across all tables. Takes each table's reader lock while
+  /// sizing it, so it is safe against concurrent DML.
   size_t total_memory_bytes() const;
+
+  // Concurrency anchors ----------------------------------------------------
+
+  /// The per-name synchronization slot, created on first use. Keyed by
+  /// name, not version: it survives ReplaceTable, so latch holders blocked
+  /// across a swap wake against the new version. The shared_ptr keeps the
+  /// slot alive across a concurrent DropTable.
+  std::shared_ptr<TableSync> sync(const std::string& name) const;
+
+  /// Reclamation domain of every version this catalog ever published.
+  EpochManager& epochs() const { return epochs_; }
 
  private:
   struct Entry {
@@ -61,9 +101,33 @@ class Catalog {
     uint64_t analyzed_version = 0;
   };
 
-  void AnalyzeEntry(Entry& entry);
-
+  /// Guards tables_ and syncs_. Near-leaf: only the epoch manager's mutex
+  /// is acquired under it (retiring inside ReplaceTable/DropTable); table
+  /// analysis and destruction happen outside.
+  mutable std::mutex mu_;
   std::map<std::string, Entry> tables_;
+  mutable std::map<std::string, std::shared_ptr<TableSync>> syncs_;
+  mutable EpochManager epochs_;
+};
+
+/// Scoped read access to a set of tables: pins the reclamation epoch and
+/// holds every named table's reader lock for its lifetime, so the holder
+/// may dereference GetTable/GetStatistics pointers and read mutable table
+/// state (row counts, group lists) while client DML runs on other threads.
+/// Names are deduplicated and the locks acquired in sorted order — the
+/// same discipline as Database::Execute's statement locks, so a reader
+/// here and a multi-table writer there cannot deadlock. Used by the
+/// adaptation controller's planning/costing reads, which run concurrently
+/// with traffic but outside any statement.
+class CatalogReadLock {
+ public:
+  CatalogReadLock(const Catalog& catalog, std::vector<std::string> names);
+  HSDB_DISALLOW_COPY_AND_ASSIGN(CatalogReadLock);
+
+ private:
+  EpochPin pin_;
+  std::vector<std::shared_ptr<TableSync>> syncs_;
+  std::vector<std::shared_lock<std::shared_mutex>> locks_;
 };
 
 }  // namespace hsdb

@@ -1,0 +1,87 @@
+#include "common/epoch.h"
+
+#include <utility>
+
+namespace hsdb {
+
+uint64_t EpochManager::Pin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t e = epoch_;
+  ++pins_[e];
+  return e;
+}
+
+void EpochManager::Unpin(uint64_t epoch) {
+  std::deque<std::function<void()>> ready;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pins_.find(epoch);
+    HSDB_CHECK(it != pins_.end());
+    if (--it->second == 0) pins_.erase(it);
+    CollectLocked(&ready);
+  }
+  for (auto& deleter : ready) deleter();
+}
+
+void EpochManager::Retire(std::function<void()> deleter) {
+  if (!deleter) return;
+  std::deque<std::function<void()>> ready;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired_.push_back(Retired{epoch_, std::move(deleter)});
+    CollectLocked(&ready);
+  }
+  for (auto& d : ready) d();
+}
+
+void EpochManager::Advance() {
+  std::deque<std::function<void()>> ready;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++epoch_;
+    CollectLocked(&ready);
+  }
+  for (auto& deleter : ready) deleter();
+}
+
+uint64_t EpochManager::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+size_t EpochManager::pinned_readers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [epoch, count] : pins_) total += count;
+  return total;
+}
+
+size_t EpochManager::retired_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retired_.size();
+}
+
+void EpochManager::DrainAll() {
+  std::deque<Retired> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    all.swap(retired_);
+  }
+  for (auto& r : all) r.deleter();
+}
+
+void EpochManager::CollectLocked(std::deque<std::function<void()>>* out) {
+  // The oldest live pin bounds what can go: an entry retired at epoch E is
+  // unreachable once every reader pinned at <= E has drained. Readers that
+  // pinned *after* the publishing swap cannot reach the old pointer even if
+  // their pin epoch equals E; treating them as potential readers is merely
+  // conservative.
+  const uint64_t min_pinned =
+      pins_.empty() ? UINT64_MAX : pins_.begin()->first;
+  while (!retired_.empty() && retired_.front().epoch < min_pinned) {
+    out->push_back(std::move(retired_.front().deleter));
+    retired_.pop_front();
+  }
+}
+
+}  // namespace hsdb

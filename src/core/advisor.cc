@@ -251,8 +251,8 @@ Result<Recommendation> StorageAdvisor::RecommendOnline() {
   // sample, then roll the recorder so queries arriving during (or after)
   // the search land in the next epoch — the search below never sees a mix
   // of two windows.
-  const WorkloadStatistics stats = recorder_->statistics();
-  const std::vector<Query> sample = recorder_->recorded_queries();
+  const WorkloadStatistics stats = recorder_->SnapshotStatistics();
+  const std::vector<Query> sample = recorder_->SnapshotQueries();
   const uint64_t epoch_seen = recorder_->epoch_seen_queries();
   const uint64_t epoch = recorder_->epoch();
   recorder_->BeginEpoch();
@@ -288,6 +288,13 @@ Result<Recommendation> StorageAdvisor::RecommendOnline() {
 Result<Recommendation> StorageAdvisor::Recommend(
     const std::vector<WeightedQuery>& workload,
     const WorkloadStatistics& stats) {
+  // The search holds raw GetTable/GetStatistics pointers across its whole
+  // run while a concurrent migration cut-over may retire versions: pin the
+  // reclamation epoch for the duration. Mutable table state is never read
+  // here — EnsureStatistics guarantees every costed table has a statistics
+  // object, so the estimator works from those immutable snapshots plus
+  // immutable table fields (layout, schema).
+  EpochPin pin(&db_->catalog().epochs());
   // Search telemetry: phase timings, search effort and the stability /
   // budget-repair outcomes. Registration is idempotent and Recommend runs
   // at adaptation frequency, so fetching handles here is fine.

@@ -5,12 +5,22 @@
 // and (when a cost predictor is installed) the estimator's predicted cost,
 // feeds the observed-vs-predicted residual into a CostFeedback accumulator,
 // and mirrors query counts/latencies into the MetricsRegistry.
+//
+// Concurrency (docs/CONCURRENCY.md): Execute is safe to call from many
+// threads. Each statement pins the catalog's reclamation epoch, then takes
+// the touched tables' locks — readers shared, DML the writer latch plus the
+// exclusive lock. Layout changes come in two flavors: ApplyLayout blocks
+// writers for the whole rebuild (readers never), while MigrateShadow blocks
+// writers only for a short cut-over window and is what the online
+// MigrationExecutor uses.
 #ifndef HSDB_EXECUTOR_DATABASE_H_
 #define HSDB_EXECUTOR_DATABASE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "catalog/catalog.h"
 #include "executor/executor.h"
@@ -40,6 +50,27 @@ struct TelemetryReport {
   std::string ToString() const;
 };
 
+/// Outcome of one Database::MigrateShadow call — the numbers behind the
+/// hsdb_migration_swap_ms / hsdb_migration_replay_rows_total telemetry.
+struct ShadowMigrationStats {
+  /// False when the table already matched the target (no-op).
+  bool rematerialized = false;
+  /// True when the table has no primary key, so writes cannot be replayed
+  /// and the call degraded to the writer-blocking ApplyLayout path.
+  bool fallback_blocking = false;
+  /// Rows copied out of the live version by the chunked background scan.
+  uint64_t rows_copied = 0;
+  /// Ops replayed onto the shadow, background rounds + cut-over tail.
+  uint64_t replayed_ops = 0;
+  /// Ops replayed inside the cut-over window (the writer-visible part).
+  uint64_t tail_ops = 0;
+  /// Background phase: chunked copy + merge + catch-up replay rounds.
+  double build_ms = 0.0;
+  /// Writer-latch hold time of the cut-over (tail replay + pointer swap).
+  /// This — not build_ms — is what concurrent writers can feel.
+  double cutover_ms = 0.0;
+};
+
 class Database {
  public:
   struct Options {
@@ -53,12 +84,20 @@ class Database {
     /// MetricsRegistry::Global(). Injected by tests that need isolated
     /// counters.
     telemetry::MetricsRegistry* metrics = nullptr;
+    /// Lead-fragment slots a shadow rebuild copies per reader-lock
+    /// acquisition. Smaller chunks shorten the longest writer wait during
+    /// the background build; larger chunks copy faster.
+    size_t migration_chunk_rows = 16384;
+    /// Catch-up replay rounds a shadow rebuild runs before the cut-over.
+    /// Each round drains the op log outside any latch; more rounds shrink
+    /// the tail that must be replayed inside the cut-over window.
+    int migration_replay_rounds = 4;
   };
 
   explicit Database(Options options);
   /// Back-compat convenience: default options with an explicit registry.
   explicit Database(telemetry::MetricsRegistry* metrics = nullptr)
-      : Database(Options{0, metrics}) {}
+      : Database(Options{0, metrics, 16384, 4}) {}
   ~Database();  // out of line: ThreadPool is forward-declared here
   HSDB_DISALLOW_COPY_AND_ASSIGN(Database);
 
@@ -73,15 +112,26 @@ class Database {
   }
 
   /// Executes one query: runs it, stamps the wall-clock time, performs
-  /// statement-boundary maintenance on the touched tables (delta merges)
-  /// and notifies the observer. With telemetry enabled the result also
-  /// carries the span tree of the execution phases and the predicted cost
-  /// (when a predictor is installed); failures invoke
+  /// statement-boundary maintenance on the touched tables (delta merges,
+  /// DML only) and notifies the observer. With telemetry enabled the result
+  /// also carries the span tree of the execution phases and the predicted
+  /// cost (when a predictor is installed); failures invoke
   /// QueryObserver::OnQueryError and count into the error metrics.
+  ///
+  /// Thread-safe: reads of the same table run concurrently with each other
+  /// and with a migration's build phase; DML statements serialize per
+  /// table. The whole statement (cost prediction included) runs under one
+  /// epoch pin, so a concurrent swap can never free a table version this
+  /// statement still reads.
   Result<QueryResult> Execute(const Query& query);
 
-  /// Installs/removes the workload observer (not owned).
-  void set_observer(QueryObserver* observer) { observer_ = observer; }
+  /// Installs/removes the workload observer (not owned). Install before
+  /// concurrent Execute traffic starts (the pointer itself is read
+  /// lock-free); the observer's hooks must be thread-safe —
+  /// WorkloadRecorder is.
+  void set_observer(QueryObserver* observer) {
+    observer_.store(observer, std::memory_order_release);
+  }
 
   // Telemetry -------------------------------------------------------------
 
@@ -91,6 +141,7 @@ class Database {
   /// Predicts the cost (ms) of a query under the current catalog design.
   /// The StorageAdvisor installs one backed by its cost model; every
   /// executed query then yields an observed-vs-predicted residual.
+  /// Install before concurrent Execute traffic starts.
   using CostPredictor = std::function<double(const Query&)>;
   void set_cost_predictor(CostPredictor predictor) {
     cost_predictor_ = std::move(predictor);
@@ -119,15 +170,34 @@ class Database {
   /// column-store piece (e.g. a budget-driven row-store flip) clears any
   /// existing pins, so a later move back to the column store starts from
   /// the adaptive picker again.
+  ///
+  /// Holds the table's writer latch for the whole rebuild: readers are
+  /// never blocked (they finish on the retired version), writers wait for
+  /// the full rematerialization. The online path uses MigrateShadow.
   Status ApplyLayout(const std::string& name, const TableLayout& layout,
                      const std::vector<Encoding>& encodings = {});
 
-  /// Counts physical reorganizations: +1 for every ApplyLayout/MoveTable
-  /// that actually rematerialized a table (no-op calls don't count). The
-  /// online migration executor applies a recommendation as several budgeted
-  /// steps; this counter is how its callers (and tests) observe that the
-  /// convergence really happened incrementally.
-  uint64_t layout_epoch() const { return layout_epoch_; }
+  /// The non-blocking form of ApplyLayout: builds the target representation
+  /// into a shadow copy in bounded chunks while readers and writers keep
+  /// hitting the live version (writes are captured in a TableOpLog),
+  /// replays the captured writes, and publishes the shadow with an
+  /// epoch-based atomic swap inside a short writer-latch cut-over window.
+  /// Readers are never blocked; writers only for cutover_ms. Tables without
+  /// a primary key fall back to ApplyLayout (stats.fallback_blocking).
+  /// Concurrent migrations of the same table are the caller's to exclude —
+  /// the AdaptationController serializes its ticks.
+  Result<ShadowMigrationStats> MigrateShadow(
+      const std::string& name, const TableLayout& layout,
+      const std::vector<Encoding>& encodings = {});
+
+  /// Counts physical reorganizations: +1 for every ApplyLayout/MoveTable/
+  /// MigrateShadow that actually rematerialized a table (no-op calls don't
+  /// count). The online migration executor applies a recommendation as
+  /// several budgeted steps; this counter is how its callers (and tests)
+  /// observe that the convergence really happened incrementally.
+  uint64_t layout_epoch() const {
+    return layout_epoch_.load(std::memory_order_acquire);
+  }
 
   /// Resolved degree of parallelism (>= 1; see Options::num_threads). The
   /// advisor reads this to configure the cost model's parallel scan factor.
@@ -140,12 +210,26 @@ class Database {
   }
   Result<QueryResult> ExecuteTraced(const Query& query);
   void AfterStatementMaintenance(const Query& query);
+  QueryObserver* observer() const {
+    return observer_.load(std::memory_order_acquire);
+  }
+  /// Shared tail of ApplyLayout/MigrateShadow: resolves the target
+  /// physical options (encoding pins) and whether the move is a no-op.
+  struct LayoutChange {
+    PhysicalOptions options;
+    bool noop = false;
+  };
+  LayoutChange ResolveLayoutChange(const LogicalTable& table,
+                                   const TableLayout& layout,
+                                   const std::vector<Encoding>& encodings);
 
   Catalog catalog_;
   Executor executor_;
-  QueryObserver* observer_ = nullptr;
-  uint64_t layout_epoch_ = 0;
+  std::atomic<QueryObserver*> observer_{nullptr};
+  std::atomic<uint64_t> layout_epoch_{0};
   int num_threads_ = 1;
+  size_t migration_chunk_rows_ = 16384;
+  int migration_replay_rounds_ = 4;
   std::unique_ptr<ThreadPool> pool_;  // created only when num_threads_ > 1
 
   telemetry::MetricsRegistry* metrics_;
@@ -155,10 +239,13 @@ class Database {
   telemetry::Counter* queries_total_[kNumQueryKinds] = {};
   telemetry::Counter* query_errors_total_[kNumQueryKinds] = {};
   telemetry::Counter* rematerializations_total_ = nullptr;
+  telemetry::Counter* migration_replay_rows_total_ = nullptr;
   telemetry::LogHistogram* query_latency_ms_ = nullptr;
   telemetry::LogHistogram* cost_abs_rel_error_ = nullptr;
+  telemetry::LogHistogram* migration_swap_ms_ = nullptr;
   telemetry::Gauge* cost_predicted_total_ms_ = nullptr;
   telemetry::Gauge* cost_observed_total_ms_ = nullptr;
+  telemetry::Gauge* epoch_pinned_readers_ = nullptr;
 };
 
 }  // namespace hsdb

@@ -57,6 +57,16 @@ AdaptationController::~AdaptationController() { Stop(); }
 
 double AdaptationController::CurrentDesignCost(
     const std::vector<WeightedQuery>& workload) const {
+  // Runs on the controller thread against live traffic: hold reader locks
+  // on every table the estimator will read (same protocol as
+  // MigrationExecutor::Plan; see docs/CONCURRENCY.md).
+  std::vector<std::string> involved;
+  for (const WeightedQuery& wq : workload) {
+    for (std::string& name : TablesOf(wq.query)) {
+      involved.push_back(std::move(name));
+    }
+  }
+  CatalogReadLock read_lock(db_->catalog(), std::move(involved));
   WorkloadCostEstimator estimator(&advisor_->cost_model(), &db_->catalog());
   return estimator.WorkloadCost(workload, [&](const std::string& name) {
     const LogicalTable* table = db_->catalog().GetTable(name);
@@ -123,7 +133,7 @@ AdaptationLogEntry AdaptationController::TickLocked() {
       e.detail = "bootstrap (no solved-for profile)";
     } else {
       const WorkloadProfile live =
-          WorkloadProfile::Snapshot(recorder->statistics());
+          WorkloadProfile::Snapshot(recorder->SnapshotStatistics());
       const DriftReport report =
           detector_.Compare(*advisor_->solved_profile(), live);
       e.global_drift = report.global_score;

@@ -86,9 +86,14 @@ struct AdaptationLogEntry {
 /// Drives drift detection, conditional re-search, and incremental
 /// migration against one StorageAdvisor/Database pair. Tick() is
 /// internally serialized; the background thread is optional and only calls
-/// Tick(). The controller does not synchronize with concurrent query
-/// execution — in background mode the embedder must ensure queries and
-/// layout changes do not race (the bundled engine is single-threaded).
+/// Tick().
+///
+/// Background mode is safe against live traffic: migration steps execute
+/// as non-blocking shadow rebuilds (Database::MigrateShadow) — concurrent
+/// Execute calls keep scanning the live version while a step builds, and
+/// writers are latched out only for the short cut-over window. Drift
+/// scoring and re-search read locked recorder snapshots and epoch-pinned
+/// catalog statistics. docs/CONCURRENCY.md spells out the full protocol.
 class AdaptationController {
  public:
   AdaptationController(StorageAdvisor* advisor, Database* db,

@@ -31,8 +31,9 @@ std::string MigrationPlan::Summary() const {
     const MigrationStep& s = steps[i];
     os << "\n  " << (i < next_step ? "[done] " : "[todo] ") << s.table
        << ": " << MigrationStepKindName(s.kind) << " -> "
-       << s.target_layout.ToString() << " (cost " << s.estimated_cost_ms
-       << " ms, gain " << s.estimated_gain_ms << " ms)";
+       << s.target_layout.ToString() << " (build " << s.estimated_build_ms
+       << " ms + cutover " << s.estimated_cutover_ms << " ms, gain "
+       << s.estimated_gain_ms << " ms)";
   }
   return os.str();
 }
@@ -52,9 +53,35 @@ double MigrationExecutor::RebuildCostMs(const LogicalTable& table,
   return scan + rows * model_->InsertCost(to, rows);
 }
 
+double MigrationExecutor::CutoverCostMs(const LayoutContext& target) const {
+  // The cut-over drains the op-log tail and swaps a catalog pointer. The
+  // tail is bounded by the catch-up replay rounds the build already ran —
+  // a fixed per-table row allowance prices it; the swap itself is pointer
+  // bookkeeping. Crucially this does NOT scale with table size: a 10M-row
+  // flip and a 10k-row flip block writers for about the same window.
+  constexpr double kSwapBookkeepingMs = 0.05;
+  constexpr double kTailRowAllowance = 64.0;
+  return kSwapBookkeepingMs +
+         kTailRowAllowance *
+             model_->InsertCost(target.layout.base_store, kTailRowAllowance);
+}
+
 MigrationPlan MigrationExecutor::Plan(const Recommendation& rec) const {
   MigrationPlan plan;
   const Catalog& catalog = db_->catalog();
+
+  // Planning runs on the controller thread while client DML is live: pin
+  // the epoch (GetTable/GetStatistics pointers stay valid) and hold every
+  // involved table's reader lock (row_count and the estimator's table
+  // facts read mutable state).
+  std::vector<std::string> involved;
+  for (const auto& [name, ctx] : rec.layouts) involved.push_back(name);
+  for (const WeightedQuery& wq : rec.solved_workload) {
+    for (std::string& name : TablesOf(wq.query)) {
+      involved.push_back(std::move(name));
+    }
+  }
+  CatalogReadLock read_lock(catalog, std::move(involved));
 
   // Current design: the estimator's baseline every step's gain is measured
   // against.
@@ -89,7 +116,9 @@ MigrationPlan MigrationExecutor::Plan(const Recommendation& rec) const {
     } else {
       step.kind = MigrationStepKind::kLayoutFlip;
     }
-    step.estimated_cost_ms = RebuildCostMs(*table, ctx);
+    step.estimated_build_ms = RebuildCostMs(*table, ctx);
+    step.estimated_cutover_ms = CutoverCostMs(ctx);
+    step.estimated_cost_ms = step.estimated_build_ms + step.estimated_cutover_ms;
     if (have_workload) {
       // Gain of this step alone: flip just this table to its target on top
       // of the otherwise-current design.
@@ -107,16 +136,18 @@ MigrationPlan MigrationExecutor::Plan(const Recommendation& rec) const {
     plan.steps.push_back(std::move(step));
   }
 
-  // Most valuable work first: gain per unit rebuild cost, cheapest-first
-  // among equals (and as the whole order when no workload was attached).
+  // Most valuable work first: gain per unit of *cut-over* cost — the only
+  // share concurrent statements can feel now that builds run in the
+  // background. Cheapest total work first among equals (and as the whole
+  // order when no workload was attached).
   std::stable_sort(plan.steps.begin(), plan.steps.end(),
                    [](const MigrationStep& a, const MigrationStep& b) {
                      const double ra =
                          a.estimated_gain_ms /
-                         std::max(1e-9, a.estimated_cost_ms);
+                         std::max(1e-9, a.estimated_cutover_ms);
                      const double rb =
                          b.estimated_gain_ms /
-                         std::max(1e-9, b.estimated_cost_ms);
+                         std::max(1e-9, b.estimated_cutover_ms);
                      if (ra != rb) return ra > rb;
                      return a.estimated_cost_ms < b.estimated_cost_ms;
                    });
@@ -137,9 +168,21 @@ MigrationExecutor::Progress MigrationExecutor::ExecuteSteps(
     }
     Stopwatch sw;
     {
+      // Two-phase execution: the build overlaps concurrent queries, only
+      // the cut-over (observed_cutover_ms) latches writers out. The
+      // migration_build/migration_swap child spans come from MigrateShadow.
       telemetry::ScopedSpan span("migration_step");
-      progress.status =
-          db_->ApplyLayout(step.table, step.target_layout, step.encodings);
+      Result<ShadowMigrationStats> migrated =
+          db_->MigrateShadow(step.table, step.target_layout, step.encodings);
+      if (migrated.ok()) {
+        progress.status = Status::OK();
+        step.observed_cutover_ms = migrated.value().fallback_blocking
+                                       ? -1.0
+                                       : migrated.value().cutover_ms;
+        step.replayed_ops = migrated.value().replayed_ops;
+      } else {
+        progress.status = migrated.status();
+      }
     }
     if (!progress.status.ok()) {
       if (telemetry_on) {

@@ -3,12 +3,16 @@
 // applying it as one stop-the-world StorageAdvisor::Apply stalls the system
 // for the sum of all rebuilds. The executor instead turns the
 // recommendation into an ordered plan of per-table steps (layout flip,
-// re-encode, partition change), each carrying a cost estimate (rebuild
-// work) and a gain estimate (workload-cost improvement of applying just
-// that step), ordered by gain per cost so the most valuable moves land
-// first. The AdaptationController then spends a bounded step/cost budget
-// per epoch, converging a drifted system over several epochs to exactly the
-// design a one-shot Apply would have produced.
+// re-encode, partition change), each carrying a split cost estimate —
+// background build vs foreground cut-over — and a gain estimate
+// (workload-cost improvement of applying just that step), ordered by gain
+// per *cut-over* cost: since steps execute as non-blocking shadow rebuilds
+// (Database::MigrateShadow), the build overlaps queries and only the short
+// writer-latched cut-over is ever felt, so that is the denominator that
+// reflects what queries experience. The AdaptationController then spends a
+// bounded step/cost budget per epoch, converging a drifted system over
+// several epochs to exactly the design a one-shot Apply would have
+// produced — while serving.
 #ifndef HSDB_ONLINE_MIGRATION_H_
 #define HSDB_ONLINE_MIGRATION_H_
 
@@ -30,17 +34,32 @@ enum class MigrationStepKind {
 const char* MigrationStepKindName(MigrationStepKind kind);
 
 /// One per-table unit of migration work: move `table` to `target_layout`
-/// with `encodings` pinned (the same arguments a direct ApplyLayout call
-/// would take — a plan is a scheduled decomposition of Apply, not a
-/// different endpoint).
+/// with `encodings` pinned (the same arguments a direct ApplyLayout or
+/// MigrateShadow call would take — a plan is a scheduled decomposition of
+/// Apply, not a different endpoint).
+///
+/// Steps execute as two phases (Database::MigrateShadow): a background
+/// build that overlaps query execution, and a foreground cut-over that
+/// briefly latches out writers. The cost estimate is split accordingly —
+/// queries only ever feel the cut-over share, so that is what the plan
+/// order weighs gains against.
 struct MigrationStep {
   std::string table;
   MigrationStepKind kind = MigrationStepKind::kLayoutFlip;
   TableLayout target_layout;
   std::vector<Encoding> encodings;
-  /// Estimated cost (ms) of executing the step: scanning the table out of
-  /// its current layout plus re-inserting every row under the target.
+  /// Estimated total work (ms) of executing the step — the sum of the two
+  /// phase estimates below. This is the number the controller's per-epoch
+  /// migration budget meters, since the background build still burns CPU
+  /// the workload could have used.
   double estimated_cost_ms = 0.0;
+  /// Background share: scanning the table out of its current layout plus
+  /// re-inserting every row under the target. Runs concurrently with
+  /// queries; no statement blocks on it.
+  double estimated_build_ms = 0.0;
+  /// Foreground share: the writer-latched cut-over (tail replay + pointer
+  /// swap). The only part of the step concurrent statements can feel.
+  double estimated_cutover_ms = 0.0;
   /// Estimated workload-cost improvement (ms) of applying this step alone
   /// on top of the current design (may be negative for steps that only pay
   /// off combined with others, e.g. budget-driven downgrades).
@@ -50,6 +69,12 @@ struct MigrationStep {
   /// Together with estimated_cost_ms this is the rebuild-side
   /// observed-vs-predicted residual.
   double observed_cost_ms = -1.0;
+  /// Measured writer-latch hold time (ms) of the step's cut-over window;
+  /// negative = not executed (or executed via the blocking fallback).
+  double observed_cutover_ms = -1.0;
+  /// Write ops replayed onto the step's shadow copy (0 when no write raced
+  /// the rebuild).
+  uint64_t replayed_ops = 0;
   std::string description;
 };
 
@@ -100,8 +125,14 @@ class MigrationExecutor {
                         std::optional<double> budget_ms = std::nullopt);
 
  private:
+  /// Background-phase estimate: full-width scan out of the current store
+  /// plus per-row insert into the target.
   double RebuildCostMs(const LogicalTable& table,
                        const LayoutContext& target) const;
+  /// Foreground-phase estimate: the bounded cut-over window (tail replay
+  /// allowance + swap bookkeeping) — deliberately independent of table
+  /// size, which is the whole point of the two-phase step.
+  double CutoverCostMs(const LayoutContext& target) const;
 
   Database* db_;
   const CostModel* model_;

@@ -152,6 +152,7 @@ Status LogicalTable::Insert(Row row) {
     // any failure here indicates an engine bug.
     HSDB_CHECK_MSG(rid.ok(), rid.status().ToString().c_str());
   }
+  if (op_log_ != nullptr) op_log_->Append(TableOp::Upsert(std::move(row)));
   return Status::OK();
 }
 
@@ -205,6 +206,14 @@ Status LogicalTable::UpdateByPk(const PrimaryKey& pk,
     }
     HSDB_RETURN_IF_ERROR(frag.table->UpdateRow(*rid, frag_cols, frag_vals));
   }
+  if (op_log_ != nullptr) {
+    // Full post-image upsert: the shadow may hold no pre-image for this pk
+    // yet (tombstone+append moved it past the copy cursor), so a column
+    // delta would have nothing to apply to.
+    Result<Row> full = GetByPk(pk);
+    HSDB_CHECK_MSG(full.ok(), full.status().ToString().c_str());
+    op_log_->Append(TableOp::Upsert(std::move(full).value()));
+  }
   return Status::OK();
 }
 
@@ -220,6 +229,7 @@ Status LogicalTable::DeleteByPk(const PrimaryKey& pk) {
     }
     HSDB_RETURN_IF_ERROR(frag.table->DeleteRow(*rid));
   }
+  if (op_log_ != nullptr) op_log_->Append(TableOp::Delete(pk));
   return Status::OK();
 }
 
@@ -267,6 +277,10 @@ Row LogicalTable::StitchRow(const RowGroup& group, const Fragment& lead,
 }
 
 void LogicalTable::AfterStatement() {
+  // Merging the delta reshuffles row ids; a concurrent shadow rebuild's
+  // chunk cursor would lose or double-copy rows. Writers resume merging
+  // after the cut-over detaches the log.
+  if (op_log_ != nullptr) return;
   for (RowGroup& group : groups_) {
     for (Fragment& frag : group.fragments) {
       frag.table->AfterStatement();

@@ -14,6 +14,7 @@
 #include "storage/partition.h"
 #include "storage/physical_table.h"
 #include "storage/row_table.h"
+#include "storage/table_version.h"
 
 namespace hsdb {
 
@@ -113,6 +114,27 @@ class LogicalTable {
         [&](size_t rid) { fn(StitchRow(group, lead, rid)); });
   }
 
+  /// Visits the live rows of one group whose lead-fragment slot lies in
+  /// [begin_rid, end_rid) — the chunked form of ForEachRowInGroup a shadow
+  /// rebuild uses to copy a table in bounded writer-blocking slices. Only
+  /// sound while slots are stable, i.e. no delta merge between chunks (an
+  /// attached op log suppresses merges; see AfterStatement).
+  template <typename Fn>
+  void ForEachRowInGroupRange(size_t group_index, size_t begin_rid,
+                              size_t end_rid, Fn&& fn) const {
+    const RowGroup& group = groups_[group_index];
+    const Fragment& lead = group.fragments.front();
+    lead.table->live_bitmap().ForEachSetInRange(
+        begin_rid, end_rid,
+        [&](size_t rid) { fn(StitchRow(group, lead, rid)); });
+  }
+
+  /// Slot-space size of one group's lead fragment (the end bound for
+  /// ForEachRowInGroupRange).
+  size_t GroupSlotCount(size_t group_index) const {
+    return groups_[group_index].fragments.front().table->slot_count();
+  }
+
   /// Visits every live logical row (stitched across fragments).
   template <typename Fn>
   void ForEachRow(Fn&& fn) const {
@@ -121,8 +143,22 @@ class LogicalTable {
     }
   }
 
-  /// Statement-boundary maintenance for every physical piece.
+  /// Statement-boundary maintenance for every physical piece. A no-op
+  /// while an op log is attached: delta merges reshuffle row ids, which
+  /// would silently teleport rows across a shadow rebuild's chunk cursor.
   void AfterStatement();
+
+  // Shadow-rebuild support ---------------------------------------------------
+
+  /// Attaches a write-op log: every subsequent successful Insert/UpdateByPk/
+  /// DeleteByPk also appends a replayable TableOp, and delta merges are
+  /// suppressed (rid stability for the concurrent chunked copy). Call under
+  /// the table's writer latch so no statement straddles the transition; the
+  /// log must outlive the attachment. Detach (same latch rule) before the
+  /// table version is retired.
+  void AttachOpLog(TableOpLog* log) { op_log_ = log; }
+  void DetachOpLog() { op_log_ = nullptr; }
+  bool HasOpLog() const { return op_log_ != nullptr; }
 
   /// Forces a delta merge on every column-store piece (bulk-load epilogue).
   void ForceMerge();
@@ -152,6 +188,10 @@ class LogicalTable {
   TableLayout layout_;
   PhysicalOptions options_;
   std::vector<RowGroup> groups_;
+  /// Non-null while a shadow rebuild of this table is in flight. Written
+  /// and read only under the table's writer latch (DML path), so it needs
+  /// no atomicity of its own.
+  TableOpLog* op_log_ = nullptr;
 };
 
 }  // namespace hsdb

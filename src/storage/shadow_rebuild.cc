@@ -1,0 +1,47 @@
+#include "storage/shadow_rebuild.h"
+
+#include <utility>
+
+namespace hsdb {
+
+Result<std::unique_ptr<LogicalTable>> MakeEmptyLike(
+    const LogicalTable& src, TableLayout layout,
+    const PhysicalOptions& options) {
+  return LogicalTable::Create(src.name(), src.schema(), std::move(layout),
+                              options);
+}
+
+void CollectGroupRows(const LogicalTable& src, size_t group_index,
+                      size_t begin_rid, size_t end_rid,
+                      std::vector<Row>* rows) {
+  src.ForEachRowInGroupRange(group_index, begin_rid, end_rid,
+                             [&](Row row) { rows->push_back(std::move(row)); });
+}
+
+Status ReplayOps(LogicalTable* shadow, const std::vector<TableOp>& ops,
+                 uint64_t* applied) {
+  for (const TableOp& op : ops) {
+    switch (op.kind) {
+      case TableOp::Kind::kUpsert: {
+        const PrimaryKey pk = PrimaryKey::FromRow(shadow->schema(), op.row);
+        Status removed = shadow->DeleteByPk(pk);
+        if (!removed.ok() && removed.code() != StatusCode::kNotFound) {
+          return removed;
+        }
+        HSDB_RETURN_IF_ERROR(shadow->Insert(op.row));
+        break;
+      }
+      case TableOp::Kind::kDelete: {
+        Status removed = shadow->DeleteByPk(op.pk);
+        if (!removed.ok() && removed.code() != StatusCode::kNotFound) {
+          return removed;
+        }
+        break;
+      }
+    }
+    if (applied != nullptr) ++*applied;
+  }
+  return Status::OK();
+}
+
+}  // namespace hsdb

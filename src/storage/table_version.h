@@ -1,0 +1,117 @@
+// Per-table concurrency handles for versioned table publication: the
+// TableSync latch pair every statement takes, and the TableOpLog that makes
+// a live table's writes replayable onto a shadow copy during a non-blocking
+// migration (docs/CONCURRENCY.md is the handbook for the full protocol).
+//
+// Lock order (deadlock-free because DML is single-table):
+//   writer_latch  ->  rw (unique)  ->  [catalog map mutex, op-log mutex]
+//
+//   - Readers take `rw` shared for the duration of the scan and nothing
+//     else. They are never blocked by a migration cut-over, which takes the
+//     writer latch only.
+//   - DML takes `writer_latch` then `rw` unique for the statement
+//     (including statement-boundary delta maintenance).
+//   - A migration cut-over takes `writer_latch` alone: it drains the op-log
+//     tail into the shadow, swaps the catalog pointer, and releases. Readers
+//     still scanning the old version finish against it; epoch-based
+//     reclamation (common/epoch.h) frees it after the last such reader
+//     drains.
+//
+// A TableSync is keyed by table *name* and survives ReplaceTable — the
+// latches guard the name's slot, not one physical incarnation, so a writer
+// blocked across a swap wakes up against the new version and correctly
+// serializes with it.
+#ifndef HSDB_STORAGE_TABLE_VERSION_H_
+#define HSDB_STORAGE_TABLE_VERSION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/row.h"
+#include "storage/primary_key.h"
+
+namespace hsdb {
+
+/// Synchronization state of one table name. Held by the catalog in a
+/// shared_ptr so droppers and late readers cannot race its lifetime.
+struct TableSync {
+  /// Readers shared per scan; DML unique per statement.
+  std::shared_mutex rw;
+  /// Serializes writers among themselves and against the migration
+  /// cut-over. Always acquired before `rw` unique, never after.
+  std::mutex writer_latch;
+};
+
+/// One replayable write. Updates are logged as full-row upserts rather
+/// than column deltas: the column stores implement UpdateRow as
+/// tombstone+append, so mid-build the shadow may not contain the pre-image
+/// row at all — a delta could not be applied, a full row always can.
+struct TableOp {
+  enum class Kind { kUpsert, kDelete };
+  Kind kind = Kind::kUpsert;
+  /// kUpsert: the complete post-statement logical row (schema order).
+  Row row;
+  /// kDelete: the primary key of the removed row.
+  PrimaryKey pk;
+
+  static TableOp Upsert(Row row) {
+    TableOp op;
+    op.kind = Kind::kUpsert;
+    op.row = std::move(row);
+    return op;
+  }
+  static TableOp Delete(PrimaryKey pk) {
+    TableOp op;
+    op.kind = Kind::kDelete;
+    op.pk = std::move(pk);
+    return op;
+  }
+};
+
+/// Thread-safe append/drain log of the writes a table received while a
+/// shadow rebuild was in flight. Attached to the live LogicalTable under
+/// the writer latch, so every logged op happened-before the cut-over drain
+/// that consumes it.
+class TableOpLog {
+ public:
+  TableOpLog() = default;
+  HSDB_DISALLOW_COPY_AND_ASSIGN(TableOpLog);
+
+  void Append(TableOp op) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ops_.push_back(std::move(op));
+    ++appended_total_;
+  }
+
+  /// Moves out everything appended so far; the log keeps accepting ops.
+  std::vector<TableOp> Drain() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<TableOp> out;
+    out.swap(ops_);
+    return out;
+  }
+
+  size_t pending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ops_.size();
+  }
+
+  /// Lifetime ops ever appended (replay telemetry).
+  uint64_t appended_total() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return appended_total_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TableOp> ops_;
+  uint64_t appended_total_ = 0;
+};
+
+}  // namespace hsdb
+
+#endif  // HSDB_STORAGE_TABLE_VERSION_H_

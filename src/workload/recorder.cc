@@ -211,6 +211,7 @@ void WorkloadRecorder::MirrorToMetrics() {
 }
 
 void WorkloadRecorder::OnQuery(const Query& query, const QueryResult&) {
+  std::lock_guard<std::mutex> lock(mu_);
   statistics_.Record(query, *catalog_);
   ++seen_;
   ++epoch_seen_;
@@ -234,6 +235,7 @@ void WorkloadRecorder::OnQuery(const Query& query, const QueryResult&) {
 }
 
 void WorkloadRecorder::BeginEpoch() {
+  std::lock_guard<std::mutex> lock(mu_);
   statistics_ = WorkloadStatistics(hot_key_capacity_);
   queries_.clear();
   epoch_seen_ = 0;
@@ -245,6 +247,7 @@ void WorkloadRecorder::BeginEpoch() {
 }
 
 void WorkloadRecorder::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   statistics_ = WorkloadStatistics(hot_key_capacity_);
   queries_.clear();
   seen_ = 0;

@@ -7,6 +7,7 @@
 #define HSDB_WORKLOAD_RECORDER_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -111,6 +112,13 @@ class WorkloadStatistics {
 /// epoch only (since the last BeginEpoch/Reset), which is the unit the
 /// online advisor snapshots atomically — one re-search never mixes stats
 /// from two epochs. The lifetime query count survives epoch rollovers.
+///
+/// Thread-safe: OnQuery may be called from many client threads while the
+/// AdaptationController snapshots/rolls epochs from its background thread
+/// — one internal mutex serializes both. The snapshot accessors
+/// (statistics(), recorded_queries()) therefore return copies, not
+/// references: a reference could be mutated (or its epoch rolled) under
+/// the caller.
 class WorkloadRecorder : public QueryObserver {
  public:
   /// `max_recorded_queries` bounds the raw query log (reservoir sampling);
@@ -127,17 +135,40 @@ class WorkloadRecorder : public QueryObserver {
 
   void OnQuery(const Query& query, const QueryResult& result) override;
 
-  /// Statistics and sample of the current epoch.
+  /// Statistics and sample of the current epoch. The references are
+  /// unsynchronized views for single-threaded use (tests, offline benches);
+  /// any consumer that may run concurrently with recording threads — the
+  /// AdaptationController, the online advisor — must take the Snapshot*
+  /// copies instead.
   const WorkloadStatistics& statistics() const { return statistics_; }
   const std::vector<Query>& recorded_queries() const { return queries_; }
 
+  /// Locked, consistent copies of the current epoch's state.
+  WorkloadStatistics SnapshotStatistics() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return statistics_;
+  }
+  std::vector<Query> SnapshotQueries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queries_;
+  }
+
   /// Queries observed since construction / the last full Reset (lifetime —
   /// NOT reset by BeginEpoch).
-  uint64_t seen_queries() const { return seen_; }
+  uint64_t seen_queries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return seen_;
+  }
   /// Queries observed in the current epoch.
-  uint64_t epoch_seen_queries() const { return epoch_seen_; }
+  uint64_t epoch_seen_queries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return epoch_seen_;
+  }
   /// Current epoch index (0 after construction/Reset; +1 per BeginEpoch).
-  uint64_t epoch() const { return epoch_; }
+  uint64_t epoch() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return epoch_;
+  }
 
   /// Ends the current epoch: clears the statistics and the sample, advances
   /// the epoch counter, keeps the lifetime query count. The online advisor
@@ -150,8 +181,11 @@ class WorkloadRecorder : public QueryObserver {
 
  private:
   /// Pushes the current epoch/stream state into the registry gauges.
+  /// Caller holds mu_.
   void MirrorToMetrics();
 
+  /// Serializes recording threads against epoch snapshots/rollovers.
+  mutable std::mutex mu_;
   const Catalog* catalog_;
   size_t max_queries_;
   size_t hot_key_capacity_;

@@ -1,0 +1,180 @@
+// EpochManager unit tests: the pin/retire/advance/reclaim lifecycle the
+// catalog's version swaps rely on (docs/CONCURRENCY.md). The deterministic
+// tests pin epochs by hand and assert exactly when deleters run; the churn
+// test hammers the manager from reader and writer threads and is the TSan
+// probe for the mutex protocol itself.
+#include "common/epoch.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace hsdb {
+namespace {
+
+TEST(EpochTest, RetireWithoutReadersReclaimsPromptly) {
+  EpochManager mgr;
+  bool freed = false;
+  // No reader is pinned: nothing can reach the object, so the manager may
+  // (and does) run the deleter as soon as the retire is recorded.
+  mgr.Retire([&] { freed = true; });
+  EXPECT_TRUE(freed);
+  EXPECT_EQ(mgr.retired_count(), 0u);
+  mgr.Advance();  // harmless with an empty queue
+  EXPECT_EQ(mgr.retired_count(), 0u);
+}
+
+TEST(EpochTest, PinnedReaderBlocksReclamation) {
+  EpochManager mgr;
+  bool freed = false;
+  uint64_t reader = mgr.Pin();  // reader active before the swap
+  mgr.Retire([&] { freed = true; });
+  mgr.Advance();
+  // The reader pinned at (or before) the retire epoch may still hold the
+  // old pointer: the deleter must wait for it.
+  EXPECT_FALSE(freed);
+  mgr.Unpin(reader);
+  EXPECT_TRUE(freed);
+}
+
+TEST(EpochTest, LateReaderDoesNotBlockEarlierRetire) {
+  EpochManager mgr;
+  bool freed = false;
+  mgr.Retire([&] { freed = true; });
+  mgr.Advance();  // epoch moves past the retire point; nothing pinned
+  EXPECT_TRUE(freed);
+
+  // A reader pinning *after* the advance only protects objects retired at
+  // its own epoch or later.
+  bool freed2 = false;
+  uint64_t late = mgr.Pin();
+  mgr.Retire([&] { freed2 = true; });
+  mgr.Advance();
+  EXPECT_FALSE(freed2);  // late reader could still see the second object
+  mgr.Unpin(late);
+  EXPECT_TRUE(freed2);
+}
+
+TEST(EpochTest, OldestPinGovernsABacklog) {
+  EpochManager mgr;
+  int freed = 0;
+  uint64_t oldest = mgr.Pin();
+  for (int i = 0; i < 3; ++i) {
+    mgr.Retire([&] { ++freed; });
+    mgr.Advance();
+  }
+  // Three swaps piled up behind one long-running reader.
+  EXPECT_EQ(freed, 0);
+  EXPECT_EQ(mgr.retired_count(), 3u);
+  {
+    // A second, newer reader comes and goes: irrelevant to the backlog.
+    EpochPin newer(&mgr);
+  }
+  EXPECT_EQ(freed, 0);
+  mgr.Unpin(oldest);
+  EXPECT_EQ(freed, 3);
+}
+
+TEST(EpochTest, RetireObjectDestroysExactlyOnce) {
+  EpochManager mgr;
+  struct Counter {
+    std::atomic<int>* dtor_runs = nullptr;
+    ~Counter() {
+      if (dtor_runs != nullptr) dtor_runs->fetch_add(1);
+    }
+  };
+  std::atomic<int> runs{0};
+  auto counter = std::make_unique<Counter>();
+  counter->dtor_runs = &runs;
+  mgr.RetireObject(std::move(counter));
+  mgr.Advance();
+  EXPECT_EQ(runs.load(), 1);
+  mgr.RetireObject(std::unique_ptr<Counter>());  // null: a no-op
+  mgr.Advance();
+  EXPECT_EQ(runs.load(), 1);
+}
+
+TEST(EpochTest, EpochPinRaiiAndMove) {
+  EpochManager mgr;
+  bool freed = false;
+  {
+    EpochPin pin(&mgr);
+    EXPECT_EQ(mgr.pinned_readers(), 1u);
+    EpochPin moved = std::move(pin);  // ownership transfers, count stays 1
+    EXPECT_EQ(mgr.pinned_readers(), 1u);
+    mgr.Retire([&] { freed = true; });
+    mgr.Advance();
+    EXPECT_FALSE(freed);
+    moved.Release();
+    EXPECT_TRUE(freed);
+    EXPECT_EQ(mgr.pinned_readers(), 0u);
+  }  // double release via destructor must be harmless
+  EXPECT_EQ(mgr.pinned_readers(), 0u);
+}
+
+TEST(EpochTest, DrainAllRunsEverythingAtShutdown) {
+  int freed = 0;
+  {
+    EpochManager mgr;
+    uint64_t reader = mgr.Pin();
+    mgr.Retire([&] { ++freed; });
+    mgr.Retire([&] { ++freed; });
+    // No Advance, reader still pinned: destruction must still run every
+    // deleter (the owning scope has ended; no reader can be live).
+    mgr.Unpin(reader);
+  }
+  EXPECT_EQ(freed, 2);
+}
+
+// Readers pin/resolve/unpin while writers publish-retire-advance: under
+// TSan this exercises the full reclamation protocol; in any build it
+// checks that no reader ever observes a destroyed object.
+TEST(EpochTest, ConcurrentChurnNeverFreesEarly) {
+  constexpr int kReaders = 4;
+  constexpr int kSwaps = 2000;
+  struct Version {
+    std::atomic<bool> destroyed{false};
+    int payload = 0;
+    ~Version() { destroyed.store(true); }
+  };
+
+  EpochManager mgr;
+  std::atomic<Version*> current{new Version{}};
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn_reads{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        EpochPin pin(&mgr);  // pin BEFORE resolving: the protocol's rule
+        Version* v = current.load(std::memory_order_acquire);
+        if (v->destroyed.load(std::memory_order_relaxed)) {
+          torn_reads.fetch_add(1, std::memory_order_relaxed);
+        }
+        (void)v->payload;
+      }
+    });
+  }
+
+  for (int i = 0; i < kSwaps; ++i) {
+    auto fresh = std::make_unique<Version>();
+    fresh->payload = i;
+    Version* old = current.exchange(fresh.release());  // publish first
+    mgr.RetireObject(std::unique_ptr<Version>(old));   // then retire
+    mgr.Advance();                                     // then advance
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(torn_reads.load(), 0);
+
+  delete current.load();
+  EXPECT_EQ(mgr.pinned_readers(), 0u);
+}
+
+}  // namespace
+}  // namespace hsdb
