@@ -132,8 +132,10 @@ StorageAdvisor::StorageAdvisor(Database* db, AdvisorOptions options)
       recorder_(std::make_unique<WorkloadRecorder>(
           &db->catalog(), options.recorder_sample,
           options.recorder_hot_keys, &db->metrics())) {
-  // Cost scans at the database's actual degree of parallelism.
+  // Cost scans at the database's actual degree of parallelism and — when a
+  // serving front-end batches queries — at its shared-scan width.
   model_->set_dop(db_->num_threads());
+  model_->set_batch_width(options_.batch_width);
   // Close the loop between prediction and observation: every query the
   // database executes from now on is costed by the advisor's model under
   // the catalog's *current* layouts, so the result carries an
@@ -167,12 +169,14 @@ CalibrationReport StorageAdvisor::InitializeCostModel(ProbeRunner& runner) {
   CalibrationReport report = Calibrate(runner, options_.calibration);
   model_ = std::make_unique<CostModel>(report.params);
   model_->set_dop(db_->num_threads());
+  model_->set_batch_width(options_.batch_width);
   return report;
 }
 
 void StorageAdvisor::SetCostModelParams(CostModelParams params) {
   model_ = std::make_unique<CostModel>(std::move(params));
   model_->set_dop(db_->num_threads());
+  model_->set_batch_width(options_.batch_width);
 }
 
 Status StorageAdvisor::EnsureStatistics(

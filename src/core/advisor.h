@@ -63,6 +63,14 @@ struct AdvisorOptions {
   /// time is guaranteed tracked. Larger = finer hot-set resolution at a
   /// little more recording memory.
   size_t recorder_hot_keys = 64;
+  /// Expected shared-scan batch width when queries arrive through the
+  /// serving front-end (SocketServer + BatchExecutor): how many compatible
+  /// queries co-run on one decode pass, i.e. CostModel::set_batch_width.
+  /// Server deployments mirror their measured hsdb_server_batch_width
+  /// here so the advisor weighs layouts by the amortized per-query cost a
+  /// co-running client actually pays. 1 (the default) costs every query
+  /// stand-alone — the right setting for embedded/library use.
+  int batch_width = 1;
 };
 
 struct Recommendation {

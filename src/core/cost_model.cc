@@ -88,6 +88,12 @@ CostModelParams CostModelParams::Default() {
   cs.c_parallel_core = 0.75;
   cs.c_parallel_merge_ms = 0.01;
 
+  // Shared-scan batches amortize the column store's decode pass almost
+  // fully; the row store's tuple walk is shared too, but it was never the
+  // dominant term, so less of the per-query cost disappears.
+  rs.c_batch_scan_share = 0.55;
+  cs.c_batch_scan_share = 0.3;
+
   p.base_join[0][0] = 1.0;
   p.base_join[0][1] = 1.15;
   p.base_join[1][0] = 0.85;
@@ -116,7 +122,8 @@ std::string CostModelParams::ToString() const {
       os << (e > 0 ? "," : "") << sp.c_encoding_reencode[e];
     }
     os << "}*" << sp.c_merge_share << " c_par=" << sp.c_parallel_core << "+"
-       << sp.c_parallel_merge_ms << "ms\n";
+       << sp.c_parallel_merge_ms << "ms"
+       << " c_batch_share=" << sp.c_batch_scan_share << "\n";
   }
   os << "base_join={" << base_join[0][0] << "," << base_join[0][1] << ";"
      << base_join[1][0] << "," << base_join[1][1] << "}"
@@ -138,8 +145,10 @@ double ClampMultiplier(double m) { return std::max(m, 1e-4); }
 // scalar-era v1-v3 calibrations are rejected and caches recalibrate with
 // the vectorized engine. v5 adds the morsel-parallel scan terms
 // (c_parallel_core, c_parallel_merge_ms); pre-parallel caches are rejected
-// so they recalibrate with the parallel probe.
-constexpr char kSerializationMagic[] = "hsdb_cost_model_v5";
+// so they recalibrate with the parallel probe. v6 adds the shared-scan
+// batch term (c_batch_scan_share) the serving front-end's amortized
+// per-query costs divide by.
+constexpr char kSerializationMagic[] = "hsdb_cost_model_v6";
 
 void PutFn(std::ostream& os, const LinearFn& fn) {
   os << fn.intercept << " " << fn.slope << "\n";
@@ -201,6 +210,7 @@ std::string CostModelParams::Serialize() const {
     for (double c : sp.c_encoding_reencode) os << c << " ";
     os << sp.c_merge_share << "\n";
     os << sp.c_parallel_core << " " << sp.c_parallel_merge_ms << "\n";
+    os << sp.c_batch_scan_share << "\n";
   }
   for (int f = 0; f < kNumStoreTypes; ++f) {
     for (int d = 0; d < kNumStoreTypes; ++d) {
@@ -256,6 +266,7 @@ Result<CostModelParams> CostModelParams::Deserialize(
     }
     if (!(is >> sp.c_merge_share)) return fail();
     if (!(is >> sp.c_parallel_core >> sp.c_parallel_merge_ms)) return fail();
+    if (!(is >> sp.c_batch_scan_share)) return fail();
   }
   for (int f = 0; f < kNumStoreTypes; ++f) {
     for (int d = 0; d < kNumStoreTypes; ++d) {
@@ -301,12 +312,21 @@ double CostModel::AggregationCost(StoreType store,
   if (dop_ > 1) {
     cost = cost / ParallelSpeedup(sp) + sp.c_parallel_merge_ms;
   }
-  return cost;
+  // Serving amortization: a shared-scan batch of width w runs this query's
+  // filter + aggregation pass once per batch, not once per query.
+  return cost / BatchSpeedup(sp);
 }
 
 double CostModel::ParallelSpeedup(const StoreCostParams& sp) const {
   if (dop_ <= 1) return 1.0;
   return 1.0 + std::max(sp.c_parallel_core, 0.0) * (dop_ - 1);
+}
+
+double CostModel::BatchSpeedup(const StoreCostParams& sp) const {
+  if (batch_width_ <= 1) return 1.0;
+  double share = std::min(std::max(sp.c_batch_scan_share, 0.0), 1.0);
+  double w = static_cast<double>(batch_width_);
+  return w / (1.0 + share * (w - 1.0));
 }
 
 double CostModel::JoinAggregationCost(
@@ -370,6 +390,12 @@ double CostModel::SelectCost(StoreType store, size_t selected_columns,
   // selections are scaled.
   if (dop_ > 1 && !(store == StoreType::kRow && indexed)) {
     cost = cost / ParallelSpeedup(sp) + sp.c_parallel_merge_ms;
+  }
+  // Scan-shaped selections share a batch's decode pass; index-seeded
+  // row-store selections are delegated out of shared groups and stay
+  // unscaled.
+  if (!(store == StoreType::kRow && indexed)) {
+    cost /= BatchSpeedup(sp);
   }
   return cost;
 }

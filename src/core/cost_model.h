@@ -87,6 +87,18 @@ struct StoreCostParams {
   // scan probe (MeasureParallelScan); identity at d = 1.
   double c_parallel_core = 0.7;
   double c_parallel_merge_ms = 0.01;
+
+  // Shared-scan batch term (v6). The serving front-end's BatchExecutor
+  // co-runs w compatible queries on one decode pass, so each query pays
+  //   cost / BatchSpeedup(w),  BatchSpeedup(w) = w / (1 + share * (w - 1))
+  // — c_batch_scan_share is the per-query share of scan-shaped work the
+  // shared pass can NOT amortize (bitmap fan-out, per-query
+  // materialization): 0 = decode dominates (ideal w-fold sharing), 1 = no
+  // benefit. Applied to scan-shaped costs only, like the parallel terms;
+  // the column store amortizes more (the decode pass is the expensive
+  // part), the row store less (the tuple walk is shared but cheap to begin
+  // with).
+  double c_batch_scan_share = 0.35;
 };
 
 /// Full parameter set: one StoreCostParams per store plus the store-
@@ -141,6 +153,17 @@ class CostModel {
   /// adjustment.
   void set_dop(int dop) { dop_ = dop < 1 ? 1 : dop; }
   int dop() const { return dop_; }
+
+  /// Expected number of compatible queries co-running per shared-scan batch
+  /// when a serving front-end feeds the engine through the BatchExecutor
+  /// (the advisor mirrors AdvisorOptions::batch_width, which deployments
+  /// set from their measured hsdb_server_batch_width). Scan-shaped costs
+  /// are divided by the per-store batch speedup — the amortized per-query
+  /// cost a co-running client actually pays. 1 (the default) disables the
+  /// adjustment; point lookups, joins and writes are never shared and stay
+  /// unscaled.
+  void set_batch_width(int width) { batch_width_ = width < 1 ? 1 : width; }
+  int batch_width() const { return batch_width_; }
 
   /// Single-table aggregation (paper §3.1 "Aggregation Queries").
   /// A predicate splits the cost into a filter pass over all rows
@@ -208,9 +231,13 @@ class CostModel {
  private:
   /// Parallel speedup S(d) for scan-shaped work under `sp` (1 at dop 1).
   double ParallelSpeedup(const StoreCostParams& sp) const;
+  /// Shared-scan speedup B(w) for scan-shaped work under `sp` (1 at batch
+  /// width 1).
+  double BatchSpeedup(const StoreCostParams& sp) const;
 
   CostModelParams params_;
   int dop_ = 1;
+  int batch_width_ = 1;
 };
 
 }  // namespace hsdb

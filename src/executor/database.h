@@ -203,6 +203,17 @@ class Database {
   /// advisor reads this to configure the cost model's parallel scan factor.
   int num_threads() const { return num_threads_; }
 
+  /// Worker pool of the morsel-parallel scan path; nullptr when serial.
+  /// The BatchExecutor reuses it so shared scans parallelize like
+  /// single-statement scans do.
+  ThreadPool* scan_pool() const { return pool_.get(); }
+
+  /// The installed workload observer (nullptr when none). The BatchExecutor
+  /// notifies it for queries it executes outside Database::Execute.
+  QueryObserver* query_observer() const {
+    return observer_.load(std::memory_order_acquire);
+  }
+
  private:
   /// True when per-query telemetry should run right now.
   bool TelemetryOn() const {

@@ -3,334 +3,21 @@
 #include <algorithm>
 #include <limits>
 #include <unordered_map>
-#include <unordered_set>
 
-#include "common/thread_pool.h"
 #include "executor/aggregate.h"
+#include "executor/read_path.h"
 #include "storage/scan_dispatch.h"
-#include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
 namespace hsdb {
+
+namespace rp = readpath;
+
 namespace {
-
-/// Rows per morsel of the parallel scan path. A multiple of 64 so that
-/// morsel boundaries fall on bitmap word boundaries: each worker then writes
-/// a disjoint word range of the shared selection bitmap, and results are
-/// bit-identical for every thread count. Fixed (not derived from the thread
-/// count) so that per-morsel work — and therefore merged output — is
-/// independent of the degree of parallelism.
-constexpr size_t kMorselRows = 16384;
-static_assert(kMorselRows % 64 == 0, "morsels must be bitmap-word aligned");
-
-size_t MorselCount(size_t n) { return (n + kMorselRows - 1) / kMorselRows; }
 
 struct ValueHasher {
   size_t operator()(const Value& v) const { return v.Hash(); }
 };
-
-std::vector<const PredicateTerm*> TermsForTable(const Predicate& predicate,
-                                                int table_index) {
-  std::vector<const PredicateTerm*> terms;
-  for (const PredicateTerm& term : predicate) {
-    if (term.column.table_index == table_index) terms.push_back(&term);
-  }
-  return terms;
-}
-
-Status ValidateTerms(const Schema& schema,
-                     const std::vector<const PredicateTerm*>& terms) {
-  for (const PredicateTerm* term : terms) {
-    if (term->column.column >= schema.num_columns()) {
-      return Status::InvalidArgument("predicate column out of range");
-    }
-    if (!term->range.lo.has_value() && !term->range.hi.has_value()) {
-      return Status::InvalidArgument("unbounded predicate term");
-    }
-  }
-  return Status::OK();
-}
-
-/// Evaluates a conjunction of terms on one fragment. All term columns must
-/// be contained in the fragment. Uses a row-store sorted index to seed the
-/// bitmap when one is available for a term's column.
-Bitmap EvaluateOnFragment(const Fragment& frag,
-                          const std::vector<const PredicateTerm*>& terms) {
-  telemetry::ScopedSpan span("predicate");
-  const PhysicalTable& table = *frag.table;
-  if (table.store() == StoreType::kRow) {
-    const auto& rs = static_cast<const RowTable&>(table);
-    for (size_t i = 0; i < terms.size(); ++i) {
-      ColumnId fc = frag.FragColumn(terms[i]->column.column);
-      if (!rs.HasSortedIndex(fc)) continue;
-      Result<Bitmap> seeded = rs.IndexFilter(fc, terms[i]->range);
-      if (!seeded.ok()) continue;
-      Bitmap bm = std::move(seeded).value();
-      for (size_t j = 0; j < terms.size(); ++j) {
-        if (j == i) continue;
-        table.FilterRange(frag.FragColumn(terms[j]->column.column),
-                          terms[j]->range, &bm);
-      }
-      return bm;
-    }
-  }
-  Bitmap bm = table.live_bitmap();
-  for (const PredicateTerm* term : terms) {
-    table.FilterRange(frag.FragColumn(term->column.column), term->range, &bm);
-  }
-  return bm;
-}
-
-/// Whether the morsel-parallel scan path applies to this fragment: a pool
-/// is installed, the fragment spans more than one morsel, and no row-store
-/// sorted index would seed the bitmap (the index path is already
-/// sub-linear; morselizing it would only add overhead).
-bool UseParallelScan(const ParallelContext& ctx, const Fragment& frag,
-                     const std::vector<const PredicateTerm*>& terms) {
-  if (ctx.pool == nullptr) return false;
-  if (frag.table->slot_count() <= kMorselRows) return false;
-  if (frag.table->store() == StoreType::kRow) {
-    const auto& rs = static_cast<const RowTable&>(*frag.table);
-    for (const PredicateTerm* term : terms) {
-      if (rs.HasSortedIndex(frag.FragColumn(term->column.column))) {
-        return false;
-      }
-    }
-  }
-  return true;
-}
-
-/// Telemetry for one parallel dispatch: total morsels produced and the
-/// worker-queue depth at dispatch time (pending tasks already queued plus
-/// this scan's morsels).
-void NoteMorsels(const ParallelContext& ctx, size_t morsels) {
-  if (ctx.morsels_total != nullptr) ctx.morsels_total->Increment(morsels);
-  if (ctx.queue_depth != nullptr) {
-    ctx.queue_depth->Set(
-        static_cast<double>(ctx.pool->queue_depth() + morsels));
-  }
-}
-
-/// Narrows morsel [begin, end) of the shared bitmap by every term. Each
-/// morsel touches only its own bitmap words (begin is 64-aligned), so
-/// concurrent calls for disjoint morsels are safe.
-void FilterMorsel(const Fragment& frag,
-                  const std::vector<const PredicateTerm*>& terms,
-                  size_t begin, size_t end, Bitmap* bm) {
-  for (const PredicateTerm* term : terms) {
-    frag.table->FilterRangeSlice(frag.FragColumn(term->column.column),
-                                 term->range, begin, end, bm);
-  }
-}
-
-/// Morsel-parallel SELECT over a covering fragment: workers filter and
-/// materialize per-morsel row batches; the coordinator concatenates them in
-/// morsel order, which makes the output bit-identical to the serial path
-/// for every thread count.
-void ParallelSelectCover(const ParallelContext& ctx, const Fragment& cover,
-                         const std::vector<const PredicateTerm*>& terms,
-                         const std::vector<ColumnId>& select_columns,
-                         size_t limit, QueryResult* result) {
-  telemetry::ScopedSpan par_span("scan_parallel");
-  const size_t n = cover.table->slot_count();
-  const size_t morsels = MorselCount(n);
-  NoteMorsels(ctx, morsels);
-  Bitmap bm = cover.table->live_bitmap();
-  std::vector<std::vector<Row>> batches(morsels);
-  ctx.pool->ParallelFor(morsels, [&](size_t m) {
-    const size_t begin = m * kMorselRows;
-    const size_t end = std::min(begin + kMorselRows, n);
-    FilterMorsel(cover, terms, begin, end, &bm);
-    std::vector<Row>& rows = batches[m];
-    bm.ForEachSetInRange(begin, end, [&](size_t rid) {
-      if (rows.size() >= limit) return;  // no morsel needs more than `limit`
-      Row row;
-      row.reserve(select_columns.size());
-      for (ColumnId col : select_columns) {
-        row.push_back(cover.table->GetValue(rid, cover.FragColumn(col)));
-      }
-      rows.push_back(std::move(row));
-    });
-  });
-  for (std::vector<Row>& rows : batches) {
-    for (Row& row : rows) {
-      if (result->rows.size() >= limit) return;
-      result->rows.push_back(std::move(row));
-    }
-  }
-}
-
-/// Per-morsel partial aggregates, merged by the coordinator in morsel order.
-struct MorselAgg {
-  std::vector<AggState> totals;
-  GroupMap groups;
-};
-
-/// Morsel-parallel aggregation over a covering fragment. Ungrouped: each
-/// worker folds its morsel into a private AggState vector. Grouped: each
-/// worker builds a private GroupMap. The coordinator merges partials in
-/// morsel order, so results are deterministic for every thread count
-/// (floating-point sums still differ from the serial evaluation order when
-/// values are not exactly representable).
-void ParallelAggregateCover(const ParallelContext& ctx, const Fragment& cover,
-                            const std::vector<const PredicateTerm*>& terms,
-                            const AggregationQuery& q, bool grouped,
-                            std::vector<AggState>* totals,
-                            GroupMap* group_map) {
-  telemetry::ScopedSpan par_span("scan_parallel");
-  const size_t n = cover.table->slot_count();
-  const size_t morsels = MorselCount(n);
-  NoteMorsels(ctx, morsels);
-  Bitmap bm = cover.table->live_bitmap();
-  std::vector<MorselAgg> partials(morsels);
-  ctx.pool->ParallelFor(morsels, [&](size_t m) {
-    const size_t begin = m * kMorselRows;
-    const size_t end = std::min(begin + kMorselRows, n);
-    FilterMorsel(cover, terms, begin, end, &bm);
-    MorselAgg& partial = partials[m];
-    if (!grouped) {
-      partial.totals.assign(q.aggregates.size(), AggState{});
-      for (size_t i = 0; i < q.aggregates.size(); ++i) {
-        const AggregateExpr& agg = q.aggregates[i];
-        if (agg.fn == AggFn::kCount) {
-          partial.totals[i].AddCount(
-              static_cast<double>(bm.CountInRange(begin, end)));
-        } else {
-          ForEachNumericInRange(
-              *cover.table, cover.FragColumn(agg.column.column), bm, begin,
-              end, [&](RowId, double v) { partial.totals[i].Add(v); });
-        }
-      }
-      return;
-    }
-    bm.ForEachSetInRange(begin, end, [&](size_t rid) {
-      GroupKey key;
-      key.values.reserve(q.group_by.size());
-      for (const ColumnRef& ref : q.group_by) {
-        key.values.push_back(
-            cover.table->GetValue(rid, cover.FragColumn(ref.column)));
-      }
-      auto& states =
-          partial.groups
-              .try_emplace(std::move(key),
-                           std::vector<AggState>(q.aggregates.size()))
-              .first->second;
-      for (size_t i = 0; i < q.aggregates.size(); ++i) {
-        const AggregateExpr& agg = q.aggregates[i];
-        if (agg.fn == AggFn::kCount) {
-          states[i].AddCount(1.0);
-        } else {
-          states[i].Add(
-              cover.table->GetValue(rid, cover.FragColumn(agg.column.column))
-                  .AsNumeric());
-        }
-      }
-    });
-  });
-  for (MorselAgg& partial : partials) {
-    if (!grouped) {
-      for (size_t i = 0; i < partial.totals.size(); ++i) {
-        (*totals)[i].Merge(partial.totals[i]);
-      }
-      continue;
-    }
-    for (auto& [key, states] : partial.groups) {
-      auto& dst =
-          group_map
-              ->try_emplace(key, std::vector<AggState>(q.aggregates.size()))
-              .first->second;
-      for (size_t i = 0; i < states.size(); ++i) dst[i].Merge(states[i]);
-    }
-  }
-}
-
-const Fragment* CoveringFragment(const RowGroup& group,
-                                 const std::vector<ColumnId>& columns) {
-  for (const Fragment& frag : group.fragments) {
-    if (frag.Covers(columns)) return &frag;
-  }
-  return nullptr;
-}
-
-PrimaryKey PkOfFragmentRow(const Fragment& frag, RowId rid) {
-  const Schema& fs = frag.table->schema();
-  PrimaryKey pk;
-  pk.values.reserve(fs.primary_key().size());
-  for (ColumnId c : fs.primary_key()) {
-    pk.values.push_back(frag.table->GetValue(rid, c));
-  }
-  return pk;
-}
-
-/// Primary keys of the group's rows matching the predicate. Handles the
-/// vertical-split case where no single fragment covers all predicate
-/// columns by intersecting per-fragment key sets (the cost of queries that
-/// span vertical partitions).
-Result<std::vector<PrimaryKey>> MatchingPksInGroup(
-    const RowGroup& group, const std::vector<const PredicateTerm*>& terms) {
-  std::vector<PrimaryKey> out;
-  if (terms.empty()) {
-    const Fragment& lead = group.fragments.front();
-    lead.table->live_bitmap().ForEachSet(
-        [&](size_t rid) { out.push_back(PkOfFragmentRow(lead, rid)); });
-    return out;
-  }
-  std::vector<ColumnId> cols;
-  cols.reserve(terms.size());
-  for (const PredicateTerm* term : terms) cols.push_back(term->column.column);
-  if (const Fragment* cover = CoveringFragment(group, cols)) {
-    Bitmap bm = EvaluateOnFragment(*cover, terms);
-    bm.ForEachSet(
-        [&](size_t rid) { out.push_back(PkOfFragmentRow(*cover, rid)); });
-    return out;
-  }
-  // Spanning path: assign every term to the first fragment holding its
-  // column, evaluate per fragment, intersect the key sets.
-  std::vector<const PredicateTerm*> remaining = terms;
-  std::vector<std::unordered_set<PrimaryKey, PrimaryKeyHash>> sets;
-  for (const Fragment& frag : group.fragments) {
-    std::vector<const PredicateTerm*> mine;
-    std::vector<const PredicateTerm*> rest;
-    for (const PredicateTerm* term : remaining) {
-      if (frag.Contains(term->column.column)) {
-        mine.push_back(term);
-      } else {
-        rest.push_back(term);
-      }
-    }
-    remaining = std::move(rest);
-    if (mine.empty()) continue;
-    Bitmap bm = EvaluateOnFragment(frag, mine);
-    std::unordered_set<PrimaryKey, PrimaryKeyHash> keys;
-    bm.ForEachSet(
-        [&](size_t rid) { keys.insert(PkOfFragmentRow(frag, rid)); });
-    sets.push_back(std::move(keys));
-  }
-  if (!remaining.empty()) {
-    return Status::InvalidArgument("predicate column not stored in any "
-                                   "fragment");
-  }
-  // Intersect, starting from the smallest set.
-  std::sort(sets.begin(), sets.end(),
-            [](const auto& a, const auto& b) { return a.size() < b.size(); });
-  for (const PrimaryKey& pk : sets.front()) {
-    bool in_all = true;
-    for (size_t s = 1; s < sets.size(); ++s) {
-      if (sets[s].find(pk) == sets[s].end()) {
-        in_all = false;
-        break;
-      }
-    }
-    if (in_all) out.push_back(pk);
-  }
-  return out;
-}
-
-std::vector<ColumnId> UniqueColumns(std::vector<ColumnId> cols) {
-  std::sort(cols.begin(), cols.end());
-  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
-  return cols;
-}
 
 }  // namespace
 
@@ -358,11 +45,11 @@ Result<QueryResult> Executor::ExecuteSelect(const SelectQuery& q) {
       return Status::InvalidArgument("select column out of range");
     }
   }
-  std::vector<const PredicateTerm*> terms = TermsForTable(q.predicate, 0);
+  std::vector<const PredicateTerm*> terms = rp::TermsForTable(q.predicate, 0);
   if (terms.size() != q.predicate.size()) {
     return Status::InvalidArgument("select predicate references other tables");
   }
-  HSDB_RETURN_IF_ERROR(ValidateTerms(schema, terms));
+  HSDB_RETURN_IF_ERROR(rp::ValidateTerms(schema, terms));
 
   QueryResult result;
   const size_t limit =
@@ -384,33 +71,25 @@ Result<QueryResult> Executor::ExecuteSelect(const SelectQuery& q) {
   for (const PredicateTerm* term : terms) {
     needed.push_back(term->column.column);
   }
-  needed = UniqueColumns(std::move(needed));
+  needed = rp::UniqueColumns(std::move(needed));
 
   telemetry::ScopedSpan scan_span("scan");
   for (size_t g = 0; g < table->groups().size(); ++g) {
     if (result.rows.size() >= limit) break;
     const RowGroup& group = table->groups()[g];
-    if (const Fragment* cover = CoveringFragment(group, needed)) {
-      if (UseParallelScan(parallel_, *cover, terms)) {
-        ParallelSelectCover(parallel_, *cover, terms, q.select_columns, limit,
-                            &result);
+    if (const Fragment* cover = rp::CoveringFragment(group, needed)) {
+      if (rp::UseParallelScan(parallel_, *cover, terms)) {
+        rp::ParallelSelectCover(parallel_, *cover, terms, q.select_columns,
+                                limit, /*prefiltered=*/nullptr, &result);
         continue;
       }
-      Bitmap bm = EvaluateOnFragment(*cover, terms);
-      bm.ForEachSet([&](size_t rid) {
-        if (result.rows.size() >= limit) return;
-        Row row;
-        row.reserve(q.select_columns.size());
-        for (ColumnId col : q.select_columns) {
-          row.push_back(cover->table->GetValue(rid, cover->FragColumn(col)));
-        }
-        result.rows.push_back(std::move(row));
-      });
+      Bitmap bm = rp::EvaluateOnFragment(*cover, terms);
+      rp::SelectFromBitmap(*cover, bm, q.select_columns, limit, &result);
     } else {
       // Vertical-split slow path: resolve keys, then stitch projections.
       telemetry::ScopedSpan stitch_span("stitch");
       HSDB_ASSIGN_OR_RETURN(std::vector<PrimaryKey> pks,
-                            MatchingPksInGroup(group, terms));
+                            rp::MatchingPksInGroup(group, terms));
       for (const PrimaryKey& pk : pks) {
         if (result.rows.size() >= limit) break;
         HSDB_ASSIGN_OR_RETURN(Row row, table->GetByPk(pk));
@@ -436,11 +115,11 @@ Result<QueryResult> Executor::ExecuteUpdate(const UpdateQuery& q) {
   if (q.set_columns.size() != q.set_values.size()) {
     return Status::InvalidArgument("set columns/values arity mismatch");
   }
-  std::vector<const PredicateTerm*> terms = TermsForTable(q.predicate, 0);
+  std::vector<const PredicateTerm*> terms = rp::TermsForTable(q.predicate, 0);
   if (terms.size() != q.predicate.size()) {
     return Status::InvalidArgument("update predicate references other tables");
   }
-  HSDB_RETURN_IF_ERROR(ValidateTerms(schema, terms));
+  HSDB_RETURN_IF_ERROR(rp::ValidateTerms(schema, terms));
 
   QueryResult result;
   // Point fast path.
@@ -461,7 +140,7 @@ Result<QueryResult> Executor::ExecuteUpdate(const UpdateQuery& q) {
     telemetry::ScopedSpan scan_span("scan");
     for (const RowGroup& group : table->groups()) {
       HSDB_ASSIGN_OR_RETURN(std::vector<PrimaryKey> pks,
-                            MatchingPksInGroup(group, terms));
+                            rp::MatchingPksInGroup(group, terms));
       for (PrimaryKey& pk : pks) all_pks.push_back(std::move(pk));
     }
   }
@@ -475,11 +154,11 @@ Result<QueryResult> Executor::ExecuteUpdate(const UpdateQuery& q) {
 
 Result<QueryResult> Executor::ExecuteDelete(const DeleteQuery& q) {
   HSDB_ASSIGN_OR_RETURN(LogicalTable * table, catalog_->Find(q.table));
-  std::vector<const PredicateTerm*> terms = TermsForTable(q.predicate, 0);
+  std::vector<const PredicateTerm*> terms = rp::TermsForTable(q.predicate, 0);
   if (terms.size() != q.predicate.size()) {
     return Status::InvalidArgument("delete predicate references other tables");
   }
-  HSDB_RETURN_IF_ERROR(ValidateTerms(table->schema(), terms));
+  HSDB_RETURN_IF_ERROR(rp::ValidateTerms(table->schema(), terms));
 
   QueryResult result;
   const Schema& schema = table->schema();
@@ -498,7 +177,7 @@ Result<QueryResult> Executor::ExecuteDelete(const DeleteQuery& q) {
     telemetry::ScopedSpan scan_span("scan");
     for (const RowGroup& group : table->groups()) {
       HSDB_ASSIGN_OR_RETURN(std::vector<PrimaryKey> pks,
-                            MatchingPksInGroup(group, terms));
+                            rp::MatchingPksInGroup(group, terms));
       for (PrimaryKey& pk : pks) all_pks.push_back(std::move(pk));
     }
   }
@@ -574,7 +253,7 @@ Result<QueryResult> Executor::ExecuteAggregation(const AggregationQuery& q) {
 Result<QueryResult> Executor::SingleTableAggregation(
     const AggregationQuery& q) {
   HSDB_ASSIGN_OR_RETURN(LogicalTable * table, catalog_->Find(q.tables[0]));
-  std::vector<const PredicateTerm*> terms = TermsForTable(q.predicate, 0);
+  std::vector<const PredicateTerm*> terms = rp::TermsForTable(q.predicate, 0);
   const bool grouped = !q.group_by.empty();
 
   std::vector<AggState> totals(q.aggregates.size());
@@ -588,57 +267,21 @@ Result<QueryResult> Executor::SingleTableAggregation(
   for (const PredicateTerm* term : terms) {
     needed.push_back(term->column.column);
   }
-  needed = UniqueColumns(std::move(needed));
+  needed = rp::UniqueColumns(std::move(needed));
 
   telemetry::ScopedSpan scan_span("scan");
   for (size_t g = 0; g < table->groups().size(); ++g) {
     const RowGroup& group = table->groups()[g];
-    const Fragment* cover = CoveringFragment(group, needed);
+    const Fragment* cover = rp::CoveringFragment(group, needed);
     if (cover != nullptr) {
-      if (UseParallelScan(parallel_, *cover, terms)) {
-        ParallelAggregateCover(parallel_, *cover, terms, q, grouped, &totals,
-                               &group_map);
+      if (rp::UseParallelScan(parallel_, *cover, terms)) {
+        rp::ParallelAggregateCover(parallel_, *cover, terms, q, grouped,
+                                   /*prefiltered=*/nullptr, &totals,
+                                   &group_map);
         continue;
       }
-      Bitmap bm = EvaluateOnFragment(*cover, terms);
-      telemetry::ScopedSpan decode_span("decode");
-      if (!grouped) {
-        for (size_t i = 0; i < q.aggregates.size(); ++i) {
-          const AggregateExpr& agg = q.aggregates[i];
-          if (agg.fn == AggFn::kCount) {
-            totals[i].AddCount(static_cast<double>(bm.Count()));
-          } else {
-            ForEachNumericIn(*cover->table,
-                             cover->FragColumn(agg.column.column), &bm,
-                             [&](RowId, double v) { totals[i].Add(v); });
-          }
-        }
-      } else {
-        bm.ForEachSet([&](size_t rid) {
-          GroupKey key;
-          key.values.reserve(q.group_by.size());
-          for (const ColumnRef& ref : q.group_by) {
-            key.values.push_back(
-                cover->table->GetValue(rid, cover->FragColumn(ref.column)));
-          }
-          auto& states =
-              group_map
-                  .try_emplace(std::move(key),
-                               std::vector<AggState>(q.aggregates.size()))
-                  .first->second;
-          for (size_t i = 0; i < q.aggregates.size(); ++i) {
-            const AggregateExpr& agg = q.aggregates[i];
-            if (agg.fn == AggFn::kCount) {
-              states[i].AddCount(1.0);
-            } else {
-              states[i].Add(
-                  cover->table
-                      ->GetValue(rid, cover->FragColumn(agg.column.column))
-                      .AsNumeric());
-            }
-          }
-        });
-      }
+      Bitmap bm = rp::EvaluateOnFragment(*cover, terms);
+      rp::AggregateFromBitmap(*cover, bm, q, grouped, &totals, &group_map);
     } else {
       // Spanning path: stitch full logical rows (vertical-partition join).
       telemetry::ScopedSpan stitch_span("stitch");
@@ -671,23 +314,7 @@ Result<QueryResult> Executor::SingleTableAggregation(
     }
   }
 
-  QueryResult result;
-  if (!grouped) {
-    result.aggregates.reserve(q.aggregates.size());
-    for (size_t i = 0; i < q.aggregates.size(); ++i) {
-      result.aggregates.push_back(totals[i].Finalize(q.aggregates[i].fn));
-    }
-  } else {
-    result.rows.reserve(group_map.size());
-    for (const auto& [key, states] : group_map) {
-      Row row = key.values;
-      for (size_t i = 0; i < q.aggregates.size(); ++i) {
-        row.push_back(Value(states[i].Finalize(q.aggregates[i].fn)));
-      }
-      result.rows.push_back(std::move(row));
-    }
-  }
-  return result;
+  return rp::FinalizeAggregation(q, grouped, totals, group_map);
 }
 
 Result<QueryResult> Executor::StarJoinAggregation(const AggregationQuery& q) {
@@ -732,8 +359,8 @@ Result<QueryResult> Executor::StarJoinAggregation(const AggregationQuery& q) {
       HSDB_ASSIGN_OR_RETURN(LogicalTable * dt,
                             catalog_->Find(q.tables[dim.table_index]));
       std::vector<const PredicateTerm*> dim_terms =
-          TermsForTable(q.predicate, dim.table_index);
-      HSDB_RETURN_IF_ERROR(ValidateTerms(dt->schema(), dim_terms));
+          rp::TermsForTable(q.predicate, dim.table_index);
+      HSDB_RETURN_IF_ERROR(rp::ValidateTerms(dt->schema(), dim_terms));
       dt->ForEachRow([&](const Row& row) {
         for (const PredicateTerm* term : dim_terms) {
           if (!term->range.Contains(row[term->column.column])) return;
@@ -743,8 +370,9 @@ Result<QueryResult> Executor::StarJoinAggregation(const AggregationQuery& q) {
     }
   }
 
-  std::vector<const PredicateTerm*> fact_terms = TermsForTable(q.predicate, 0);
-  HSDB_RETURN_IF_ERROR(ValidateTerms(fact->schema(), fact_terms));
+  std::vector<const PredicateTerm*> fact_terms =
+      rp::TermsForTable(q.predicate, 0);
+  HSDB_RETURN_IF_ERROR(rp::ValidateTerms(fact->schema(), fact_terms));
 
   const bool grouped = !q.group_by.empty();
   std::vector<AggState> totals(q.aggregates.size());
@@ -811,13 +439,13 @@ Result<QueryResult> Executor::StarJoinAggregation(const AggregationQuery& q) {
   for (const PredicateTerm* term : fact_terms) {
     needed.push_back(term->column.column);
   }
-  needed = UniqueColumns(std::move(needed));
+  needed = rp::UniqueColumns(std::move(needed));
 
   telemetry::ScopedSpan probe_span("probe");
   for (size_t g = 0; g < fact->groups().size(); ++g) {
     const RowGroup& group = fact->groups()[g];
-    if (const Fragment* cover = CoveringFragment(group, needed)) {
-      Bitmap bm = EvaluateOnFragment(*cover, fact_terms);
+    if (const Fragment* cover = rp::CoveringFragment(group, needed)) {
+      Bitmap bm = rp::EvaluateOnFragment(*cover, fact_terms);
       bm.ForEachSet([&](size_t rid) {
         probe_row([&](ColumnId col) {
           return cover->table->GetValue(rid, cover->FragColumn(col));
@@ -833,22 +461,7 @@ Result<QueryResult> Executor::StarJoinAggregation(const AggregationQuery& q) {
     }
   }
 
-  QueryResult result;
-  if (!grouped) {
-    for (size_t i = 0; i < q.aggregates.size(); ++i) {
-      result.aggregates.push_back(totals[i].Finalize(q.aggregates[i].fn));
-    }
-  } else {
-    result.rows.reserve(group_map.size());
-    for (const auto& [key, states] : group_map) {
-      Row row = key.values;
-      for (size_t i = 0; i < q.aggregates.size(); ++i) {
-        row.push_back(Value(states[i].Finalize(q.aggregates[i].fn)));
-      }
-      result.rows.push_back(std::move(row));
-    }
-  }
-  return result;
+  return rp::FinalizeAggregation(q, grouped, totals, group_map);
 }
 
 }  // namespace hsdb

@@ -1,0 +1,52 @@
+// Client: a minimal blocking line-protocol client for the SocketServer.
+// One request in flight at a time per client; concurrency comes from using
+// many clients (one per thread), which is exactly what makes the server
+// form shared-scan batches.
+#ifndef HSDB_SERVER_CLIENT_H_
+#define HSDB_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+
+namespace hsdb {
+namespace server {
+
+/// One parsed response block. A transport failure is a non-OK Result from
+/// RoundTrip; a server-side "err" reply is ok=false here — the connection
+/// stays usable.
+struct Reply {
+  bool ok = false;
+  std::string error;               // "err" payload when !ok
+  std::vector<std::string> lines;  // payload lines when ok
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();  // closes the socket
+  HSDB_DISALLOW_COPY_AND_ASSIGN(Client);
+
+  /// Connects to a SocketServer ("127.0.0.1" for in-process servers).
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ != -1; }
+
+  /// Sends one request line (newline appended) and reads the complete
+  /// response block.
+  Result<Reply> RoundTrip(const std::string& request);
+
+ private:
+  Status ReadLine(std::string* out);
+
+  int fd_ = -1;
+  std::string buffer_;  // bytes received beyond the last consumed line
+};
+
+}  // namespace server
+}  // namespace hsdb
+
+#endif  // HSDB_SERVER_CLIENT_H_

@@ -1,0 +1,299 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/epoch.h"
+#include "storage/logical_table.h"
+
+namespace hsdb {
+namespace server {
+
+namespace {
+
+Status Errno(const char* call) {
+  return Status::Internal(std::string(call) + "(): " + std::strerror(errno));
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(Database* db, Options options)
+    : db_(db), options_(options), queue_(options.queue_capacity), batch_(db) {
+  telemetry::MetricsRegistry& metrics = db_->metrics();
+  connections_total_ = &metrics.GetCounter(
+      "hsdb_server_connections_total",
+      "Client connections accepted by the socket server.");
+  requests_total_ = &metrics.GetCounter(
+      "hsdb_server_requests_total",
+      "Request lines received on client connections (malformed included).");
+  protocol_errors_total_ = &metrics.GetCounter(
+      "hsdb_server_protocol_errors_total",
+      "Request lines rejected by the protocol parser or framing guard.");
+  rejected_total_ = &metrics.GetCounter(
+      "hsdb_server_rejected_total",
+      "Queries refused because the admission queue was full.");
+  batches_total_ = &metrics.GetCounter(
+      "hsdb_server_batches_total",
+      "Admission-queue batches drained by the serving worker.");
+  batch_width_ = &metrics.GetHistogram(
+      "hsdb_server_batch_width",
+      "Queries per drained admission batch (shared-scan width).");
+  queue_depth_ = &metrics.GetGauge(
+      "hsdb_server_queue_depth",
+      "Admission-queue depth sampled after each admit and drain.");
+}
+
+SocketServer::SocketServer(Database* db)
+    : SocketServer(db, Options()) {}
+
+SocketServer::~SocketServer() { Stop(); }
+
+bool SocketServer::TelemetryOn() const {
+  return telemetry::kCompiledIn && db_->metrics().enabled();
+}
+
+Status SocketServer::Start() {
+  if (listen_fd_ != -1) return Status::FailedPrecondition("already started");
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Errno("bind");
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 64) != 0) {
+    Status s = Errno("listen");
+    ::close(fd);
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    Status s = Errno("getsockname");
+    ::close(fd);
+    return s;
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_release);
+  worker_thread_ = std::thread(&SocketServer::WorkerLoop, this);
+  accept_thread_ = std::thread(&SocketServer::AcceptLoop, this);
+  return Status::OK();
+}
+
+void SocketServer::Stop() {
+  if (listen_fd_ == -1 && !worker_thread_.joinable()) return;
+  stopping_.store(true, std::memory_order_release);
+  // Unblock accept() first: no new connections from here on.
+  if (listen_fd_ != -1) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ != -1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Unblock every reader's recv(). Readers waiting on an admitted query's
+  // future are woken by the worker, which must therefore outlive them:
+  // join readers before closing the queue.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) {
+      if (fd != -1) ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    readers.swap(conn_threads_);
+  }
+  for (std::thread& t : readers) t.join();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.clear();
+  }
+  queue_.Close();
+  if (worker_thread_.joinable()) worker_thread_.join();
+}
+
+void SocketServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket shut down
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    if (TelemetryOn()) connections_total_->Increment();
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    size_t slot = conn_fds_.size();
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back(
+        [this, fd, slot] { ServeConnection(fd, slot); });
+  }
+}
+
+void SocketServer::WorkerLoop() {
+  std::vector<Admitted> batch;
+  std::vector<Query> queries;
+  while (queue_.PopBatch(options_.max_batch, &batch)) {
+    queries.clear();
+    queries.reserve(batch.size());
+    for (Admitted& a : batch) queries.push_back(std::move(a.query));
+    if (TelemetryOn()) {
+      batches_total_->Increment();
+      batch_width_->Observe(static_cast<double>(batch.size()));
+      queue_depth_->Set(static_cast<double>(queue_.depth()));
+    }
+    std::vector<Result<QueryResult>> results = batch_.ExecuteBatch(queries);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      batch[i].reply.set_value(std::move(results[i]));
+    }
+  }
+}
+
+std::string SocketServer::HandleLine(const std::string& line,
+                                     bool* close_conn) {
+  if (TelemetryOn()) requests_total_->Increment();
+  Result<Request> parsed = [&]() -> Result<Request> {
+    // The resolver's schema pointers live in the catalog: pin the
+    // reclamation epoch for exactly the parse.
+    EpochPin pin(&db_->catalog().epochs());
+    SchemaResolver resolver =
+        [this](const std::string& name) -> const Schema* {
+      const LogicalTable* table = db_->catalog().GetTable(name);
+      return table == nullptr ? nullptr : &table->schema();
+    };
+    return ParseRequest(line, resolver);
+  }();
+  if (!parsed.ok()) {
+    if (TelemetryOn()) protocol_errors_total_->Increment();
+    return FormatError(parsed.status());
+  }
+  switch (parsed->kind) {
+    case Request::Kind::kQuit:
+      *close_conn = true;
+      return "ok 0\n";
+    case Request::Kind::kQuery:
+      return HandleQuery(std::move(parsed->query));
+    default:
+      return HandleControl(*parsed);
+  }
+}
+
+std::string SocketServer::HandleControl(const Request& request) {
+  switch (request.kind) {
+    case Request::Kind::kPing:
+      return FormatLines({"pong"});
+    case Request::Kind::kTables:
+      return FormatLines(db_->catalog().TableNames());
+    case Request::Kind::kSchema: {
+      EpochPin pin(&db_->catalog().epochs());
+      const LogicalTable* table = db_->catalog().GetTable(request.table);
+      if (table == nullptr) {
+        return FormatError(
+            Status::NotFound("unknown table '" + request.table + "'"));
+      }
+      const Schema& schema = table->schema();
+      std::vector<std::string> lines;
+      for (ColumnId c = 0; c < schema.num_columns(); ++c) {
+        std::string line = schema.column(c).name;
+        line += '\t';
+        line += DataTypeName(schema.column(c).type);
+        if (schema.IsPrimaryKeyColumn(c)) line += "\tpk";
+        lines.push_back(std::move(line));
+      }
+      return FormatLines(lines);
+    }
+    case Request::Kind::kStats: {
+      std::vector<std::string> lines;
+      std::istringstream in(db_->TelemetrySnapshot().ToString());
+      std::string line;
+      while (std::getline(in, line)) lines.push_back(line);
+      return FormatLines(lines);
+    }
+    default:
+      return FormatError(Status::Internal("unhandled control request"));
+  }
+}
+
+std::string SocketServer::HandleQuery(Query query) {
+  QueryKind kind = KindOf(query);
+  Admitted item;
+  item.query = std::move(query);
+  std::future<Result<QueryResult>> reply = item.reply.get_future();
+  if (!queue_.TryPush(std::move(item))) {
+    if (TelemetryOn()) rejected_total_->Increment();
+    bool down = stopping_.load(std::memory_order_acquire);
+    return FormatError(Status::FailedPrecondition(
+        down ? "server shutting down" : "admission queue full"));
+  }
+  if (TelemetryOn()) {
+    queue_depth_->Set(static_cast<double>(queue_.depth()));
+  }
+  Result<QueryResult> result = reply.get();
+  if (!result.ok()) return FormatError(result.status());
+  return FormatResponse(*result, kind);
+}
+
+void SocketServer::ServeConnection(int fd, size_t slot) {
+  std::string buffer;
+  char chunk[4096];
+  bool close_conn = false;
+  while (!close_conn) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // EOF, transport error, or Stop's shutdown
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    for (size_t nl = buffer.find('\n', start);
+         nl != std::string::npos && !close_conn;
+         nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      std::string response = HandleLine(line, &close_conn);
+      if (!SendAll(fd, response)) {
+        close_conn = true;
+        break;
+      }
+    }
+    buffer.erase(0, start);
+    if (buffer.size() > kMaxLineBytes) {
+      // No newline within the frame bound: the stream cannot resync.
+      if (TelemetryOn()) protocol_errors_total_->Increment();
+      SendAll(fd, FormatError(Status::OutOfRange(
+                      "request line exceeds " +
+                      std::to_string(kMaxLineBytes) + " bytes")));
+      break;
+    }
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  conn_fds_[slot] = -1;
+}
+
+}  // namespace server
+}  // namespace hsdb

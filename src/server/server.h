@@ -1,0 +1,106 @@
+// SocketServer: the TCP serving front-end over a Database. One accept
+// thread hands each client connection to its own reader thread; reader
+// threads parse line-protocol requests (protocol.h), answer control
+// commands inline, and admit queries into a bounded AdmissionQueue; a
+// single batch worker drains the queue through a BatchExecutor, so queries
+// that arrive concurrently on different connections execute as shared-scan
+// batches (ARCHITECTURE.md §9). Each connection has at most one request in
+// flight — batch width comes from client concurrency, exactly the paper's
+// serving scenario of many analytic clients hitting the same hot tables.
+//
+// Robustness contract (tests/server/protocol_fuzz_test.cc): malformed
+// requests get an "err" reply and the connection stays open; an oversized
+// line (no newline within kMaxLineBytes) or a transport error closes that
+// connection only. The server never crashes or leaks a thread on bad input;
+// Stop() (or destruction) joins every thread it ever started.
+#ifndef HSDB_SERVER_SERVER_H_
+#define HSDB_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "executor/batch_executor.h"
+#include "executor/database.h"
+#include "server/admission_queue.h"
+#include "server/protocol.h"
+
+namespace hsdb {
+namespace server {
+
+class SocketServer {
+ public:
+  struct Options {
+    /// TCP port to listen on (loopback only); 0 picks an ephemeral port,
+    /// readable from port() after Start().
+    uint16_t port = 0;
+    /// Admission-queue capacity; pushes beyond it are answered "err busy".
+    size_t queue_capacity = 256;
+    /// Most queries the worker drains into one shared-scan batch.
+    size_t max_batch = 32;
+  };
+
+  /// The database must outlive the server. Install the workload observer
+  /// (WorkloadRecorder) and cost predictor on the database before Start so
+  /// the live request stream feeds them from the first query.
+  SocketServer(Database* db, Options options);
+  explicit SocketServer(Database* db);  // default options
+  ~SocketServer();  // calls Stop()
+  HSDB_DISALLOW_COPY_AND_ASSIGN(SocketServer);
+
+  /// Binds 127.0.0.1:<port>, starts the accept thread and the batch worker.
+  Status Start();
+
+  /// Stops accepting, shuts down every open connection, drains the
+  /// admission queue and joins all threads. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start); 0 before.
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  /// Reader loop of one connection; `slot` is its index in conn_fds_.
+  void ServeConnection(int fd, size_t slot);
+  void WorkerLoop();
+  /// Handles one complete request line; returns the response block and
+  /// whether the connection should close (quit).
+  std::string HandleLine(const std::string& line, bool* close_conn);
+  std::string HandleControl(const Request& request);
+  std::string HandleQuery(Query query);
+  bool TelemetryOn() const;
+
+  Database* db_;
+  Options options_;
+  AdmissionQueue queue_;
+  BatchExecutor batch_;
+
+  std::atomic<bool> stopping_{false};
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::thread worker_thread_;
+  /// Reader threads and their sockets, guarded by conn_mu_. Slots are
+  /// appended by the accept loop and joined by Stop; fds are set to -1 by
+  /// the owning reader when it closes its socket.
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;
+
+  telemetry::Counter* connections_total_ = nullptr;
+  telemetry::Counter* requests_total_ = nullptr;
+  telemetry::Counter* protocol_errors_total_ = nullptr;
+  telemetry::Counter* rejected_total_ = nullptr;
+  telemetry::Counter* batches_total_ = nullptr;
+  telemetry::LogHistogram* batch_width_ = nullptr;
+  telemetry::Gauge* queue_depth_ = nullptr;
+};
+
+}  // namespace server
+}  // namespace hsdb
+
+#endif  // HSDB_SERVER_SERVER_H_

@@ -46,6 +46,50 @@ size_t PayloadBytes(const std::vector<std::string>& values) {
   return total;
 }
 
+/// Resolves a ValueRange into the codec layer's typed bounds. Numeric
+/// bounds resolve in double space (identical to the row store's comparison
+/// semantics); strings compare lexicographically.
+template <typename T>
+compression::BoundsPred<T> ToBoundsPred(const ValueRange& range) {
+  compression::BoundsPred<T> pred;
+  pred.lo_inclusive = range.lo_inclusive;
+  pred.hi_inclusive = range.hi_inclusive;
+  if constexpr (std::is_same_v<T, std::string>) {
+    if (range.lo.has_value()) {
+      pred.has_lo = true;
+      pred.lo = range.lo->as_string();
+    }
+    if (range.hi.has_value()) {
+      pred.has_hi = true;
+      pred.hi = range.hi->as_string();
+    }
+  } else {
+    if (range.lo.has_value()) {
+      pred.has_lo = true;
+      pred.lo = range.lo->AsNumeric();
+    }
+    if (range.hi.has_value()) {
+      pred.has_hi = true;
+      pred.hi = range.hi->AsNumeric();
+    }
+  }
+  return pred;
+}
+
+/// Shared delta pass of a multi-predicate slice: reads each delta value of
+/// [begin, end) once and decides every predicate whose bit is still set.
+template <typename T>
+void MultiFilterDelta(
+    const std::vector<compression::PredicateTarget<T>>& targets,
+    const std::vector<T>& delta, size_t main_size, size_t begin, size_t end) {
+  for (size_t rid = begin; rid < end; ++rid) {
+    const T& v = delta[rid - main_size];
+    for (const compression::PredicateTarget<T>& t : targets) {
+      if (t.inout->Test(rid) && !t.pred.Keep(v)) t.inout->Clear(rid);
+    }
+  }
+}
+
 }  // namespace
 
 std::unique_ptr<ColumnTable> ColumnTable::Create(Schema schema,
@@ -192,17 +236,7 @@ void ColumnTable::FilterRangeSlice(ColumnId col, const ValueRange& range,
   const DataType type = schema_.column(col).type;
   if (type == DataType::kVarchar) {
     const auto& data = std::get<ColumnData<std::string>>(columns_[col]);
-    compression::BoundsPred<std::string> pred;
-    pred.lo_inclusive = range.lo_inclusive;
-    pred.hi_inclusive = range.hi_inclusive;
-    if (range.lo.has_value()) {
-      pred.has_lo = true;
-      pred.lo = range.lo->as_string();
-    }
-    if (range.hi.has_value()) {
-      pred.has_hi = true;
-      pred.hi = range.hi->as_string();
-    }
+    const auto pred = ToBoundsPred<std::string>(range);
     // Main: predicate evaluation on the encoded segment (dictionary id
     // ranges, run skipping). Delta: raw per-row comparison.
     if (begin < main_end) data.main.FilterRangeSlice(pred, inout, begin, main_end);
@@ -220,23 +254,64 @@ void ColumnTable::FilterRangeSlice(ColumnId col, const ValueRange& range,
           HSDB_CHECK_MSG(false, "string data in numeric column");
         } else {
           using T = typename VecT::value_type;
-          compression::BoundsPred<T> pred;
-          pred.lo_inclusive = range.lo_inclusive;
-          pred.hi_inclusive = range.hi_inclusive;
-          if (range.lo.has_value()) {
-            pred.has_lo = true;
-            pred.lo = range.lo->AsNumeric();
-          }
-          if (range.hi.has_value()) {
-            pred.has_hi = true;
-            pred.hi = range.hi->AsNumeric();
-          }
+          const auto pred = ToBoundsPred<T>(range);
           if (begin < main_end) {
             data.main.FilterRangeSlice(pred, inout, begin, main_end);
           }
           inout->ForEachSetInRange(delta_begin, end, [&](size_t rid) {
             if (!pred.Keep(data.delta[rid - main_size_])) inout->Clear(rid);
           });
+        }
+      },
+      columns_[col]);
+}
+
+void ColumnTable::MultiFilterRangeSlice(ColumnId col,
+                                        const RangeScanTarget* targets,
+                                        size_t k, size_t begin,
+                                        size_t end) const {
+  if (k == 0) return;
+  if (k == 1) {
+    // The single-predicate path skips the target materialization and uses
+    // the fused kernels.
+    FilterRangeSlice(col, *targets[0].range, begin, end, targets[0].inout);
+    return;
+  }
+  HSDB_DCHECK(begin % 64 == 0 && begin <= end && end <= live_.size());
+  const size_t main_end = std::min(end, main_size_);
+  const size_t delta_begin = std::max(begin, main_size_);
+  const DataType type = schema_.column(col).type;
+  if (type == DataType::kVarchar) {
+    const auto& data = std::get<ColumnData<std::string>>(columns_[col]);
+    std::vector<compression::PredicateTarget<std::string>> preds(k);
+    for (size_t i = 0; i < k; ++i) {
+      HSDB_CHECK(targets[i].inout->size() == live_.size());
+      preds[i].pred = ToBoundsPred<std::string>(*targets[i].range);
+      preds[i].inout = targets[i].inout;
+    }
+    if (begin < main_end) {
+      data.main.MultiFilterRangeSlice(preds.data(), k, begin, main_end);
+    }
+    MultiFilterDelta(preds, data.delta, main_size_, delta_begin, end);
+    return;
+  }
+  std::visit(
+      [&](const auto& data) {
+        using VecT = std::decay_t<decltype(data.delta)>;
+        if constexpr (std::is_same_v<VecT, std::vector<std::string>>) {
+          HSDB_CHECK_MSG(false, "string data in numeric column");
+        } else {
+          using T = typename VecT::value_type;
+          std::vector<compression::PredicateTarget<T>> preds(k);
+          for (size_t i = 0; i < k; ++i) {
+            HSDB_CHECK(targets[i].inout->size() == live_.size());
+            preds[i].pred = ToBoundsPred<T>(*targets[i].range);
+            preds[i].inout = targets[i].inout;
+          }
+          if (begin < main_end) {
+            data.main.MultiFilterRangeSlice(preds.data(), k, begin, main_end);
+          }
+          MultiFilterDelta(preds, data.delta, main_size_, delta_begin, end);
         }
       },
       columns_[col]);

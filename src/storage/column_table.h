@@ -81,6 +81,9 @@ class ColumnTable final : public PhysicalTable {
                    Bitmap* inout) const override;
   void FilterRangeSlice(ColumnId col, const ValueRange& range, size_t begin,
                         size_t end, Bitmap* inout) const override;
+  void MultiFilterRangeSlice(ColumnId col, const RangeScanTarget* targets,
+                             size_t k, size_t begin,
+                             size_t end) const override;
   double CompressionRate(ColumnId col) const override;
   size_t memory_bytes() const override;
   void AfterStatement() override;

@@ -14,6 +14,7 @@
 #define HSDB_STORAGE_COMPRESSION_CODECS_H_
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -75,6 +76,16 @@ struct BoundsPred<std::string> {
     return hi_inclusive ? v > hi : v >= hi;
   }
   bool Keep(const std::string& v) const { return !BelowLo(v) && !AboveHi(v); }
+};
+
+/// One predicate of a shared scan at the codec level: the resolved typed
+/// bounds and the selection bitmap they narrow. The codecs'
+/// MultiFilterRangeSlice evaluates many of these in one decode pass; per
+/// target the result is bit-identical to FilterRangeSlice(pred, inout, ...).
+template <typename T>
+struct PredicateTarget {
+  BoundsPred<T> pred;
+  Bitmap* inout = nullptr;
 };
 
 namespace internal {
@@ -180,6 +191,53 @@ class DictionaryCodec {
     HSDB_DCHECK(begin % 64 == 0 && begin <= end && end <= size());
     HSDB_DCHECK(inout->size() >= size());
     if (begin >= end) return;
+    const auto [id_lo, id_hi] = IdInterval(pred);
+    // Compare the packed ids against the translated interval without
+    // decoding: the kernel ANDs 64-row match masks into the bitmap words.
+    // The kernel leaves bits at or beyond its n untouched, so an offset
+    // call covers exactly the slice; reads past the last partial word stay
+    // inside the ids array's trailing slack words.
+    const uint32_t width = ids_.bit_width();
+    simd::FilterPackedRange(ids_.words() + begin * width / 64, end - begin,
+                            width, id_lo, id_hi,
+                            inout->mutable_words() + begin / 64);
+  }
+
+  /// Shared-scan form of FilterRangeSlice: every predicate translates to an
+  /// id interval up front, then one pass of the multi-predicate kernel
+  /// decodes each 64-row block at most once and narrows every target's
+  /// bitmap. Per target the result is bit-identical to FilterRangeSlice.
+  void MultiFilterRangeSlice(const PredicateTarget<T>* targets, size_t k,
+                             size_t begin, size_t end) const {
+    HSDB_DCHECK(begin % 64 == 0 && begin <= end && end <= size());
+    if (begin >= end || k == 0) return;
+    std::vector<simd::PackedPredicate> packed(k);
+    for (size_t i = 0; i < k; ++i) {
+      HSDB_DCHECK(targets[i].inout->size() >= size());
+      const auto [id_lo, id_hi] = IdInterval(targets[i].pred);
+      packed[i] = {id_lo, id_hi,
+                   targets[i].inout->mutable_words() + begin / 64};
+    }
+    const uint32_t width = ids_.bit_width();
+    simd::FilterPackedRangeMulti(ids_.words() + begin * width / 64,
+                                 end - begin, width, packed.data(), k);
+  }
+
+  size_t distinct_count() const { return dict_.size(); }
+  size_t payload_bytes() const {
+    return internal::PlainBytes(dict_) + size() * ids_.bit_width() / 8;
+  }
+  size_t memory_bytes() const {
+    return internal::PlainBytes(dict_) + ids_.memory_bytes();
+  }
+
+  const std::vector<T>& dict() const { return dict_; }
+
+ private:
+  /// Translates resolved bounds into the half-open dictionary-id interval
+  /// [id_lo, id_hi) whose codes satisfy the predicate (the dictionary is
+  /// sorted, so the matching ids are contiguous).
+  std::pair<uint64_t, uint64_t> IdInterval(const BoundsPred<T>& pred) const {
     size_t id_lo = 0;
     size_t id_hi = dict_.size();
     if (pred.has_lo) {
@@ -194,28 +252,9 @@ class DictionaryCodec {
                   [&](const T& v) { return !pred.AboveHi(v); }) -
               dict_.begin();
     }
-    // Compare the packed ids against the translated interval without
-    // decoding: the kernel ANDs 64-row match masks into the bitmap words.
-    // The kernel leaves bits at or beyond its n untouched, so an offset
-    // call covers exactly the slice; reads past the last partial word stay
-    // inside the ids array's trailing slack words.
-    const uint32_t width = ids_.bit_width();
-    simd::FilterPackedRange(ids_.words() + begin * width / 64, end - begin,
-                            width, id_lo, id_hi,
-                            inout->mutable_words() + begin / 64);
+    return {id_lo, id_hi};
   }
 
-  size_t distinct_count() const { return dict_.size(); }
-  size_t payload_bytes() const {
-    return internal::PlainBytes(dict_) + size() * ids_.bit_width() / 8;
-  }
-  size_t memory_bytes() const {
-    return internal::PlainBytes(dict_) + ids_.memory_bytes();
-  }
-
-  const std::vector<T>& dict() const { return dict_; }
-
- private:
   std::vector<T> dict_;
   BitPackedVector ids_;
 };
@@ -320,6 +359,29 @@ class RleCodec {
     }
   }
 
+  /// Shared-scan form of FilterRangeSlice: one run walk decides every
+  /// predicate per run (k Keep calls per run instead of k binary searches
+  /// plus k walks). Per target the result is bit-identical to
+  /// FilterRangeSlice.
+  void MultiFilterRangeSlice(const PredicateTarget<T>* targets, size_t k,
+                             size_t begin, size_t end) const {
+    HSDB_DCHECK(begin % 64 == 0 && begin <= end && end <= size());
+    if (begin >= end || k == 0) return;
+    size_t run = std::upper_bound(starts_.begin(), starts_.end(),
+                                  static_cast<uint32_t>(begin)) -
+                 starts_.begin();
+    if (run > 0) --run;  // the run containing `begin`
+    for (; run < values_.size() && starts_[run] < end; ++run) {
+      const size_t clear_lo = std::max<size_t>(starts_[run], begin);
+      const size_t clear_hi = std::min(RunEnd(run), end);
+      for (size_t i = 0; i < k; ++i) {
+        if (!targets[i].pred.Keep(values_[run])) {
+          targets[i].inout->ClearRange(clear_lo, clear_hi);
+        }
+      }
+    }
+  }
+
   size_t payload_bytes() const {
     return internal::PlainBytes(values_) +
            starts_.size() * sizeof(uint32_t);
@@ -407,43 +469,17 @@ class ForCodec {
     HSDB_DCHECK(begin % 64 == 0 && begin <= end && end <= size());
     HSDB_DCHECK(inout->size() >= size());
     if (begin >= end) return;
-    // Decode is increasing in the packed delta, so the matching set is a
-    // contiguous delta interval [d_lo, d_hi_incl]. Inclusive bounds with
-    // explicit emptiness: max_delta_ + 1 would wrap to 0 when the delta
-    // span is the full 64-bit range, silently clearing every row.
-    uint64_t d_lo = 0;
-    uint64_t d_hi_incl = max_delta_;
-    bool empty = false;
-    if (pred.has_lo) {
-      if (pred.BelowLo(Decode(max_delta_))) {
-        empty = true;  // even the largest value is below the lower bound
-      } else {
-        d_lo =
-            FirstDelta([&](uint64_t d) { return !pred.BelowLo(Decode(d)); });
-      }
-    }
-    if (!empty && pred.has_hi) {
-      if (pred.AboveHi(Decode(0))) {
-        empty = true;  // even the smallest value is above the upper bound
-      } else {
-        // Last delta not above the bound; FirstDelta >= 1 here, and a
-        // not-found result (max_delta_ + 1, possibly wrapped to 0) minus
-        // one lands back on max_delta_ either way.
-        d_hi_incl =
-            FirstDelta([&](uint64_t d) { return pred.AboveHi(Decode(d)); }) -
-            1;
-      }
-    }
-    if (empty) {
+    const DeltaInterval iv = IntervalFor(pred);
+    if (iv.empty) {
       inout->ClearRange(begin, end);
       return;
     }
-    if (d_hi_incl == ~uint64_t{0}) {
+    if (iv.d_hi_incl == ~uint64_t{0}) {
       // The exclusive-bound kernel cannot express "everything up to
       // UINT64_MAX"; only reachable at bit width 64 (full-range deltas).
-      if (d_lo == 0) return;  // every row matches
+      if (iv.d_lo == 0) return;  // every row matches
       inout->ForEachSetInRange(begin, end, [&](size_t rid) {
-        if (deltas_.Get(rid) < d_lo) inout->Clear(rid);
+        if (deltas_.Get(rid) < iv.d_lo) inout->Clear(rid);
       });
       return;
     }
@@ -453,8 +489,43 @@ class ForCodec {
     // offset call is exact and in-bounds).
     const uint32_t width = deltas_.bit_width();
     simd::FilterPackedRange(deltas_.words() + begin * width / 64,
-                            end - begin, width, d_lo, d_hi_incl + 1,
+                            end - begin, width, iv.d_lo, iv.d_hi_incl + 1,
                             inout->mutable_words() + begin / 64);
+  }
+
+  /// Shared-scan form of FilterRangeSlice: every predicate translates to a
+  /// packed-delta interval up front; the kernel-representable ones share one
+  /// decode pass, the degenerate ones (empty match, full-range 64-bit
+  /// deltas) resolve individually exactly like FilterRangeSlice does.
+  void MultiFilterRangeSlice(const PredicateTarget<T>* targets, size_t k,
+                             size_t begin, size_t end) const {
+    HSDB_DCHECK(begin % 64 == 0 && begin <= end && end <= size());
+    if (begin >= end || k == 0) return;
+    std::vector<simd::PackedPredicate> packed;
+    packed.reserve(k);
+    for (size_t i = 0; i < k; ++i) {
+      HSDB_DCHECK(targets[i].inout->size() >= size());
+      Bitmap* inout = targets[i].inout;
+      const DeltaInterval iv = IntervalFor(targets[i].pred);
+      if (iv.empty) {
+        inout->ClearRange(begin, end);
+        continue;
+      }
+      if (iv.d_hi_incl == ~uint64_t{0}) {
+        if (iv.d_lo == 0) continue;  // every row matches
+        inout->ForEachSetInRange(begin, end, [&](size_t rid) {
+          if (deltas_.Get(rid) < iv.d_lo) inout->Clear(rid);
+        });
+        continue;
+      }
+      packed.push_back({iv.d_lo, iv.d_hi_incl + 1,
+                        inout->mutable_words() + begin / 64});
+    }
+    if (packed.empty()) return;
+    const uint32_t width = deltas_.bit_width();
+    simd::FilterPackedRangeMulti(deltas_.words() + begin * width / 64,
+                                 end - begin, width, packed.data(),
+                                 packed.size());
   }
 
   size_t payload_bytes() const {
@@ -465,6 +536,42 @@ class ForCodec {
   }
 
  private:
+  /// A predicate translated into the packed delta domain. Decode is
+  /// increasing in the packed delta, so the matching set is a contiguous
+  /// delta interval [d_lo, d_hi_incl]. Inclusive bounds with explicit
+  /// emptiness: max_delta_ + 1 would wrap to 0 when the delta span is the
+  /// full 64-bit range, silently clearing every row.
+  struct DeltaInterval {
+    uint64_t d_lo = 0;
+    uint64_t d_hi_incl = 0;
+    bool empty = false;
+  };
+
+  DeltaInterval IntervalFor(const BoundsPred<T>& pred) const {
+    DeltaInterval iv;
+    iv.d_hi_incl = max_delta_;
+    if (pred.has_lo) {
+      if (pred.BelowLo(Decode(max_delta_))) {
+        iv.empty = true;  // even the largest value is below the lower bound
+        return iv;
+      }
+      iv.d_lo =
+          FirstDelta([&](uint64_t d) { return !pred.BelowLo(Decode(d)); });
+    }
+    if (pred.has_hi) {
+      if (pred.AboveHi(Decode(0))) {
+        iv.empty = true;  // even the smallest value is above the upper bound
+        return iv;
+      }
+      // Last delta not above the bound; FirstDelta >= 1 here, and a
+      // not-found result (max_delta_ + 1, possibly wrapped to 0) minus
+      // one lands back on max_delta_ either way.
+      iv.d_hi_incl =
+          FirstDelta([&](uint64_t d) { return pred.AboveHi(Decode(d)); }) - 1;
+    }
+    return iv;
+  }
+
   static uint64_t Delta(T v, int64_t base) {
     // Two's-complement subtraction handles negative bases without overflow.
     return static_cast<uint64_t>(static_cast<int64_t>(v)) -
@@ -522,6 +629,8 @@ class ForCodec<double> {
   void FilterRange(const BoundsPred<double>&, Bitmap*) const {}
   void FilterRangeSlice(const BoundsPred<double>&, Bitmap*, size_t,
                         size_t) const {}
+  void MultiFilterRangeSlice(const PredicateTarget<double>*, size_t, size_t,
+                             size_t) const {}
   size_t payload_bytes() const { return 0; }
   size_t memory_bytes() const { return 0; }
 };
@@ -544,6 +653,8 @@ class ForCodec<std::string> {
   void FilterRange(const BoundsPred<std::string>&, Bitmap*) const {}
   void FilterRangeSlice(const BoundsPred<std::string>&, Bitmap*, size_t,
                         size_t) const {}
+  void MultiFilterRangeSlice(const PredicateTarget<std::string>*, size_t,
+                             size_t, size_t) const {}
   size_t payload_bytes() const { return 0; }
   size_t memory_bytes() const { return 0; }
 };
@@ -598,6 +709,34 @@ class RawCodec {
     inout->ForEachSetInRange(begin, end, [&](size_t rid) {
       if (!pred.Keep(values_[rid])) inout->Clear(rid);
     });
+  }
+
+  /// Shared-scan form of FilterRangeSlice: walks the union of the targets'
+  /// candidate rows once, reading each value a single time and deciding
+  /// every predicate whose bit is still set. Per target the result is
+  /// bit-identical to FilterRangeSlice.
+  void MultiFilterRangeSlice(const PredicateTarget<T>* targets, size_t k,
+                             size_t begin, size_t end) const {
+    HSDB_DCHECK(begin % 64 == 0 && begin <= end && end <= size());
+    if (begin >= end || k == 0) return;
+    for (size_t wi = begin / 64; wi * 64 < end; ++wi) {
+      uint64_t any = 0;
+      for (size_t i = 0; i < k; ++i) any |= targets[i].inout->words()[wi];
+      const size_t base = wi * 64;
+      if (end - base < 64) any &= ~uint64_t{0} >> (64 - (end - base));
+      while (any != 0) {
+        const unsigned b = std::countr_zero(any);
+        any &= any - 1;
+        const size_t rid = base + b;
+        const T& v = values_[rid];
+        for (size_t i = 0; i < k; ++i) {
+          if (((targets[i].inout->words()[wi] >> b) & 1) != 0 &&
+              !targets[i].pred.Keep(v)) {
+            targets[i].inout->Clear(rid);
+          }
+        }
+      }
+    }
   }
 
   size_t payload_bytes() const { return internal::PlainBytes(values_); }

@@ -107,6 +107,17 @@ class EncodedSegment {
         codec_);
   }
 
+  /// Shared-scan form of FilterRangeSlice: one codec dispatch evaluates all
+  /// `k` predicates in a single decode pass over rows [begin, end). Per
+  /// target the result is bit-identical to FilterRangeSlice(t.pred,
+  /// t.inout, begin, end), including the slice/alignment contract.
+  void MultiFilterRangeSlice(const PredicateTarget<T>* targets, size_t k,
+                             size_t begin, size_t end) const {
+    std::visit(
+        [&](const auto& c) { c.MultiFilterRangeSlice(targets, k, begin, end); },
+        codec_);
+  }
+
   /// Distinct values in the segment (the main "dictionary size" even for
   /// non-dictionary codecs).
   size_t distinct_count() const { return distinct_; }

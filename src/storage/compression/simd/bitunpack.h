@@ -12,6 +12,10 @@
 //   FilterPackedRange   predicate evaluation directly on the packed codes:
 //                       compare against a translated literal interval and
 //                       narrow a selection bitmap, no value materialization
+//   FilterPackedRangeMulti
+//                       shared-scan form of FilterPackedRange: one decode
+//                       pass over the packed codes fans out to N predicate
+//                       intervals, each narrowing its own selection bitmap
 //
 // Shared contract ("packed layout"): values are unsigned `width`-bit
 // integers (1 <= width <= 64) packed back to back, value i occupying bits
@@ -60,6 +64,26 @@ void UnpackForDeltas(const uint64_t* words, size_t start, size_t count,
 /// `bm_words` must cover at least `n` bits.
 void FilterPackedRange(const uint64_t* words, size_t n, uint32_t width,
                        uint64_t lo, uint64_t hi, uint64_t* bm_words);
+
+/// One predicate of a shared scan: the half-open code interval [lo, hi)
+/// and the selection bitmap it narrows. Bitmap word i covers rows
+/// [64i, 64i+64); distinct predicates may alias the same bitmap only if
+/// the caller accepts the conjunction of their intervals.
+struct PackedPredicate {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  uint64_t* bm_words = nullptr;
+};
+
+/// Shared-scan predicate evaluation: decodes every 64-row block of the
+/// packed codes at most once and narrows each predicate's bitmap to its
+/// interval, over rows [0, n). Per predicate the result is bit-identical
+/// to FilterPackedRange(words, n, width, p.lo, p.hi, p.bm_words),
+/// including the conjunction semantics and the bits-at-or-beyond-n
+/// guarantee. A block is skipped entirely when every predicate's bitmap
+/// word for it is already zero.
+void FilterPackedRangeMulti(const uint64_t* words, size_t n, uint32_t width,
+                            const PackedPredicate* preds, size_t num_preds);
 
 }  // namespace simd
 }  // namespace compression

@@ -297,6 +297,183 @@ void FilterPackedRangeAvx2(const uint64_t* words, size_t n, uint32_t width,
   }
 }
 
+HSDB_TARGET_AVX2
+void FilterPackedRangeMultiAvx2(const uint64_t* words, size_t n,
+                                uint32_t width, const PackedPredicate* preds,
+                                size_t num_preds) {
+  if (width > 32) {
+    FilterPackedRangeMultiScalar(words, n, width, preds, num_preds);
+    return;
+  }
+  const auto* bytes = reinterpret_cast<const unsigned char*>(words);
+  const size_t n_words = (n + 63) / 64;
+  const size_t full_words = n / 64;
+  if (width <= 16) {
+    // Window path: decode each 64-row block once into eight 8-lane vectors
+    // (codes in 32-bit lanes), then every predicate compares against the
+    // decoded block — the decode cost is paid once per block, not once per
+    // predicate. Bounds clamp into the signed 32-bit lane domain exactly as
+    // in FilterPackedRangeAvx2.
+    const uint64_t cap = uint64_t{1} << 17;
+    const WindowPlan plan = MakeWindowPlan(0, width);
+    const __m256i ctrl =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(plan.shuffle));
+    const __m256i vshift =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(plan.shifts));
+    const __m256i vmask = _mm256_set1_epi32((1 << width) - 1);
+    for (size_t wi = 0; wi < full_words; ++wi) {
+      bool any = false;
+      for (size_t p = 0; p < num_preds && !any; ++p) {
+        any = preds[p].bm_words[wi] != 0;
+      }
+      if (!any) continue;
+      const size_t row0 = wi * 64;
+      __m256i codes[8];
+      for (uint32_t k = 0; k < 8; ++k) {
+        codes[k] = DecodeWindow(bytes, row0 + 8 * k, width, ctrl, vshift,
+                                vmask);
+      }
+      // Block min/max, shared by every predicate: fully-contained and
+      // fully-missed blocks skip the per-lane compares (see the generic
+      // kernel). One min+max pass costs about as much as one predicate's
+      // compare pass, so it pays from a few predicates up.
+      uint64_t bmin = 0;
+      uint64_t bmax = ~uint64_t{0};
+      const bool zoned = num_preds >= 3;
+      if (zoned) {
+        __m256i vmn = codes[0];
+        __m256i vmx = codes[0];
+        for (uint32_t k = 1; k < 8; ++k) {
+          vmn = _mm256_min_epu32(vmn, codes[k]);
+          vmx = _mm256_max_epu32(vmx, codes[k]);
+        }
+        alignas(32) uint32_t mn[8], mx[8];
+        _mm256_store_si256(reinterpret_cast<__m256i*>(mn), vmn);
+        _mm256_store_si256(reinterpret_cast<__m256i*>(mx), vmx);
+        bmin = mn[0];
+        bmax = mx[0];
+        for (int j = 1; j < 8; ++j) {
+          bmin = std::min<uint64_t>(bmin, mn[j]);
+          bmax = std::max<uint64_t>(bmax, mx[j]);
+        }
+      }
+      for (size_t p = 0; p < num_preds; ++p) {
+        uint64_t& word = preds[p].bm_words[wi];
+        if (word == 0) continue;
+        if (zoned) {
+          if (preds[p].lo >= preds[p].hi || bmax < preds[p].lo ||
+              bmin >= preds[p].hi) {
+            word = 0;
+            continue;
+          }
+          if (bmin >= preds[p].lo && bmax < preds[p].hi) continue;
+        }
+        const __m256i vlo =
+            _mm256_set1_epi32(static_cast<int>(std::min(preds[p].lo, cap)));
+        const __m256i vhi =
+            _mm256_set1_epi32(static_cast<int>(std::min(preds[p].hi, cap)));
+        uint64_t match = 0;
+        for (uint32_t k = 0; k < 8; ++k) {
+          const __m256i keep =
+              _mm256_andnot_si256(_mm256_cmpgt_epi32(vlo, codes[k]),
+                                  _mm256_cmpgt_epi32(vhi, codes[k]));
+          const auto m8 = static_cast<uint32_t>(
+              _mm256_movemask_ps(_mm256_castsi256_ps(keep)));
+          match |= static_cast<uint64_t>(m8) << (8 * k);
+        }
+        word &= match;
+      }
+    }
+  } else {
+    // Gather path (17 <= width <= 32): the byte-granular gathers dominate,
+    // so sharing the decoded block across predicates pays off the most
+    // here. Bounds clamp into the signed 64-bit lane domain.
+    const uint64_t cap = uint64_t{1} << 33;
+    for (size_t wi = 0; wi < full_words; ++wi) {
+      bool any = false;
+      for (size_t p = 0; p < num_preds && !any; ++p) {
+        any = preds[p].bm_words[wi] != 0;
+      }
+      if (!any) continue;
+      const size_t row0 = wi * 64;
+      __m256i codes[16];
+      GatherPlan plan = MakeGatherPlan(row0, width);
+      for (uint32_t k = 0; k < 16; ++k) {
+        codes[k] = DecodeGatherQuad(bytes, plan);
+      }
+      // Block min/max shared by every predicate (see the window path). The
+      // codes sit in 64-bit lanes with zeroed high dwords (width <= 32), so
+      // the 32-bit unsigned min/max of the lane pairs IS the 64-bit min/max:
+      // high dwords stay zero and low dwords reduce correctly.
+      uint64_t bmin = 0;
+      uint64_t bmax = ~uint64_t{0};
+      const bool zoned = num_preds >= 3;
+      if (zoned) {
+        __m256i vmn = codes[0];
+        __m256i vmx = codes[0];
+        for (uint32_t k = 1; k < 16; ++k) {
+          vmn = _mm256_min_epu32(vmn, codes[k]);
+          vmx = _mm256_max_epu32(vmx, codes[k]);
+        }
+        alignas(32) uint64_t mn[4], mx[4];
+        _mm256_store_si256(reinterpret_cast<__m256i*>(mn), vmn);
+        _mm256_store_si256(reinterpret_cast<__m256i*>(mx), vmx);
+        bmin = std::min(std::min(mn[0], mn[1]), std::min(mn[2], mn[3]));
+        bmax = std::max(std::max(mx[0], mx[1]), std::max(mx[2], mx[3]));
+      }
+      for (size_t p = 0; p < num_preds; ++p) {
+        uint64_t& word = preds[p].bm_words[wi];
+        if (word == 0) continue;
+        if (zoned) {
+          if (preds[p].lo >= preds[p].hi || bmax < preds[p].lo ||
+              bmin >= preds[p].hi) {
+            word = 0;
+            continue;
+          }
+          if (bmin >= preds[p].lo && bmax < preds[p].hi) continue;
+        }
+        const __m256i vlo = _mm256_set1_epi64x(
+            static_cast<long long>(std::min(preds[p].lo, cap)));
+        const __m256i vhi = _mm256_set1_epi64x(
+            static_cast<long long>(std::min(preds[p].hi, cap)));
+        uint64_t match = 0;
+        for (uint32_t k = 0; k < 16; ++k) {
+          const __m256i keep =
+              _mm256_andnot_si256(_mm256_cmpgt_epi64(vlo, codes[k]),
+                                  _mm256_cmpgt_epi64(vhi, codes[k]));
+          const auto m4 = static_cast<uint32_t>(
+              _mm256_movemask_pd(_mm256_castsi256_pd(keep)));
+          match |= static_cast<uint64_t>(m4) << (4 * k);
+        }
+        word &= match;
+      }
+    }
+  }
+  // Partial trailing bitmap word: one scalar decode shared by every
+  // predicate, preserving bits at or past n.
+  if (full_words < n_words) {
+    const size_t row0 = full_words * 64;
+    const size_t m = n - row0;
+    uint64_t buf[64];
+    bool decoded = false;
+    for (size_t p = 0; p < num_preds; ++p) {
+      uint64_t& word = preds[p].bm_words[full_words];
+      if (word == 0) continue;
+      if (!decoded) {
+        UnpackBitsScalar(words, row0, m, width, buf);
+        decoded = true;
+      }
+      uint64_t match = ~uint64_t{0} << m;
+      for (size_t j = 0; j < m; ++j) {
+        match |= static_cast<uint64_t>(buf[j] >= preds[p].lo &&
+                                       buf[j] < preds[p].hi)
+                 << j;
+      }
+      word &= match;
+    }
+  }
+}
+
 #undef HSDB_TARGET_AVX2
 
 }  // namespace internal

@@ -221,6 +221,16 @@ void FilterPackedRangeSse42(const uint64_t* words, size_t n, uint32_t width,
   }
 }
 
+void FilterPackedRangeMultiSse42(const uint64_t* words, size_t n,
+                                 uint32_t width, const PackedPredicate* preds,
+                                 size_t num_preds) {
+  // Decode sharing is the win here: the generic engine unpacks each block
+  // once through this tier's SIMD unpack, and the portable compare loop
+  // fans the codes out to every predicate's mask.
+  FilterPackedRangeMultiGeneric(UnpackBitsSse42, words, n, width, preds,
+                                num_preds);
+}
+
 #undef HSDB_TARGET_SSE42
 
 }  // namespace internal

@@ -9,12 +9,24 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "storage/compression/simd/bitunpack.h"
 #include "storage/compression/simd/dispatch.h"
 
 namespace hsdb {
 namespace compression {
 namespace simd {
 namespace internal {
+
+/// Shared engine of the multi-predicate filter for the non-AVX2 tiers:
+/// per 64-row block, `unpack` materializes the codes once and a portable
+/// (auto-vectorizable) compare loop builds each predicate's match mask.
+/// The tier wrappers pass their tier's bulk unpack entry point.
+using UnpackFn = void (*)(const uint64_t* words, size_t start, size_t count,
+                          uint32_t width, uint64_t* out);
+void FilterPackedRangeMultiGeneric(UnpackFn unpack, const uint64_t* words,
+                                   size_t n, uint32_t width,
+                                   const PackedPredicate* preds,
+                                   size_t num_preds);
 
 // Scalar tier (bitunpack.cc): the portable reference every other tier must
 // match bit for bit. Handles all widths 1..64.
@@ -26,6 +38,9 @@ void UnpackForDeltasScalar(const uint64_t* words, size_t start, size_t count,
                            uint32_t width, int64_t base, int64_t* out);
 void FilterPackedRangeScalar(const uint64_t* words, size_t n, uint32_t width,
                              uint64_t lo, uint64_t hi, uint64_t* bm_words);
+void FilterPackedRangeMultiScalar(const uint64_t* words, size_t n,
+                                  uint32_t width, const PackedPredicate* preds,
+                                  size_t num_preds);
 
 #if HSDB_SIMD_X86
 // SSE4.2 tier (bitunpack_sse42.cc): vectorizes widths <= 16 with pshufb
@@ -39,6 +54,9 @@ void UnpackForDeltasSse42(const uint64_t* words, size_t start, size_t count,
                           uint32_t width, int64_t base, int64_t* out);
 void FilterPackedRangeSse42(const uint64_t* words, size_t n, uint32_t width,
                             uint64_t lo, uint64_t hi, uint64_t* bm_words);
+void FilterPackedRangeMultiSse42(const uint64_t* words, size_t n,
+                                 uint32_t width, const PackedPredicate* preds,
+                                 size_t num_preds);
 
 // AVX2 tier (bitunpack_avx2.cc): vpshufb + vpsrlvd for widths <= 16, 64-bit
 // gathers + vpsrlvq for widths 17..32; wider widths fall through to the
@@ -51,6 +69,9 @@ void UnpackForDeltasAvx2(const uint64_t* words, size_t start, size_t count,
                          uint32_t width, int64_t base, int64_t* out);
 void FilterPackedRangeAvx2(const uint64_t* words, size_t n, uint32_t width,
                            uint64_t lo, uint64_t hi, uint64_t* bm_words);
+void FilterPackedRangeMultiAvx2(const uint64_t* words, size_t n,
+                                uint32_t width, const PackedPredicate* preds,
+                                size_t num_preds);
 #endif  // HSDB_SIMD_X86
 
 }  // namespace internal

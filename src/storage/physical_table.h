@@ -21,6 +21,14 @@
 
 namespace hsdb {
 
+/// One predicate of a shared scan at the physical-table level: a range on
+/// some column and the selection bitmap it narrows. Several of these over
+/// the same column evaluate together in MultiFilterRangeSlice.
+struct RangeScanTarget {
+  const ValueRange* range = nullptr;
+  Bitmap* inout = nullptr;
+};
+
 class PhysicalTable {
  public:
   virtual ~PhysicalTable() = default;
@@ -74,6 +82,21 @@ class PhysicalTable {
     inout->ForEachSetInRange(begin, end, [&](size_t rid) {
       if (!range.Contains(GetValue(rid, col))) inout->Clear(rid);
     });
+  }
+
+  /// Shared-scan form of FilterRangeSlice: narrows each target's bitmap to
+  /// the rows of [begin, end) whose `col` value lies in that target's
+  /// range. Per target the result must be bit-identical to
+  /// FilterRangeSlice(col, *t.range, begin, end, t.inout) — same slice,
+  /// alignment and conjunction contract. The default evaluates the targets
+  /// one by one; the column store overrides it with a single decode pass
+  /// over the encoded segment that fans out to every bitmap.
+  virtual void MultiFilterRangeSlice(ColumnId col,
+                                     const RangeScanTarget* targets, size_t k,
+                                     size_t begin, size_t end) const {
+    for (size_t i = 0; i < k; ++i) {
+      FilterRangeSlice(col, *targets[i].range, begin, end, targets[i].inout);
+    }
   }
 
   /// Compressed-size / plain-size ratio of a column; 1.0 for the row store.

@@ -196,5 +196,60 @@ TEST(CostModelTest, InsertReencodeTermScalesMergeShareOnly) {
                                              Encoding::kDictionary));
 }
 
+TEST(CostModelTest, BatchWidthAmortizesScanShapedCosts) {
+  CostModel model;
+  std::vector<AggSpec> aggs = {{AggFn::kSum, DataType::kDouble}};
+  double solo =
+      model.AggregationCost(StoreType::kColumn, aggs, false, true, 1e6, 0.2);
+  double select_solo = model.SelectCost(StoreType::kColumn, 4, 0.1, false, 1e6);
+
+  // Width 1 is the identity.
+  model.set_batch_width(1);
+  EXPECT_DOUBLE_EQ(
+      model.AggregationCost(StoreType::kColumn, aggs, false, true, 1e6, 0.2),
+      solo);
+
+  // Wider batches amortize the shared decode pass, monotonically, and never
+  // below the unamortizable share of the per-query cost.
+  model.set_batch_width(4);
+  double w4 =
+      model.AggregationCost(StoreType::kColumn, aggs, false, true, 1e6, 0.2);
+  model.set_batch_width(16);
+  double w16 =
+      model.AggregationCost(StoreType::kColumn, aggs, false, true, 1e6, 0.2);
+  EXPECT_LT(w4, solo);
+  EXPECT_LT(w16, w4);
+  double share =
+      model.params().of(StoreType::kColumn).c_batch_scan_share;
+  EXPECT_GT(w16, solo * share * 0.99);
+
+  // Scan-shaped selections amortize too ...
+  EXPECT_LT(model.SelectCost(StoreType::kColumn, 4, 0.1, false, 1e6),
+            select_solo);
+  // ... but index-seeded row-store selections and point lookups are
+  // delegated out of shared groups: their costs must not move.
+  model.set_batch_width(1);
+  double row_indexed = model.SelectCost(StoreType::kRow, 4, 0.001, true, 1e6);
+  double point = model.PointSelectCost(StoreType::kRow, 4);
+  model.set_batch_width(16);
+  EXPECT_DOUBLE_EQ(model.SelectCost(StoreType::kRow, 4, 0.001, true, 1e6),
+                   row_indexed);
+  EXPECT_DOUBLE_EQ(model.PointSelectCost(StoreType::kRow, 4), point);
+
+  // The column store amortizes more than the row store (its decode pass is
+  // the part sharing removes).
+  model.set_batch_width(1);
+  double rs_base =
+      model.AggregationCost(StoreType::kRow, aggs, false, true, 1e6, 0.2);
+  model.set_batch_width(8);
+  double cs_ratio =
+      model.AggregationCost(StoreType::kColumn, aggs, false, true, 1e6, 0.2) /
+      solo;
+  double rs_ratio =
+      model.AggregationCost(StoreType::kRow, aggs, false, true, 1e6, 0.2) /
+      rs_base;
+  EXPECT_LT(cs_ratio, rs_ratio);
+}
+
 }  // namespace
 }  // namespace hsdb

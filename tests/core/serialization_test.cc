@@ -143,6 +143,7 @@ TEST(CostModelSerializationTest, EncodingTermsRoundTrip) {
   cs.c_merge_share = 0.45;
   cs.c_parallel_core = 0.83;
   cs.c_parallel_merge_ms = 0.017;
+  cs.c_batch_scan_share = 0.27;
   Result<CostModelParams> restored =
       CostModelParams::Deserialize(p.Serialize());
   ASSERT_TRUE(restored.ok());
@@ -159,6 +160,8 @@ TEST(CostModelSerializationTest, EncodingTermsRoundTrip) {
                      p.store[s].c_parallel_core);
     EXPECT_DOUBLE_EQ(restored->store[s].c_parallel_merge_ms,
                      p.store[s].c_parallel_merge_ms);
+    EXPECT_DOUBLE_EQ(restored->store[s].c_batch_scan_share,
+                     p.store[s].c_batch_scan_share);
   }
   // The re-encode term feeds the insert cost; estimates must survive the
   // round trip bit-exactly.
@@ -172,19 +175,19 @@ TEST(CostModelSerializationTest, EncodingTermsRoundTrip) {
 
 TEST(CostModelSerializationTest, RejectsStaleFormatVersions) {
   std::string text = CostModelParams::Default().Serialize();
-  ASSERT_NE(text.find("hsdb_cost_model_v5"), std::string::npos);
+  ASSERT_NE(text.find("hsdb_cost_model_v6"), std::string::npos);
   // A v1 cache (no encoding terms at all), a v2 cache (scan terms but no
   // re-encode terms), a v3 cache (same fields, but calibrated against the
-  // scalar decode loops the SIMD kernels replaced) and a v4 cache (no
-  // morsel-parallel scan terms) must all fail deserialization — the
-  // caller's cue to recalibrate rather than run with a silently incomplete
-  // or stale model.
+  // scalar decode loops the SIMD kernels replaced), a v4 cache (no
+  // morsel-parallel scan terms) and a v5 cache (no shared-scan batch term)
+  // must all fail deserialization — the caller's cue to recalibrate rather
+  // than run with a silently incomplete or stale model.
   for (const char* stale :
        {"hsdb_cost_model_v1", "hsdb_cost_model_v2", "hsdb_cost_model_v3",
-        "hsdb_cost_model_v4"}) {
+        "hsdb_cost_model_v4", "hsdb_cost_model_v5"}) {
     std::string stale_text = text;
-    stale_text.replace(stale_text.find("hsdb_cost_model_v5"),
-                       std::string("hsdb_cost_model_v5").size(), stale);
+    stale_text.replace(stale_text.find("hsdb_cost_model_v6"),
+                       std::string("hsdb_cost_model_v6").size(), stale);
     EXPECT_FALSE(CostModelParams::Deserialize(stale_text).ok()) << stale;
   }
 }

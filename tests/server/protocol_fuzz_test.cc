@@ -1,0 +1,338 @@
+// Wire-protocol robustness: raw sockets throw truncated frames, oversized
+// payloads, binary garbage and byte-at-a-time partial writes at a live
+// SocketServer. The contract under attack is strictly per-connection —
+// a malformed line yields one "err ..." reply on that connection (which
+// stays usable), an unframeable stream (no newline within kMaxLineBytes)
+// is refused and that connection alone is closed, and the server keeps
+// serving well-formed clients throughout. Stop() must join every
+// connection reader cleanly no matter what state the fuzzers left their
+// sockets in — TearDown runs it after every case, so a crash, hang or
+// leak here fails the test rather than poisoning the process.
+//
+// All "randomness" is a fixed-seed xorshift so failures replay exactly.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "executor/database.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "workload/synthetic.h"
+
+namespace hsdb {
+namespace {
+
+/// Deterministic xorshift64* — fixed seeds, replayable streams.
+class Xorshift {
+ public:
+  explicit Xorshift(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15) {}
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1d;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Minimal raw connection: unlike server::Client it can send partial
+/// frames, arbitrary bytes, and observe the peer closing.
+class RawConn {
+ public:
+  RawConn() = default;
+  ~RawConn() { Close(); }
+
+  bool Connect(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    // Bound every recv so a server bug shows up as a test failure, not a
+    // hung ctest job.
+    timeval tv{/*tv_sec=*/10, /*tv_usec=*/0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      Close();
+      return false;
+    }
+    return true;
+  }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  bool Send(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads up to the next '\n' (exclusive). False on EOF/timeout.
+  bool RecvLine(std::string* line) {
+    line->clear();
+    char c;
+    while (true) {
+      ssize_t n = ::recv(fd_, &c, 1, 0);
+      if (n <= 0) return false;
+      if (c == '\n') return true;
+      line->push_back(c);
+    }
+  }
+
+  /// Reads a full "ok <n>"/"err ..." reply, payload included.
+  bool RecvReply(std::string* head) {
+    if (!RecvLine(head)) return false;
+    if (head->rfind("ok ", 0) != 0) return true;  // "err ..." is one line
+    long payload = std::strtol(head->c_str() + 3, nullptr, 10);
+    std::string sink;
+    for (long i = 0; i < payload; ++i) {
+      if (!RecvLine(&sink)) return false;
+    }
+    return true;
+  }
+
+  /// True once the peer is down — clean FIN or RST both count (a racing
+  /// Stop() may reset a connection still in the accept backlog). Only a
+  /// recv timeout, i.e. a peer that never closed, is a failure.
+  bool DrainUntilClosed() {
+    char buf[1024];
+    while (true) {
+      ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n == 0) return true;
+      if (n < 0) return errno != EAGAIN && errno != EWOULDBLOCK;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+class ProtocolFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticTableSpec spec;
+    spec.name = "t";
+    spec.num_keyfigures = 1;
+    spec.num_filters = 1;
+    spec.num_groups = 1;
+    Database::Options options;
+    options.num_threads = 0;  // honor HSDB_THREADS (CI matrix)
+    options.metrics = &metrics_;
+    db_ = std::make_unique<Database>(options);
+    ASSERT_TRUE(db_->CreateTable("t", spec.MakeSchema(),
+                                 TableLayout::SingleStore(StoreType::kColumn))
+                    .ok());
+    ASSERT_TRUE(
+        PopulateSynthetic(db_->catalog().GetTable("t"), spec, 2'000).ok());
+    server_ = std::make_unique<server::SocketServer>(db_.get());
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  // Stop() after every case: whatever state the fuzzers left, shutdown
+  // must join all reader threads without hanging or crashing.
+  void TearDown() override { server_->Stop(); }
+
+  /// The liveness probe: a fresh well-formed connection must still get
+  /// correct service after an attack.
+  void ExpectServerHealthy() {
+    server::Client client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+    Result<server::Reply> pong = client.RoundTrip("ping");
+    ASSERT_TRUE(pong.ok());
+    ASSERT_TRUE(pong->ok);
+    EXPECT_EQ(pong->lines, std::vector<std::string>{"pong"});
+    Result<server::Reply> count = client.RoundTrip("count t");
+    ASSERT_TRUE(count.ok());
+    ASSERT_TRUE(count->ok);
+    EXPECT_EQ(count->lines, std::vector<std::string>{"2000"});
+  }
+
+  uint64_t ProtocolErrors() {
+    return metrics_.GetCounter("hsdb_server_protocol_errors_total").value();
+  }
+
+  telemetry::MetricsRegistry metrics_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<server::SocketServer> server_;
+};
+
+TEST_F(ProtocolFuzzTest, TruncatedFrameOnCloseIsDiscarded) {
+  // A partial line with no terminating newline, then the client vanishes.
+  // The fragment must be dropped, not executed or leaked into anything.
+  for (const char* fragment : {"count t", "select t id whe", "x", ""}) {
+    RawConn conn;
+    ASSERT_TRUE(conn.Connect(server_->port()));
+    ASSERT_TRUE(conn.Send(fragment));
+    conn.Close();
+  }
+  ExpectServerHealthy();
+}
+
+TEST_F(ProtocolFuzzTest, OversizedPayloadRefusedPerConnection) {
+  RawConn attacker;
+  ASSERT_TRUE(attacker.Connect(server_->port()));
+  // A healthy connection opened *before* the attack must survive it.
+  server::Client bystander;
+  ASSERT_TRUE(bystander.Connect("127.0.0.1", server_->port()).ok());
+
+  std::string blob(server::kMaxLineBytes + 4096, 'a');  // never a newline
+  ASSERT_TRUE(attacker.Send(blob));
+  std::string head;
+  ASSERT_TRUE(attacker.RecvLine(&head));
+  EXPECT_EQ(head.rfind("err ", 0), 0u) << head;
+  EXPECT_NE(head.find("exceeds"), std::string::npos) << head;
+  EXPECT_TRUE(attacker.DrainUntilClosed());
+
+  Result<server::Reply> reply = bystander.RoundTrip("count t");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply->ok);
+  ExpectServerHealthy();
+  if (telemetry::kCompiledIn) {
+    EXPECT_GT(ProtocolErrors(), 0u);
+  }
+}
+
+TEST_F(ProtocolFuzzTest, ByteAtATimePartialReadsReassemble) {
+  RawConn conn;
+  ASSERT_TRUE(conn.Connect(server_->port()));
+  // One byte per send: the server sees maximally interleaved partial
+  // reads and must reassemble the frame exactly.
+  const std::string request = "count t where f0<100\n";
+  for (char c : request) {
+    ASSERT_TRUE(conn.Send(std::string(1, c)));
+  }
+  std::string head;
+  ASSERT_TRUE(conn.RecvLine(&head));
+  EXPECT_EQ(head, "ok 1");
+  std::string payload;
+  ASSERT_TRUE(conn.RecvLine(&payload));
+  EXPECT_FALSE(payload.empty());
+
+  // Two requests split mid-token across one send boundary.
+  ASSERT_TRUE(conn.Send("ping\nco"));
+  ASSERT_TRUE(conn.RecvReply(&head));
+  EXPECT_EQ(head, "ok 1");
+  ASSERT_TRUE(conn.Send("unt t\n"));
+  ASSERT_TRUE(conn.RecvLine(&head));
+  EXPECT_EQ(head, "ok 1");
+  ASSERT_TRUE(conn.RecvLine(&payload));
+  EXPECT_EQ(payload, "2000");
+}
+
+TEST_F(ProtocolFuzzTest, PipelinedMixOfValidAndMalformedLines) {
+  RawConn conn;
+  ASSERT_TRUE(conn.Connect(server_->port()));
+  // One write, five frames; every line gets exactly one reply, in order,
+  // and the malformed ones do not close the connection.
+  ASSERT_TRUE(conn.Send(
+      "ping\nbogus command\ncount t\nselect t nosuchcol\nping\n"));
+  std::string head;
+  ASSERT_TRUE(conn.RecvReply(&head));
+  EXPECT_EQ(head, "ok 1");  // pong
+  ASSERT_TRUE(conn.RecvReply(&head));
+  EXPECT_EQ(head.rfind("err ", 0), 0u) << head;
+  ASSERT_TRUE(conn.RecvReply(&head));
+  EXPECT_EQ(head, "ok 1");  // count
+  ASSERT_TRUE(conn.RecvReply(&head));
+  EXPECT_EQ(head.rfind("err ", 0), 0u) << head;
+  ASSERT_TRUE(conn.RecvReply(&head));
+  EXPECT_EQ(head, "ok 1");  // pong again: connection survived the errors
+  if (telemetry::kCompiledIn) {
+    EXPECT_GE(ProtocolErrors(), 2u);
+  }
+}
+
+TEST_F(ProtocolFuzzTest, QuitDrainsConnection) {
+  RawConn conn;
+  ASSERT_TRUE(conn.Connect(server_->port()));
+  ASSERT_TRUE(conn.Send("quit\n"));
+  std::string head;
+  ASSERT_TRUE(conn.RecvLine(&head));
+  EXPECT_EQ(head, "ok 0");
+  EXPECT_TRUE(conn.DrainUntilClosed());
+  ExpectServerHealthy();
+}
+
+TEST_F(ProtocolFuzzTest, RandomGarbageNeverKillsTheServer) {
+  // Four concurrent fuzzers × 64 frames of seeded binary garbage (newlines
+  // sprinkled so frames terminate), each expecting one orderly "err"/"ok"
+  // reply per frame; healthy probes run between attacks.
+  constexpr int kFuzzers = 4;
+  constexpr int kFrames = 64;
+  std::vector<std::thread> threads;
+  std::vector<int> broken(kFuzzers, 0);
+  for (int f = 0; f < kFuzzers; ++f) {
+    threads.emplace_back([this, f, &broken] {
+      Xorshift rng(0xabcdef12u + static_cast<uint64_t>(f));
+      RawConn conn;
+      if (!conn.Connect(server_->port())) {
+        broken[f] = 1;
+        return;
+      }
+      for (int i = 0; i < kFrames; ++i) {
+        size_t len = rng.Next() % 200;
+        std::string frame;
+        frame.reserve(len + 1);
+        for (size_t b = 0; b < len; ++b) {
+          char c = static_cast<char>(rng.Next() % 256);
+          if (c == '\n') c = ' ';  // one frame per reply keeps us in sync
+          frame.push_back(c);
+        }
+        frame.push_back('\n');
+        std::string head;
+        if (!conn.Send(frame) || !conn.RecvReply(&head)) {
+          // NUL bytes etc. may legitimately make the server drop the
+          // connection; reconnect and keep fuzzing.
+          conn.Close();
+          if (!conn.Connect(server_->port())) {
+            broken[f] = 1;
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int f = 0; f < kFuzzers; ++f) EXPECT_EQ(broken[f], 0) << "fuzzer " << f;
+  ExpectServerHealthy();
+  if (telemetry::kCompiledIn) {
+    EXPECT_GT(ProtocolErrors(), 0u);
+  }
+}
+
+TEST_F(ProtocolFuzzTest, StopWithFuzzerMidFrame) {
+  // A connection holding an unterminated frame when Stop() lands: the
+  // reader must be shut down and joined, not left blocked in recv.
+  RawConn conn;
+  ASSERT_TRUE(conn.Connect(server_->port()));
+  ASSERT_TRUE(conn.Send("count t wh"));  // no newline, never completed
+  server_->Stop();  // TearDown's second Stop() is a no-op
+  EXPECT_TRUE(conn.DrainUntilClosed());
+}
+
+}  // namespace
+}  // namespace hsdb

@@ -183,6 +183,72 @@ TEST_P(SimdEquivalence, FilterPackedRangeMatchesAcrossTiers) {
   }
 }
 
+TEST_P(SimdEquivalence, FilterPackedRangeMultiMatchesSinglePredicate) {
+  const uint32_t width = GetParam();
+  // Covers several full bitmap words plus a partial trailing word.
+  const size_t n = 64 * 5 + 29 + width;
+  std::vector<uint64_t> expected;
+  BitPackedVector packed = RandomPacked(width, n, width * 7907 + 7,
+                                        &expected);
+
+  const uint64_t top = MaskOf(width);
+  // A batch mixing every interval shape, including degenerate ones, plus
+  // more bands than any vector block holds.
+  std::vector<std::pair<uint64_t, uint64_t>> intervals = {
+      {0, top == ~uint64_t{0} ? top : top + 1},  // (almost) everything
+      {0, 0},                                    // nothing
+      {top, top + 1},                            // single top code
+      {9, 4},                                    // inverted: nothing
+  };
+  for (uint64_t b = 0; b < 12; ++b) {
+    intervals.emplace_back(b * top / 16, (b + 5) * top / 16);
+  }
+
+  Rng rng(width * 23 + 8);
+  // Per-predicate input bitmaps: dense, sparse and one all-zero (the skip
+  // path must leave it untouched and must not suppress the others).
+  std::vector<Bitmap> inputs;
+  for (size_t p = 0; p < intervals.size(); ++p) {
+    Bitmap input(n + 70);  // longer than the segment: tail bits untouched
+    if (p % 4 != 3) {
+      for (size_t i = 0; i < input.size(); ++i) {
+        if (p % 4 == 0 || rng.Next() % 3 == 0) input.Set(i);
+      }
+    }
+    inputs.push_back(std::move(input));
+  }
+
+  // Reference: the fused single-predicate scalar kernel, per predicate.
+  std::vector<Bitmap> reference = inputs;
+  {
+    ScopedSimdLevel guard(SimdLevel::kScalar);
+    for (size_t p = 0; p < intervals.size(); ++p) {
+      simd::FilterPackedRange(packed.words(), n, width, intervals[p].first,
+                              intervals[p].second,
+                              reference[p].mutable_words());
+    }
+  }
+
+  for (SimdLevel level : AvailableLevels()) {
+    ScopedSimdLevel guard(level);
+    std::vector<Bitmap> bms = inputs;
+    std::vector<simd::PackedPredicate> preds(intervals.size());
+    for (size_t p = 0; p < intervals.size(); ++p) {
+      preds[p] = {intervals[p].first, intervals[p].second,
+                  bms[p].mutable_words()};
+    }
+    simd::FilterPackedRangeMulti(packed.words(), n, width, preds.data(),
+                                 preds.size());
+    for (size_t p = 0; p < intervals.size(); ++p) {
+      for (size_t i = 0; i < bms[p].size(); ++i) {
+        ASSERT_EQ(bms[p].Test(i), reference[p].Test(i))
+            << "level=" << static_cast<int>(level) << " width=" << width
+            << " pred=" << p << " i=" << i;
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllPackedWidths, SimdEquivalence,
                          ::testing::Range(1u, 33u));
 // Wide widths always take the scalar path inside every tier; keep them
@@ -237,6 +303,65 @@ TEST_P(SegmentTierEquivalence, ScanAndFilterMatchAcrossTiers) {
     for (size_t i = 0; i < values.size(); ++i) {
       ASSERT_EQ(bm.Test(i), reference_bm.Test(i))
           << "level=" << static_cast<int>(level) << " i=" << i;
+    }
+  }
+}
+
+TEST_P(SegmentTierEquivalence, MultiFilterMatchesPerPredicateFilter) {
+  const Encoding encoding = GetParam();
+  Rng rng(20260808);
+  std::vector<int64_t> values(8'000 + 53);  // unaligned tail word
+  for (int64_t& v : values) {
+    v = static_cast<int64_t>(rng.UniformInt(0, 5000)) - 1000;
+  }
+  std::sort(values.begin(), values.begin() + values.size() / 2);  // runs
+  const auto segment = EncodedSegment<int64_t>::Encode(values, encoding);
+
+  // A batch of bands including empty and all-covering ones.
+  std::vector<BoundsPred<int64_t>> preds;
+  for (int p = 0; p < 9; ++p) {
+    BoundsPred<int64_t> pred;
+    pred.has_lo = p != 7;  // one lower-unbounded predicate
+    pred.has_hi = p != 8;  // one upper-unbounded predicate
+    pred.lo = -1200.0 + 450.0 * p;
+    pred.hi = pred.lo + (p == 3 ? -10.0 : 900.0);  // one empty band
+    pred.lo_inclusive = p % 2 == 0;
+    pred.hi_inclusive = p % 3 == 0;
+    preds.push_back(pred);
+  }
+
+  // Slices exercise offset starts and the unaligned tail.
+  const size_t slices[][2] = {{0, values.size()},
+                              {64 * 10, values.size()},
+                              {64 * 2, 64 * 77 + 11}};
+  for (const auto& slice : slices) {
+    // Reference: the fused per-predicate path on the scalar tier.
+    std::vector<Bitmap> reference;
+    {
+      ScopedSimdLevel guard(SimdLevel::kScalar);
+      for (const auto& pred : preds) {
+        Bitmap bm(values.size(), true);
+        segment.FilterRangeSlice(pred, &bm, slice[0], slice[1]);
+        reference.push_back(std::move(bm));
+      }
+    }
+    for (SimdLevel level : AvailableLevels()) {
+      ScopedSimdLevel guard(level);
+      std::vector<Bitmap> bms(preds.size());
+      std::vector<PredicateTarget<int64_t>> targets(preds.size());
+      for (size_t p = 0; p < preds.size(); ++p) {
+        bms[p] = Bitmap(values.size(), true);
+        targets[p] = {preds[p], &bms[p]};
+      }
+      segment.MultiFilterRangeSlice(targets.data(), targets.size(), slice[0],
+                                    slice[1]);
+      for (size_t p = 0; p < preds.size(); ++p) {
+        for (size_t i = 0; i < values.size(); ++i) {
+          ASSERT_EQ(bms[p].Test(i), reference[p].Test(i))
+              << "level=" << static_cast<int>(level) << " pred=" << p
+              << " slice=[" << slice[0] << "," << slice[1] << ") i=" << i;
+        }
+      }
     }
   }
 }

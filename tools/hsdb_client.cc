@@ -1,0 +1,57 @@
+// hsdb_client: interactive line-protocol client for hsdb_server.
+//
+//   $ ./build/hsdb_client 127.0.0.1 7878
+//   > tables
+//   events
+//   > count events where f0<100
+//   9963
+//
+// Reads request lines from stdin, prints each reply's payload lines (or
+// "err: <message>") to stdout. Exits on EOF, "quit", or a transport error.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "server/client.h"
+
+using namespace hsdb;
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <host> <port>\n", argv[0]);
+    return 2;
+  }
+  server::Client client;
+  Status connected =
+      client.Connect(argv[1], static_cast<uint16_t>(std::atoi(argv[2])));
+  if (!connected.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 connected.ToString().c_str());
+    return 1;
+  }
+
+  bool tty = isatty(0);
+  std::string line;
+  while ((!tty || (std::fputs("> ", stdout), std::fflush(stdout), true)) &&
+         std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    Result<server::Reply> reply = client.RoundTrip(line);
+    if (!reply.ok()) {
+      std::fprintf(stderr, "transport error: %s\n",
+                   reply.status().ToString().c_str());
+      return 1;
+    }
+    if (!reply->ok) {
+      std::printf("err: %s\n", reply->error.c_str());
+    } else {
+      for (const std::string& payload : reply->lines) {
+        std::printf("%s\n", payload.c_str());
+      }
+    }
+    if (line == "quit") break;
+  }
+  return 0;
+}
