@@ -165,10 +165,30 @@ size_t Catalog::total_memory_bytes() const {
   return total;
 }
 
+void Catalog::set_metrics(telemetry::MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_ = metrics;
+}
+
 std::shared_ptr<TableSync> Catalog::sync(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   std::shared_ptr<TableSync>& slot = syncs_[name];
-  if (slot == nullptr) slot = std::make_shared<TableSync>();
+  if (slot == nullptr) {
+    slot = std::make_shared<TableSync>();
+    if (metrics_ != nullptr) {
+      // Sub-millisecond holds are the norm, so start the grid at 0.1us.
+      const telemetry::Labels labels = {{"table", name}};
+      slot->metrics = metrics_;
+      slot->latch_wait_ms = &metrics_->GetHistogram(
+          "hsdb_table_latch_wait_ms",
+          "Time writers spent blocked acquiring the per-table writer latch",
+          labels, 1e-4);
+      slot->latch_hold_ms = &metrics_->GetHistogram(
+          "hsdb_table_latch_hold_ms",
+          "Time the per-table writer latch was held per acquisition", labels,
+          1e-4);
+    }
+  }
   return slot;
 }
 

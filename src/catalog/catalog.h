@@ -93,6 +93,12 @@ class Catalog {
   /// Reclamation domain of every version this catalog ever published.
   EpochManager& epochs() const { return epochs_; }
 
+  /// Installs the registry that receives per-table latch contention
+  /// histograms (hsdb_table_latch_{wait,hold}_ms{table=...}). Call before
+  /// traffic: only TableSyncs created after this point are instrumented
+  /// (Database installs it at construction, ahead of any table).
+  void set_metrics(telemetry::MetricsRegistry* metrics);
+
  private:
   struct Entry {
     std::unique_ptr<LogicalTable> table;
@@ -108,6 +114,7 @@ class Catalog {
   std::map<std::string, Entry> tables_;
   mutable std::map<std::string, std::shared_ptr<TableSync>> syncs_;
   mutable EpochManager epochs_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
 };
 
 /// Scoped read access to a set of tables: pins the reclamation epoch and

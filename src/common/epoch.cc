@@ -7,7 +7,9 @@ namespace hsdb {
 uint64_t EpochManager::Pin() {
   std::lock_guard<std::mutex> lock(mu_);
   const uint64_t e = epoch_;
-  ++pins_[e];
+  PinEntry& entry = pins_[e];
+  if (entry.count == 0) entry.first_pin = std::chrono::steady_clock::now();
+  ++entry.count;
   return e;
 }
 
@@ -17,7 +19,7 @@ void EpochManager::Unpin(uint64_t epoch) {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = pins_.find(epoch);
     HSDB_CHECK(it != pins_.end());
-    if (--it->second == 0) pins_.erase(it);
+    if (--it->second.count == 0) pins_.erase(it);
     CollectLocked(&ready);
   }
   for (auto& deleter : ready) deleter();
@@ -52,8 +54,15 @@ uint64_t EpochManager::epoch() const {
 size_t EpochManager::pinned_readers() const {
   std::lock_guard<std::mutex> lock(mu_);
   size_t total = 0;
-  for (const auto& [epoch, count] : pins_) total += count;
+  for (const auto& [epoch, entry] : pins_) total += entry.count;
   return total;
+}
+
+double EpochManager::OldestPinAgeMs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pins_.empty()) return 0.0;
+  const auto age = std::chrono::steady_clock::now() - pins_.begin()->second.first_pin;
+  return std::chrono::duration<double, std::milli>(age).count();
 }
 
 size_t EpochManager::retired_count() const {

@@ -24,6 +24,7 @@
 #ifndef HSDB_COMMON_EPOCH_H_
 #define HSDB_COMMON_EPOCH_H_
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -74,6 +75,14 @@ class EpochManager {
   size_t pinned_readers() const;
   size_t retired_count() const;
 
+  /// Age in milliseconds of the oldest live pin *entry* — how long the
+  /// reader gating reclamation has been holding its epoch. 0 when nothing
+  /// is pinned. Approximate upper bound: the timestamp is the first pin of
+  /// the oldest epoch entry; a later reader sharing that epoch keeps the
+  /// entry (and its original timestamp) alive. Good enough for a gauge that
+  /// answers "is a stuck reader blocking reclamation?".
+  double OldestPinAgeMs() const;
+
   /// Runs every pending deleter regardless of pins. Only safe when no
   /// reader can be active (shutdown, single-threaded tests).
   void DrainAll();
@@ -86,8 +95,13 @@ class EpochManager {
 
   mutable std::mutex mu_;
   uint64_t epoch_ = 1;
-  /// pin epoch -> number of readers currently holding it.
-  std::map<uint64_t, size_t> pins_;
+  struct PinEntry {
+    size_t count = 0;
+    /// When the entry was created (first pin at this epoch).
+    std::chrono::steady_clock::time_point first_pin;
+  };
+  /// pin epoch -> readers currently holding it.
+  std::map<uint64_t, PinEntry> pins_;
   struct Retired {
     uint64_t epoch;
     std::function<void()> deleter;

@@ -5,7 +5,9 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
+#include <sstream>
 #include <utility>
 
 #include "common/epoch.h"
@@ -25,6 +27,7 @@ struct BatchExecutor::SharedRead {
   const Query* query = nullptr;
   const SelectQuery* select = nullptr;
   const AggregationQuery* agg = nullptr;
+  double queue_wait_ms = 0.0;
   bool delegate = false;
   bool done = false;
   std::vector<const PredicateTerm*> terms;
@@ -61,6 +64,9 @@ BatchExecutor::BatchExecutor(Database* db) : db_(db) {
   batch_shared_queries_total_ = &metrics.GetCounter(
       "hsdb_batch_shared_queries_total",
       "Queries answered from a shared scan (excludes delegated queries).");
+  slow_queries_total_ = &metrics.GetCounter(
+      "hsdb_slow_queries_total",
+      "Queries at or above the slow-query-log threshold.");
   batch_width_ = &metrics.GetHistogram(
       "hsdb_batch_width",
       "Queries per executed shared-scan group (the amortization width).");
@@ -85,13 +91,20 @@ const std::string* BatchExecutor::ShareableTable(const Query& query) {
 }
 
 std::vector<Result<QueryResult>> BatchExecutor::ExecuteBatch(
-    const std::vector<Query>& queries) {
+    const std::vector<Query>& queries,
+    const std::vector<double>* queue_waits_ms) {
+  const auto wait_of = [&](size_t index) {
+    return queue_waits_ms != nullptr && index < queue_waits_ms->size()
+               ? (*queue_waits_ms)[index]
+               : 0.0;
+  };
   std::vector<Result<QueryResult>> out;
   out.reserve(queries.size());
   size_t i = 0;
   while (i < queries.size()) {
     const std::string* table = ShareableTable(queries[i]);
     if (table == nullptr) {
+      telemetry::ScopedQueueWait wait(wait_of(i));
       out.push_back(db_->Execute(queries[i]));
       ++i;
       continue;
@@ -108,6 +121,7 @@ std::vector<Result<QueryResult>> BatchExecutor::ExecuteBatch(
     if (end - i == 1) {
       // A lone read gains nothing from the shared pass; keep the
       // per-statement path (cost prediction and tracing included).
+      telemetry::ScopedQueueWait wait(wait_of(i));
       out.push_back(db_->Execute(queries[i]));
       ++i;
       continue;
@@ -116,6 +130,7 @@ std::vector<Result<QueryResult>> BatchExecutor::ExecuteBatch(
     for (size_t j = i; j < end; ++j) {
       SharedRead& m = members[j - i];
       m.query = &queries[j];
+      m.queue_wait_ms = wait_of(j);
       if (KindOf(queries[j]) == QueryKind::kSelect) {
         m.select = &std::get<SelectQuery>(queries[j]);
       } else {
@@ -129,6 +144,7 @@ std::vector<Result<QueryResult>> BatchExecutor::ExecuteBatch(
         out.push_back(std::move(m.result));
       } else {
         // Delegated outside the group's reader lock (see header).
+        telemetry::ScopedQueueWait wait(m.queue_wait_ms);
         out.push_back(db_->Execute(*m.query));
       }
     }
@@ -276,6 +292,12 @@ void BatchExecutor::ExecuteSharedGroup(const std::string& table_name,
                                        std::vector<SharedRead>* members) {
   Stopwatch sw;
   size_t shared = 0;
+  // The batch worker thread has no tracer installed, so without this the
+  // scan_shared span would vanish. One tracer covers the whole group; every
+  // shared member gets the same finished tree (the group IS their
+  // execution), which is what `explain analyze` renders for batched reads.
+  std::optional<telemetry::Tracer> tracer;
+  if (TelemetryOn()) tracer.emplace("batch_group");
   {
     // Same discipline as a serial read statement: pin the reclamation epoch,
     // then take the table's reader lock for the whole group.
@@ -338,13 +360,45 @@ void BatchExecutor::ExecuteSharedGroup(const std::string& table_name,
       }
     }
   }
+  std::shared_ptr<const telemetry::TraceSpan> tree;
+  if (tracer.has_value()) {
+    tree = std::make_shared<const telemetry::TraceSpan>(tracer->Finish());
+  }
   if (shared == 0) return;
   // Amortized cost share: the latency a co-running client of this group
   // actually observed. This is what the workload recorder feeds the
   // batch-aware cost model.
   const double share_ms = sw.ElapsedMs() / static_cast<double>(shared);
+  std::string trace_summary;
+  if (tree != nullptr) {
+    std::ostringstream phases;
+    for (size_t c = 0; c < tree->children.size(); ++c) {
+      if (c > 0) phases << ' ';
+      phases << tree->children[c].name << '=' << tree->children[c].elapsed_ms;
+    }
+    trace_summary = phases.str();
+  }
+  telemetry::Slowlog& slowlog = db_->slowlog();
+  // Slow-query accounting mirrors Database::ExecuteTraced: telemetry-gated.
+  const double slow_threshold =
+      tracer.has_value() ? slowlog.threshold_ms() : 0.0;
   for (SharedRead& m : *members) {
-    if (m.done) m.result.elapsed_ms = share_ms;
+    if (!m.done) continue;
+    m.result.elapsed_ms = share_ms;
+    m.result.trace = tree;
+    if (slow_threshold > 0.0 && share_ms >= slow_threshold) {
+      slow_queries_total_->Increment();
+      if (slowlog.ShouldRecord(share_ms)) {
+        telemetry::SlowlogRecord record;
+        record.query = QueryToString(*m.query);
+        record.kind = std::string(QueryKindName(KindOf(*m.query)));
+        record.elapsed_ms = share_ms;
+        record.queue_wait_ms = m.queue_wait_ms;
+        record.trace_summary = trace_summary;
+        record.shared = true;
+        slowlog.Record(std::move(record));
+      }
+    }
   }
   if (TelemetryOn()) {
     batch_groups_total_->Increment();

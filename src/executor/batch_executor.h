@@ -54,16 +54,21 @@ class BatchExecutor {
   /// Thread-compatible: concurrent ExecuteBatch calls are safe (the shared
   /// state is the Database, which synchronizes per table), but one batch is
   /// executed by the calling thread.
+  ///
+  /// `queue_waits_ms` (optional, parallel to `queries`) is each query's
+  /// admission-queue wait; it is attributed to slow-query-log records and
+  /// the thread-local queue-wait context of delegated executions.
   std::vector<Result<QueryResult>> ExecuteBatch(
-      const std::vector<Query>& queries);
-
- private:
-  struct SharedRead;
+      const std::vector<Query>& queries,
+      const std::vector<double>* queue_waits_ms = nullptr);
 
   /// Table name of a batch-shareable read (covering SELECT / single-table
   /// aggregation), or nullptr when the query must take the per-statement
-  /// path.
+  /// path. Public because `explain` reports batch-shareability.
   static const std::string* ShareableTable(const Query& query);
+
+ private:
+  struct SharedRead;
 
   /// Executes one same-table group of shareable reads under a single epoch
   /// pin + reader lock. Members that survive preparation have their results
@@ -89,6 +94,7 @@ class BatchExecutor {
   telemetry::LogHistogram* query_latency_ms_ = nullptr;
   telemetry::Counter* batch_groups_total_ = nullptr;
   telemetry::Counter* batch_shared_queries_total_ = nullptr;
+  telemetry::Counter* slow_queries_total_ = nullptr;
   telemetry::LogHistogram* batch_width_ = nullptr;
 };
 

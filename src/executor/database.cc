@@ -41,7 +41,7 @@ bool IsDml(QueryKind kind) {
 /// single-table today, the sort future-proofs multi-table writes).
 struct StatementLocks {
   std::vector<std::shared_ptr<TableSync>> syncs;
-  std::vector<std::unique_lock<std::mutex>> latches;
+  std::vector<WriterLatchGuard> latches;
   std::vector<std::shared_lock<std::shared_mutex>> shared;
   std::vector<std::unique_lock<std::shared_mutex>> exclusive;
 
@@ -55,7 +55,7 @@ struct StatementLocks {
     }
     if (dml) {
       for (auto& sync : syncs) {
-        latches.emplace_back(sync->writer_latch);
+        latches.emplace_back(sync.get());
         exclusive.emplace_back(sync->rw);
       }
     } else {
@@ -77,7 +77,12 @@ Database::Database(Options options)
       migration_replay_rounds_(std::max(0, options.migration_replay_rounds)),
       metrics_(options.metrics != nullptr
                    ? options.metrics
-                   : &telemetry::MetricsRegistry::Global()) {
+                   : &telemetry::MetricsRegistry::Global()),
+      slowlog_(telemetry::Slowlog::Options{options.slowlog_threshold_ms,
+                                           options.slowlog_capacity,
+                                           options.slowlog_sample_every}) {
+  // Before any table exists, so every TableSync is born instrumented.
+  catalog_.set_metrics(metrics_);
   if (num_threads_ > 1) {
     // d-way parallelism = the query thread + d-1 pool workers.
     pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(num_threads_) - 1);
@@ -101,6 +106,9 @@ Database::Database(Options options)
         "hsdb_query_errors_total", "Queries that failed, by query kind.",
         {{"kind", kind}});
   }
+  slow_queries_total_ = &metrics_->GetCounter(
+      "hsdb_slow_queries_total",
+      "Queries at or above the slow-query-log threshold.");
   rematerializations_total_ = &metrics_->GetCounter(
       "hsdb_rematerializations_total",
       "Physical table reorganizations (layout/encoding rebuilds).");
@@ -191,6 +199,29 @@ Result<QueryResult> Database::ExecuteTraced(const Query& query) {
 
   queries_total_[static_cast<int>(kind)]->Increment();
   query_latency_ms_->Observe(result.elapsed_ms);
+  const double slow_threshold = slowlog_.threshold_ms();
+  if (slow_threshold > 0.0 && result.elapsed_ms >= slow_threshold) {
+    slow_queries_total_->Increment();
+    if (slowlog_.ShouldRecord(result.elapsed_ms)) {
+      // Only now pay for rendering the query and trace summary.
+      telemetry::SlowlogRecord record;
+      record.query = QueryToString(query);
+      record.kind = std::string(QueryKindName(kind));
+      record.elapsed_ms = result.elapsed_ms;
+      record.queue_wait_ms = telemetry::CurrentQueueWaitMs();
+      record.predicted_cost_ms = predicted_ms;
+      if (result.trace != nullptr) {
+        std::ostringstream phases;
+        for (size_t i = 0; i < result.trace->children.size(); ++i) {
+          if (i > 0) phases << ' ';
+          phases << result.trace->children[i].name << '='
+                 << result.trace->children[i].elapsed_ms;
+        }
+        record.trace_summary = phases.str();
+      }
+      slowlog_.Record(std::move(record));
+    }
+  }
   if (predicted_ms >= 0.0) {
     result.predicted_cost_ms = predicted_ms;
     const std::vector<std::string> tables = TablesOf(query);
@@ -287,7 +318,7 @@ Status Database::ApplyLayout(const std::string& name,
   // Writers are excluded for the whole rebuild (readers never: they finish
   // against the retired version). The resolve happens under the latch so
   // no writer sneaks a row in between the copy and the swap.
-  std::lock_guard<std::mutex> latch(sync->writer_latch);
+  WriterLatchGuard latch(sync.get());
   HSDB_ASSIGN_OR_RETURN(LogicalTable * table, catalog_.Find(name));
   const LayoutChange change = ResolveLayoutChange(*table, layout, encodings);
   if (change.noop) return Status::OK();
@@ -325,13 +356,13 @@ Result<ShadowMigrationStats> Database::MigrateShadow(
     // (its rows are seen by the chunked copy) or entirely after (its ops
     // land in the log) this point. Attaching also suppresses delta merges,
     // keeping the copy's row-id cursor sound.
-    std::lock_guard<std::mutex> latch(sync->writer_latch);
+    WriterLatchGuard latch(sync.get());
     HSDB_ASSIGN_OR_RETURN(table, catalog_.Find(name));
     table->AttachOpLog(&log);
   }
   // From here on every early return must detach the log again.
   auto detach = [&] {
-    std::lock_guard<std::mutex> latch(sync->writer_latch);
+    WriterLatchGuard latch(sync.get());
     table->DetachOpLog();
   };
 
@@ -404,7 +435,7 @@ Result<ShadowMigrationStats> Database::MigrateShadow(
   Stopwatch cutover_sw;
   {
     telemetry::ScopedSpan span("migration_swap");
-    std::lock_guard<std::mutex> latch(sync->writer_latch);
+    WriterLatchGuard latch(sync.get());
     std::vector<TableOp> tail = log.Drain();
     stats.tail_ops = tail.size();
     Status replayed = ReplayOps(shadow.get(), tail, &stats.replayed_ops);

@@ -27,6 +27,7 @@
 #include "executor/observer.h"
 #include "telemetry/cost_feedback.h"
 #include "telemetry/metrics.h"
+#include "telemetry/slowlog.h"
 
 namespace hsdb {
 
@@ -92,12 +93,22 @@ class Database {
     /// Each round drains the op log outside any latch; more rounds shrink
     /// the tail that must be replayed inside the cut-over window.
     int migration_replay_rounds = 4;
+    /// Slow-query log configuration (telemetry/slowlog.h): queries at or
+    /// above the threshold are recorded into a bounded ring exported by the
+    /// HTTP endpoint and hsdb_stat --slowlog. <= 0 disables the log.
+    double slowlog_threshold_ms = 25.0;
+    size_t slowlog_capacity = 128;
+    uint64_t slowlog_sample_every = 1;
   };
 
   explicit Database(Options options);
   /// Back-compat convenience: default options with an explicit registry.
   explicit Database(telemetry::MetricsRegistry* metrics = nullptr)
-      : Database(Options{0, metrics, 16384, 4}) {}
+      : Database([metrics] {
+          Options o;
+          o.metrics = metrics;
+          return o;
+        }()) {}
   ~Database();  // out of line: ThreadPool is forward-declared here
   HSDB_DISALLOW_COPY_AND_ASSIGN(Database);
 
@@ -147,6 +158,18 @@ class Database {
     cost_predictor_ = std::move(predictor);
   }
   bool has_cost_predictor() const { return cost_predictor_ != nullptr; }
+
+  /// Predicted cost (ms) of `query` under the current design; negative when
+  /// no predictor is installed. The caller provides table stability (an
+  /// epoch pin + reader locks, e.g. CatalogReadLock) — Execute does this
+  /// implicitly, `explain` does it explicitly.
+  double PredictCost(const Query& query) const {
+    return cost_predictor_ ? cost_predictor_(query) : -1.0;
+  }
+
+  /// The slow-query log (always present; recording is threshold-gated).
+  telemetry::Slowlog& slowlog() { return slowlog_; }
+  const telemetry::Slowlog& slowlog() const { return slowlog_; }
 
   /// The accumulated observed-vs-predicted residual stream.
   const telemetry::CostFeedback& cost_feedback() const {
@@ -246,9 +269,11 @@ class Database {
   telemetry::MetricsRegistry* metrics_;
   CostPredictor cost_predictor_;
   telemetry::CostFeedback cost_feedback_;
+  telemetry::Slowlog slowlog_;
   // Cached metric handles (registered once, incremented lock-free).
   telemetry::Counter* queries_total_[kNumQueryKinds] = {};
   telemetry::Counter* query_errors_total_[kNumQueryKinds] = {};
+  telemetry::Counter* slow_queries_total_ = nullptr;
   telemetry::Counter* rematerializations_total_ = nullptr;
   telemetry::Counter* migration_replay_rows_total_ = nullptr;
   telemetry::LogHistogram* query_latency_ms_ = nullptr;

@@ -16,6 +16,7 @@
 #define HSDB_SERVER_ADMISSION_QUEUE_H_
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <future>
@@ -33,6 +34,9 @@ namespace server {
 struct Admitted {
   Query query;
   std::promise<Result<QueryResult>> reply;
+  /// Stamped at admission; the worker turns it into the queue-wait
+  /// histogram and the slow-query log's queue_wait_ms attribution.
+  std::chrono::steady_clock::time_point admitted_at;
 };
 
 class AdmissionQueue {

@@ -1,0 +1,332 @@
+#include "server/http_endpoint.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+namespace hsdb {
+namespace server {
+
+namespace {
+
+Status Errno(const char* call) {
+  return Status::Internal(std::string(call) + "(): " + std::strerror(errno));
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string HttpResponse(int code, const char* reason,
+                         const std::string& content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " " + reason + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+
+constexpr char kIndexBody[] =
+    "hsdb introspection endpoint\n"
+    "  /metrics  Prometheus text exposition of the live registry\n"
+    "  /status   engine status (JSON)\n"
+    "  /slowlog  recent slow queries (JSON)\n";
+
+}  // namespace
+
+HttpEndpoint::HttpEndpoint(Database* db, Options options)
+    : db_(db), options_(options) {
+  telemetry::MetricsRegistry& metrics = db_->metrics();
+  http_requests_total_ = &metrics.GetCounter(
+      "hsdb_http_requests_total",
+      "HTTP requests received by the introspection endpoint.");
+  http_errors_total_ = &metrics.GetCounter(
+      "hsdb_http_errors_total",
+      "HTTP requests answered with a 4xx/5xx status.");
+  epoch_pin_age_ms_ = &metrics.GetGauge(
+      "hsdb_epoch_pin_age_ms",
+      "Age of the oldest live epoch pin (the reader gating reclamation), "
+      "sampled at each /metrics scrape.");
+  epoch_pinned_readers_ = &metrics.GetGauge(
+      "hsdb_epoch_pinned_readers",
+      "In-flight statements holding an epoch pin, sampled at each "
+      "migration cut-over (readers the retired version must outlive).");
+}
+
+HttpEndpoint::HttpEndpoint(Database* db) : HttpEndpoint(db, Options()) {}
+
+HttpEndpoint::~HttpEndpoint() { Stop(); }
+
+Status HttpEndpoint::Start() {
+  if (listen_fd_ != -1) return Status::FailedPrecondition("already started");
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Errno("bind");
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 16) != 0) {
+    Status s = Errno("listen");
+    ::close(fd);
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    Status s = Errno("getsockname");
+    ::close(fd);
+    return s;
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  started_at_ = std::chrono::steady_clock::now();
+  stopping_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread(&HttpEndpoint::AcceptLoop, this);
+  return Status::OK();
+}
+
+void HttpEndpoint::Stop() {
+  if (listen_fd_ == -1 && !accept_thread_.joinable()) return;
+  stopping_.store(true, std::memory_order_release);
+  if (listen_fd_ != -1) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ != -1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) {
+      if (fd != -1) ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    readers.swap(conn_threads_);
+  }
+  for (std::thread& t : readers) t.join();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.clear();
+  }
+}
+
+void HttpEndpoint::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket shut down
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    size_t slot = conn_fds_.size();
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back(
+        [this, fd, slot] { ServeConnection(fd, slot); });
+  }
+}
+
+void HttpEndpoint::ServeConnection(int fd, size_t slot) {
+  // One request per connection: read until the blank line that ends the
+  // request head (any body is ignored — the routes are GETs), answer, close.
+  std::string head;
+  char chunk[2048];
+  bool overflow = false;
+  while (head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // EOF, transport error, or Stop's shutdown
+    head.append(chunk, static_cast<size_t>(n));
+    if (head.size() > kMaxHttpHeaderBytes) {
+      overflow = true;
+      break;
+    }
+  }
+  std::string response;
+  if (overflow) {
+    http_errors_total_->Increment();
+    response = HttpResponse(431, "Request Header Fields Too Large",
+                            "text/plain; charset=utf-8",
+                            "request head exceeds " +
+                                std::to_string(kMaxHttpHeaderBytes) +
+                                " bytes\n");
+  } else if (!head.empty()) {
+    response = HandleHead(head);
+  }
+  if (!response.empty()) SendAll(fd, response);
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  conn_fds_[slot] = -1;
+}
+
+std::string HttpEndpoint::HandleHead(const std::string& head) {
+  http_requests_total_->Increment();
+  // Request line: METHOD SP TARGET SP VERSION.
+  const size_t eol = head.find_first_of("\r\n");
+  const std::string request_line = head.substr(0, eol);
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      request_line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+    http_errors_total_->Increment();
+    return HttpResponse(400, "Bad Request", "text/plain; charset=utf-8",
+                        "malformed request line\n");
+  }
+  const std::string method = request_line.substr(0, sp1);
+  std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  // Scrapers may append query strings (?format=...); the routes take none.
+  const size_t q = target.find('?');
+  if (q != std::string::npos) target.resize(q);
+  if (method != "GET") {
+    http_errors_total_->Increment();
+    return HttpResponse(405, "Method Not Allowed",
+                        "text/plain; charset=utf-8",
+                        "only GET is supported\n");
+  }
+  if (target == "/") {
+    return HttpResponse(200, "OK", "text/plain; charset=utf-8", kIndexBody);
+  }
+  const std::string body = BodyFor(target);
+  if (body.empty()) {
+    http_errors_total_->Increment();
+    return HttpResponse(404, "Not Found", "text/plain; charset=utf-8",
+                        "unknown route " + target + "\n");
+  }
+  const std::string content_type =
+      target == "/metrics" ? "text/plain; version=0.0.4; charset=utf-8"
+                           : "application/json; charset=utf-8";
+  return HttpResponse(200, "OK", content_type, body);
+}
+
+std::string HttpEndpoint::BodyFor(const std::string& target) {
+  if (target == "/metrics") {
+    // Sample the scrape-time gauges so the exposition is current even when
+    // no migration has run recently.
+    EpochManager& epochs = db_->catalog().epochs();
+    epoch_pin_age_ms_->Set(epochs.OldestPinAgeMs());
+    epoch_pinned_readers_->Set(static_cast<double>(epochs.pinned_readers()));
+    return db_->metrics().ExportText();
+  }
+  if (target == "/status") return StatusJson();
+  if (target == "/slowlog") return db_->slowlog().ToJson();
+  return std::string();
+}
+
+std::string HttpEndpoint::StatusJson() {
+  const TelemetryReport report = db_->TelemetrySnapshot();
+  EpochManager& epochs = db_->catalog().epochs();
+  telemetry::MetricsRegistry& metrics = db_->metrics();
+  std::string out = "{";
+  const double uptime_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_at_)
+          .count();
+  out += "\"uptime_s\":" + JsonNumber(uptime_s);
+  out += ",\"telemetry_enabled\":";
+  out += report.enabled ? "true" : "false";
+  out += ",\"layout_epoch\":" + std::to_string(report.layout_epochs);
+  out += ",\"queries\":" + std::to_string(report.queries);
+  out += ",\"errors\":" + std::to_string(report.errors);
+  out += ",\"p50_latency_ms\":" + JsonNumber(report.p50_latency_ms);
+  out += ",\"p95_latency_ms\":" + JsonNumber(report.p95_latency_ms);
+  out += ",\"p99_latency_ms\":" + JsonNumber(report.p99_latency_ms);
+  out += ",\"connections_total\":" +
+         std::to_string(
+             metrics
+                 .GetCounter(
+                     "hsdb_server_connections_total",
+                     "Client connections accepted by the socket server.")
+                 .value());
+  out += ",\"rejected_total\":" +
+         std::to_string(
+             metrics
+                 .GetCounter(
+                     "hsdb_server_rejected_total",
+                     "Queries refused because the admission queue was full.")
+                 .value());
+  out += ",\"queue_depth\":" +
+         std::to_string(server_ != nullptr ? server_->queue_depth() : 0);
+  out += ",\"slow_queries\":" + std::to_string(db_->slowlog().slow_total());
+  out += ",\"epoch\":{";
+  out += "\"current\":" + std::to_string(epochs.epoch());
+  out += ",\"pinned_readers\":" + std::to_string(epochs.pinned_readers());
+  out += ",\"oldest_pin_age_ms\":" + JsonNumber(epochs.OldestPinAgeMs());
+  out += ",\"retired\":" + std::to_string(epochs.retired_count());
+  out += "},\"controller\":{";
+  // Reading through GetCounter/GetGauge registers the family when no
+  // controller has ticked yet, so pass the controller's help strings —
+  // a help-less registration would fail the /metrics format contract.
+  out += "\"drift_score\":" +
+         JsonNumber(
+             metrics
+                 .GetGauge("hsdb_adapt_drift_score",
+                           "Query-weighted mean drift score at the last "
+                           "judged tick.")
+                 .value());
+  out += ",\"ticks_total\":" +
+         std::to_string(
+             metrics
+                 .GetCounter("hsdb_adapt_ticks_total",
+                             "Adaptation controller ticks, by decision.")
+                 .value());
+  out += ",\"researches_total\":" +
+         std::to_string(
+             metrics
+                 .GetCounter("hsdb_adapt_researches_total",
+                             "Joint-search re-runs the controller triggered.")
+                 .value());
+  out += ",\"adaptations_total\":" +
+         std::to_string(
+             metrics
+                 .GetCounter("hsdb_adapt_adaptations_total",
+                             "Re-searches that changed the design and began "
+                             "migrating.")
+                 .value());
+  out += "},\"cost_feedback\":{";
+  out += "\"samples\":" + std::to_string(report.cost.global.samples);
+  out += ",\"mean_rel_error\":" + JsonNumber(report.cost.global.mean_rel_error);
+  out += ",\"mean_abs_rel_error\":" +
+         JsonNumber(report.cost.global.mean_abs_rel_error);
+  out += ",\"p95_abs_rel_error\":" +
+         JsonNumber(report.cost.global.p95_abs_rel_error);
+  out += "}}";
+  return out;
+}
+
+}  // namespace server
+}  // namespace hsdb

@@ -1,0 +1,104 @@
+// HttpEndpoint: the pull-based introspection surface of a serving engine —
+// a deliberately minimal HTTP/1.1 listener (GET only, one request per
+// connection, Connection: close) that exposes the live MetricsRegistry in
+// Prometheus text format plus JSON status and the slow-query log. It reuses
+// the SocketServer's plumbing discipline: its own accept thread, one short-
+// lived reader thread per connection, every socket shut down and every
+// thread joined by Stop().
+//
+//   GET /         index of the routes below (text/plain)
+//   GET /metrics  Prometheus text exposition 0.0.4 of the live registry
+//   GET /status   engine status as one JSON object: uptime, layout epoch,
+//                 query/error counts, latency percentiles, admission-queue
+//                 depth, epoch-pin state, adaptation-controller state,
+//                 cost-feedback residuals
+//   GET /slowlog  recent slow queries as a JSON array (telemetry/slowlog.h)
+//
+// Robustness mirrors the line-protocol contract: malformed or oversized
+// requests are answered with 4xx and the connection closed — never a crash,
+// never another connection affected (tests/server/http_endpoint_test.cc).
+#ifndef HSDB_SERVER_HTTP_ENDPOINT_H_
+#define HSDB_SERVER_HTTP_ENDPOINT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "executor/database.h"
+#include "server/server.h"
+
+namespace hsdb {
+namespace server {
+
+/// Upper bound on one HTTP request head (request line + headers). Scrapers
+/// send a few hundred bytes; anything larger is answered 431 and closed.
+inline constexpr size_t kMaxHttpHeaderBytes = 8 * 1024;
+
+class HttpEndpoint {
+ public:
+  struct Options {
+    /// TCP port to listen on (loopback only); 0 picks an ephemeral port,
+    /// readable from port() after Start().
+    uint16_t port = 0;
+  };
+
+  /// The database must outlive the endpoint.
+  HttpEndpoint(Database* db, Options options);
+  explicit HttpEndpoint(Database* db);
+  ~HttpEndpoint();  // calls Stop()
+  HSDB_DISALLOW_COPY_AND_ASSIGN(HttpEndpoint);
+
+  /// Attaches the query-serving front-end so /status can report the live
+  /// admission-queue depth. Optional; call before Start. The server must
+  /// outlive the endpoint.
+  void set_server(const SocketServer* server) { server_ = server; }
+
+  /// Binds 127.0.0.1:<port> and starts the accept thread.
+  Status Start();
+
+  /// Stops accepting, shuts down open connections, joins all threads.
+  /// Idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start); 0 before.
+  uint16_t port() const { return port_; }
+
+  /// Route handler, exposed for tests and the --connect scraper fallback:
+  /// returns the response body for a target path ("/metrics", "/status",
+  /// "/slowlog"), or empty when the route is unknown.
+  std::string BodyFor(const std::string& target);
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd, size_t slot);
+  /// Parses the request head and builds the full HTTP response bytes.
+  std::string HandleHead(const std::string& head);
+  std::string StatusJson();
+
+  Database* db_;
+  Options options_;
+  const SocketServer* server_ = nullptr;
+
+  std::atomic<bool> stopping_{false};
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::chrono::steady_clock::time_point started_at_;
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;
+
+  telemetry::Counter* http_requests_total_ = nullptr;
+  telemetry::Counter* http_errors_total_ = nullptr;
+  telemetry::Gauge* epoch_pin_age_ms_ = nullptr;
+  telemetry::Gauge* epoch_pinned_readers_ = nullptr;
+};
+
+}  // namespace server
+}  // namespace hsdb
+
+#endif  // HSDB_SERVER_HTTP_ENDPOINT_H_

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <sstream>
 #include <string_view>
+#include <utility>
 
 namespace hsdb {
 namespace server {
@@ -354,6 +355,39 @@ void AppendRow(const Row& row, std::string* out) {
   out->push_back('\n');
 }
 
+/// The query-command dispatch shared by the top level and `explain`: any
+/// command that produces a Request::Kind::kQuery.
+Result<Request> ParseQueryCommand(const std::vector<std::string>& tokens,
+                                  const SchemaResolver& resolver) {
+  const std::string& cmd = tokens[0];
+  if (cmd == "select") return ParseSelect(tokens, resolver);
+  if (cmd == "count" || cmd == "sum" || cmd == "avg" || cmd == "min" ||
+      cmd == "max") {
+    return ParseAggregate(tokens, resolver);
+  }
+  if (cmd == "insert") return ParseInsert(tokens, resolver);
+  if (cmd == "update") return ParseUpdate(tokens, resolver);
+  if (cmd == "delete") return ParseDelete(tokens, resolver);
+  return Status::InvalidArgument("unknown command '" + cmd + "'");
+}
+
+Result<Request> ParseExplain(std::vector<std::string> tokens,
+                             const SchemaResolver& resolver) {
+  tokens.erase(tokens.begin());  // drop "explain"
+  bool analyze = false;
+  if (!tokens.empty() && tokens[0] == "analyze") {
+    analyze = true;
+    tokens.erase(tokens.begin());
+  }
+  if (tokens.empty()) {
+    return Status::InvalidArgument(
+        "usage: explain [analyze] <query-command...>");
+  }
+  HSDB_ASSIGN_OR_RETURN(Request req, ParseQueryCommand(tokens, resolver));
+  req.kind = analyze ? Request::Kind::kExplainAnalyze : Request::Kind::kExplain;
+  return req;
+}
+
 }  // namespace
 
 Result<Request> ParseRequest(const std::string& line,
@@ -391,15 +425,8 @@ Result<Request> ParseRequest(const std::string& line,
     req.table = tokens[1];
     return req;
   }
-  if (cmd == "select") return ParseSelect(tokens, resolver);
-  if (cmd == "count" || cmd == "sum" || cmd == "avg" || cmd == "min" ||
-      cmd == "max") {
-    return ParseAggregate(tokens, resolver);
-  }
-  if (cmd == "insert") return ParseInsert(tokens, resolver);
-  if (cmd == "update") return ParseUpdate(tokens, resolver);
-  if (cmd == "delete") return ParseDelete(tokens, resolver);
-  return Status::InvalidArgument("unknown command '" + cmd + "'");
+  if (cmd == "explain") return ParseExplain(std::move(tokens), resolver);
+  return ParseQueryCommand(tokens, resolver);
 }
 
 std::string FormatResponse(const QueryResult& result, QueryKind kind) {

@@ -8,6 +8,8 @@
 //   schema <table>
 //   stats
 //   quit
+//   explain <query-command...>
+//   explain analyze <query-command...>
 //   select <table> <col,col|*> [where <col><op><val> ...] [limit <n>]
 //   count  <table> [where ...]
 //   sum|avg|min|max <table> <col> [where ...] [by <col,col>]
@@ -45,13 +47,25 @@ namespace server {
 /// the stream offers no resynchronization point.
 inline constexpr size_t kMaxLineBytes = 64 * 1024;
 
-/// One parsed request. For kQuery the engine query is fully resolved
-/// (columns by id, literals coerced to the column types); the control kinds
-/// are answered by the server without touching the executor.
+/// One parsed request. For kQuery/kExplain/kExplainAnalyze the engine query
+/// is fully resolved (columns by id, literals coerced to the column types);
+/// the control kinds are answered by the server without touching the
+/// executor. kExplain renders the predicted plan without executing;
+/// kExplainAnalyze executes the query (DML included) and renders the
+/// observed trace next to the prediction.
 struct Request {
-  enum class Kind { kQuery, kPing, kTables, kSchema, kStats, kQuit };
+  enum class Kind {
+    kQuery,
+    kExplain,
+    kExplainAnalyze,
+    kPing,
+    kTables,
+    kSchema,
+    kStats,
+    kQuit
+  };
   Kind kind = Kind::kPing;
-  Query query;        // kQuery
+  Query query;        // kQuery, kExplain, kExplainAnalyze
   std::string table;  // kSchema
 };
 

@@ -5,12 +5,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <sstream>
 #include <utility>
 
 #include "common/epoch.h"
+#include "server/explain.h"
 #include "storage/logical_table.h"
 
 namespace hsdb {
@@ -56,6 +59,16 @@ SocketServer::SocketServer(Database* db, Options options)
   batch_width_ = &metrics.GetHistogram(
       "hsdb_server_batch_width",
       "Queries per drained admission batch (shared-scan width).");
+  queue_wait_ms_ = &metrics.GetHistogram(
+      "hsdb_server_queue_wait_ms",
+      "Time an admitted query waited in the admission queue before its "
+      "batch was drained.",
+      {}, /*min_bound=*/1e-4);
+  batch_formation_ms_ = &metrics.GetHistogram(
+      "hsdb_server_batch_formation_ms",
+      "Batch-group formation latency: the oldest member's queue wait when "
+      "its batch was drained.",
+      {}, /*min_bound=*/1e-4);
   queue_depth_ = &metrics.GetGauge(
       "hsdb_server_queue_depth",
       "Admission-queue depth sampled after each admit and drain.");
@@ -160,16 +173,34 @@ void SocketServer::AcceptLoop() {
 void SocketServer::WorkerLoop() {
   std::vector<Admitted> batch;
   std::vector<Query> queries;
+  std::vector<double> waits_ms;
   while (queue_.PopBatch(options_.max_batch, &batch)) {
+    const auto drained_at = std::chrono::steady_clock::now();
     queries.clear();
     queries.reserve(batch.size());
-    for (Admitted& a : batch) queries.push_back(std::move(a.query));
+    waits_ms.clear();
+    waits_ms.reserve(batch.size());
+    double oldest_wait_ms = 0.0;
+    for (Admitted& a : batch) {
+      queries.push_back(std::move(a.query));
+      const double wait_ms = std::chrono::duration<double, std::milli>(
+                                 drained_at - a.admitted_at)
+                                 .count();
+      waits_ms.push_back(wait_ms);
+      oldest_wait_ms = std::max(oldest_wait_ms, wait_ms);
+    }
     if (TelemetryOn()) {
       batches_total_->Increment();
       batch_width_->Observe(static_cast<double>(batch.size()));
+      // Formation latency = how long the batch's oldest member waited for
+      // enough co-runners (or for the worker) — the number a future
+      // scheduler's drain policy will be tuned against.
+      batch_formation_ms_->Observe(oldest_wait_ms);
+      for (double wait_ms : waits_ms) queue_wait_ms_->Observe(wait_ms);
       queue_depth_->Set(static_cast<double>(queue_.depth()));
     }
-    std::vector<Result<QueryResult>> results = batch_.ExecuteBatch(queries);
+    std::vector<Result<QueryResult>> results =
+        batch_.ExecuteBatch(queries, &waits_ms);
     for (size_t i = 0; i < batch.size(); ++i) {
       batch[i].reply.set_value(std::move(results[i]));
     }
@@ -200,9 +231,22 @@ std::string SocketServer::HandleLine(const std::string& line,
       return "ok 0\n";
     case Request::Kind::kQuery:
       return HandleQuery(std::move(parsed->query));
+    case Request::Kind::kExplain:
+    case Request::Kind::kExplainAnalyze:
+      return HandleExplain(*parsed);
     default:
       return HandleControl(*parsed);
   }
+}
+
+std::string SocketServer::HandleExplain(const Request& request) {
+  if (request.kind == Request::Kind::kExplain) {
+    return FormatLines(ExplainLines(db_, request.query));
+  }
+  Result<std::vector<std::string>> lines =
+      ExplainAnalyzeLines(db_, request.query);
+  if (!lines.ok()) return FormatError(lines.status());
+  return FormatLines(*lines);
 }
 
 std::string SocketServer::HandleControl(const Request& request) {
@@ -245,6 +289,7 @@ std::string SocketServer::HandleQuery(Query query) {
   QueryKind kind = KindOf(query);
   Admitted item;
   item.query = std::move(query);
+  item.admitted_at = std::chrono::steady_clock::now();
   std::future<Result<QueryResult>> reply = item.reply.get_future();
   if (!queue_.TryPush(std::move(item))) {
     if (TelemetryOn()) rejected_total_->Increment();

@@ -62,6 +62,9 @@ class SocketServer {
   /// The bound port (valid after Start); 0 before.
   uint16_t port() const { return port_; }
 
+  /// Live admission-queue depth (the HTTP /status endpoint reads this).
+  size_t queue_depth() const { return queue_.depth(); }
+
  private:
   void AcceptLoop();
   /// Reader loop of one connection; `slot` is its index in conn_fds_.
@@ -72,6 +75,10 @@ class SocketServer {
   std::string HandleLine(const std::string& line, bool* close_conn);
   std::string HandleControl(const Request& request);
   std::string HandleQuery(Query query);
+  /// explain / explain analyze run inline on the reader thread (they are
+  /// introspection, not traffic — they skip the admission queue so a full
+  /// queue can still be diagnosed).
+  std::string HandleExplain(const Request& request);
   bool TelemetryOn() const;
 
   Database* db_;
@@ -97,6 +104,8 @@ class SocketServer {
   telemetry::Counter* rejected_total_ = nullptr;
   telemetry::Counter* batches_total_ = nullptr;
   telemetry::LogHistogram* batch_width_ = nullptr;
+  telemetry::LogHistogram* queue_wait_ms_ = nullptr;
+  telemetry::LogHistogram* batch_formation_ms_ = nullptr;
   telemetry::Gauge* queue_depth_ = nullptr;
 };
 

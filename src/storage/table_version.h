@@ -24,6 +24,7 @@
 #ifndef HSDB_STORAGE_TABLE_VERSION_H_
 #define HSDB_STORAGE_TABLE_VERSION_H_
 
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <shared_mutex>
@@ -33,6 +34,7 @@
 #include "common/macros.h"
 #include "common/row.h"
 #include "storage/primary_key.h"
+#include "telemetry/metrics.h"
 
 namespace hsdb {
 
@@ -44,6 +46,75 @@ struct TableSync {
   /// Serializes writers among themselves and against the migration
   /// cut-over. Always acquired before `rw` unique, never after.
   std::mutex writer_latch;
+
+  /// Contention instrumentation, set once by Catalog::sync() when a metrics
+  /// registry is installed (null = uninstrumented; WriterLatchGuard then
+  /// skips the clock reads entirely). The registry owns the histograms.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  telemetry::LogHistogram* latch_wait_ms = nullptr;
+  telemetry::LogHistogram* latch_hold_ms = nullptr;
+};
+
+/// RAII writer-latch acquisition that feeds the per-table contention
+/// histograms: time blocked acquiring the latch (`hsdb_table_latch_wait_ms`)
+/// and time held (`hsdb_table_latch_hold_ms`). Use in place of a bare
+/// lock_guard on TableSync::writer_latch so every writer path is profiled
+/// the same way. Movable so statement-lock containers can hold them.
+class WriterLatchGuard {
+ public:
+  WriterLatchGuard() = default;
+  explicit WriterLatchGuard(TableSync* sync) { Acquire(sync); }
+  ~WriterLatchGuard() { Release(); }
+  WriterLatchGuard(WriterLatchGuard&& other) noexcept
+      : sync_(other.sync_), timed_(other.timed_), acquired_(other.acquired_) {
+    other.sync_ = nullptr;
+  }
+  WriterLatchGuard& operator=(WriterLatchGuard&& other) noexcept {
+    if (this != &other) {
+      Release();
+      sync_ = other.sync_;
+      timed_ = other.timed_;
+      acquired_ = other.acquired_;
+      other.sync_ = nullptr;
+    }
+    return *this;
+  }
+  HSDB_DISALLOW_COPY_AND_ASSIGN(WriterLatchGuard);
+
+  void Acquire(TableSync* sync) {
+    Release();
+    sync_ = sync;
+    timed_ = sync->latch_wait_ms != nullptr && sync->metrics->enabled();
+    if (!timed_) {
+      sync->writer_latch.lock();
+      return;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    sync->writer_latch.lock();
+    acquired_ = std::chrono::steady_clock::now();
+    sync->latch_wait_ms->Observe(
+        std::chrono::duration<double, std::milli>(acquired_ - start).count());
+  }
+
+  void Release() {
+    if (sync_ == nullptr) return;
+    TableSync* sync = sync_;
+    sync_ = nullptr;
+    sync->writer_latch.unlock();
+    if (timed_) {
+      sync->latch_hold_ms->Observe(std::chrono::duration<double, std::milli>(
+                                       std::chrono::steady_clock::now() -
+                                       acquired_)
+                                       .count());
+    }
+  }
+
+  bool owns_lock() const { return sync_ != nullptr; }
+
+ private:
+  TableSync* sync_ = nullptr;
+  bool timed_ = false;
+  std::chrono::steady_clock::time_point acquired_;
 };
 
 /// One replayable write. Updates are logged as full-row upserts rather

@@ -1,0 +1,155 @@
+// Trace-span trees under BatchExecutor: queries executed on the shared-scan
+// path must come back carrying the batch_group trace tree with a
+// scan_shared child whose timing nests inside the root — this is the tree
+// `explain analyze` renders and the slow-query log summarizes, so its shape
+// is contract, not decoration. Runs at dop 1 and 4: the morsel-parallel
+// shared pass must produce the same span structure as the serial one.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "executor/batch_executor.h"
+#include "executor/database.h"
+#include "telemetry/trace.h"
+#include "workload/synthetic.h"
+
+namespace hsdb {
+namespace {
+
+class BatchTraceTest : public ::testing::TestWithParam<int> {
+ protected:
+  // > kMorselRows so the parallel gate opens at threads=4.
+  static constexpr size_t kRows = 20'000;
+
+  void SetUp() override {
+    if (!telemetry::kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+    spec_.name = "events";
+    spec_.num_keyfigures = 2;
+    spec_.num_filters = 2;
+    spec_.num_groups = 1;
+    Database::Options options;
+    options.num_threads = GetParam();
+    db_ = std::make_unique<Database>(options);
+    ASSERT_TRUE(db_->CreateTable("events", spec_.MakeSchema(),
+                                 TableLayout::SingleStore(StoreType::kColumn))
+                    .ok());
+    ASSERT_TRUE(
+        PopulateSynthetic(db_->catalog().GetTable("events"), spec_, kRows)
+            .ok());
+    db_->catalog().UpdateAllStatistics();
+  }
+
+  /// A batch of shareable same-table reads (forms one shared group).
+  std::vector<Query> ShareableBatch() const {
+    std::vector<Query> queries;
+    AggregationQuery count;
+    count.tables = {"events"};
+    count.aggregates = {{AggFn::kCount, {}}};
+    count.predicate = {{{spec_.filter(0), 0},
+                        ValueRange::Less(Value(int32_t{100}))}};
+    queries.emplace_back(count);
+    AggregationQuery sum;
+    sum.tables = {"events"};
+    sum.aggregates = {{AggFn::kSum, {spec_.keyfigure(0), 0}}};
+    sum.predicate = {{{spec_.filter(1), 0},
+                      ValueRange::AtLeast(Value(int32_t{200}))}};
+    queries.emplace_back(sum);
+    SelectQuery select;
+    select.table = "events";
+    select.select_columns = {0, spec_.keyfigure(1)};
+    select.predicate = {{{0, 0}, ValueRange::Less(Value(int64_t{50}))}};
+    queries.emplace_back(select);
+    return queries;
+  }
+
+  /// A point-PK lookup: delegated to the serial fast path, never shared.
+  SelectQuery PointLookup(int64_t id) const {
+    SelectQuery point;
+    point.table = "events";
+    point.select_columns = {0, spec_.keyfigure(0)};
+    point.predicate = {{{0, 0}, ValueRange::Eq(Value(id))}};
+    return point;
+  }
+
+  SyntheticTableSpec spec_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_P(BatchTraceTest, SharedGroupCarriesBatchGroupTraceTree) {
+  BatchExecutor batch(db_.get());
+  const std::vector<Query> queries = ShareableBatch();
+  // All three target the same table and are shareable — one shared group.
+  for (const Query& q : queries) {
+    ASSERT_NE(BatchExecutor::ShareableTable(q), nullptr) << QueryToString(q);
+  }
+  std::vector<Result<QueryResult>> results = batch.ExecuteBatch(queries);
+  ASSERT_EQ(results.size(), queries.size());
+
+  std::shared_ptr<const telemetry::TraceSpan> first_tree;
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << "query " << i;
+    const QueryResult& r = *results[i];
+    ASSERT_NE(r.trace, nullptr) << "query " << i << " lost its trace";
+    // Root is the batch group; the shared scan is a (transitive) child.
+    EXPECT_EQ(r.trace->name, "batch_group");
+    const telemetry::TraceSpan* shared = r.trace->Find("scan_shared");
+    ASSERT_NE(shared, nullptr)
+        << "query " << i << " tree:\n" << r.trace->ToString();
+    // Child timing nests inside the root's window.
+    EXPECT_GE(shared->start_ms, r.trace->start_ms - 1e-6);
+    EXPECT_LE(shared->elapsed_ms, r.trace->elapsed_ms + 1e-6);
+    EXPECT_GE(r.trace->elapsed_ms, 0.0);
+    // Shared members report amortized elapsed, bounded by group wall time.
+    EXPECT_LE(r.elapsed_ms, r.trace->elapsed_ms + 1e-6);
+    // The whole group shares ONE tree — same object, not copies.
+    if (first_tree == nullptr) {
+      first_tree = r.trace;
+    } else {
+      EXPECT_EQ(r.trace.get(), first_tree.get());
+    }
+  }
+}
+
+TEST_P(BatchTraceTest, DelegatedQueriesKeepPerStatementTraces) {
+  BatchExecutor batch(db_.get());
+  // A lone point-PK lookup takes the serial fast path (a single-member run
+  // gains nothing from sharing); its trace root is the per-statement tree,
+  // not a batch group.
+  std::vector<Query> queries;
+  queries.emplace_back(PointLookup(17));
+  std::vector<Result<QueryResult>> results = batch.ExecuteBatch(queries);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].ok());
+  const QueryResult& r = *results[0];
+  if (r.trace != nullptr) {
+    EXPECT_NE(r.trace->name, "batch_group") << r.trace->ToString();
+    EXPECT_EQ(r.trace->Find("scan_shared"), nullptr) << r.trace->ToString();
+  }
+}
+
+TEST_P(BatchTraceTest, MixedBatchSplitsTraceShapes) {
+  BatchExecutor batch(db_.get());
+  std::vector<Query> queries = ShareableBatch();
+  queries.emplace_back(PointLookup(3));
+  std::vector<Result<QueryResult>> results = batch.ExecuteBatch(queries);
+  ASSERT_EQ(results.size(), 4u);
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(results[i].ok()) << i;
+    ASSERT_NE(results[i]->trace, nullptr) << i;
+    EXPECT_EQ(results[i]->trace->name, "batch_group") << i;
+  }
+  ASSERT_TRUE(results[3].ok());
+  if (results[3]->trace != nullptr) {
+    EXPECT_NE(results[3]->trace->name, "batch_group");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dop, BatchTraceTest, ::testing::Values(1, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "threads" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace hsdb

@@ -266,6 +266,62 @@ TEST_F(ProtocolFuzzTest, PipelinedMixOfValidAndMalformedLines) {
   }
 }
 
+TEST_F(ProtocolFuzzTest, MalformedExplainStaysConnectionLocal) {
+  RawConn conn;
+  ASSERT_TRUE(conn.Connect(server_->port()));
+  // Every malformed explain variant gets exactly one "err" reply and the
+  // connection survives; a well-formed explain still answers afterwards.
+  for (const char* bad :
+       {"explain\n", "explain analyze\n", "explain explain count t\n",
+        "explain analyze analyze count t\n", "explain quit\n",
+        "explain ping\n", "explain count\n", "explain count nosuchtable\n",
+        "explain select t id whe\n",
+        "explain analyze insert t not,enough\n"}) {
+    ASSERT_TRUE(conn.Send(bad));
+    std::string head;
+    ASSERT_TRUE(conn.RecvReply(&head)) << bad;
+    EXPECT_EQ(head.rfind("err ", 0), 0u) << bad << " -> " << head;
+  }
+  ASSERT_TRUE(conn.Send("explain count t\n"));
+  std::string head;
+  ASSERT_TRUE(conn.RecvLine(&head));
+  EXPECT_EQ(head.rfind("ok ", 0), 0u) << head;
+  long payload = std::strtol(head.c_str() + 3, nullptr, 10);
+  EXPECT_GT(payload, 0);
+  std::string sink;
+  for (long i = 0; i < payload; ++i) {
+    ASSERT_TRUE(conn.RecvLine(&sink));
+  }
+  ExpectServerHealthy();
+  if (telemetry::kCompiledIn) {
+    EXPECT_GT(ProtocolErrors(), 0u);
+  }
+}
+
+TEST_F(ProtocolFuzzTest, ExplainGarbagePayloadsNeverKillTheServer) {
+  // Seeded garbage after the explain verbs: the parser must answer "err"
+  // (or at worst drop that connection), never crash or wedge the server.
+  Xorshift rng(0x5eedu);
+  RawConn conn;
+  ASSERT_TRUE(conn.Connect(server_->port()));
+  for (int i = 0; i < 48; ++i) {
+    std::string frame = (i % 2 == 0) ? "explain " : "explain analyze ";
+    size_t len = rng.Next() % 120;
+    for (size_t b = 0; b < len; ++b) {
+      char c = static_cast<char>(rng.Next() % 256);
+      if (c == '\n') c = ' ';
+      frame.push_back(c);
+    }
+    frame.push_back('\n');
+    std::string head;
+    if (!conn.Send(frame) || !conn.RecvReply(&head)) {
+      conn.Close();
+      ASSERT_TRUE(conn.Connect(server_->port())) << "server gone at " << i;
+    }
+  }
+  ExpectServerHealthy();
+}
+
 TEST_F(ProtocolFuzzTest, QuitDrainsConnection) {
   RawConn conn;
   ASSERT_TRUE(conn.Connect(server_->port()));

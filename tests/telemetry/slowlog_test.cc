@@ -1,0 +1,173 @@
+// Slowlog unit contract: the threshold/sampling gate, the bounded ring,
+// JSON escaping, and the integration point — Database records slow queries
+// with predicted cost and queue-wait attribution.
+#include "telemetry/slowlog.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "executor/database.h"
+#include "workload/synthetic.h"
+
+namespace hsdb {
+namespace telemetry {
+namespace {
+
+SlowlogRecord MakeRecord(const std::string& query, double elapsed_ms) {
+  SlowlogRecord r;
+  r.query = query;
+  r.kind = "select";
+  r.elapsed_ms = elapsed_ms;
+  return r;
+}
+
+TEST(SlowlogTest, ThresholdGatesRecording) {
+  Slowlog::Options options;
+  options.threshold_ms = 10.0;
+  Slowlog log(options);
+  EXPECT_FALSE(log.ShouldRecord(9.99));
+  EXPECT_TRUE(log.ShouldRecord(10.0));
+  EXPECT_TRUE(log.ShouldRecord(500.0));
+  // slow_total counts every eligible query, sampled or not.
+  EXPECT_EQ(log.slow_total(), 2u);
+}
+
+TEST(SlowlogTest, ZeroThresholdDisables) {
+  Slowlog::Options options;
+  options.threshold_ms = 0.0;
+  Slowlog log(options);
+  EXPECT_FALSE(log.ShouldRecord(1e9));
+  EXPECT_EQ(log.slow_total(), 0u);
+}
+
+TEST(SlowlogTest, SamplingThinsRecordsNotTheCounter) {
+  Slowlog::Options options;
+  options.threshold_ms = 1.0;
+  options.sample_every = 4;
+  Slowlog log(options);
+  int recorded = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (log.ShouldRecord(5.0)) ++recorded;
+  }
+  EXPECT_EQ(recorded, 4);       // every 4th
+  EXPECT_EQ(log.slow_total(), 16u);  // all were slow
+}
+
+TEST(SlowlogTest, RingEvictsOldestAtCapacity) {
+  Slowlog::Options options;
+  options.capacity = 3;
+  Slowlog log(options);
+  for (int i = 0; i < 5; ++i) {
+    log.Record(MakeRecord("q" + std::to_string(i), 50.0));
+  }
+  std::vector<SlowlogRecord> snap = log.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].query, "q2");
+  EXPECT_EQ(snap[2].query, "q4");
+  // Sequence numbers survive eviction — they are assigned at Record time.
+  EXPECT_EQ(snap[0].seq, 3u);
+  EXPECT_EQ(snap[2].seq, 5u);
+}
+
+TEST(SlowlogTest, RecordStampsSeqAndWallClock) {
+  Slowlog log;
+  log.Record(MakeRecord("a", 30.0));
+  log.Record(MakeRecord("b", 30.0));
+  std::vector<SlowlogRecord> snap = log.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].seq + 1, snap[1].seq);
+  EXPECT_GT(snap[0].unix_ms, 0u);
+}
+
+TEST(SlowlogTest, JsonEscapesControlAndQuoteCharacters) {
+  Slowlog log;
+  log.Record(MakeRecord("select \"t\" where\tx\n<1\x01", 42.0));
+  std::string json = log.ToJson();
+  EXPECT_NE(json.find("\\\"t\\\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\\t"), std::string::npos) << json;
+  EXPECT_NE(json.find("\\n"), std::string::npos) << json;
+  EXPECT_NE(json.find("\\u0001"), std::string::npos) << json;
+  // No raw control characters may survive into the JSON bytes.
+  for (char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+}
+
+TEST(SlowlogTest, JsonShapes) {
+  Slowlog log;
+  EXPECT_EQ(log.ToJson(), "[]");
+  EXPECT_EQ(log.ToJsonLines(), "");
+  log.Record(MakeRecord("count t", 30.0));
+  log.Record(MakeRecord("sum t kf0", 40.0));
+  std::string arr = log.ToJson();
+  EXPECT_EQ(arr.front(), '[');
+  EXPECT_EQ(arr.back(), ']');
+  std::string lines = log.ToJsonLines();
+  EXPECT_EQ(std::count(lines.begin(), lines.end(), '\n'), 2);
+  EXPECT_NE(lines.find("\"query\":\"count t\""), std::string::npos) << lines;
+  EXPECT_NE(lines.find("\"elapsed_ms\":40.000"), std::string::npos) << lines;
+}
+
+TEST(SlowlogTest, ConfigureTakesEffectImmediately) {
+  Slowlog log;  // default threshold 25 ms
+  EXPECT_FALSE(log.ShouldRecord(5.0));
+  Slowlog::Options tighter;
+  tighter.threshold_ms = 1.0;
+  log.Configure(tighter);
+  EXPECT_TRUE(log.ShouldRecord(5.0));
+  EXPECT_DOUBLE_EQ(log.threshold_ms(), 1.0);
+}
+
+TEST(SlowlogTest, ScopedQueueWaitRestoresPrevious) {
+  EXPECT_DOUBLE_EQ(CurrentQueueWaitMs(), 0.0);
+  {
+    ScopedQueueWait outer(3.5);
+    EXPECT_DOUBLE_EQ(CurrentQueueWaitMs(), 3.5);
+    {
+      ScopedQueueWait inner(9.0);
+      EXPECT_DOUBLE_EQ(CurrentQueueWaitMs(), 9.0);
+    }
+    EXPECT_DOUBLE_EQ(CurrentQueueWaitMs(), 3.5);
+  }
+  EXPECT_DOUBLE_EQ(CurrentQueueWaitMs(), 0.0);
+}
+
+// Integration: a Database with a hair-trigger threshold records every query,
+// with the cost prediction attached when a predictor is installed.
+TEST(SlowlogTest, DatabaseRecordsSlowQueries) {
+  if (!kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  SyntheticTableSpec spec;
+  spec.name = "t";
+  spec.num_keyfigures = 1;
+  spec.num_filters = 1;
+  spec.num_groups = 1;
+  Database::Options options;
+  options.slowlog_threshold_ms = 1e-6;  // everything is "slow"
+  Database db(options);
+  ASSERT_TRUE(db.CreateTable("t", spec.MakeSchema(),
+                             TableLayout::SingleStore(StoreType::kColumn))
+                  .ok());
+  ASSERT_TRUE(PopulateSynthetic(db.catalog().GetTable("t"), spec, 2'000).ok());
+
+  AggregationQuery agg;
+  agg.tables = {"t"};
+  agg.aggregates = {{AggFn::kCount, {}}};
+  ASSERT_TRUE(db.Execute(Query(agg)).ok());
+
+  ASSERT_GE(db.slowlog().size(), 1u);
+  const SlowlogRecord last = db.slowlog().Snapshot().back();
+  EXPECT_NE(last.query.find("FROM t"), std::string::npos) << last.query;
+  EXPECT_EQ(last.kind, "AGGREGATION");
+  EXPECT_GT(last.elapsed_ms, 0.0);
+  EXPECT_EQ(db.metrics().GetCounter("hsdb_slow_queries_total").value(),
+            db.slowlog().slow_total());
+  std::string json = db.slowlog().ToJson();
+  EXPECT_NE(json.find("\"kind\":\"AGGREGATION\""), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace hsdb

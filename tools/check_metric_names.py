@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Metric-name lint: every MetricsRegistry call site follows the naming rules.
+
+Scans src/ for GetCounter/GetGauge/GetHistogram call sites and enforces:
+
+  * every metric name starts with ``hsdb_``
+  * counters end in ``_total``
+  * histograms end in ``_ms`` or ``_bytes`` (unit suffix), except the
+    documented dimensionless ones below
+  * gauges do NOT end in ``_total`` (that suffix promises a counter)
+
+Exits non-zero listing each violation, so metric-name drift fails CI the
+moment it is introduced rather than when a dashboard query breaks.
+
+Usage: check_metric_names.py [SRC_DIR]   (default: <repo>/src)
+"""
+
+import pathlib
+import re
+import sys
+
+# Histograms whose sample value is a dimensionless count or ratio, where a
+# unit suffix would be wrong. Add here ONLY with a comment saying what the
+# sample is.
+ALLOWED_UNITLESS_HISTOGRAMS = {
+    "hsdb_batch_width",            # queries per shared-scan batch
+    "hsdb_server_batch_width",     # queries per drained server batch
+    "hsdb_cost_abs_rel_error",     # |predicted-observed|/observed ratio
+    "hsdb_migration_cost_abs_rel_error",  # same ratio, migration stmts
+}
+
+CALL_RE = re.compile(r'Get(Counter|Gauge|Histogram)\(\s*"([^"]+)"')
+
+
+def lint_file(path: pathlib.Path):
+    violations = []
+    text = path.read_text(encoding="utf-8", errors="replace")
+    for match in CALL_RE.finditer(text):
+        kind, name = match.group(1), match.group(2)
+        line = text.count("\n", 0, match.start()) + 1
+        where = f"{path}:{line}"
+        if not name.startswith("hsdb_"):
+            violations.append(f"{where}: {kind} '{name}' missing hsdb_ prefix")
+        if kind == "Counter" and not name.endswith("_total"):
+            violations.append(
+                f"{where}: Counter '{name}' must end in _total")
+        if kind == "Gauge" and name.endswith("_total"):
+            violations.append(
+                f"{where}: Gauge '{name}' must not end in _total "
+                "(suffix promises a counter)")
+        if (kind == "Histogram"
+                and not name.endswith(("_ms", "_bytes"))
+                and name not in ALLOWED_UNITLESS_HISTOGRAMS):
+            violations.append(
+                f"{where}: Histogram '{name}' must end in _ms/_bytes "
+                "(or be listed in ALLOWED_UNITLESS_HISTOGRAMS with a "
+                "comment)")
+    return violations
+
+
+def main():
+    if len(sys.argv) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if len(sys.argv) == 2:
+        src = pathlib.Path(sys.argv[1])
+    else:
+        src = pathlib.Path(__file__).resolve().parent.parent / "src"
+    if not src.is_dir():
+        print(f"source directory not found: {src}", file=sys.stderr)
+        return 2
+    violations = []
+    checked = 0
+    for path in sorted(src.rglob("*.cc")) + sorted(src.rglob("*.h")):
+        checked += 1
+        violations.extend(lint_file(path))
+    if violations:
+        for v in violations:
+            print(v)
+        print(f"\n{len(violations)} metric-name violation(s)")
+        return 1
+    print(f"metric names OK ({checked} files scanned)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

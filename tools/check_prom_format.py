@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition format 0.0.4 read from stdin.
+
+Checks what a scraper actually depends on:
+
+  * every sample belongs to a family announced by # HELP and # TYPE lines
+  * no duplicate series (same name + label set twice)
+  * sample values parse as floats (or +Inf/-Inf/NaN)
+  * histogram families are complete: _bucket series with an le label,
+    cumulative bucket counts monotonically non-decreasing, a final
+    le="+Inf" bucket whose count equals the family's _count sample,
+    plus _sum and _count samples
+
+Exit 0 with a summary on success; exit 1 listing each problem otherwise.
+
+Usage: some_exporter | check_prom_format.py
+"""
+
+import re
+import sys
+from collections import defaultdict
+
+SAMPLE_RE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)(\s+\d+)?$')
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def base_family(name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_value(raw):
+    if raw in ("+Inf", "Inf"):
+        return float("inf")
+    if raw == "-Inf":
+        return float("-inf")
+    if raw == "NaN":
+        return float("nan")
+    return float(raw)
+
+
+def main():
+    text = sys.stdin.read()
+    problems = []
+    helped = set()
+    typed = {}
+    seen_series = set()
+    # (family, frozenset(labels minus le)) -> list of (le, count)
+    buckets = defaultdict(list)
+    counts = {}
+    sums = set()
+    samples = 0
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 4 or not parts[3].strip():
+                problems.append(f"line {lineno}: HELP without text: {line!r}")
+            if len(parts) >= 3:
+                helped.add(parts[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"):
+                problems.append(f"line {lineno}: malformed TYPE: {line!r}")
+                continue
+            typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        m = SAMPLE_RE.match(line)
+        if not m:
+            problems.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        samples += 1
+        name, labels_raw, value_raw = m.group(1), m.group(2) or "", m.group(3)
+        labels = dict(LABEL_RE.findall(labels_raw))
+        series_key = (name, frozenset(labels.items()))
+        if series_key in seen_series:
+            problems.append(
+                f"line {lineno}: duplicate series {name}{labels_raw}")
+        seen_series.add(series_key)
+        try:
+            value = parse_value(value_raw)
+        except ValueError:
+            problems.append(
+                f"line {lineno}: bad sample value {value_raw!r} for {name}")
+            continue
+        family = base_family(name)
+        if family not in helped:
+            problems.append(f"line {lineno}: sample {name} has no # HELP")
+        if family not in typed:
+            problems.append(f"line {lineno}: sample {name} has no # TYPE")
+        if typed.get(family) == "histogram":
+            group = frozenset(kv for kv in labels.items() if kv[0] != "le")
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    problems.append(
+                        f"line {lineno}: {name} bucket without le label")
+                else:
+                    buckets[(family, group)].append(
+                        (parse_value(labels["le"]), value, lineno))
+            elif name.endswith("_count"):
+                counts[(family, group)] = (value, lineno)
+            elif name.endswith("_sum"):
+                sums.add((family, group))
+
+    for (family, group), entries in sorted(
+            buckets.items(), key=lambda kv: str(kv[0])):
+        entries.sort(key=lambda e: e[0])
+        prev = None
+        for le, count, lineno in entries:
+            if prev is not None and count < prev:
+                problems.append(
+                    f"line {lineno}: {family} bucket le={le} count {count} "
+                    f"below previous bucket's {prev} (not cumulative)")
+            prev = count
+        if not entries or entries[-1][0] != float("inf"):
+            problems.append(f"{family}: histogram missing le=\"+Inf\" bucket")
+        elif (family, group) in counts:
+            inf_count = entries[-1][1]
+            total, lineno = counts[(family, group)]
+            if inf_count != total:
+                problems.append(
+                    f"line {lineno}: {family}_count {total} != le=+Inf "
+                    f"bucket {inf_count}")
+        if (family, group) not in counts:
+            problems.append(f"{family}: histogram missing _count sample")
+        if (family, group) not in sums:
+            problems.append(f"{family}: histogram missing _sum sample")
+
+    if samples == 0:
+        problems.append("no samples found on stdin")
+
+    if problems:
+        for p in problems:
+            print(p)
+        print(f"\n{len(problems)} format problem(s) in {samples} samples")
+        return 1
+    print(f"prometheus format OK ({samples} samples, "
+          f"{len(typed)} families, {len(buckets)} histogram series groups)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
